@@ -1,0 +1,29 @@
+"""Ablation A4 — compression vs the transmitter lag bound m_max_lag (§3.3).
+
+The paper sets m_max_lag to a large value in its experiments "to assess the
+filters' full compression power"; this ablation shows the price of tighter
+lag bounds: compression degrades gracefully as the bound shrinks and
+approaches the unbounded figure as it grows.
+"""
+
+from repro.evaluation.ablations import max_lag_ablation
+from repro.evaluation.report import render_series
+
+from bench_utils import run_once, scaled
+
+
+def test_ablation_max_lag(benchmark, bench_scale):
+    series = run_once(benchmark, max_lag_ablation, length=scaled(10_000, bench_scale))
+
+    print()
+    print(render_series(series))
+
+    for name in ("swing", "slide"):
+        values = series.series[name]
+        unbounded = values[-1]
+        # Tighter lag bounds can only cost compression.
+        assert all(value <= unbounded * 1.001 for value in values[:-1])
+        # A very tight bound must be visibly worse than no bound.
+        assert values[0] < unbounded
+        # A loose bound gets within 25% of the unbounded compression.
+        assert values[-2] >= unbounded * 0.75

@@ -1,0 +1,29 @@
+"""Ablation A3 — slide filter with vs without segment joining (Lemma 4.4).
+
+Joining adjacent segments saves one recording per joined pair; this ablation
+quantifies how much of the slide filter's advantage comes from that mechanism
+as opposed to its sliding (unanchored) bounds.
+"""
+
+from repro.evaluation.ablations import connection_ablation
+from repro.evaluation.report import render_series
+
+from bench_utils import run_once
+
+
+def test_ablation_slide_connections(benchmark):
+    series = run_once(benchmark, connection_ablation)
+
+    print()
+    print(render_series(series))
+
+    full = series.series["slide"]
+    disconnected = series.series["slide-disconnected"]
+    fractions = series.series["connected fraction (%)"]
+
+    for index in range(len(series.x_values)):
+        assert full[index] >= disconnected[index], "joining segments must never hurt compression"
+        assert 0.0 <= fractions[index] <= 100.0
+    # Joining must pay off somewhere in the sweep.
+    assert any(full[i] > disconnected[i] * 1.02 for i in range(len(full)))
+    assert any(fraction > 5.0 for fraction in fractions)

@@ -1,0 +1,39 @@
+"""Figure 6 — the sea-surface-temperature workload itself.
+
+The paper's Figure 6 plots the raw SST signal (1285 points sampled every 10
+minutes, ranging between roughly 20.5 °C and 24.5 °C).  This benchmark
+generates the surrogate series, prints its summary statistics and times the
+generation.
+"""
+
+import numpy as np
+
+from repro.data.sst import (
+    SST_MAX_CELSIUS,
+    SST_MIN_CELSIUS,
+    SST_POINT_COUNT,
+    SST_SAMPLING_MINUTES,
+    sea_surface_temperature,
+)
+
+from bench_utils import run_once
+
+
+def test_fig06_sst_signal(benchmark):
+    times, values = run_once(benchmark, sea_surface_temperature)
+
+    assert len(times) == SST_POINT_COUNT
+    assert times[1] - times[0] == SST_SAMPLING_MINUTES
+    assert values.min() >= SST_MIN_CELSIUS - 1e-9
+    assert values.max() <= SST_MAX_CELSIUS + 1e-9
+
+    increments = np.diff(values)
+    print()
+    print("Figure 6: sea surface temperature surrogate")
+    print(f"  points              : {len(values)}")
+    print(f"  sampling interval   : {times[1] - times[0]:.0f} minutes")
+    print(f"  value range         : {values.min():.2f} .. {values.max():.2f} degC")
+    print(f"  mean / std          : {values.mean():.2f} / {values.std():.2f} degC")
+    print(f"  upward moves        : {int(np.sum(increments > 0))}")
+    print(f"  downward moves      : {int(np.sum(increments < 0))}")
+    print(f"  unchanged samples   : {int(np.sum(increments == 0))}")

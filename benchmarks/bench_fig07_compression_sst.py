@@ -1,0 +1,37 @@
+"""Figure 7 — compression ratio vs precision width on the SST signal.
+
+Paper reference points (Figure 7): the slide filter dominates every other
+filter across the whole precision sweep; the swing filter comes second; the
+cache filter beats the linear filter on this signal.
+"""
+
+from repro.evaluation.precision_sweep import precision_sweep
+from repro.evaluation.report import render_series
+
+from bench_utils import run_once
+
+
+def test_fig07_compression_ratio_sst(benchmark):
+    compression, _ = run_once(benchmark, precision_sweep)
+
+    print()
+    print(render_series(compression))
+
+    slide = compression.series["slide"]
+    swing = compression.series["swing"]
+    cache = compression.series["cache"]
+    linear = compression.series["linear"]
+
+    # Shape checks mirroring the paper's reading of the figure.
+    for index in range(len(compression.x_values)):
+        assert slide[index] >= swing[index], "slide must dominate swing"
+        assert slide[index] >= cache[index], "slide must dominate cache"
+        assert slide[index] >= linear[index], "slide must dominate linear"
+        assert cache[index] >= linear[index], "cache beats linear on the SST signal"
+    # Compression grows with the precision width and always stays above 1.
+    for series in compression.series.values():
+        assert all(value >= 1.0 for value in series)
+        assert series[-1] > series[0]
+    # The paper reports an improvement of slide over linear of up to ~19x at
+    # the 10% precision width; require at least a 3x gap on the surrogate.
+    assert slide[-1] / linear[-1] >= 3.0

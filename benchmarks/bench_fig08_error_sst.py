@@ -1,0 +1,31 @@
+"""Figure 8 — average error vs precision width on the SST signal.
+
+Paper reference points (Figure 8): the average error of every filter stays
+well below the prescribed precision width (the paper quotes 4.5 % of the
+range for the swing filter at a 10 % precision width), and the linear filter
+(lowest compression) has the lowest average error.
+"""
+
+from repro.evaluation.precision_sweep import precision_sweep
+from repro.evaluation.report import render_series
+
+from bench_utils import run_once
+
+
+def test_fig08_average_error_sst(benchmark):
+    _, error = run_once(benchmark, precision_sweep)
+
+    print()
+    print(render_series(error))
+
+    for name, series in error.series.items():
+        for percent, value in zip(error.x_values, series):
+            assert value <= percent, (
+                f"{name}: average error {value:.3f}% exceeds the precision width {percent}%"
+            )
+    # At the 10% precision width the paper reports ~4.5% average error for the
+    # swing filter (the largest among the filters); ours should stay in the
+    # same ballpark — well below the 10% guarantee.
+    assert error.series["swing"][-1] <= 6.0
+    # The linear filter trades compression for a lower average error.
+    assert error.series["linear"][-1] <= error.series["slide"][-1]

@@ -1,0 +1,46 @@
+"""Figure 10 — effect of the magnitude of change per data point.
+
+Paper reference points: compression decreases as the maximum delta grows;
+slide and swing consistently beat cache and linear; when the maximum delta is
+below the precision width (x = 10 %), the cache filter beats the linear
+filter; the slide filter's advantage over the linear filter shrinks from
+roughly 266 % at x = 10 % to roughly 20 % at x = 10 000 %.
+"""
+
+from repro.evaluation.report import render_series
+from repro.evaluation.signal_behavior import compression_vs_delta
+
+from bench_utils import run_once, scaled
+
+
+def test_fig10_magnitude_of_change(benchmark, bench_scale):
+    series = run_once(benchmark, compression_vs_delta, length=scaled(10_000, bench_scale))
+
+    print()
+    print(render_series(series))
+
+    slide = series.series["slide"]
+    swing = series.series["swing"]
+    cache = series.series["cache"]
+    linear = series.series["linear"]
+
+    # Compression decreases as the step magnitude grows.
+    for name in ("cache", "linear", "swing", "slide"):
+        values = series.series[name]
+        assert values[0] >= values[-1]
+
+    # Slide and swing dominate the baselines everywhere.
+    for index in range(len(series.x_values)):
+        assert slide[index] >= max(cache[index], linear[index])
+        assert swing[index] >= min(cache[index], linear[index])
+
+    # Small deltas (below the precision width) favour the cache filter over
+    # the linear filter (paper's observation at x = 10 %).
+    assert cache[0] >= linear[0]
+
+    # The slide filter's edge over the linear filter shrinks with the delta
+    # but never disappears.
+    first_gain = slide[0] / linear[0] - 1.0
+    last_gain = slide[-1] / linear[-1] - 1.0
+    assert first_gain > last_gain
+    assert last_gain >= 0.05

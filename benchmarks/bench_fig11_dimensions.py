@@ -1,0 +1,33 @@
+"""Figure 11 — effect of the number of (independent) dimensions.
+
+Paper reference points: the compression ratio decreases as independent
+dimensions are added (any dimension can trigger a new segment), and the slide
+and swing filters keep the highest compression ratios at every
+dimensionality.
+"""
+
+from repro.evaluation.dimensionality import compression_vs_dimensions
+from repro.evaluation.report import render_series
+
+from bench_utils import run_once, scaled
+
+
+def test_fig11_number_of_dimensions(benchmark, bench_scale):
+    series = run_once(
+        benchmark, compression_vs_dimensions, length=scaled(5_000, bench_scale)
+    )
+
+    print()
+    print(render_series(series))
+
+    for name, values in series.series.items():
+        # Compression for one dimension beats compression for ten dimensions.
+        assert values[0] > values[-1], f"{name}: expected monotone-ish decline with d"
+
+    slide = series.series["slide"]
+    swing = series.series["swing"]
+    cache = series.series["cache"]
+    linear = series.series["linear"]
+    for index in range(len(series.x_values)):
+        assert slide[index] >= max(cache[index], linear[index])
+        assert swing[index] >= max(cache[index], linear[index]) * 0.9

@@ -1,0 +1,44 @@
+"""Figure 12 — effect of the correlation between dimensions.
+
+Paper reference points: compression of a 5-dimensional signal grows as its
+dimensions become more correlated; slide and swing stay on top; and (§5.4
+text) compressing the dimensions together beats independent per-dimension
+compression once the correlation is high enough (the paper finds a break-even
+around 0.7 for the slide filter).
+"""
+
+from repro.evaluation.dimensionality import (
+    compression_vs_correlation,
+    independent_vs_joint_breakeven,
+)
+from repro.evaluation.report import render_series
+
+from bench_utils import run_once, scaled
+
+
+def test_fig12_correlation(benchmark, bench_scale):
+    length = scaled(5_000, bench_scale)
+    series = run_once(benchmark, compression_vs_correlation, length=length)
+
+    print()
+    print(render_series(series))
+
+    for name, values in series.series.items():
+        # Full correlation compresses at least as well as near-independence.
+        assert values[-1] >= values[0], f"{name}: correlation should help compression"
+
+    slide = series.series["slide"]
+    cache = series.series["cache"]
+    linear = series.series["linear"]
+    for index in range(len(series.x_values)):
+        assert slide[index] >= max(cache[index], linear[index])
+
+    # §5.4 break-even analysis: joint compression of a correlated 5-d signal
+    # eventually beats independent per-dimension compression.
+    analysis = independent_vs_joint_breakeven(length=length)
+    print(
+        f"independent-equivalent ratio (slide, d=5): {analysis.independent_equivalent:.2f}; "
+        f"break-even correlation: {analysis.breakeven_correlation}"
+    )
+    assert analysis.independent_equivalent < analysis.single_dimension_ratio
+    assert analysis.breakeven_correlation is not None

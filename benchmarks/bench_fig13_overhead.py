@@ -1,0 +1,44 @@
+"""Figure 13 — filtering overhead (µs per data point) on the SST signal.
+
+Paper reference points: the cache, linear, swing and (optimized) slide
+filters all stay flat as the precision width — and hence the filtering
+interval length — grows, while the non-optimized slide filter's per-point
+cost grows with the interval length; the optimized slide filter is the most
+expensive of the scalable filters.  Absolute numbers depend on the host (the
+paper used a 3 GHz Pentium 4 and reported a few µs per point).
+"""
+
+from repro.evaluation.overhead import overhead_vs_precision
+from repro.evaluation.report import render_series
+
+from bench_utils import run_once
+
+
+def test_fig13_filtering_overhead(benchmark):
+    series = run_once(benchmark, overhead_vs_precision, repeats=2)
+
+    print()
+    print(render_series(series))
+
+    def growth(name):
+        values = series.series[name]
+        start = max(sum(values[:2]) / 2.0, 1e-9)
+        end = max(sum(values[-2:]) / 2.0, 1e-9)
+        return end / start
+
+    # The scalable filters stay roughly flat as the precision width (and the
+    # interval length) grows; the non-optimized slide filter does not.
+    unoptimized_growth = growth("slide-unoptimized")
+    for name in ("cache", "linear", "swing", "slide"):
+        assert growth(name) <= unoptimized_growth, (
+            f"{name} should scale better than the non-optimized slide filter"
+        )
+    assert unoptimized_growth >= 2.0 * growth("slide"), (
+        "removing the convex-hull optimization must visibly hurt scalability"
+    )
+
+    # The optimized slide filter costs more per point than the swing filter
+    # (it maintains convex hulls), matching the paper's 8 vs 4 µs observation.
+    slide_mean = sum(series.series["slide"]) / len(series.series["slide"])
+    swing_mean = sum(series.series["swing"]) / len(series.series["swing"])
+    assert slide_mean >= swing_mean * 0.8

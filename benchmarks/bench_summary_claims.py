@@ -1,0 +1,39 @@
+"""Headline claims of the paper's abstract / introduction.
+
+Aggregates the compression sweeps of Figures 7 and 9–12 and verifies:
+
+1. the slide filter achieves the highest compression ratio in (nearly) all
+   configurations — the paper says it "consistently dominates all other
+   filters";
+2. the swing filter generally outperforms the cache and linear baselines;
+3. the slide filter improves over the best previous technique by a large
+   factor in at least one configuration (the paper quotes "up to twofold"
+   against the best of the earlier filters on synthetic data and much more on
+   the SST signal).
+"""
+
+from repro.evaluation.report import render_table
+from repro.evaluation.summary import headline_claims
+
+from bench_utils import run_once
+
+
+def test_headline_claims(benchmark):
+    summary = run_once(benchmark, headline_claims, fast=True)
+
+    print()
+    print("Headline claims (aggregated over Figures 7, 9, 10, 11, 12):")
+    print(render_table(summary.as_rows()))
+
+    by_claim = {check.claim: check for check in summary.checks}
+    slide_best = by_claim["slide filter achieves the highest compression ratio"]
+    swing_beats = by_claim["swing filter outperforms cache and linear baselines"]
+    slide_beats_swing = by_claim["slide filter outperforms the swing filter"]
+
+    assert summary.configurations >= 20
+    assert slide_best.holds_mostly, "slide should dominate in >=80% of configurations"
+    assert swing_beats.fraction >= 0.7, "swing should beat the baselines in most configurations"
+    assert slide_beats_swing.fraction >= 0.9
+    assert summary.max_slide_improvement_over_baselines >= 1.8, (
+        "the paper's 'up to twofold improvement' headline should be visible"
+    )

@@ -1,0 +1,13 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Execute ``function`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def scaled(length: int, scale: float, minimum: int = 500) -> int:
+    """Scale a workload length, keeping a sensible minimum."""
+    return max(int(length * scale), minimum)

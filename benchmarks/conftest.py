@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables/figures: it runs the
+corresponding experiment exactly once (timed via ``benchmark.pedantic``) and
+prints the same rows/series the paper reports.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+(``-s`` shows the printed tables; without it only the timing table appears.)
+
+Workload sizes are scaled by the ``REPRO_BENCH_SCALE`` environment variable
+(default 0.5); set it to 1.0 for paper-sized synthetic workloads.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    """Workload scale factor for the synthetic experiments."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))

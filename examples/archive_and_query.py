@@ -1,0 +1,113 @@
+"""Archive-and-query scenario: store compressed streams, query them later.
+
+The paper's introduction motivates storing the *recordings* (not the raw
+points) in a repository for later offline analysis.  This example runs the
+full loop with the library's storage and query subsystems:
+
+1. a fleet of monitored streams is compressed online with the slide filter
+   and archived into a file-backed :class:`SegmentStore`;
+2. the store is re-opened (as an analyst would later) and the compressed
+   series are queried directly — daily aggregates, threshold crossings and a
+   resampled export — without ever materializing the raw points again;
+3. an adaptive aggregate monitor (related work [21]) watches the SUM of the
+   same streams under a single precision budget.
+
+Run with::
+
+    python examples/archive_and_query.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.epsilon import epsilon_from_percent
+from repro.data.sst import sea_surface_temperature
+from repro.extensions.adaptive import AdaptiveAggregateMonitor
+from repro.queries.aggregates import range_aggregate, threshold_crossings, window_aggregates
+from repro.storage.segment_store import SegmentStore
+from repro.streams.multiplex import StreamSet
+
+
+def build_archive(directory: Path) -> tuple:
+    """Compress three buoys' temperature series into the archive."""
+    store = SegmentStore(directory)
+    signals = {}
+    for buoy in range(3):
+        times, values = sea_surface_temperature(seed=2009 + buoy)
+        signals[f"buoy-{buoy}"] = (times, values)
+    epsilon = epsilon_from_percent(1.0, signals["buoy-0"][1])
+
+    fleet = StreamSet("slide", epsilon=epsilon, store=store)
+    for name, (times, values) in signals.items():
+        for t, v in zip(times, values):
+            fleet.observe(name, t, v)
+    report = fleet.close()
+
+    print("Archived fleet:")
+    print(f"  streams            : {report.streams}")
+    print(f"  observations       : {report.points}")
+    print(f"  recordings stored  : {report.recordings}")
+    print(f"  compression ratio  : {report.compression_ratio:.2f}")
+    print(f"  archive size       : {store.total_bytes()} bytes on disk")
+    print()
+    return signals, epsilon
+
+
+def analyse_archive(directory: Path, signals, epsilon: float) -> None:
+    """Re-open the archive and answer questions from the compressed data."""
+    store = SegmentStore(directory)
+    print(f"Catalog: {', '.join(store.stream_names())}")
+    approximation = store.reconstruct("buoy-0")
+
+    day = 24 * 60.0
+    times, values = signals["buoy-0"]
+    daily = window_aggregates(approximation, float(times[0]), float(times[-1]), day)
+    print("Daily mean temperature (buoy-0), computed from the compressed segments:")
+    for index, window in enumerate(daily[:5]):
+        print(f"  day {index + 1}: mean={window.mean:.2f} degC  "
+              f"min={window.minimum:.2f}  max={window.maximum:.2f}")
+
+    threshold = float(np.percentile(values, 90))
+    crossings = threshold_crossings(approximation, threshold)
+    print(f"Crossings of the 90th-percentile temperature ({threshold:.2f} degC): {len(crossings)}")
+
+    overall = range_aggregate(approximation, float(times[0]), float(times[-1]))
+    true_mean = float(values.mean())
+    print(f"Overall mean from segments: {overall.mean:.3f} degC "
+          f"(true mean {true_mean:.3f}, epsilon {epsilon:.3f})")
+    print()
+
+
+def monitor_aggregate(signals) -> None:
+    """Watch the SUM of the three buoys within one aggregate precision budget."""
+    names = sorted(signals)
+    monitor = AdaptiveAggregateMonitor(names, total_epsilon=0.3, adjustment_interval=100)
+    length = len(signals[names[0]][1])
+    for index in range(length):
+        for name in names:
+            monitor.observe(name, signals[name][1][index])
+    report = monitor.close()
+    print("Adaptive SUM monitoring (Olston-style, total budget 0.3 degC):")
+    print(f"  observations       : {report.points}")
+    print(f"  values transmitted : {report.messages}")
+    print(f"  compression ratio  : {report.compression_ratio:.2f}")
+    print(f"  max aggregate error: {report.max_aggregate_error:.3f} (budget 0.3)")
+    print(f"  final allocation   : " + ", ".join(
+        f"{name}={width:.3f}" for name, width in sorted(report.allocations.items())
+    ))
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as workdir:
+        directory = Path(workdir) / "archive"
+        signals, epsilon = build_archive(directory)
+        analyse_archive(directory, signals, epsilon)
+        monitor_aggregate(signals)
+
+
+if __name__ == "__main__":
+    main()

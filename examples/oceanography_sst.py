@@ -1,0 +1,61 @@
+"""Oceanography scenario: the paper's headline experiment end-to-end.
+
+Reproduces §5.2 of the paper on the sea-surface-temperature workload: for a
+sweep of precision widths (expressed as a percentage of the signal range) it
+reports the compression ratio and average error of the cache, linear, swing
+and slide filters, and then zooms into a single configuration to show the
+segments the slide filter actually produced.
+
+Run with::
+
+    python examples/oceanography_sst.py
+"""
+
+from __future__ import annotations
+
+from repro import SlideFilter, reconstruct
+from repro.core.epsilon import epsilon_from_percent
+from repro.data.sst import sea_surface_temperature
+from repro.evaluation.precision_sweep import precision_sweep
+from repro.evaluation.report import render_series
+
+
+def precision_study() -> None:
+    """Figures 7 and 8: compression and error vs the precision width."""
+    compression, error = precision_sweep()
+    print(render_series(compression))
+    print()
+    print(render_series(error))
+    print()
+
+
+def inspect_slide_segments(precision_percent: float = 3.16) -> None:
+    """Show the piece-wise linear description transmitted by the slide filter."""
+    times, values = sea_surface_temperature()
+    epsilon = epsilon_from_percent(precision_percent, values)
+    result = SlideFilter(epsilon).process(zip(times, values))
+    approximation = reconstruct(result)
+
+    print(
+        f"Slide filter at a precision width of {precision_percent}% of the range "
+        f"(ε = {epsilon:.3f} °C):"
+    )
+    print(f"  data points        : {result.points_processed}")
+    print(f"  recordings         : {result.recording_count}")
+    print(f"  compression ratio  : {result.compression_ratio:.2f}")
+    print(f"  line segments      : {approximation.segment_count}")
+    print(f"  joined segments    : {approximation.connected_count()}")
+    print(f"  max error          : {approximation.max_absolute_error(zip(times, values)):.3f} °C")
+    print()
+    print("First ten transmitted segments (start → end):")
+    for segment in approximation.segments[:10]:
+        print(
+            f"  t=[{segment.start_time:7.0f}, {segment.end_time:7.0f}] min  "
+            f"x=[{segment.start_value[0]:6.2f}, {segment.end_value[0]:6.2f}] °C  "
+            f"{'(joined)' if segment.connected_to_previous else ''}"
+        )
+
+
+if __name__ == "__main__":
+    precision_study()
+    inspect_slide_segments()

@@ -1,0 +1,75 @@
+"""Quickstart: compress a stream with every filter and compare the results.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script generates a small random-walk signal, compresses it with the four
+filters compared in the paper (cache, linear, swing, slide), reconstructs the
+receiver-side approximation and prints the compression ratio and error of
+each filter.  It ends by demonstrating the incremental (point-by-point) API.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import PAPER_FILTERS, SlideFilter, create_filter, reconstruct
+from repro.data.random_walk import RandomWalkConfig, random_walk
+from repro.metrics.error import error_profile
+
+
+def batch_demo() -> None:
+    """Compress a whole in-memory signal with each of the paper's filters."""
+    times, values = random_walk(
+        RandomWalkConfig(length=2_000, decrease_probability=0.4, max_delta=1.0, seed=7)
+    )
+    epsilon = 0.5  # absolute precision width (same units as the signal)
+
+    print(f"Signal: {len(times)} points, precision width = {epsilon}")
+    print(f"{'filter':<10} {'recordings':>10} {'ratio':>8} {'mean err':>9} {'max err':>9}")
+    for name in PAPER_FILTERS:
+        stream_filter = create_filter(name, epsilon)
+        result = stream_filter.process(zip(times, values))
+        approximation = reconstruct(result)
+        profile = error_profile(approximation, times, values)
+        print(
+            f"{name:<10} {result.recording_count:>10d} {result.compression_ratio:>8.2f} "
+            f"{profile.mean_absolute:>9.3f} {profile.max_absolute:>9.3f}"
+        )
+    print()
+
+
+def streaming_demo() -> None:
+    """Feed points one by one, transmitting recordings as they are produced."""
+    epsilon = 0.5
+    slide = SlideFilter(epsilon)
+    rng = np.random.default_rng(11)
+
+    print("Streaming demo (slide filter): '.' = filtered out, 'R' = recording(s) emitted")
+    observed = []
+    value = 0.0
+    transmitted = 0
+    for t in range(200):
+        value += rng.uniform(-1.0, 1.0)
+        observed.append((float(t), value))
+        recordings = slide.feed(float(t), value)
+        transmitted += len(recordings)
+        print("R" if recordings else ".", end="")
+    transmitted += len(slide.finish())
+    print()
+
+    approximation = reconstruct(slide.result())
+    print(
+        f"points = 200, recordings transmitted = {transmitted}, "
+        f"compression ratio = {200 / transmitted:.2f}"
+    )
+    print(
+        f"max reconstruction error = {approximation.max_absolute_error(observed):.3f} "
+        f"(guaranteed <= {epsilon})"
+    )
+
+
+if __name__ == "__main__":
+    batch_demo()
+    streaming_demo()

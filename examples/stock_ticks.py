@@ -1,0 +1,79 @@
+"""Financial-stream scenario: correlated multi-dimensional compression.
+
+Online stock quotes are one of the paper's examples of applications that
+tolerate a bounded error and a bounded lag (§1), and §5.4 shows that highly
+correlated dimensions are better compressed *jointly* than independently.
+This example builds a 5-dimensional stream of correlated "prices" (think one
+sector's tickers), compresses it both ways with the slide filter, and applies
+the paper's ``(d + 1) / 2d`` accounting to decide which strategy wins.
+
+Run with::
+
+    python examples/stock_ticks.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SlideFilter, reconstruct
+from repro.data.correlated import CorrelatedWalkConfig, correlated_random_walk
+from repro.metrics.compression import independent_equivalent_ratio
+
+
+def make_prices(correlation: float, length: int = 5_000, dimensions: int = 5):
+    """Correlated geometric-ish price paths sharing a sector-wide factor."""
+    times, walk = correlated_random_walk(
+        CorrelatedWalkConfig(
+            length=length,
+            dimensions=dimensions,
+            correlation=correlation,
+            decrease_probability=0.5,
+            max_delta=0.4,
+            initial_value=100.0,
+            seed=2026,
+        )
+    )
+    return times, walk
+
+
+def joint_compression(times, prices, epsilon: float) -> float:
+    """Compress all tickers together as one multi-dimensional signal."""
+    result = SlideFilter(epsilon).process(zip(times, prices))
+    approximation = reconstruct(result)
+    assert approximation.within_bound(list(zip(times, prices)), epsilon)
+    return result.compression_ratio
+
+
+def independent_compression(times, prices, epsilon: float) -> float:
+    """Compress each ticker separately and apply the paper's correction."""
+    dimensions = prices.shape[1]
+    ratios = []
+    for column in range(dimensions):
+        result = SlideFilter(epsilon).process(zip(times, prices[:, column]))
+        ratios.append(result.compression_ratio)
+    per_dimension = float(np.mean(ratios))
+    return independent_equivalent_ratio(per_dimension, dimensions)
+
+
+def main() -> None:
+    epsilon = 0.5  # half a currency unit per ticker
+    print("5 correlated tickers, 5000 ticks each, epsilon = 0.5")
+    print()
+    print(f"{'correlation':>11} | {'joint ratio':>11} | {'independent (corrected)':>24} | winner")
+    print("-" * 70)
+    for correlation in (0.2, 0.5, 0.8, 0.95):
+        times, prices = make_prices(correlation)
+        joint = joint_compression(times, prices, epsilon)
+        independent = independent_compression(times, prices, epsilon)
+        winner = "joint" if joint > independent else "independent"
+        print(f"{correlation:>11.2f} | {joint:>11.2f} | {independent:>24.2f} | {winner}")
+    print()
+    print(
+        "Highly correlated tickers are better compressed together, exactly as "
+        "the paper's Section 5.4 break-even analysis predicts."
+    )
+
+
+if __name__ == "__main__":
+    main()

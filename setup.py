@@ -1,0 +1,5 @@
+"""Setuptools shim enabling legacy editable installs (offline environments)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,87 @@
+"""repro — online piece-wise linear approximation of numerical streams.
+
+A production-quality reproduction of *"Online Piece-wise Linear Approximation
+of Numerical Streams with Precision Guarantees"* (Elmeleegy, Elmagarmid,
+Cecchet, Aref and Zwaenepoel, VLDB 2009).
+
+The package provides:
+
+* the paper's **swing** and **slide** filters plus the **cache** and
+  **linear** baselines (:mod:`repro.core`),
+* receiver-side reconstruction and encoding (:mod:`repro.approximation`),
+* a transmitter/receiver streaming substrate (:mod:`repro.streams`),
+* synthetic workload generators and a sea-surface-temperature surrogate
+  (:mod:`repro.data`),
+* compression / error / timing metrics (:mod:`repro.metrics`),
+* the experiment harness regenerating every figure of the paper's evaluation
+  (:mod:`repro.evaluation`), and
+* related-work baselines used for ablations (:mod:`repro.extensions`).
+
+Quick start::
+
+    import numpy as np
+    from repro import SwingFilter, SlideFilter, reconstruct
+
+    times = np.arange(100.0)
+    values = np.sin(times / 5.0)
+    result = SlideFilter(epsilon=0.05).process(zip(times, values))
+    approx = reconstruct(result)
+    print(result.compression_ratio, approx.max_absolute_error(zip(times, values)))
+"""
+
+from repro.approximation import (
+    PiecewiseConstantApproximation,
+    PiecewiseLinearApproximation,
+    reconstruct,
+)
+from repro.core import (
+    PAPER_FILTERS,
+    CacheFilter,
+    DataPoint,
+    DisconnectedLinearFilter,
+    ErrorBound,
+    FilterResult,
+    LinearFilter,
+    MeanCacheFilter,
+    MidrangeCacheFilter,
+    Recording,
+    RecordingKind,
+    Segment,
+    SlideFilter,
+    StreamFilter,
+    SwingFilter,
+    available_filters,
+    create_filter,
+    epsilon_from_percent,
+    paper_filters,
+    register_filter,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "StreamFilter",
+    "CacheFilter",
+    "MidrangeCacheFilter",
+    "MeanCacheFilter",
+    "LinearFilter",
+    "DisconnectedLinearFilter",
+    "SwingFilter",
+    "SlideFilter",
+    "ErrorBound",
+    "epsilon_from_percent",
+    "DataPoint",
+    "Recording",
+    "RecordingKind",
+    "Segment",
+    "FilterResult",
+    "PiecewiseLinearApproximation",
+    "PiecewiseConstantApproximation",
+    "reconstruct",
+    "available_filters",
+    "create_filter",
+    "register_filter",
+    "paper_filters",
+    "PAPER_FILTERS",
+]

@@ -1,0 +1,39 @@
+"""Receiver-side representation of the compressed signal.
+
+The transmitter (a filter from :mod:`repro.core`) emits recordings; the
+receiver turns them back into an evaluable approximation of the original
+signal.  This subpackage provides:
+
+* :class:`~repro.approximation.piecewise.PiecewiseLinearApproximation` and
+  :class:`~repro.approximation.piecewise.PiecewiseConstantApproximation` —
+  evaluable approximations with error-measurement helpers,
+* :func:`~repro.approximation.reconstruct.reconstruct` — rebuild an
+  approximation from a recording stream,
+* :mod:`~repro.approximation.encoding` — a compact binary encoding of
+  recordings used for byte-level compression accounting.
+"""
+
+from repro.approximation.encoding import (
+    decode_recordings,
+    encode_recordings,
+    encoded_size_bytes,
+    raw_size_bytes,
+)
+from repro.approximation.piecewise import (
+    Approximation,
+    PiecewiseConstantApproximation,
+    PiecewiseLinearApproximation,
+)
+from repro.approximation.reconstruct import reconstruct, segments_from_recordings
+
+__all__ = [
+    "Approximation",
+    "PiecewiseLinearApproximation",
+    "PiecewiseConstantApproximation",
+    "reconstruct",
+    "segments_from_recordings",
+    "encode_recordings",
+    "decode_recordings",
+    "encoded_size_bytes",
+    "raw_size_bytes",
+]

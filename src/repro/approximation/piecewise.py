@@ -1,0 +1,190 @@
+"""Evaluable piece-wise approximations of a signal.
+
+Both classes share the small :class:`Approximation` interface: evaluate the
+approximation at one or many times, and measure deviations against the
+original data points.  Times falling between disconnected segments (where the
+original stream had no data) are evaluated against the nearest applicable
+segment so that the functions are total.
+"""
+
+from __future__ import annotations
+
+import abc
+import bisect
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.core.types import DataPoint, Segment, ensure_points
+
+__all__ = [
+    "Approximation",
+    "PiecewiseLinearApproximation",
+    "PiecewiseConstantApproximation",
+]
+
+
+class Approximation(abc.ABC):
+    """Common interface of receiver-side approximations."""
+
+    @property
+    @abc.abstractmethod
+    def dimensions(self) -> int:
+        """Number of signal dimensions."""
+
+    @abc.abstractmethod
+    def value_at(self, time: float) -> np.ndarray:
+        """Evaluate the approximation at ``time``."""
+
+    def values_at(self, times: Iterable[float]) -> np.ndarray:
+        """Evaluate at many times; returns an ``(n, d)`` array."""
+        rows = [self.value_at(float(t)) for t in times]
+        if not rows:
+            return np.empty((0, self.dimensions))
+        return np.vstack(rows)
+
+    # ------------------------------------------------------------------ #
+    # Error measurement
+    # ------------------------------------------------------------------ #
+    def deviations(self, points: Iterable) -> np.ndarray:
+        """Per-point, per-dimension deviations ``approx - original``."""
+        data = ensure_points(points)
+        if not data:
+            return np.empty((0, self.dimensions))
+        approximated = self.values_at(p.time for p in data)
+        original = np.vstack([p.value for p in data])
+        return approximated - original
+
+    def max_absolute_error(self, points: Iterable) -> float:
+        """Largest absolute deviation over all points and dimensions."""
+        deviations = self.deviations(points)
+        if deviations.size == 0:
+            return 0.0
+        return float(np.abs(deviations).max())
+
+    def mean_absolute_error(self, points: Iterable) -> float:
+        """Mean absolute deviation over all points and dimensions."""
+        deviations = self.deviations(points)
+        if deviations.size == 0:
+            return 0.0
+        return float(np.abs(deviations).mean())
+
+    def within_bound(self, points: Iterable, epsilon, slack: float = 1e-9) -> bool:
+        """Check the paper's L∞ guarantee: every deviation ≤ ε (+ ``slack``)."""
+        deviations = np.abs(self.deviations(points))
+        if deviations.size == 0:
+            return True
+        bound = np.atleast_1d(np.asarray(epsilon, dtype=float))
+        if bound.size == 1:
+            bound = np.full(self.dimensions, float(bound[0]))
+        scaled_slack = slack * (1.0 + np.abs(bound))
+        return bool(np.all(deviations <= bound + scaled_slack))
+
+
+class PiecewiseLinearApproximation(Approximation):
+    """A sequence of (possibly disconnected) line segments.
+
+    Segments must be ordered by start time.  Evaluation picks the segment
+    covering the requested time; for times in a gap between segments or
+    outside the overall span, the nearest segment is extrapolated.
+    """
+
+    def __init__(self, segments: Sequence[Segment]) -> None:
+        self._segments: List[Segment] = list(segments)
+        if not self._segments:
+            raise ValueError("an approximation needs at least one segment")
+        for earlier, later in zip(self._segments, self._segments[1:]):
+            if later.start_time < earlier.start_time:
+                raise ValueError("segments must be ordered by start time")
+        self._end_times = [segment.end_time for segment in self._segments]
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def segments(self) -> Sequence[Segment]:
+        """The underlying segments, ordered by time."""
+        return tuple(self._segments)
+
+    @property
+    def segment_count(self) -> int:
+        """Number of line segments."""
+        return len(self._segments)
+
+    @property
+    def dimensions(self) -> int:
+        return self._segments[0].dimensions
+
+    @property
+    def start_time(self) -> float:
+        """Time where the approximation starts."""
+        return self._segments[0].start_time
+
+    @property
+    def end_time(self) -> float:
+        """Time where the approximation ends."""
+        return self._segments[-1].end_time
+
+    def connected_count(self) -> int:
+        """Number of segments sharing their start with the previous segment."""
+        return sum(1 for segment in self._segments if segment.connected_to_previous)
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def segment_at(self, time: float) -> Segment:
+        """Return the segment responsible for ``time``."""
+        index = bisect.bisect_left(self._end_times, time)
+        if index >= len(self._segments):
+            return self._segments[-1]
+        return self._segments[index]
+
+    def value_at(self, time: float) -> np.ndarray:
+        return self.segment_at(time).value_at(time)
+
+
+class PiecewiseConstantApproximation(Approximation):
+    """A step function: each recording's value is held until the next one."""
+
+    def __init__(self, times: Sequence[float], values: Sequence) -> None:
+        if len(times) != len(values):
+            raise ValueError("times and values must have equal length")
+        if not times:
+            raise ValueError("an approximation needs at least one step")
+        self._times = [float(t) for t in times]
+        if any(b <= a for a, b in zip(self._times, self._times[1:])):
+            raise ValueError("step times must be strictly increasing")
+        self._values = np.vstack([np.atleast_1d(np.asarray(v, dtype=float)) for v in values])
+
+    @property
+    def steps(self) -> Sequence[float]:
+        """Times at which the held value changes."""
+        return tuple(self._times)
+
+    @property
+    def step_count(self) -> int:
+        """Number of held values."""
+        return len(self._times)
+
+    @property
+    def dimensions(self) -> int:
+        return int(self._values.shape[1])
+
+    def value_at(self, time: float) -> np.ndarray:
+        index = bisect.bisect_right(self._times, time) - 1
+        index = max(index, 0)
+        return self._values[index].copy()
+
+    def values_at(self, times: Iterable[float]) -> np.ndarray:
+        time_list = [float(t) for t in times]
+        if not time_list:
+            return np.empty((0, self.dimensions))
+        indices = np.searchsorted(self._times, time_list, side="right") - 1
+        indices = np.clip(indices, 0, len(self._times) - 1)
+        return self._values[indices]
+
+
+def approximate_points(approximation: Approximation, points: Iterable) -> List[DataPoint]:
+    """Return the approximation sampled at the original points' times."""
+    data = ensure_points(points)
+    return [DataPoint(p.time, approximation.value_at(p.time)) for p in data]

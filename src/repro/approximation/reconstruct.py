@@ -1,0 +1,151 @@
+"""Rebuild an evaluable approximation from a recording stream.
+
+The receiver only sees :class:`~repro.core.types.Recording` objects.  Their
+``kind`` field carries enough structure to reconstruct the transmitter's
+approximation without knowing which filter produced them:
+
+* ``HOLD`` recordings form a piece-wise constant (step) approximation.
+* ``SEGMENT_START`` opens a new, disconnected segment.
+* ``SEGMENT_END`` closes the open segment; when it is followed by another
+  ``SEGMENT_END`` the two consecutive recordings form a *connected* segment
+  (they share the intermediate endpoint), exactly as produced by the swing
+  filter and by the slide filter's joined segments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.core.types import FilterResult, Recording, RecordingKind, Segment
+from repro.approximation.piecewise import (
+    Approximation,
+    PiecewiseConstantApproximation,
+    PiecewiseLinearApproximation,
+)
+
+__all__ = ["segments_from_recordings", "reconstruct"]
+
+RecordingsLike = Union[FilterResult, Iterable[Recording]]
+
+
+def _recording_list(recordings: RecordingsLike) -> List[Recording]:
+    if isinstance(recordings, FilterResult):
+        return list(recordings.recordings)
+    return list(recordings)
+
+
+def segments_from_recordings(recordings: RecordingsLike) -> List[Segment]:
+    """Convert linear-family recordings into ordered segments.
+
+    A trailing ``SEGMENT_START`` without a matching end (a stream that ended
+    immediately after a violation) becomes a zero-length segment so that the
+    final data point is still covered.
+
+    Raises:
+        ValueError: If the recordings contain ``HOLD`` entries (piece-wise
+            constant output) or a ``SEGMENT_END`` with no open segment.
+    """
+    records = _recording_list(recordings)
+    segments: List[Segment] = []
+    open_start: Optional[Recording] = None
+    previous_end: Optional[Recording] = None
+    for record in records:
+        if record.kind is RecordingKind.HOLD:
+            raise ValueError("HOLD recordings form a constant approximation, not segments")
+        if record.kind is RecordingKind.SEGMENT_START:
+            if open_start is not None:
+                # Two consecutive segment starts: the earlier one stands for a
+                # single transmitted point and becomes a zero-length segment
+                # so the receiver still covers it.
+                segments.append(
+                    Segment(
+                        start_time=open_start.time,
+                        start_value=open_start.value,
+                        end_time=open_start.time,
+                        end_value=open_start.value,
+                        connected_to_previous=False,
+                    )
+                )
+            open_start = record
+            previous_end = None
+            continue
+        # SEGMENT_END
+        if open_start is not None:
+            start = open_start
+            connected = False
+            open_start = None
+        elif previous_end is not None:
+            start = previous_end
+            connected = True
+        elif not segments:
+            # A recording stream may begin mid-signal (e.g. a time-range read
+            # from a segment store): a leading end recording then only anchors
+            # the next connected segment.
+            previous_end = record
+            continue
+        else:
+            raise ValueError(
+                f"segment end at t={record.time!r} has no matching start recording"
+            )
+        segments.append(
+            Segment(
+                start_time=start.time,
+                start_value=start.value,
+                end_time=record.time,
+                end_value=record.value,
+                connected_to_previous=connected,
+            )
+        )
+        previous_end = record
+    if open_start is not None:
+        segments.append(
+            Segment(
+                start_time=open_start.time,
+                start_value=open_start.value,
+                end_time=open_start.time,
+                end_value=open_start.value,
+                connected_to_previous=False,
+            )
+        )
+    return segments
+
+
+def reconstruct(recordings: RecordingsLike) -> Approximation:
+    """Build the receiver-side approximation from recordings.
+
+    The approximation family (constant vs. linear) is inferred from the
+    recording kinds.
+
+    Raises:
+        ValueError: If the recording stream is empty or mixes ``HOLD`` with
+            segment recordings.
+    """
+    records = _recording_list(recordings)
+    if not records:
+        raise ValueError("cannot reconstruct an approximation from zero recordings")
+    hold = [record.kind is RecordingKind.HOLD for record in records]
+    if all(hold):
+        return PiecewiseConstantApproximation(
+            [record.time for record in records],
+            [record.value for record in records],
+        )
+    if any(hold):
+        raise ValueError("recordings mix HOLD and segment kinds; cannot reconstruct")
+    return PiecewiseLinearApproximation(segments_from_recordings(records))
+
+
+def recordings_per_segment(segments: Sequence[Segment]) -> int:
+    """Count the recordings needed to transmit ``segments``.
+
+    Connected segments share an endpoint with their predecessor and therefore
+    cost one recording; disconnected segments cost two.  The result matches
+    ``len(result.recordings)`` for the linear-family filters and is used by
+    the compression-accounting tests.
+    """
+    count = 0
+    for segment in segments:
+        if segment.connected_to_previous:
+            count += 1
+        else:
+            count += 1 if segment.duration == 0.0 else 2
+    return count

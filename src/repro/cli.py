@@ -1,0 +1,229 @@
+"""Command-line interface.
+
+The ``repro`` command exposes the library's everyday operations:
+
+* ``repro filters`` / ``repro datasets`` — list what is available,
+* ``repro compress`` — compress a CSV file (or built-in dataset) with one
+  filter and write the recordings to a CSV file,
+* ``repro evaluate`` — compare several filters on one workload,
+* ``repro experiment`` — run one of the paper's figure experiments and print
+  its table.
+
+Examples::
+
+    repro compress --dataset sst --filter slide --precision-percent 1 -o out.csv
+    repro compress --input measurements.csv --filter swing --epsilon 0.5 -o out.csv
+    repro evaluate --dataset random-walk --epsilon 0.5
+    repro experiment figure9
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import __version__
+from repro.approximation.reconstruct import reconstruct
+from repro.core.epsilon import epsilon_from_percent
+from repro.core.registry import PAPER_FILTERS, available_filters, create_filter
+from repro.data.datasets import available_datasets, dataset_entries, load_dataset
+from repro.evaluation import (
+    compression_vs_correlation,
+    compression_vs_delta,
+    compression_vs_dimensions,
+    compression_vs_monotonicity,
+    compression_vs_precision,
+    error_vs_precision,
+    overhead_vs_precision,
+    render_series,
+)
+from repro.evaluation.experiments import run_filters
+from repro.evaluation.report import render_table
+from repro.metrics.error import error_profile
+from repro.streams.source import CsvSource
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = {
+    "figure7": compression_vs_precision,
+    "figure8": error_vs_precision,
+    "figure9": compression_vs_monotonicity,
+    "figure10": compression_vs_delta,
+    "figure11": compression_vs_dimensions,
+    "figure12": compression_vs_correlation,
+    "figure13": overhead_vs_precision,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Online piece-wise linear approximation with precision guarantees "
+        "(swing and slide filters, VLDB 2009 reproduction).",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("filters", help="list the registered filters")
+
+    subparsers.add_parser("datasets", help="list the built-in datasets")
+
+    compress = subparsers.add_parser("compress", help="compress one workload with one filter")
+    _add_workload_arguments(compress)
+    compress.add_argument("--filter", default="slide", help="filter name (default: slide)")
+    _add_precision_arguments(compress)
+    compress.add_argument("--max-lag", type=int, default=None, help="m_max_lag bound in points")
+    compress.add_argument("-o", "--output", default=None, help="write recordings to this CSV file")
+
+    evaluate = subparsers.add_parser("evaluate", help="compare filters on one workload")
+    _add_workload_arguments(evaluate)
+    _add_precision_arguments(evaluate)
+    evaluate.add_argument(
+        "--filters",
+        nargs="+",
+        default=list(PAPER_FILTERS),
+        help="filter names to compare (default: the paper's four)",
+    )
+
+    experiment = subparsers.add_parser("experiment", help="run one of the paper's experiments")
+    experiment.add_argument("name", choices=sorted(_EXPERIMENTS), help="experiment to run")
+
+    return parser
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--dataset", help="name of a built-in dataset")
+    group.add_argument("--input", help="CSV file with a time column followed by value columns")
+    parser.add_argument(
+        "--time-column", type=int, default=0, help="index of the time column in the CSV (default 0)"
+    )
+
+
+def _add_precision_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--epsilon", type=float, help="absolute precision width")
+    group.add_argument(
+        "--precision-percent",
+        type=float,
+        help="precision width as a percentage of the signal's value range",
+    )
+
+
+def _load_workload(args: argparse.Namespace) -> Tuple[np.ndarray, np.ndarray]:
+    if args.dataset:
+        times, values = load_dataset(args.dataset)
+        return np.asarray(times, dtype=float), np.asarray(values, dtype=float)
+    source = CsvSource(args.input, time_column=args.time_column)
+    times, values = source.to_arrays()
+    if times.size == 0:
+        raise SystemExit(f"no data points found in {args.input!r}")
+    if values.shape[1] == 1:
+        values = values[:, 0]
+    return times, values
+
+
+def _resolve_epsilon(args: argparse.Namespace, values: np.ndarray) -> float:
+    if args.epsilon is not None:
+        return float(args.epsilon)
+    return epsilon_from_percent(args.precision_percent, values)
+
+
+def _write_recordings(path: str, recordings) -> None:
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        dimensions = recordings[0].dimensions if recordings else 0
+        writer.writerow(["kind", "time"] + [f"x{i + 1}" for i in range(dimensions)])
+        for record in recordings:
+            writer.writerow([record.kind.value, record.time] + [float(v) for v in record.value])
+
+
+# --------------------------------------------------------------------------- #
+# Command implementations
+# --------------------------------------------------------------------------- #
+def _command_filters() -> int:
+    rows = [["name"]] + [[name] for name in available_filters()]
+    print(render_table(rows))
+    return 0
+
+
+def _command_datasets() -> int:
+    rows = [["name", "description"]]
+    for entry in dataset_entries():
+        rows.append([entry.name, entry.description])
+    print(render_table(rows))
+    return 0
+
+
+def _command_compress(args: argparse.Namespace) -> int:
+    times, values = _load_workload(args)
+    epsilon = _resolve_epsilon(args, values)
+    kwargs = {"max_lag": args.max_lag} if args.max_lag is not None else {}
+    stream_filter = create_filter(args.filter, epsilon, **kwargs)
+    result = stream_filter.process(zip(times, values))
+    approximation = reconstruct(result)
+    profile = error_profile(approximation, times, values)
+
+    print(f"filter            : {args.filter}")
+    print(f"precision width   : {epsilon:.6g}")
+    print(f"data points       : {result.points_processed}")
+    print(f"recordings        : {result.recording_count}")
+    print(f"compression ratio : {result.compression_ratio:.3f}")
+    print(f"mean / max error  : {profile.mean_absolute:.6g} / {profile.max_absolute:.6g}")
+    if args.output:
+        _write_recordings(args.output, list(result.recordings))
+        print(f"recordings written to {args.output}")
+    return 0
+
+
+def _command_evaluate(args: argparse.Namespace) -> int:
+    times, values = _load_workload(args)
+    epsilon = _resolve_epsilon(args, values)
+    runs = run_filters(times, values, epsilon, filters=args.filters)
+    rows = [["filter", "recordings", "ratio", "mean error", "max error"]]
+    for name, run in runs.items():
+        rows.append(
+            [
+                name,
+                str(run.recordings),
+                f"{run.compression_ratio:.3f}",
+                f"{run.mean_absolute_error:.6g}",
+                f"{run.max_absolute_error:.6g}",
+            ]
+        )
+    print(f"precision width: {epsilon:.6g} ({len(times)} points)")
+    print(render_table(rows))
+    return 0
+
+
+def _command_experiment(name: str) -> int:
+    series = _EXPERIMENTS[name]()
+    print(render_series(series))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "filters":
+        return _command_filters()
+    if args.command == "datasets":
+        return _command_datasets()
+    if args.command == "compress":
+        return _command_compress(args)
+    if args.command == "evaluate":
+        return _command_evaluate(args)
+    if args.command == "experiment":
+        return _command_experiment(args.name)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests of main()
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Core online filters and their shared machinery.
+
+This subpackage contains the paper's primary contribution — the swing and
+slide filters — together with the cache and linear baselines, the abstract
+:class:`~repro.core.base.StreamFilter` machinery, the value types and the
+precision-width (ε) specification helpers.
+"""
+
+from repro.core.base import StreamFilter
+from repro.core.cache import CacheFilter, MeanCacheFilter, MidrangeCacheFilter
+from repro.core.epsilon import ErrorBound, epsilon_from_percent
+from repro.core.errors import (
+    DimensionMismatchError,
+    FilterStateError,
+    InvalidPrecisionError,
+    ReproError,
+    StreamOrderError,
+)
+from repro.core.linear import DisconnectedLinearFilter, LinearFilter
+from repro.core.registry import (
+    FILTER_REGISTRY,
+    PAPER_FILTERS,
+    available_filters,
+    create_filter,
+    paper_filters,
+    register_filter,
+)
+from repro.core.slide import SlideFilter
+from repro.core.swing import SwingFilter
+from repro.core.types import (
+    DataPoint,
+    FilterResult,
+    Recording,
+    RecordingKind,
+    Segment,
+)
+
+__all__ = [
+    "StreamFilter",
+    "CacheFilter",
+    "MidrangeCacheFilter",
+    "MeanCacheFilter",
+    "LinearFilter",
+    "DisconnectedLinearFilter",
+    "SwingFilter",
+    "SlideFilter",
+    "ErrorBound",
+    "epsilon_from_percent",
+    "DataPoint",
+    "Recording",
+    "RecordingKind",
+    "Segment",
+    "FilterResult",
+    "ReproError",
+    "StreamOrderError",
+    "DimensionMismatchError",
+    "FilterStateError",
+    "InvalidPrecisionError",
+    "FILTER_REGISTRY",
+    "PAPER_FILTERS",
+    "available_filters",
+    "create_filter",
+    "register_filter",
+    "paper_filters",
+]

@@ -1,0 +1,207 @@
+"""Common machinery shared by every online filter.
+
+A *filter* (in the paper's terminology) consumes an online stream of data
+points and emits *recordings* — the endpoints of the line segments making up
+the error-bounded approximation.  :class:`StreamFilter` implements everything
+that is common to the cache, linear, swing and slide filters:
+
+* validation of the incoming stream (strictly increasing times, constant
+  dimensionality),
+* lazy resolution of the ε specification against the first data point,
+* bookkeeping of emitted recordings and processed points,
+* the public :meth:`feed` / :meth:`finish` / :meth:`process` API.
+
+Concrete filters implement :meth:`_feed_point` and :meth:`_finish_stream`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.epsilon import ErrorBound
+from repro.core.errors import (
+    DimensionMismatchError,
+    FilterStateError,
+    StreamOrderError,
+)
+from repro.core.types import DataPoint, FilterResult, Recording, RecordingKind
+
+__all__ = ["StreamFilter"]
+
+EpsilonSpec = Union[ErrorBound, float, Sequence[float]]
+
+
+class StreamFilter(abc.ABC):
+    """Abstract base class for online error-bounded stream filters.
+
+    Args:
+        epsilon: Precision width specification — a scalar (applied to every
+            dimension), a per-dimension sequence, or an :class:`ErrorBound`.
+        max_lag: Optional bound ``m_max_lag`` on the number of data points the
+            transmitter may process before updating the receiver (paper §3.3).
+            ``None`` disables the bound.
+
+    Subclasses must set the class attributes :attr:`name` (short identifier
+    used by the registry and reports) and may override :attr:`family`.
+    """
+
+    #: Short identifier, e.g. ``"swing"``; overridden by subclasses.
+    name: str = "abstract"
+    #: ``"constant"`` for piece-wise constant output, ``"linear"`` otherwise.
+    family: str = "linear"
+
+    def __init__(self, epsilon: EpsilonSpec, max_lag: Optional[int] = None) -> None:
+        if max_lag is not None and max_lag < 2:
+            raise ValueError("max_lag must be at least 2 data points")
+        self._epsilon_spec = epsilon
+        self._epsilon: Optional[ErrorBound] = None
+        self.max_lag = max_lag
+        self._dimensions: Optional[int] = None
+        self._last_time: Optional[float] = None
+        self._points_processed = 0
+        self._finished = False
+        self._recordings: List[Recording] = []
+        self._pending: List[Recording] = []
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    @property
+    def epsilon(self) -> Optional[ErrorBound]:
+        """Resolved per-dimension precision widths (``None`` before any point)."""
+        return self._epsilon
+
+    @property
+    def dimensions(self) -> Optional[int]:
+        """Signal dimensionality (``None`` before the first point)."""
+        return self._dimensions
+
+    @property
+    def points_processed(self) -> int:
+        """Number of data points consumed so far."""
+        return self._points_processed
+
+    @property
+    def recordings(self) -> Sequence[Recording]:
+        """All recordings emitted so far, in order."""
+        return tuple(self._recordings)
+
+    @property
+    def recording_count(self) -> int:
+        """Number of recordings emitted so far."""
+        return len(self._recordings)
+
+    @property
+    def finished(self) -> bool:
+        """Whether :meth:`finish` has been called."""
+        return self._finished
+
+    def feed(self, time: float, value) -> List[Recording]:
+        """Process one data point and return any recordings it triggered.
+
+        Args:
+            time: Timestamp of the point; must strictly exceed the previous
+                point's timestamp.
+            value: Scalar or d-dimensional value vector.
+
+        Returns:
+            Recordings emitted while processing this point (possibly empty).
+        """
+        if self._finished:
+            raise FilterStateError("filter has already been finished")
+        point = DataPoint(float(time), value)
+        self._validate(point)
+        self._pending = []
+        self._points_processed += 1
+        self._feed_point(point)
+        return self._pending
+
+    def feed_point(self, point: DataPoint) -> List[Recording]:
+        """Like :meth:`feed` but accepting a :class:`DataPoint` directly."""
+        return self.feed(point.time, point.value)
+
+    def finish(self) -> List[Recording]:
+        """Signal end-of-stream and return the final recordings."""
+        if self._finished:
+            return []
+        self._pending = []
+        if self._points_processed > 0:
+            self._finish_stream()
+        self._finished = True
+        return self._pending
+
+    def process(self, stream: Iterable) -> FilterResult:
+        """Run the filter over a finite ``stream`` and return a summary.
+
+        ``stream`` may yield :class:`DataPoint` instances or ``(t, value)``
+        pairs.  The filter instance is single-use: it is finished afterwards.
+        """
+        for element in stream:
+            if isinstance(element, DataPoint):
+                self.feed_point(element)
+            else:
+                t, value = element
+                self.feed(t, value)
+        self.finish()
+        return self.result()
+
+    def result(self) -> FilterResult:
+        """Return the accumulated :class:`FilterResult`."""
+        return FilterResult(
+            recordings=list(self._recordings),
+            points_processed=self._points_processed,
+            dimensions=self._dimensions or 0,
+        )
+
+    @classmethod
+    def run(cls, stream: Iterable, epsilon: EpsilonSpec, **kwargs) -> FilterResult:
+        """Construct a filter, process ``stream`` and return the result."""
+        return cls(epsilon, **kwargs).process(stream)
+
+    # ------------------------------------------------------------------ #
+    # Hooks for subclasses
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def _feed_point(self, point: DataPoint) -> None:
+        """Process one validated data point."""
+
+    @abc.abstractmethod
+    def _finish_stream(self) -> None:
+        """Flush state at end-of-stream (only called if at least one point arrived)."""
+
+    # ------------------------------------------------------------------ #
+    # Helpers for subclasses
+    # ------------------------------------------------------------------ #
+    def _emit(self, time: float, value, kind: RecordingKind) -> Recording:
+        """Record a transmitted point and return it."""
+        recording = Recording(float(time), np.asarray(value, dtype=float), kind)
+        self._recordings.append(recording)
+        self._pending.append(recording)
+        return recording
+
+    def _epsilon_array(self) -> np.ndarray:
+        """Return the resolved ε vector (only valid after the first point)."""
+        if self._epsilon is None:
+            raise FilterStateError("epsilon is not resolved before the first data point")
+        return self._epsilon.epsilons
+
+    # ------------------------------------------------------------------ #
+    # Internal validation
+    # ------------------------------------------------------------------ #
+    def _validate(self, point: DataPoint) -> None:
+        if self._dimensions is None:
+            self._dimensions = point.dimensions
+            self._epsilon = ErrorBound.of(self._epsilon_spec, point.dimensions)
+        elif point.dimensions != self._dimensions:
+            raise DimensionMismatchError(
+                f"expected {self._dimensions}-dimensional values, got {point.dimensions}"
+            )
+        if self._last_time is not None and point.time <= self._last_time:
+            raise StreamOrderError(
+                f"timestamps must be strictly increasing; got {point.time!r} "
+                f"after {self._last_time!r}"
+            )
+        self._last_time = point.time

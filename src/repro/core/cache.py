@@ -1,0 +1,147 @@
+"""Cache filters — piece-wise constant approximation baselines (paper §2.2).
+
+A cache filter predicts that the next data point has (approximately) the same
+value as the representative of the current filtering interval.  Three
+representative policies are provided, matching the variants discussed in the
+paper:
+
+* ``"first"`` — the representative is the first point of the interval
+  (Olston et al. [21]); a point is filtered out while it stays within ε of
+  that first value.
+* ``"midrange"`` — the representative is the midrange (mean of running min and
+  max) of the points in the interval (Lazaridis & Mehrotra [18]); a point is
+  accepted while the interval's value spread stays within ``2·ε``.  This is
+  the optimal online piece-wise constant approximation.
+* ``"mean"`` — the representative is the running mean; a point is accepted
+  only if every point of the extended interval stays within ε of the new mean.
+
+All variants emit one :class:`~repro.core.types.Recording` per interval with
+``kind=HOLD``: the receiver holds the value from the recording's time until
+the next recording.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.base import StreamFilter
+from repro.core.types import DataPoint, RecordingKind
+
+__all__ = ["CacheFilter", "MidrangeCacheFilter", "MeanCacheFilter"]
+
+_VALID_MODES = ("first", "midrange", "mean")
+
+
+class CacheFilter(StreamFilter):
+    """Piece-wise constant filter with a configurable representative policy.
+
+    Args:
+        epsilon: Precision width specification (see :class:`StreamFilter`).
+        mode: Representative policy — ``"first"`` (default), ``"midrange"`` or
+            ``"mean"``.
+        max_lag: Optional bound on the number of points per filtering interval;
+            reaching it forces the current interval to be closed so the
+            receiver is updated.
+    """
+
+    name = "cache"
+    family = "constant"
+
+    def __init__(self, epsilon, mode: str = "first", max_lag: Optional[int] = None) -> None:
+        super().__init__(epsilon, max_lag=max_lag)
+        if mode not in _VALID_MODES:
+            raise ValueError(f"mode must be one of {_VALID_MODES}, got {mode!r}")
+        self.mode = mode
+        # State of the current filtering interval.
+        self._interval_start_time: Optional[float] = None
+        self._interval_min: Optional[np.ndarray] = None
+        self._interval_max: Optional[np.ndarray] = None
+        self._interval_sum: Optional[np.ndarray] = None
+        self._interval_first: Optional[np.ndarray] = None
+        self._interval_count = 0
+
+    # ------------------------------------------------------------------ #
+    # StreamFilter hooks
+    # ------------------------------------------------------------------ #
+    def _feed_point(self, point: DataPoint) -> None:
+        if self._interval_count == 0:
+            self._open_interval(point)
+            return
+        if self._accepts(point) and not self._lag_exceeded():
+            self._extend_interval(point)
+        else:
+            self._close_interval()
+            self._open_interval(point)
+
+    def _finish_stream(self) -> None:
+        if self._interval_count > 0:
+            self._close_interval()
+
+    # ------------------------------------------------------------------ #
+    # Interval management
+    # ------------------------------------------------------------------ #
+    def _open_interval(self, point: DataPoint) -> None:
+        self._interval_start_time = point.time
+        self._interval_first = point.value.copy()
+        self._interval_min = point.value.copy()
+        self._interval_max = point.value.copy()
+        self._interval_sum = point.value.copy()
+        self._interval_count = 1
+
+    def _extend_interval(self, point: DataPoint) -> None:
+        np.minimum(self._interval_min, point.value, out=self._interval_min)
+        np.maximum(self._interval_max, point.value, out=self._interval_max)
+        self._interval_sum = self._interval_sum + point.value
+        self._interval_count += 1
+
+    def _close_interval(self) -> None:
+        self._emit(self._interval_start_time, self._representative(), RecordingKind.HOLD)
+        self._interval_count = 0
+
+    def _lag_exceeded(self) -> bool:
+        return self.max_lag is not None and self._interval_count >= self.max_lag
+
+    # ------------------------------------------------------------------ #
+    # Policies
+    # ------------------------------------------------------------------ #
+    def _representative(self) -> np.ndarray:
+        if self.mode == "first":
+            return self._interval_first
+        if self.mode == "midrange":
+            return (self._interval_min + self._interval_max) / 2.0
+        return self._interval_sum / self._interval_count
+
+    def _accepts(self, point: DataPoint) -> bool:
+        epsilon = self._epsilon_array()
+        if self.mode == "first":
+            return bool(np.all(np.abs(point.value - self._interval_first) <= epsilon))
+        new_min = np.minimum(self._interval_min, point.value)
+        new_max = np.maximum(self._interval_max, point.value)
+        if self.mode == "midrange":
+            return bool(np.all(new_max - new_min <= 2.0 * epsilon))
+        # Mean mode: every point (captured by the running min/max envelope)
+        # must stay within ε of the would-be new mean.
+        new_mean = (self._interval_sum + point.value) / (self._interval_count + 1)
+        return bool(
+            np.all(new_max - new_mean <= epsilon) and np.all(new_mean - new_min <= epsilon)
+        )
+
+
+class MidrangeCacheFilter(CacheFilter):
+    """Cache filter using the midrange representative (optimal PCA of [18])."""
+
+    name = "cache-midrange"
+
+    def __init__(self, epsilon, max_lag: Optional[int] = None) -> None:
+        super().__init__(epsilon, mode="midrange", max_lag=max_lag)
+
+
+class MeanCacheFilter(CacheFilter):
+    """Cache filter using the running-mean representative ([18] variant)."""
+
+    name = "cache-mean"
+
+    def __init__(self, epsilon, max_lag: Optional[int] = None) -> None:
+        super().__init__(epsilon, mode="mean", max_lag=max_lag)

@@ -1,0 +1,139 @@
+"""Precision-width (ε) specifications.
+
+The paper's error constraint is the L∞ metric: every original data point must
+be within ``εᵢ`` of the approximation in every dimension ``i``.  The precision
+width can be given either as an absolute quantity or — as in all of the
+paper's experiments — as a percentage of the signal's value range.  This
+module provides a small helper class encapsulating both forms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+from repro.core.errors import InvalidPrecisionError
+
+__all__ = ["ErrorBound", "epsilon_from_percent"]
+
+Number = Union[int, float]
+
+
+@dataclass(frozen=True)
+class ErrorBound:
+    """Per-dimension precision widths ``(ε₁, …, ε_d)``.
+
+    Instances are validated at construction: every width must be finite and
+    non-negative (a width of zero forces exact reproduction, which is legal
+    but records almost every point).
+    """
+
+    epsilons: np.ndarray
+
+    def __post_init__(self) -> None:
+        array = np.atleast_1d(np.asarray(self.epsilons, dtype=float))
+        if array.ndim != 1:
+            raise InvalidPrecisionError(
+                f"precision widths must form a 1-D vector, got shape {array.shape}"
+            )
+        if array.size == 0:
+            raise InvalidPrecisionError("at least one precision width is required")
+        if not np.all(np.isfinite(array)):
+            raise InvalidPrecisionError("precision widths must be finite")
+        if np.any(array < 0.0):
+            raise InvalidPrecisionError("precision widths must be non-negative")
+        object.__setattr__(self, "epsilons", array)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def uniform(cls, epsilon: Number, dimensions: int = 1) -> "ErrorBound":
+        """Build a bound with the same width in every dimension."""
+        if dimensions < 1:
+            raise InvalidPrecisionError("dimensions must be at least 1")
+        return cls(np.full(dimensions, float(epsilon)))
+
+    @classmethod
+    def of(cls, epsilon: Union["ErrorBound", Number, Sequence[Number]], dimensions: int) -> "ErrorBound":
+        """Coerce a user-supplied specification to a bound of ``dimensions`` widths.
+
+        Scalars are broadcast; vectors must already have the right length.
+        """
+        if isinstance(epsilon, ErrorBound):
+            bound = epsilon
+        elif np.isscalar(epsilon):
+            bound = cls.uniform(float(epsilon), dimensions)
+        else:
+            bound = cls(np.asarray(epsilon, dtype=float))
+        if bound.dimensions != dimensions:
+            raise InvalidPrecisionError(
+                f"precision bound has {bound.dimensions} dimensions, "
+                f"but the signal has {dimensions}"
+            )
+        return bound
+
+    @classmethod
+    def from_percent_of_range(
+        cls, percent: Number, values: Union[np.ndarray, Iterable], per_dimension: bool = True
+    ) -> "ErrorBound":
+        """Build a bound as ``percent``% of the observed value range.
+
+        Args:
+            percent: Precision width as a percentage (e.g. ``1`` for 1 %).
+            values: Signal values, shape ``(n,)`` or ``(n, d)``.
+            per_dimension: When ``True`` the range is computed separately per
+                dimension; otherwise the global range is used for all
+                dimensions.
+        """
+        array = np.asarray(list(values) if not isinstance(values, np.ndarray) else values, dtype=float)
+        if array.ndim == 1:
+            array = array[:, np.newaxis]
+        if array.size == 0:
+            raise InvalidPrecisionError("cannot derive a range from an empty signal")
+        if per_dimension:
+            ranges = array.max(axis=0) - array.min(axis=0)
+        else:
+            global_range = float(array.max() - array.min())
+            ranges = np.full(array.shape[1], global_range)
+        return cls(ranges * (float(percent) / 100.0))
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def dimensions(self) -> int:
+        """Number of dimensions covered by this bound."""
+        return int(self.epsilons.shape[0])
+
+    def component(self, i: int) -> float:
+        """Return εᵢ."""
+        return float(self.epsilons[i])
+
+    def as_array(self) -> np.ndarray:
+        """Return a copy of the widths as a numpy array."""
+        return self.epsilons.copy()
+
+    def satisfied_by(self, deviation: np.ndarray, slack: float = 0.0) -> bool:
+        """Return ``True`` when ``|deviation| ≤ ε`` holds component-wise."""
+        return bool(np.all(np.abs(deviation) <= self.epsilons + slack))
+
+    def __iter__(self):
+        return iter(float(value) for value in self.epsilons)
+
+    def __len__(self) -> int:
+        return self.dimensions
+
+
+def epsilon_from_percent(percent: Number, values) -> float:
+    """Return a scalar ε equal to ``percent``% of the global range of ``values``.
+
+    Convenience helper for single-dimensional experiments (paper §5.1 defines
+    the precision width as a percentage of the signal's range).
+    """
+    array = np.asarray(list(values) if not isinstance(values, np.ndarray) else values, dtype=float)
+    if array.size == 0:
+        raise InvalidPrecisionError("cannot derive a range from an empty signal")
+    return float((array.max() - array.min()) * (float(percent) / 100.0))

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the :mod:`repro` library."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "StreamOrderError",
+    "DimensionMismatchError",
+    "FilterStateError",
+    "InvalidPrecisionError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class StreamOrderError(ReproError):
+    """Raised when data points do not arrive in strictly increasing time order."""
+
+
+class DimensionMismatchError(ReproError):
+    """Raised when a data point's dimensionality differs from the filter's."""
+
+
+class FilterStateError(ReproError):
+    """Raised when a filter is used after :meth:`finish` or before setup."""
+
+
+class InvalidPrecisionError(ReproError):
+    """Raised when a precision width (ε) specification is not usable."""

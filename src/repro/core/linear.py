@@ -1,0 +1,178 @@
+"""Linear filters — piece-wise linear baselines (paper §2.2).
+
+A linear filter predicts that incoming points stay within ε of a straight
+line whose slope is fixed by the *first two* data points of the current
+filtering interval.  Two variants exist:
+
+* **Connected** (:class:`LinearFilter`): when a point violates the bound, the
+  current segment is terminated at the line's prediction for the last
+  approximated point, and that endpoint together with the violating point
+  defines the next segment — so consecutive segments share an endpoint and
+  each costs a single recording.
+* **Disconnected** (:class:`DisconnectedLinearFilter`): the violating point
+  itself starts the next segment (whose slope is fixed by the following
+  point), so each segment costs two recordings.
+
+The connected variant is the one used as the "linear" baseline throughout the
+paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.base import StreamFilter
+from repro.core.types import DataPoint, RecordingKind
+
+__all__ = ["LinearFilter", "DisconnectedLinearFilter"]
+
+
+class LinearFilter(StreamFilter):
+    """Connected-segment linear filter (slope fixed by the first two points)."""
+
+    name = "linear"
+    family = "linear"
+
+    def __init__(self, epsilon, max_lag: Optional[int] = None) -> None:
+        super().__init__(epsilon, max_lag=max_lag)
+        self._anchor_time: Optional[float] = None
+        self._anchor_value: Optional[np.ndarray] = None
+        self._slope: Optional[np.ndarray] = None
+        self._last_point: Optional[DataPoint] = None
+        self._interval_points = 0
+
+    # ------------------------------------------------------------------ #
+    # StreamFilter hooks
+    # ------------------------------------------------------------------ #
+    def _feed_point(self, point: DataPoint) -> None:
+        if self._anchor_time is None:
+            # Very first point of the stream: it is both the first recording
+            # and the anchor of the first segment.
+            self._emit(point.time, point.value, RecordingKind.SEGMENT_START)
+            self._set_anchor(point.time, point.value)
+            self._last_point = point
+            self._interval_points = 1
+            return
+
+        if self._slope is None:
+            # Second point of the interval fixes the slope; it is represented
+            # exactly, so no violation is possible.
+            self._define_slope(point)
+            self._after_accept(point)
+            return
+
+        prediction = self._predict(point.time)
+        if np.all(np.abs(point.value - prediction) <= self._epsilon_array()):
+            self._after_accept(point)
+            return
+
+        # Violation: close the current segment at the prediction for the last
+        # approximated point, then start a new segment from that endpoint
+        # through the violating point.
+        end_value = self._predict(self._last_point.time)
+        self._emit(self._last_point.time, end_value, RecordingKind.SEGMENT_END)
+        self._set_anchor(self._last_point.time, end_value)
+        self._define_slope(point)
+        self._last_point = point
+        self._interval_points = 1
+
+    def _finish_stream(self) -> None:
+        if self._last_point is None:
+            return
+        if self._last_point.time > self._anchor_time:
+            end_value = (
+                self._predict(self._last_point.time)
+                if self._slope is not None
+                else self._last_point.value
+            )
+            self._emit(self._last_point.time, end_value, RecordingKind.SEGMENT_END)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _set_anchor(self, time: float, value: np.ndarray) -> None:
+        self._anchor_time = float(time)
+        self._anchor_value = np.asarray(value, dtype=float).copy()
+        self._slope = None
+
+    def _define_slope(self, point: DataPoint) -> None:
+        self._slope = (point.value - self._anchor_value) / (point.time - self._anchor_time)
+
+    def _predict(self, time: float) -> np.ndarray:
+        return self._anchor_value + self._slope * (time - self._anchor_time)
+
+    def _after_accept(self, point: DataPoint) -> None:
+        self._last_point = point
+        self._interval_points += 1
+        if self.max_lag is not None and self._interval_points >= self.max_lag:
+            # Update the receiver now so its lag never exceeds max_lag points.
+            end_value = self._predict(point.time)
+            self._emit(point.time, end_value, RecordingKind.SEGMENT_END)
+            self._set_anchor(point.time, end_value)
+            self._interval_points = 0
+
+
+class DisconnectedLinearFilter(StreamFilter):
+    """Disconnected-segment linear filter (two recordings per segment)."""
+
+    name = "linear-disconnected"
+    family = "linear"
+
+    def __init__(self, epsilon, max_lag: Optional[int] = None) -> None:
+        super().__init__(epsilon, max_lag=max_lag)
+        self._anchor_time: Optional[float] = None
+        self._anchor_value: Optional[np.ndarray] = None
+        self._slope: Optional[np.ndarray] = None
+        self._last_point: Optional[DataPoint] = None
+        self._interval_points = 0
+
+    def _feed_point(self, point: DataPoint) -> None:
+        if self._anchor_time is None:
+            self._start_segment(point)
+            return
+
+        if self._slope is None:
+            self._slope = (point.value - self._anchor_value) / (point.time - self._anchor_time)
+            self._after_accept(point)
+            return
+
+        prediction = self._anchor_value + self._slope * (point.time - self._anchor_time)
+        if np.all(np.abs(point.value - prediction) <= self._epsilon_array()):
+            self._after_accept(point)
+            return
+
+        self._close_segment()
+        self._start_segment(point)
+
+    def _finish_stream(self) -> None:
+        if self._last_point is not None and self._last_point.time > self._anchor_time:
+            self._close_segment()
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _start_segment(self, point: DataPoint) -> None:
+        self._emit(point.time, point.value, RecordingKind.SEGMENT_START)
+        self._anchor_time = point.time
+        self._anchor_value = point.value.copy()
+        self._slope = None
+        self._last_point = point
+        self._interval_points = 1
+
+    def _close_segment(self) -> None:
+        if self._slope is not None:
+            end_value = self._anchor_value + self._slope * (
+                self._last_point.time - self._anchor_time
+            )
+        else:
+            end_value = self._last_point.value
+        self._emit(self._last_point.time, end_value, RecordingKind.SEGMENT_END)
+
+    def _after_accept(self, point: DataPoint) -> None:
+        self._last_point = point
+        self._interval_points += 1
+        if self.max_lag is not None and self._interval_points >= self.max_lag:
+            self._close_segment()
+            self._start_segment(point)

@@ -1,0 +1,95 @@
+"""Filter registry and factory.
+
+The experiment harness, benchmarks and examples refer to filters by short
+string names (``"cache"``, ``"linear"``, ``"swing"``, ``"slide"``, …).  The
+registry maps those names to filter classes and provides a factory to build
+configured instances.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Type
+
+from repro.core.base import StreamFilter
+from repro.core.cache import CacheFilter, MeanCacheFilter, MidrangeCacheFilter
+from repro.core.linear import DisconnectedLinearFilter, LinearFilter
+from repro.core.slide import SlideFilter
+from repro.core.swing import SwingFilter
+
+__all__ = [
+    "FILTER_REGISTRY",
+    "PAPER_FILTERS",
+    "available_filters",
+    "create_filter",
+    "register_filter",
+]
+
+#: Filters compared in the paper's evaluation (§5.1), in presentation order.
+PAPER_FILTERS = ("cache", "linear", "swing", "slide")
+
+FILTER_REGISTRY: Dict[str, Callable[..., StreamFilter]] = {
+    "cache": CacheFilter,
+    "cache-midrange": MidrangeCacheFilter,
+    "cache-mean": MeanCacheFilter,
+    "linear": LinearFilter,
+    "linear-disconnected": DisconnectedLinearFilter,
+    "swing": SwingFilter,
+    "slide": SlideFilter,
+    "slide-unoptimized": lambda epsilon, **kwargs: SlideFilter(
+        epsilon, use_convex_hull=False, **kwargs
+    ),
+    "slide-disconnected": lambda epsilon, **kwargs: SlideFilter(
+        epsilon, connect_segments=False, **kwargs
+    ),
+}
+
+
+def register_filter(name: str, factory: Callable[..., StreamFilter], overwrite: bool = False) -> None:
+    """Register a custom filter factory under ``name``.
+
+    Raises:
+        ValueError: If the name is already taken and ``overwrite`` is false.
+    """
+    if name in FILTER_REGISTRY and not overwrite:
+        raise ValueError(f"filter name {name!r} is already registered")
+    FILTER_REGISTRY[name] = factory
+
+
+def available_filters() -> List[str]:
+    """Return the sorted list of registered filter names."""
+    return sorted(FILTER_REGISTRY)
+
+
+def create_filter(name: str, epsilon, **kwargs) -> StreamFilter:
+    """Instantiate the filter registered under ``name``.
+
+    Args:
+        name: Registered filter name (see :func:`available_filters`).
+        epsilon: Precision width specification passed to the filter.
+        **kwargs: Additional keyword arguments forwarded to the constructor
+            (e.g. ``max_lag``).
+
+    Raises:
+        KeyError: If no filter is registered under ``name``.
+    """
+    try:
+        factory = FILTER_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown filter {name!r}; available: {', '.join(available_filters())}"
+        ) from None
+    return factory(epsilon, **kwargs)
+
+
+def filter_classes() -> Dict[str, Type[StreamFilter]]:
+    """Return the registry entries that are plain classes (no lambdas)."""
+    return {
+        name: factory
+        for name, factory in FILTER_REGISTRY.items()
+        if isinstance(factory, type)
+    }
+
+
+def paper_filters(epsilon, names: Iterable[str] = PAPER_FILTERS, **kwargs) -> Dict[str, StreamFilter]:
+    """Instantiate the paper's four filters (or any subset) with shared settings."""
+    return {name: create_filter(name, epsilon, **kwargs) for name in names}

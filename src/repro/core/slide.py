@@ -1,0 +1,654 @@
+"""Slide filter — mostly disconnected piece-wise linear approximation (paper §4).
+
+For every dimension ``i`` the slide filter maintains two extremal bounding
+lines: the minimum-slope upper line ``uᵢ`` and the maximum-slope lower line
+``lᵢ`` that stay within εᵢ of every point of the current filtering interval
+(Lemma 4.1).  Unlike the swing filter these lines are not anchored at the
+previous recording — they "slide" onto new support points, which lets the
+filter absorb more future points before a recording becomes necessary.
+
+When a point cannot be represented, the filter closes the interval:
+
+* the candidate segment ``gᵏ`` passes through the intersection ``zᵢ`` of
+  ``uᵢ`` and ``lᵢ`` with the MSE-optimal admissible slope (paper §4.2), and
+* if the conditions of Lemma 4.4 hold, ``gᵏ`` is re-anchored so that it meets
+  the previous segment ``gᵏ⁻¹`` at a shared point, producing *connected*
+  segments that cost a single recording; otherwise two recordings are made.
+
+Updating the bounds only requires the vertices of the convex hull of the
+interval's points (Lemma 4.3); both the optimized (hull-based) and the
+non-optimized (all-points) variants are provided, matching the two "slide"
+curves of the paper's Figure 13.
+
+Complexity: O(m_H) time per point with the hull optimization, where ``m_H`` is
+the number of hull vertices, and O(n_interval) without it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.base import StreamFilter
+from repro.core.types import DataPoint, RecordingKind
+from repro.geometry.hull import IncrementalConvexHull
+from repro.geometry.lines import Line
+from repro.geometry.tangents import max_slope_lower_line, min_slope_upper_line
+
+__all__ = ["SlideFilter"]
+
+#: Relative slack used when verifying a connection against buffered points.
+_VALIDATION_SLACK = 1e-9
+
+
+def _safe_line(t1: float, x1: float, t2: float, x2: float) -> Optional[Line]:
+    """Build a line through two points, returning ``None`` when degenerate."""
+    try:
+        return Line.from_points(t1, x1, t2, x2)
+    except ValueError:
+        return None
+
+
+def _intersect_interval_sets(
+    first: List[Tuple[float, float]], second: List[Tuple[float, float]]
+) -> List[Tuple[float, float]]:
+    """Intersect two unions of closed intervals (each given as (lo, hi) pairs)."""
+    result: List[Tuple[float, float]] = []
+    for a_lo, a_hi in first:
+        for b_lo, b_hi in second:
+            lo, hi = max(a_lo, b_lo), min(a_hi, b_hi)
+            if lo <= hi:
+                result.append((lo, hi))
+    return result
+
+
+def _closest_in_intervals(target: float, intervals: List[Tuple[float, float]]) -> float:
+    """Return the point of a non-empty union of intervals closest to ``target``."""
+    best: Optional[float] = None
+    best_distance = float("inf")
+    for lo, hi in intervals:
+        candidate = min(max(target, lo), hi)
+        distance = abs(candidate - target)
+        if distance < best_distance:
+            best, best_distance = candidate, distance
+    return float(best)
+
+
+@dataclass
+class _PreviousSegment:
+    """Everything needed to (maybe) connect the next segment to ``gᵏ⁻¹``."""
+
+    lines: List[Line]
+    upper: List[Line]
+    lower: List[Line]
+    start_time: float
+    end_time: float
+    min_connection_time: float
+    points: Optional[List[DataPoint]]
+
+
+class SlideFilter(StreamFilter):
+    """Online slide filter (paper §4) with optional bounded transmitter lag.
+
+    Args:
+        epsilon: Precision width specification (see
+            :class:`~repro.core.base.StreamFilter`).
+        max_lag: Optional ``m_max_lag`` bound.  When the current interval
+            reaches this many points the filter commits to the MSE-optimal
+            candidate segment, updates the receiver, and continues as a plain
+            linear filter until the interval ends (paper §4.3).
+        use_convex_hull: When ``True`` (default) bound updates scan only the
+            convex-hull vertices of the interval (the paper's optimization,
+            Lemma 4.3); when ``False`` every point of the interval is scanned
+            (the "non-optimized slide" curve of Figure 13).
+        connect_segments: When ``True`` (default) adjacent segments are joined
+            whenever Lemma 4.4 allows it; ``False`` always produces
+            disconnected segments (used by the ablation benchmarks).
+        validate_connections: When ``True`` (default) the filter buffers the
+            previous interval's points and verifies each attempted connection
+            against them, falling back to disconnected segments if the joined
+            segment would violate the bound.  Disabling it reproduces the
+            paper's O(m_H)-space behaviour and relies solely on Lemma 4.4.
+    """
+
+    name = "slide"
+    family = "linear"
+
+    def __init__(
+        self,
+        epsilon,
+        max_lag: Optional[int] = None,
+        use_convex_hull: bool = True,
+        connect_segments: bool = True,
+        validate_connections: bool = True,
+    ) -> None:
+        super().__init__(epsilon, max_lag=max_lag)
+        self.use_convex_hull = use_convex_hull
+        self.connect_segments = connect_segments
+        self.validate_connections = validate_connections
+        # --- current interval state ------------------------------------ #
+        self._first_point: Optional[DataPoint] = None
+        self._last_point: Optional[DataPoint] = None
+        self._interval_points = 0
+        self._upper: Optional[List[Line]] = None
+        self._lower: Optional[List[Line]] = None
+        self._hulls: Optional[List[IncrementalConvexHull]] = None
+        self._raw_points: Optional[List[DataPoint]] = None
+        # Raw moments for the MSE-optimal slope through an arbitrary pivot.
+        self._n = 0
+        self._sum_t = 0.0
+        self._sum_tt = 0.0
+        self._sum_x: Optional[np.ndarray] = None
+        self._sum_xt: Optional[np.ndarray] = None
+        # --- cross-interval state --------------------------------------- #
+        self._prev: Optional[_PreviousSegment] = None
+        self._previous_interval_end: float = float("-inf")
+        self._connection_time: Optional[float] = None
+        # --- bounded-lag (locked) state ---------------------------------- #
+        self._locked_lines: Optional[List[Line]] = None
+        self._locked_last_time: Optional[float] = None
+        self._locked_emitted_time: float = float("-inf")
+        self._locked_points_since_emit = 0
+
+    # ------------------------------------------------------------------ #
+    # StreamFilter hooks
+    # ------------------------------------------------------------------ #
+    def _feed_point(self, point: DataPoint) -> None:
+        if self._locked_lines is not None:
+            self._feed_locked(point)
+            return
+        if self._first_point is None:
+            self._begin_interval(point)
+            return
+        if self._upper is None:
+            # Second point of the interval defines the initial bounds
+            # (Algorithm 2 lines 2 / 29); it is always representable.
+            self._open_bounds(self._first_point, point)
+            self._absorb(point)
+            return
+        if self._accepts(point):
+            self._update_bounds(point)
+            self._absorb(point)
+            return
+        # Violation (Algorithm 2 line 6): close the interval, then start a new
+        # one whose bounds will be defined by this point and the next.
+        self._finalize_interval(connect=self.connect_segments)
+        self._begin_interval(point)
+
+    def _finish_stream(self) -> None:
+        if self._locked_lines is not None:
+            self._close_locked_segment()
+            return
+        if self._first_point is None:
+            self._flush_previous_segment()
+            return
+        if self._upper is None:
+            # A lone trailing point: flush the pending segment, then record
+            # the point verbatim as a degenerate segment.
+            self._flush_previous_segment()
+            self._emit(self._first_point.time, self._first_point.value, RecordingKind.SEGMENT_START)
+            return
+        lines, _ = self._finalize_interval(connect=self.connect_segments)
+        end_time = self._last_point.time
+        end_value = np.array([line.value_at(end_time) for line in lines])
+        self._emit(end_time, end_value, RecordingKind.SEGMENT_END)
+
+    # ------------------------------------------------------------------ #
+    # Interval lifecycle
+    # ------------------------------------------------------------------ #
+    def _begin_interval(self, point: DataPoint) -> None:
+        self._first_point = point
+        self._last_point = point
+        self._interval_points = 1
+        self._upper = None
+        self._lower = None
+        self._hulls = None
+        self._raw_points = [point] if (self.validate_connections or not self.use_convex_hull) else None
+        self._n = 1
+        self._sum_t = point.time
+        self._sum_tt = point.time * point.time
+        self._sum_x = point.value.copy()
+        self._sum_xt = point.value * point.time
+
+    def _open_bounds(self, first: DataPoint, second: DataPoint) -> None:
+        epsilon = self._epsilon_array()
+        dimensions = first.dimensions
+        self._upper = [
+            Line.from_points(
+                first.time, first.component(i) - epsilon[i],
+                second.time, second.component(i) + epsilon[i],
+            )
+            for i in range(dimensions)
+        ]
+        self._lower = [
+            Line.from_points(
+                first.time, first.component(i) + epsilon[i],
+                second.time, second.component(i) - epsilon[i],
+            )
+            for i in range(dimensions)
+        ]
+        if self.use_convex_hull:
+            self._hulls = [IncrementalConvexHull() for _ in range(dimensions)]
+            for i in range(dimensions):
+                self._hulls[i].add(first.time, first.component(i))
+                self._hulls[i].add(second.time, second.component(i))
+        else:
+            self._hulls = None
+
+    def _absorb(self, point: DataPoint) -> None:
+        """Account for an accepted point (moments, buffers, lag bookkeeping)."""
+        self._last_point = point
+        self._interval_points += 1
+        self._n += 1
+        self._sum_t += point.time
+        self._sum_tt += point.time * point.time
+        self._sum_x = self._sum_x + point.value
+        self._sum_xt = self._sum_xt + point.value * point.time
+        if self._raw_points is not None:
+            self._raw_points.append(point)
+        if self.max_lag is not None and self._interval_points >= self.max_lag:
+            self._lock_segment()
+
+    def _accepts(self, point: DataPoint) -> bool:
+        epsilon = self._epsilon_array()
+        for i in range(point.dimensions):
+            value = point.component(i)
+            if value > self._upper[i].value_at(point.time) + epsilon[i]:
+                return False
+            if value < self._lower[i].value_at(point.time) - epsilon[i]:
+                return False
+        return True
+
+    def _update_bounds(self, point: DataPoint) -> None:
+        """Slide the bounds so they stay extremal after accepting ``point``."""
+        epsilon = self._epsilon_array()
+        for i in range(point.dimensions):
+            value = point.component(i)
+            if self.use_convex_hull:
+                self._hulls[i].add(point.time, value)
+            support = self._support_points(i)
+            if value > self._lower[i].value_at(point.time) + epsilon[i]:
+                self._lower[i] = max_slope_lower_line(
+                    support, point.time, value, epsilon[i], current=self._lower[i]
+                )
+            if value < self._upper[i].value_at(point.time) - epsilon[i]:
+                self._upper[i] = min_slope_upper_line(
+                    support, point.time, value, epsilon[i], current=self._upper[i]
+                )
+
+    def _support_points(self, dimension: int) -> Sequence[Tuple[float, float]]:
+        if self.use_convex_hull:
+            return self._hulls[dimension].vertices()
+        return [(p.time, p.component(dimension)) for p in self._raw_points]
+
+    # ------------------------------------------------------------------ #
+    # Recording mechanism
+    # ------------------------------------------------------------------ #
+    def _finalize_interval(self, connect: bool) -> Tuple[List[Line], bool]:
+        """Close the current interval: decide ``gᵏ`` and emit its start.
+
+        Returns the per-dimension segment lines and whether the segment was
+        connected to the previous one.
+        """
+        apexes = self._apex_points()
+        connected = False
+        lines: Optional[List[Line]] = None
+        if connect and self._prev is not None:
+            lines = self._attempt_connection(apexes)
+            connected = lines is not None
+        if lines is None:
+            lines = self._standalone_segment(apexes)
+            self._flush_previous_segment()
+            start_time = self._first_point.time
+            start_value = np.array([line.value_at(start_time) for line in lines])
+            self._emit(start_time, start_value, RecordingKind.SEGMENT_START)
+            segment_start = start_time
+        else:
+            # _attempt_connection already emitted the shared recording.
+            segment_start = self._connection_time
+        self._prev = _PreviousSegment(
+            lines=lines,
+            upper=list(self._upper),
+            lower=list(self._lower),
+            start_time=segment_start,
+            end_time=self._last_point.time,
+            min_connection_time=max(segment_start, self._previous_interval_end),
+            points=list(self._raw_points) if self._raw_points is not None else None,
+        )
+        self._previous_interval_end = self._last_point.time
+        return lines, connected
+
+    def _apex_points(self) -> List[Tuple[float, float]]:
+        """Per-dimension intersection ``zᵢ`` of the final bounds."""
+        apexes = []
+        for i in range(self._dimensions):
+            point = self._upper[i].intersection_point(self._lower[i])
+            if point is None:
+                # Degenerate (ε = 0): the bounds coincide; anchor at the
+                # interval's first point, which lies on both lines.
+                t = self._first_point.time
+                point = (t, self._upper[i].value_at(t))
+            apexes.append(point)
+        return apexes
+
+    def _standalone_segment(self, apexes: List[Tuple[float, float]]) -> List[Line]:
+        """Build ``gᵏ`` through each ``zᵢ`` with the clamped MSE-optimal slope."""
+        lines = []
+        for i in range(self._dimensions):
+            t_z, x_z = apexes[i]
+            slope = self._clamped_mse_slope(i, t_z, x_z, self._upper[i].slope, self._lower[i].slope)
+            lines.append(Line.from_point_slope(t_z, x_z, slope))
+        return lines
+
+    def _clamped_mse_slope(
+        self, dimension: int, pivot_time: float, pivot_value: float, slope_a: float, slope_b: float
+    ) -> float:
+        """MSE-optimal slope of a line through the pivot, clamped to [a, b]."""
+        low, high = (slope_a, slope_b) if slope_a <= slope_b else (slope_b, slope_a)
+        denominator = self._sum_tt - 2.0 * pivot_time * self._sum_t + self._n * pivot_time * pivot_time
+        if denominator <= 0.0:
+            return (low + high) / 2.0
+        numerator = (
+            float(self._sum_xt[dimension])
+            - pivot_value * self._sum_t
+            - pivot_time * float(self._sum_x[dimension])
+            + self._n * pivot_value * pivot_time
+        )
+        return float(np.clip(numerator / denominator, low, high))
+
+    # ------------------------------------------------------------------ #
+    # Connection
+    # ------------------------------------------------------------------ #
+    def _attempt_connection(self, apexes: List[Tuple[float, float]]) -> Optional[List[Line]]:
+        """Try to join ``gᵏ`` to ``gᵏ⁻¹``; emit the shared recording on success.
+
+        Two joining opportunities are considered:
+
+        1. a *gap* connection — the two segments meet between the last point
+           of interval k-1 and the first point of interval k, so neither
+           segment has to take over points it was not built for (this is the
+           ``t⁽ᵏ⁻¹⁾ > t_{jᵏ⁻¹}`` case acknowledged in the proof of Lemma 4.4);
+        2. a *tail* connection inside interval k-1 following Lemma 4.4, where
+           ``gᵏ`` absorbs the tail of the previous interval.
+        """
+        lines = self._attempt_gap_connection(apexes)
+        if lines is not None:
+            return lines
+        return self._attempt_tail_connection(apexes)
+
+    def _attempt_gap_connection(self, apexes: List[Tuple[float, float]]) -> Optional[List[Line]]:
+        """Join the segments between the two intervals when geometry allows it."""
+        prev = self._prev
+        window_low = max(prev.end_time, prev.min_connection_time)
+        window_high = self._first_point.time
+        if window_high < window_low:
+            return None
+        feasible = [(window_low, window_high)]
+        preferred_times = []
+        for i in range(self._dimensions):
+            admissible = self._admissible_connection_times(i, apexes[i], prev.lines[i])
+            feasible = _intersect_interval_sets(feasible, admissible)
+            if not feasible:
+                return None
+            preferred_times.append(self._preferred_connection_time(i, apexes[i], prev.lines[i]))
+        preferences = [t for t in preferred_times if t is not None]
+        target = float(np.mean(preferences)) if preferences else (window_low + window_high) / 2.0
+        connection_time = _closest_in_intervals(target, feasible)
+        lines = []
+        for i in range(self._dimensions):
+            t_z, x_z = apexes[i]
+            g_prev = prev.lines[i]
+            joined = _safe_line(t_z, x_z, connection_time, g_prev.value_at(connection_time))
+            if joined is None:
+                # The connection time coincides with the apex: the previous
+                # segment already passes through it, so reuse its slope
+                # clamped into the admissible range.
+                low, high = sorted((self._upper[i].slope, self._lower[i].slope))
+                joined = Line.from_point_slope(t_z, x_z, float(np.clip(g_prev.slope, low, high)))
+            lines.append(joined)
+        value = np.array([prev.lines[i].value_at(connection_time) for i in range(self._dimensions)])
+        self._emit(connection_time, value, RecordingKind.SEGMENT_END)
+        self._connection_time = connection_time
+        return lines
+
+    def _admissible_connection_times(
+        self, dimension: int, apex: Tuple[float, float], g_prev: Line
+    ) -> List[Tuple[float, float]]:
+        """Times where ``gᵏ`` through the apex can meet ``gᵏ⁻¹`` admissibly.
+
+        A connection at time ``t`` forces ``gᵏ`` to be the line through the
+        apex ``z`` and ``(t, gᵏ⁻¹(t))``; its slope must lie within the
+        interval spanned by the current bounds' slopes for ``gᵏ`` to stay
+        within ε of the interval's points.  The returned list contains at most
+        two closed intervals (``±inf`` ends allowed).
+        """
+        t_z, x_z = apex
+        low, high = sorted((self._upper[dimension].slope, self._lower[dimension].slope))
+        slope_prev = g_prev.slope
+        gap = g_prev.value_at(t_z) - x_z
+        infinity = float("inf")
+        if gap == 0.0:
+            # The previous segment passes through the apex: connecting at any
+            # time keeps g^k on g^{k-1} only if that slope is admissible;
+            # otherwise the only meeting point is the apex itself.
+            if low <= slope_prev <= high:
+                return [(-infinity, infinity)]
+            return [(t_z, t_z)]
+
+        def meet(slope: float) -> Optional[float]:
+            if slope == slope_prev:
+                return None
+            return t_z + gap / (slope - slope_prev)
+
+        at_low, at_high = meet(low), meet(high)
+        if slope_prev < low or slope_prev > high:
+            lo, hi = sorted((at_low, at_high))
+            return [(lo, hi)]
+        if slope_prev == low:
+            return [(at_high, infinity)] if gap > 0 else [(-infinity, at_high)]
+        if slope_prev == high:
+            return [(at_low, infinity)] if gap < 0 else [(-infinity, at_low)]
+        if gap > 0:
+            return [(-infinity, at_low), (at_high, infinity)]
+        return [(-infinity, at_high), (at_low, infinity)]
+
+    def _preferred_connection_time(
+        self, dimension: int, apex: Tuple[float, float], g_prev: Line
+    ) -> Optional[float]:
+        """Where the MSE-optimal admissible segment would meet ``gᵏ⁻¹``."""
+        t_z, x_z = apex
+        slope = self._clamped_mse_slope(
+            dimension, t_z, x_z, self._upper[dimension].slope, self._lower[dimension].slope
+        )
+        candidate = Line.from_point_slope(t_z, x_z, slope)
+        return candidate.intersection_time(g_prev)
+
+    def _attempt_tail_connection(self, apexes: List[Tuple[float, float]]) -> Optional[List[Line]]:
+        """Join ``gᵏ`` to ``gᵏ⁻¹`` inside interval k-1 (Lemma 4.4)."""
+        prev = self._prev
+        alpha, beta = float("-inf"), float("inf")
+        for i in range(self._dimensions):
+            per_dim = self._connection_window(i, apexes[i], prev)
+            if per_dim is None:
+                return None
+            lo, hi = per_dim
+            alpha, beta = max(alpha, lo), min(beta, hi)
+        alpha = max(alpha, prev.min_connection_time)
+        beta = min(beta, prev.end_time)
+        if not np.isfinite(alpha) or not np.isfinite(beta) or alpha > beta:
+            return None
+        if beta <= prev.start_time:
+            return None
+        alpha = max(alpha, np.nextafter(prev.start_time, np.inf))
+        if alpha > beta:
+            return None
+
+        # Adjust the bounds so every admissible slope meets g^{k-1} within
+        # [alpha, beta] (Algorithm 2 lines 11-16), then pick the connection
+        # time preferred by the per-dimension MSE optima.
+        preferred_times = []
+        for i in range(self._dimensions):
+            t_z, x_z = apexes[i]
+            g_prev = prev.lines[i]
+            bound_at_alpha = _safe_line(t_z, x_z, alpha, g_prev.value_at(alpha))
+            bound_at_beta = _safe_line(t_z, x_z, beta, g_prev.value_at(beta))
+            if bound_at_alpha is None or bound_at_beta is None:
+                preferred_times.append((alpha + beta) / 2.0)
+                continue
+            slope = self._clamped_mse_slope(
+                i, t_z, x_z, bound_at_alpha.slope, bound_at_beta.slope
+            )
+            candidate = Line.from_point_slope(t_z, x_z, slope)
+            crossing = candidate.intersection_time(g_prev)
+            if crossing is None or not (alpha <= crossing <= beta):
+                crossing = (alpha + beta) / 2.0
+            preferred_times.append(crossing)
+
+        connection_time = float(np.clip(np.mean(preferred_times), alpha, beta))
+        lines = []
+        for i in range(self._dimensions):
+            t_z, x_z = apexes[i]
+            g_prev = prev.lines[i]
+            joined = _safe_line(t_z, x_z, connection_time, g_prev.value_at(connection_time))
+            if joined is None:
+                joined = Line.from_point_slope(t_z, x_z, g_prev.slope)
+            lines.append(joined)
+
+        if not self._connection_is_safe(lines, connection_time, prev):
+            return None
+
+        value = np.array([prev.lines[i].value_at(connection_time) for i in range(self._dimensions)])
+        self._emit(connection_time, value, RecordingKind.SEGMENT_END)
+        self._connection_time = connection_time
+        return lines
+
+    def _connection_window(
+        self, dimension: int, apex: Tuple[float, float], prev: _PreviousSegment
+    ) -> Optional[Tuple[float, float]]:
+        """Per-dimension admissible connection window [αᵢ, βᵢ] (Lemma 4.4)."""
+        t_z, x_z = apex
+        g_prev = prev.lines[dimension]
+        upper = self._upper[dimension]
+        lower = self._lower[dimension]
+        prev_upper = prev.upper[dimension]
+        prev_lower = prev.lower[dimension]
+        end = prev.end_time
+        gap = g_prev.value_at(t_z) - x_z
+
+        if gap >= 0.0:
+            # Apex below (or on) g^{k-1}: the connection window's upper end is
+            # where g^{k-1} meets lᵢᵏ; its lower end is where g^{k-1} meets
+            # uᵢᵏ and the guard line sᵢᵏ⁻¹ (Lemma 4.4).
+            if lower.value_at(end) <= prev_lower.value_at(end):
+                return None
+            f = g_prev.intersection_time(lower)
+            if f is None or f >= end:
+                return None
+            c = g_prev.intersection_time(upper)
+            if c is None and g_prev.value_at(end) < upper.value_at(end):
+                # Parallel and strictly below the upper bound: g^{k-1} never
+                # enters the admissible cone from that side.
+                return None
+            guard = _safe_line(t_z, x_z, end, prev_lower.value_at(end))
+            d = g_prev.intersection_time(guard) if guard is not None else None
+            if guard is not None and d is None and g_prev.value_at(end) < guard.value_at(end):
+                return None
+            lo_candidates = [value for value in (c, d) if value is not None]
+            lo = max(lo_candidates) if lo_candidates else float("-inf")
+            return (lo, f)
+
+        # Apex above g^{k-1}: mirror image.
+        if upper.value_at(end) >= prev_upper.value_at(end):
+            return None
+        f = g_prev.intersection_time(upper)
+        if f is None or f >= end:
+            return None
+        c = g_prev.intersection_time(lower)
+        if c is None and g_prev.value_at(end) > lower.value_at(end):
+            return None
+        guard = _safe_line(t_z, x_z, end, prev_upper.value_at(end))
+        d = g_prev.intersection_time(guard) if guard is not None else None
+        if guard is not None and d is None and g_prev.value_at(end) > guard.value_at(end):
+            return None
+        lo_candidates = [value for value in (c, d) if value is not None]
+        lo = max(lo_candidates) if lo_candidates else float("-inf")
+        return (lo, f)
+
+    def _connection_is_safe(
+        self, lines: List[Line], connection_time: float, prev: _PreviousSegment
+    ) -> bool:
+        """Verify the joined segment against the buffered interval points.
+
+        Only active when ``validate_connections`` is set.  The joined segment
+        ``gᵏ`` takes over the tail of interval k-1 (points later than the
+        connection time) and all of interval k, so both sets are re-checked.
+        """
+        if not self.validate_connections or prev.points is None or self._raw_points is None:
+            return True
+        epsilon = self._epsilon_array()
+        tail = [p for p in prev.points if p.time > connection_time]
+        for point in tail + self._raw_points:
+            for i in range(self._dimensions):
+                slack = _VALIDATION_SLACK * (1.0 + abs(point.component(i)) + epsilon[i])
+                if abs(lines[i].value_at(point.time) - point.component(i)) > epsilon[i] + slack:
+                    return False
+        return True
+
+    def _flush_previous_segment(self) -> None:
+        """Emit the pending end recording of ``gᵏ⁻¹`` (disconnected case)."""
+        if self._prev is None:
+            return
+        end_time = self._prev.end_time
+        value = np.array([line.value_at(end_time) for line in self._prev.lines])
+        self._emit(end_time, value, RecordingKind.SEGMENT_END)
+        self._prev = None
+
+    # ------------------------------------------------------------------ #
+    # Bounded-lag (locked) mode
+    # ------------------------------------------------------------------ #
+    def _lock_segment(self) -> None:
+        """Commit to the MSE-optimal candidate segment (paper §4.3 / §3.3)."""
+        lines, _ = self._finalize_interval(connect=self.connect_segments)
+        self._locked_lines = lines
+        self._locked_last_time = self._last_point.time
+        self._locked_emitted_time = self._last_point.time
+        # Update the receiver immediately: it now knows the committed segment
+        # up to the lock point and can extrapolate it.
+        value = np.array([line.value_at(self._last_point.time) for line in lines])
+        self._emit(self._last_point.time, value, RecordingKind.SEGMENT_END)
+        self._locked_points_since_emit = 0
+        # The locked segment can no longer be moved, so the next interval must
+        # not try to connect to it at an earlier time than its eventual end.
+        self._prev = None
+        self._first_point = None
+        self._upper = None
+        self._lower = None
+
+    def _feed_locked(self, point: DataPoint) -> None:
+        epsilon = self._epsilon_array()
+        within = all(
+            abs(self._locked_lines[i].value_at(point.time) - point.component(i)) <= epsilon[i]
+            for i in range(point.dimensions)
+        )
+        if within:
+            self._locked_last_time = point.time
+            self._locked_points_since_emit += 1
+            if self.max_lag is not None and self._locked_points_since_emit >= self.max_lag:
+                value = np.array([line.value_at(point.time) for line in self._locked_lines])
+                self._emit(point.time, value, RecordingKind.SEGMENT_END)
+                self._locked_emitted_time = point.time
+                self._locked_points_since_emit = 0
+            return
+        self._close_locked_segment()
+        self._begin_interval(point)
+
+    def _close_locked_segment(self) -> None:
+        end_time = self._locked_last_time
+        if end_time > self._locked_emitted_time:
+            value = np.array([line.value_at(end_time) for line in self._locked_lines])
+            self._emit(end_time, value, RecordingKind.SEGMENT_END)
+        self._locked_lines = None
+        self._locked_last_time = None
+        self._previous_interval_end = end_time

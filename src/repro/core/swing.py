@@ -1,0 +1,231 @@
+"""Swing filter — connected piece-wise linear approximation (paper §3).
+
+The swing filter maintains, for every dimension ``i``, an upper line ``uᵢ``
+and a lower line ``lᵢ`` that are both anchored at the previous recording.  Any
+line between them can represent every data point of the current filtering
+interval within εᵢ.  Each accepted point "swings" the bounds toward each other
+(Algorithm 1 of the paper); when a point cannot be represented any more a new
+recording is made at the previous point's time, choosing — among the still
+admissible slopes — the one that minimizes the mean square error of the
+interval (paper §3.2).  Consecutive segments share their endpoints, so every
+segment after the first costs exactly one recording.
+
+Complexity: O(1) time and space per data point, independent of the interval
+length (the MSE sums are maintained incrementally).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.base import StreamFilter
+from repro.core.types import DataPoint, RecordingKind
+
+__all__ = ["SwingFilter"]
+
+
+class SwingFilter(StreamFilter):
+    """Online swing filter with optional bounded transmitter lag.
+
+    Args:
+        epsilon: Precision width specification (see
+            :class:`~repro.core.base.StreamFilter`).
+        max_lag: Optional ``m_max_lag`` bound (paper §3.3).  When the current
+            filtering interval reaches this many points, the filter commits to
+            the MSE-optimal candidate segment, updates the receiver, and
+            continues as a plain linear filter until the interval ends.
+    """
+
+    name = "swing"
+    family = "linear"
+
+    def __init__(self, epsilon, max_lag: Optional[int] = None) -> None:
+        super().__init__(epsilon, max_lag=max_lag)
+        # Anchor = previous recording (start point of the current segment).
+        self._anchor_time: Optional[float] = None
+        self._anchor_value: Optional[np.ndarray] = None
+        # Per-dimension slopes of the upper / lower bounding lines.
+        self._upper_slope: Optional[np.ndarray] = None
+        self._lower_slope: Optional[np.ndarray] = None
+        # Incremental sums for the MSE-optimal slope (paper equation 6).
+        self._sum_xt: Optional[np.ndarray] = None
+        self._sum_tt: float = 0.0
+        self._last_point: Optional[DataPoint] = None
+        self._interval_points = 0
+        # Bounded-lag ("locked") mode: the segment slope is frozen and the
+        # filter behaves like a connected linear filter until a violation.
+        self._locked_slope: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # StreamFilter hooks
+    # ------------------------------------------------------------------ #
+    def _feed_point(self, point: DataPoint) -> None:
+        if self._anchor_time is None:
+            # Algorithm 1 line 2: the first point is recorded verbatim and
+            # anchors the first segment.
+            self._emit(point.time, point.value, RecordingKind.SEGMENT_START)
+            self._anchor_time = point.time
+            self._anchor_value = point.value.copy()
+            self._last_point = point
+            return
+
+        if self._locked_slope is not None:
+            self._feed_locked(point)
+            return
+
+        if self._upper_slope is None:
+            # Second point of the interval: it defines the initial bounds
+            # (Algorithm 1 line 3 / line 9) and always lies within them.
+            self._open_bounds(point)
+            self._accumulate(point)
+            self._after_accept(point)
+            return
+
+        epsilon = self._epsilon_array()
+        dt = point.time - self._anchor_time
+        upper = self._anchor_value + self._upper_slope * dt
+        lower = self._anchor_value + self._lower_slope * dt
+        if np.all(point.value <= upper + epsilon) and np.all(point.value >= lower - epsilon):
+            # Filtered out: swing the bounds so every remaining candidate line
+            # still represents all points, including this one.
+            swing_up = point.value - epsilon > lower
+            swing_down = point.value + epsilon < upper
+            if np.any(swing_up):
+                new_lower = (point.value - epsilon - self._anchor_value) / dt
+                self._lower_slope = np.where(swing_up, new_lower, self._lower_slope)
+            if np.any(swing_down):
+                new_upper = (point.value + epsilon - self._anchor_value) / dt
+                self._upper_slope = np.where(swing_down, new_upper, self._upper_slope)
+            self._accumulate(point)
+            self._after_accept(point)
+            return
+
+        # Violation: close the current segment at the previous point's time
+        # with the MSE-optimal admissible value, then start a new interval
+        # whose bounds are defined by the violating point.
+        self._close_segment(self._last_point.time)
+        self._open_bounds(point)
+        self._reset_sums(point)
+        self._last_point = point
+        self._interval_points = 1
+
+    def _finish_stream(self) -> None:
+        if self._anchor_time is None or self._last_point is None:
+            return
+        if self._last_point.time <= self._anchor_time:
+            # The stream contained a single point; the start recording already
+            # represents it exactly.
+            return
+        if self._locked_slope is not None:
+            end_value = self._anchor_value + self._locked_slope * (
+                self._last_point.time - self._anchor_time
+            )
+            self._emit(self._last_point.time, end_value, RecordingKind.SEGMENT_END)
+            return
+        self._close_segment(self._last_point.time)
+
+    # ------------------------------------------------------------------ #
+    # Swing mechanics
+    # ------------------------------------------------------------------ #
+    def _open_bounds(self, point: DataPoint) -> None:
+        """Define u/l through the anchor and ``point ± ε`` (new interval)."""
+        epsilon = self._epsilon_array()
+        dt = point.time - self._anchor_time
+        self._upper_slope = (point.value + epsilon - self._anchor_value) / dt
+        self._lower_slope = (point.value - epsilon - self._anchor_value) / dt
+
+    def _accumulate(self, point: DataPoint) -> None:
+        dt = point.time - self._anchor_time
+        contribution = (point.value - self._anchor_value) * dt
+        if self._sum_xt is None:
+            self._sum_xt = contribution
+        else:
+            self._sum_xt = self._sum_xt + contribution
+        self._sum_tt += dt * dt
+
+    def _reset_sums(self, point: DataPoint) -> None:
+        dt = point.time - self._anchor_time
+        self._sum_xt = (point.value - self._anchor_value) * dt
+        self._sum_tt = dt * dt
+
+    def _optimal_slope(self) -> np.ndarray:
+        """MSE-minimizing slope clamped into the admissible range (eq. 5/6)."""
+        if self._sum_tt <= 0.0 or self._sum_xt is None:
+            # No accumulated points beyond the anchor; fall back to the middle
+            # of the admissible slope range.
+            return (self._upper_slope + self._lower_slope) / 2.0
+        unconstrained = self._sum_xt / self._sum_tt
+        low = np.minimum(self._upper_slope, self._lower_slope)
+        high = np.maximum(self._upper_slope, self._lower_slope)
+        return np.clip(unconstrained, low, high)
+
+    def _close_segment(self, end_time: float) -> None:
+        slope = self._optimal_slope()
+        end_value = self._anchor_value + slope * (end_time - self._anchor_time)
+        self._emit(end_time, end_value, RecordingKind.SEGMENT_END)
+        self._anchor_time = float(end_time)
+        self._anchor_value = end_value
+        self._upper_slope = None
+        self._lower_slope = None
+        self._sum_xt = None
+        self._sum_tt = 0.0
+        self._locked_slope = None
+
+    def _after_accept(self, point: DataPoint) -> None:
+        self._last_point = point
+        self._interval_points += 1
+        if (
+            self.max_lag is not None
+            and self._locked_slope is None
+            and self._interval_points >= self.max_lag
+        ):
+            self._lock_segment(point)
+
+    # ------------------------------------------------------------------ #
+    # Bounded-lag (locked) mode
+    # ------------------------------------------------------------------ #
+    def _lock_segment(self, point: DataPoint) -> None:
+        """Commit to the MSE-optimal candidate and update the receiver now."""
+        slope = self._optimal_slope()
+        lock_value = self._anchor_value + slope * (point.time - self._anchor_time)
+        self._emit(point.time, lock_value, RecordingKind.SEGMENT_END)
+        self._anchor_time = point.time
+        self._anchor_value = lock_value
+        self._locked_slope = slope
+        self._upper_slope = None
+        self._lower_slope = None
+        self._sum_xt = None
+        self._sum_tt = 0.0
+        self._interval_points = 0
+
+    def _feed_locked(self, point: DataPoint) -> None:
+        prediction = self._anchor_value + self._locked_slope * (point.time - self._anchor_time)
+        if np.all(np.abs(point.value - prediction) <= self._epsilon_array()):
+            self._last_point = point
+            self._interval_points += 1
+            if self._interval_points >= self.max_lag:
+                # Keep the promise that the receiver is updated at least every
+                # max_lag points even while the segment keeps extending.
+                self._emit(point.time, prediction, RecordingKind.SEGMENT_END)
+                self._anchor_time = point.time
+                self._anchor_value = prediction
+                self._interval_points = 0
+            return
+        # Violation while locked: terminate the frozen segment at the last
+        # point's prediction and resume normal swing operation.  If no point
+        # was accepted since the lock recording, the lock recording itself is
+        # the segment end and nothing new needs to be transmitted.
+        if self._last_point.time > self._anchor_time:
+            end_value = self._anchor_value + self._locked_slope * (
+                self._last_point.time - self._anchor_time
+            )
+            self._emit(self._last_point.time, end_value, RecordingKind.SEGMENT_END)
+            self._anchor_time = self._last_point.time
+            self._anchor_value = end_value
+        self._locked_slope = None
+        self._open_bounds(point)
+        self._reset_sums(point)
+        self._last_point = point
+        self._interval_points = 1

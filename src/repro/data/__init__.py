@@ -1,0 +1,50 @@
+"""Workload generators and datasets.
+
+The paper evaluates the filters on one real signal (sea surface temperature
+from the NOAA TAO array) and a family of synthetic random-walk signals whose
+monotonicity, step magnitude, dimensionality and inter-dimension correlation
+are varied.  This subpackage provides:
+
+* :mod:`~repro.data.random_walk` — the paper's single-dimensional synthetic
+  generator (§5.3),
+* :mod:`~repro.data.correlated` — the multi-dimensional correlated generator
+  (§5.4),
+* :mod:`~repro.data.sst` — a deterministic surrogate for the sea surface
+  temperature series (§5.2; see DESIGN.md for the substitution note),
+* :mod:`~repro.data.patterns` — additional deterministic signal shapes used by
+  tests and examples,
+* :mod:`~repro.data.datasets` — a small registry mapping dataset names to
+  generator callables.
+"""
+
+from repro.data.correlated import CorrelatedWalkConfig, correlated_random_walk
+from repro.data.datasets import available_datasets, load_dataset, register_dataset
+from repro.data.patterns import (
+    constant_signal,
+    ramp_signal,
+    sawtooth_signal,
+    sine_signal,
+    spike_signal,
+    step_signal,
+)
+from repro.data.random_walk import RandomWalkConfig, random_walk
+from repro.data.sst import SST_POINT_COUNT, SST_SAMPLING_MINUTES, sea_surface_temperature
+
+__all__ = [
+    "RandomWalkConfig",
+    "random_walk",
+    "CorrelatedWalkConfig",
+    "correlated_random_walk",
+    "sea_surface_temperature",
+    "SST_POINT_COUNT",
+    "SST_SAMPLING_MINUTES",
+    "sine_signal",
+    "ramp_signal",
+    "step_signal",
+    "spike_signal",
+    "sawtooth_signal",
+    "constant_signal",
+    "available_datasets",
+    "load_dataset",
+    "register_dataset",
+]

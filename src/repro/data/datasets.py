@@ -1,0 +1,112 @@
+"""Named dataset registry.
+
+Benchmarks, examples and command-line experiments refer to workloads by name.
+Every dataset is a callable returning ``(times, values)``; the registry stores
+those callables together with a one-line description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.data.correlated import CorrelatedWalkConfig, correlated_random_walk
+from repro.data.patterns import sawtooth_signal, sine_signal, step_signal
+from repro.data.random_walk import RandomWalkConfig, random_walk
+from repro.data.sst import sea_surface_temperature
+
+__all__ = ["DatasetEntry", "register_dataset", "available_datasets", "load_dataset"]
+
+Loader = Callable[[], Tuple[np.ndarray, np.ndarray]]
+
+
+@dataclass(frozen=True)
+class DatasetEntry:
+    """A named dataset: its loader plus a human-readable description."""
+
+    name: str
+    loader: Loader
+    description: str
+
+
+_REGISTRY: Dict[str, DatasetEntry] = {}
+
+
+def register_dataset(name: str, loader: Loader, description: str, overwrite: bool = False) -> None:
+    """Register a dataset loader under ``name``.
+
+    Raises:
+        ValueError: If the name is taken and ``overwrite`` is false.
+    """
+    if name in _REGISTRY and not overwrite:
+        raise ValueError(f"dataset {name!r} is already registered")
+    _REGISTRY[name] = DatasetEntry(name, loader, description)
+
+
+def available_datasets() -> List[str]:
+    """Return the sorted list of registered dataset names."""
+    return sorted(_REGISTRY)
+
+
+def dataset_entries() -> List[DatasetEntry]:
+    """Return all registry entries sorted by name."""
+    return [_REGISTRY[name] for name in available_datasets()]
+
+
+def load_dataset(name: str) -> Tuple[np.ndarray, np.ndarray]:
+    """Load the dataset registered under ``name``.
+
+    Raises:
+        KeyError: If the name is unknown.
+    """
+    try:
+        entry = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {', '.join(available_datasets())}"
+        ) from None
+    return entry.loader()
+
+
+# --------------------------------------------------------------------------- #
+# Built-in datasets
+# --------------------------------------------------------------------------- #
+register_dataset(
+    "sst",
+    sea_surface_temperature,
+    "Sea-surface-temperature surrogate (1285 points, 10-minute sampling; paper §5.2)",
+)
+register_dataset(
+    "random-walk",
+    lambda: random_walk(RandomWalkConfig(length=10_000, decrease_probability=0.5, max_delta=1.0, seed=1)),
+    "Oscillating random walk, 10k points (paper §5.3 model, p=0.5)",
+)
+register_dataset(
+    "monotone-walk",
+    lambda: random_walk(RandomWalkConfig(length=10_000, decrease_probability=0.0, max_delta=1.0, seed=1)),
+    "Monotonically increasing random walk, 10k points (paper §5.3 model, p=0)",
+)
+register_dataset(
+    "correlated-5d",
+    lambda: correlated_random_walk(
+        CorrelatedWalkConfig(length=5_000, dimensions=5, correlation=0.8, seed=1)
+    ),
+    "5-dimensional correlated random walk (paper §5.4 model, ρ=0.8)",
+)
+register_dataset(
+    "sine",
+    lambda: sine_signal(length=5_000, amplitude=10.0, period=500.0),
+    "Smooth sinusoid, 5k points",
+)
+register_dataset(
+    "sawtooth",
+    lambda: sawtooth_signal(length=5_000, amplitude=10.0, period=500.0),
+    "Triangular wave, 5k points (exactly piece-wise linear)",
+)
+register_dataset(
+    "step",
+    lambda: step_signal(length=1_000, low=0.0, high=10.0),
+    "Single step function, 1k points",
+)

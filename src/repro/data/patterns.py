@@ -1,0 +1,97 @@
+"""Deterministic signal shapes used by tests, examples and ablations.
+
+These generators complement the stochastic workloads of
+:mod:`repro.data.random_walk`: each produces a simple analytic shape whose
+optimal piece-wise linear behaviour is easy to reason about (a ramp needs one
+segment, a step needs two, a sine needs roughly one segment per monotone
+run, …), which makes them useful for unit tests and documentation examples.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "constant_signal",
+    "ramp_signal",
+    "step_signal",
+    "sine_signal",
+    "sawtooth_signal",
+    "spike_signal",
+]
+
+
+def _times(length: int, time_step: float) -> np.ndarray:
+    if length < 1:
+        raise ValueError("length must be at least 1")
+    if time_step <= 0.0:
+        raise ValueError("time_step must be positive")
+    return np.arange(length, dtype=float) * time_step
+
+
+def constant_signal(length: int = 100, value: float = 1.0, time_step: float = 1.0) -> Tuple[np.ndarray, np.ndarray]:
+    """A perfectly flat signal (one cache recording suffices)."""
+    times = _times(length, time_step)
+    return times, np.full(length, float(value))
+
+
+def ramp_signal(
+    length: int = 100, slope: float = 1.0, intercept: float = 0.0, time_step: float = 1.0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """A straight line (one linear segment suffices)."""
+    times = _times(length, time_step)
+    return times, intercept + slope * times
+
+
+def step_signal(
+    length: int = 100, low: float = 0.0, high: float = 10.0, step_at: int = None, time_step: float = 1.0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """A single step from ``low`` to ``high`` at index ``step_at`` (default middle)."""
+    times = _times(length, time_step)
+    if step_at is None:
+        step_at = length // 2
+    if not 0 <= step_at <= length:
+        raise ValueError("step_at must fall within the signal")
+    values = np.full(length, float(low))
+    values[step_at:] = float(high)
+    return times, values
+
+
+def sine_signal(
+    length: int = 1000, amplitude: float = 1.0, period: float = 100.0, time_step: float = 1.0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """A sinusoid with the given amplitude and period."""
+    if period <= 0.0:
+        raise ValueError("period must be positive")
+    times = _times(length, time_step)
+    return times, amplitude * np.sin(2.0 * np.pi * times / period)
+
+
+def sawtooth_signal(
+    length: int = 1000, amplitude: float = 1.0, period: float = 100.0, time_step: float = 1.0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """A triangular (zig-zag) wave: piece-wise linear by construction."""
+    if period <= 0.0:
+        raise ValueError("period must be positive")
+    times = _times(length, time_step)
+    phase = (times % period) / period
+    triangle = 2.0 * np.abs(2.0 * phase - 1.0) - 1.0
+    return times, amplitude * triangle
+
+
+def spike_signal(
+    length: int = 200,
+    base: float = 0.0,
+    spike_height: float = 50.0,
+    spike_every: int = 50,
+    time_step: float = 1.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """A flat signal with isolated spikes every ``spike_every`` samples."""
+    if spike_every < 1:
+        raise ValueError("spike_every must be at least 1")
+    times = _times(length, time_step)
+    values = np.full(length, float(base))
+    values[::spike_every] = base + spike_height
+    return times, values

@@ -1,0 +1,77 @@
+"""Single-dimensional random-walk signal generator (paper §5.3).
+
+The paper's synthetic signals follow a "random-walk-like model": each data
+point is lower than the previous one with probability ``p`` and higher with
+probability ``1 - p``; the magnitude of the change is drawn from a uniform
+distribution ``U(0, x)`` where ``x`` ("maximum delta") is a configurable
+parameter.  Two experiments sweep this model:
+
+* Figure 9 varies ``p`` from 0 (monotonically increasing) to 0.5
+  (oscillating), with ``x`` fixed at 400 % of the precision width;
+* Figure 10 varies ``x`` from 10 % to 10 000 % of the precision width, with
+  ``p`` fixed at 0.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["RandomWalkConfig", "random_walk"]
+
+
+@dataclass(frozen=True)
+class RandomWalkConfig:
+    """Parameters of the paper's random-walk signal model.
+
+    Attributes:
+        length: Number of data points to generate.
+        decrease_probability: Probability ``p`` that a point is lower than the
+            previous one (0 → monotonically increasing, 0.5 → oscillating).
+        max_delta: Upper end ``x`` of the ``U(0, x)`` step-magnitude
+            distribution.
+        initial_value: Value of the first data point.
+        time_step: Spacing between consecutive timestamps.
+        seed: Seed for the pseudo-random generator (results are
+            deterministic for a fixed seed).
+    """
+
+    length: int = 10_000
+    decrease_probability: float = 0.5
+    max_delta: float = 1.0
+    initial_value: float = 0.0
+    time_step: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise ValueError("length must be at least 1")
+        if not 0.0 <= self.decrease_probability <= 1.0:
+            raise ValueError("decrease_probability must be within [0, 1]")
+        if self.max_delta < 0.0:
+            raise ValueError("max_delta must be non-negative")
+        if self.time_step <= 0.0:
+            raise ValueError("time_step must be positive")
+
+
+def random_walk(config: RandomWalkConfig = RandomWalkConfig()) -> Tuple[np.ndarray, np.ndarray]:
+    """Generate a random-walk signal.
+
+    Returns:
+        ``(times, values)`` — two float arrays of length ``config.length``.
+    """
+    rng = np.random.default_rng(config.seed)
+    times = np.arange(config.length, dtype=float) * config.time_step
+    if config.length == 1:
+        return times, np.array([config.initial_value], dtype=float)
+    directions = np.where(
+        rng.random(config.length - 1) < config.decrease_probability, -1.0, 1.0
+    )
+    magnitudes = rng.uniform(0.0, config.max_delta, config.length - 1)
+    steps = directions * magnitudes
+    values = np.empty(config.length, dtype=float)
+    values[0] = config.initial_value
+    values[1:] = config.initial_value + np.cumsum(steps)
+    return times, values

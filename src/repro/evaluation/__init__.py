@@ -1,0 +1,68 @@
+"""Experiment harness regenerating the paper's evaluation (§5).
+
+Each module corresponds to one part of the evaluation section and produces an
+:class:`~repro.evaluation.experiments.ExperimentSeries` — the x-axis values
+and one y-series per filter — which is what the paper's figures plot:
+
+========  =========================================  ==========================
+Figure    Module / function                           Quantity
+========  =========================================  ==========================
+Fig. 6    :func:`repro.data.sst.sea_surface_temperature`  the SST signal itself
+Fig. 7    :func:`~repro.evaluation.precision_sweep.compression_vs_precision`   compression ratio vs ε
+Fig. 8    :func:`~repro.evaluation.precision_sweep.error_vs_precision`         average error vs ε
+Fig. 9    :func:`~repro.evaluation.signal_behavior.compression_vs_monotonicity` compression vs p
+Fig. 10   :func:`~repro.evaluation.signal_behavior.compression_vs_delta`        compression vs max delta
+Fig. 11   :func:`~repro.evaluation.dimensionality.compression_vs_dimensions`    compression vs d
+Fig. 12   :func:`~repro.evaluation.dimensionality.compression_vs_correlation`   compression vs ρ
+Fig. 13   :func:`~repro.evaluation.overhead.overhead_vs_precision`              µs/point vs ε
+========  =========================================  ==========================
+
+Additional ablation experiments (MSE recording, segment joining, max-lag) live
+in :mod:`repro.evaluation.ablations`, and :mod:`repro.evaluation.summary`
+aggregates the headline claims of the paper's abstract.
+"""
+
+from repro.evaluation.experiments import ExperimentSeries, FilterRun, run_filters
+from repro.evaluation.report import render_series, series_to_rows
+from repro.evaluation.precision_sweep import (
+    PRECISION_PERCENTS,
+    compression_vs_precision,
+    error_vs_precision,
+)
+from repro.evaluation.signal_behavior import (
+    compression_vs_delta,
+    compression_vs_monotonicity,
+)
+from repro.evaluation.dimensionality import (
+    compression_vs_correlation,
+    compression_vs_dimensions,
+    independent_vs_joint_breakeven,
+)
+from repro.evaluation.overhead import overhead_vs_precision
+from repro.evaluation.ablations import (
+    connection_ablation,
+    max_lag_ablation,
+    recording_policy_ablation,
+)
+from repro.evaluation.summary import headline_claims
+
+__all__ = [
+    "ExperimentSeries",
+    "FilterRun",
+    "run_filters",
+    "render_series",
+    "series_to_rows",
+    "PRECISION_PERCENTS",
+    "compression_vs_precision",
+    "error_vs_precision",
+    "compression_vs_monotonicity",
+    "compression_vs_delta",
+    "compression_vs_dimensions",
+    "compression_vs_correlation",
+    "independent_vs_joint_breakeven",
+    "overhead_vs_precision",
+    "recording_policy_ablation",
+    "connection_ablation",
+    "max_lag_ablation",
+    "headline_claims",
+]

@@ -1,0 +1,182 @@
+"""Effect of dimensionality and correlation (paper §5.4, Figures 11–12).
+
+Figure 11 sweeps the number of independent dimensions from 1 to 10; Figure 12
+fixes a 5-dimensional signal and sweeps the correlation between its dimensions
+from 0.1 to 1.  Section 5.4 additionally derives the break-even correlation at
+which compressing all dimensions together beats compressing each dimension
+independently (using the ``(d + 1) / 2d`` time-field correction);
+:func:`independent_vs_joint_breakeven` reproduces that analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.core.registry import PAPER_FILTERS
+from repro.data.correlated import CorrelatedWalkConfig, correlated_random_walk
+from repro.evaluation.experiments import ExperimentSeries, run_filters
+from repro.metrics.compression import independent_equivalent_ratio
+
+__all__ = [
+    "DIMENSION_COUNTS",
+    "CORRELATIONS",
+    "compression_vs_dimensions",
+    "compression_vs_correlation",
+    "BreakevenAnalysis",
+    "independent_vs_joint_breakeven",
+]
+
+#: Figure 11's sweep of the number of dimensions.
+DIMENSION_COUNTS = tuple(range(1, 11))
+
+#: Figure 12's sweep of the correlation between the five dimensions.
+CORRELATIONS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+#: Default precision width for the synthetic multi-dimensional experiments.
+DEFAULT_EPSILON = 1.0
+
+
+def compression_vs_dimensions(
+    dimension_counts: Sequence[int] = DIMENSION_COUNTS,
+    epsilon: float = DEFAULT_EPSILON,
+    max_delta_percent_of_epsilon: float = 400.0,
+    length: int = 5_000,
+    seed: int = 23,
+    filters: Iterable[str] = PAPER_FILTERS,
+) -> ExperimentSeries:
+    """Figure 11: compression ratio vs number of (independent) dimensions."""
+    series = ExperimentSeries(
+        name="figure11",
+        title="Figure 11: effect of the number of dimensions",
+        x_label="number of dimensions",
+        x_values=[float(d) for d in dimension_counts],
+        y_label="compression ratio",
+        metadata={"epsilon": epsilon, "points": length, "correlation": 0.0},
+    )
+    max_delta = epsilon * max_delta_percent_of_epsilon / 100.0
+    for index, dimensions in enumerate(dimension_counts):
+        times, values = correlated_random_walk(
+            CorrelatedWalkConfig(
+                length=length,
+                dimensions=dimensions,
+                correlation=0.0,
+                max_delta=max_delta,
+                seed=seed + index,
+            )
+        )
+        runs = run_filters(times, values, epsilon, filters=filters)
+        for name, run in runs.items():
+            series.add(name, run.compression_ratio)
+    return series
+
+
+def compression_vs_correlation(
+    correlations: Sequence[float] = CORRELATIONS,
+    dimensions: int = 5,
+    epsilon: float = DEFAULT_EPSILON,
+    max_delta_percent_of_epsilon: float = 400.0,
+    length: int = 5_000,
+    seed: int = 29,
+    filters: Iterable[str] = PAPER_FILTERS,
+) -> ExperimentSeries:
+    """Figure 12: compression ratio vs correlation between the dimensions."""
+    series = ExperimentSeries(
+        name="figure12",
+        title="Figure 12: effect of the correlation between dimensions",
+        x_label="dimensions correlation",
+        x_values=list(correlations),
+        y_label="compression ratio",
+        metadata={"epsilon": epsilon, "points": length, "dimensions": dimensions},
+    )
+    max_delta = epsilon * max_delta_percent_of_epsilon / 100.0
+    for index, correlation in enumerate(correlations):
+        times, values = correlated_random_walk(
+            CorrelatedWalkConfig(
+                length=length,
+                dimensions=dimensions,
+                correlation=correlation,
+                max_delta=max_delta,
+                seed=seed + index,
+            )
+        )
+        runs = run_filters(times, values, epsilon, filters=filters)
+        for name, run in runs.items():
+            series.add(name, run.compression_ratio)
+    return series
+
+
+@dataclass(frozen=True)
+class BreakevenAnalysis:
+    """Outcome of the §5.4 independent-vs-joint compression comparison.
+
+    Attributes:
+        filter_name: Filter used for the analysis (the paper uses the slide
+            filter).
+        dimensions: Number of dimensions of the joint signal.
+        single_dimension_ratio: Compression ratio on one dimension in
+            isolation.
+        independent_equivalent: That ratio corrected by ``(d + 1) / 2d`` —
+            what independent per-dimension compression is actually worth.
+        joint_ratios: Joint compression ratio at each swept correlation.
+        correlations: The swept correlations.
+        breakeven_correlation: Smallest swept correlation at which joint
+            compression beats independent compression (``None`` if never).
+    """
+
+    filter_name: str
+    dimensions: int
+    single_dimension_ratio: float
+    independent_equivalent: float
+    joint_ratios: Sequence[float]
+    correlations: Sequence[float]
+    breakeven_correlation: Optional[float]
+
+
+def independent_vs_joint_breakeven(
+    filter_name: str = "slide",
+    dimensions: int = 5,
+    correlations: Sequence[float] = CORRELATIONS,
+    epsilon: float = DEFAULT_EPSILON,
+    max_delta_percent_of_epsilon: float = 400.0,
+    length: int = 5_000,
+    seed: int = 31,
+) -> BreakevenAnalysis:
+    """Reproduce the §5.4 break-even analysis for one filter.
+
+    The single-dimension ratio comes from a 1-dimensional run of the same
+    workload model; the joint ratios reuse the Figure 12 sweep.
+    """
+    max_delta = epsilon * max_delta_percent_of_epsilon / 100.0
+    times, values = correlated_random_walk(
+        CorrelatedWalkConfig(
+            length=length, dimensions=1, correlation=0.0, max_delta=max_delta, seed=seed
+        )
+    )
+    single = run_filters(times, values, epsilon, filters=[filter_name])[filter_name]
+    independent = independent_equivalent_ratio(single.compression_ratio, dimensions)
+
+    joint_series = compression_vs_correlation(
+        correlations=correlations,
+        dimensions=dimensions,
+        epsilon=epsilon,
+        max_delta_percent_of_epsilon=max_delta_percent_of_epsilon,
+        length=length,
+        seed=seed + 1,
+        filters=[filter_name],
+    )
+    joint = joint_series.series[filter_name]
+    breakeven = None
+    for correlation, ratio in zip(correlations, joint):
+        if ratio > independent:
+            breakeven = correlation
+            break
+    return BreakevenAnalysis(
+        filter_name=filter_name,
+        dimensions=dimensions,
+        single_dimension_ratio=single.compression_ratio,
+        independent_equivalent=independent,
+        joint_ratios=list(joint),
+        correlations=list(correlations),
+        breakeven_correlation=breakeven,
+    )

@@ -1,0 +1,135 @@
+"""Shared experiment infrastructure.
+
+Every experiment in the harness boils down to: generate a workload, run a set
+of filters on it with some precision width, reconstruct the approximations and
+collect compression / error statistics.  :func:`run_filters` performs one such
+run; :class:`ExperimentSeries` holds a parameter sweep's results in the shape
+the paper's figures plot (one y-series per filter over a shared x-axis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.approximation.reconstruct import reconstruct
+from repro.core.registry import PAPER_FILTERS, create_filter
+from repro.metrics.error import error_profile
+
+__all__ = ["FilterRun", "ExperimentSeries", "run_filters"]
+
+
+@dataclass(frozen=True)
+class FilterRun:
+    """Result of running one filter over one workload.
+
+    Attributes:
+        filter_name: Registered name of the filter.
+        points: Number of data points in the workload.
+        recordings: Number of recordings the filter produced.
+        compression_ratio: ``points / recordings``.
+        mean_absolute_error: Mean |approximation − signal| over all samples.
+        max_absolute_error: Max |approximation − signal| over all samples.
+        mean_error_percent_of_range: Mean error as a % of the signal's range.
+        epsilon: The precision width used (scalar or per-dimension vector).
+    """
+
+    filter_name: str
+    points: int
+    recordings: int
+    compression_ratio: float
+    mean_absolute_error: float
+    max_absolute_error: float
+    mean_error_percent_of_range: float
+    epsilon: np.ndarray
+
+
+def run_filters(
+    times: Sequence[float],
+    values: Sequence,
+    epsilon,
+    filters: Iterable[str] = PAPER_FILTERS,
+    filter_options: Optional[Dict[str, dict]] = None,
+) -> Dict[str, FilterRun]:
+    """Run the named filters over a workload and collect their statistics.
+
+    Args:
+        times: Timestamps of the workload.
+        values: Values (shape ``(n,)`` or ``(n, d)``).
+        epsilon: Precision width passed to every filter.
+        filters: Registered filter names to evaluate.
+        filter_options: Optional per-filter-name keyword arguments.
+
+    Returns:
+        Mapping from filter name to its :class:`FilterRun`.
+    """
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    options = filter_options or {}
+    runs: Dict[str, FilterRun] = {}
+    for name in filters:
+        stream_filter = create_filter(name, epsilon, **options.get(name, {}))
+        result = stream_filter.process(zip(times, values))
+        approximation = reconstruct(result)
+        profile = error_profile(approximation, times, values)
+        runs[name] = FilterRun(
+            filter_name=name,
+            points=result.points_processed,
+            recordings=result.recording_count,
+            compression_ratio=result.compression_ratio,
+            mean_absolute_error=profile.mean_absolute,
+            max_absolute_error=profile.max_absolute,
+            mean_error_percent_of_range=profile.mean_percent_of_range,
+            epsilon=np.atleast_1d(np.asarray(epsilon, dtype=float)),
+        )
+    return runs
+
+
+@dataclass
+class ExperimentSeries:
+    """A parameter sweep's results: one y-series per filter over a shared x-axis.
+
+    Attributes:
+        name: Experiment identifier (e.g. ``"figure7"``).
+        title: Human-readable title matching the paper's figure caption.
+        x_label: Name of the swept parameter.
+        x_values: The swept parameter values.
+        y_label: Name of the reported quantity.
+        series: Mapping from filter name to its y-values (parallel to
+            ``x_values``).
+        metadata: Free-form extra information (workload sizes, seeds, …).
+    """
+
+    name: str
+    title: str
+    x_label: str
+    x_values: List[float]
+    y_label: str
+    series: Dict[str, List[float]] = field(default_factory=dict)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def add(self, filter_name: str, value: float) -> None:
+        """Append one y-value to a filter's series."""
+        self.series.setdefault(filter_name, []).append(float(value))
+
+    def filter_names(self) -> List[str]:
+        """Return the filters present in the series, in insertion order."""
+        return list(self.series)
+
+    def best_filter_at(self, index: int) -> str:
+        """Return the filter with the highest y-value at ``x_values[index]``."""
+        return max(self.series, key=lambda name: self.series[name][index])
+
+    def as_dict(self) -> Dict[str, object]:
+        """Return a plain-dict form convenient for JSON serialization."""
+        return {
+            "name": self.name,
+            "title": self.title,
+            "x_label": self.x_label,
+            "x_values": list(self.x_values),
+            "y_label": self.y_label,
+            "series": {name: list(values) for name, values in self.series.items()},
+            "metadata": dict(self.metadata),
+        }

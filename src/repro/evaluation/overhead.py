@@ -1,0 +1,75 @@
+"""Filtering overhead (paper §5.5, Figure 13).
+
+The overhead experiment feeds the SST signal to each filter for a range of
+precision widths and reports the net processing time per data point in
+microseconds.  Besides the paper's four filters it includes the non-optimized
+slide filter (no convex-hull maintenance), whose cost grows with the filtering
+interval length — the point of the paper's Figure 13.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.epsilon import epsilon_from_percent
+from repro.core.registry import create_filter
+from repro.data.sst import sea_surface_temperature
+from repro.evaluation.experiments import ExperimentSeries
+from repro.metrics.timing import measure_filter_overhead
+
+__all__ = ["OVERHEAD_PRECISION_PERCENTS", "OVERHEAD_FILTERS", "overhead_vs_precision"]
+
+#: Figure 13's precision-width grid (% of the signal range).
+OVERHEAD_PRECISION_PERCENTS = (0.1, 0.316, 1.0, 3.16, 10.0, 31.6, 100.0)
+
+#: Filters measured in Figure 13 (the paper's four plus the non-optimized slide).
+OVERHEAD_FILTERS = ("cache", "linear", "swing", "slide", "slide-unoptimized")
+
+
+def overhead_vs_precision(
+    percents: Sequence[float] = OVERHEAD_PRECISION_PERCENTS,
+    filters: Iterable[str] = OVERHEAD_FILTERS,
+    times: Optional[Sequence[float]] = None,
+    values: Optional[Sequence[float]] = None,
+    repeats: int = 3,
+    filter_options: Optional[Dict[str, dict]] = None,
+) -> ExperimentSeries:
+    """Figure 13: per-point processing time vs precision width.
+
+    Args:
+        percents: Precision widths as % of the signal range.
+        filters: Registered filter names to measure.
+        times: Workload timestamps (defaults to the SST surrogate).
+        values: Workload values (defaults to the SST surrogate).
+        repeats: Number of passes averaged per measurement.
+        filter_options: Optional per-filter constructor overrides.
+    """
+    if times is None or values is None:
+        times, values = sea_surface_temperature()
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    options = filter_options or {}
+    series = ExperimentSeries(
+        name="figure13",
+        title="Figure 13: filtering overhead for the sea surface temperature signal",
+        x_label="precision width (% of range)",
+        x_values=list(percents),
+        y_label="processing time (µs / data point)",
+        metadata={"points": int(len(times)), "repeats": repeats},
+    )
+    for percent in percents:
+        epsilon = epsilon_from_percent(percent, values)
+        for name in filters:
+            timing = measure_filter_overhead(
+                lambda name=name, epsilon=epsilon: create_filter(
+                    name, epsilon, **options.get(name, {})
+                ),
+                times,
+                values,
+                repeats=repeats,
+                filter_name=name,
+            )
+            series.add(name, timing.microseconds_per_point)
+    return series

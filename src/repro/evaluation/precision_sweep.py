@@ -1,0 +1,81 @@
+"""Effect of the precision width on the SST signal (paper §5.2, Figures 7–8).
+
+The precision width ε is swept over the same grid the paper uses — 0.1 %,
+0.316 %, 1 %, 3.16 % and 10 % of the signal's value range — and, for every
+filter, the compression ratio (Figure 7) and the average error as a percentage
+of the range (Figure 8) are reported.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.epsilon import epsilon_from_percent
+from repro.core.registry import PAPER_FILTERS
+from repro.data.sst import sea_surface_temperature
+from repro.evaluation.experiments import ExperimentSeries, run_filters
+
+__all__ = ["PRECISION_PERCENTS", "compression_vs_precision", "error_vs_precision", "precision_sweep"]
+
+#: The paper's precision-width grid (% of the signal range), Figures 7/8/13.
+PRECISION_PERCENTS = (0.1, 0.316, 1.0, 3.16, 10.0)
+
+
+def _workload(times, values) -> Tuple[np.ndarray, np.ndarray]:
+    if times is None or values is None:
+        return sea_surface_temperature()
+    return np.asarray(times, dtype=float), np.asarray(values, dtype=float)
+
+
+def precision_sweep(
+    times: Optional[Sequence[float]] = None,
+    values: Optional[Sequence[float]] = None,
+    percents: Sequence[float] = PRECISION_PERCENTS,
+    filters: Iterable[str] = PAPER_FILTERS,
+) -> Tuple[ExperimentSeries, ExperimentSeries]:
+    """Run the precision sweep and return the (Figure 7, Figure 8) series.
+
+    Args:
+        times: Workload timestamps (defaults to the SST surrogate).
+        values: Workload values (defaults to the SST surrogate).
+        percents: Precision widths as percentages of the signal range.
+        filters: Registered filter names to evaluate.
+    """
+    times, values = _workload(times, values)
+    compression = ExperimentSeries(
+        name="figure7",
+        title="Figure 7: compression ratio for the sea surface temperature",
+        x_label="precision width (% of range)",
+        x_values=list(percents),
+        y_label="compression ratio",
+        metadata={"points": int(len(times))},
+    )
+    error = ExperimentSeries(
+        name="figure8",
+        title="Figure 8: average error for the sea surface temperature",
+        x_label="precision width (% of range)",
+        x_values=list(percents),
+        y_label="average error (% of range)",
+        metadata={"points": int(len(times))},
+    )
+    for percent in percents:
+        epsilon = epsilon_from_percent(percent, values)
+        runs = run_filters(times, values, epsilon, filters=filters)
+        for name, run in runs.items():
+            compression.add(name, run.compression_ratio)
+            error.add(name, run.mean_error_percent_of_range)
+    return compression, error
+
+
+def compression_vs_precision(**kwargs) -> ExperimentSeries:
+    """Figure 7: compression ratio vs precision width."""
+    compression, _ = precision_sweep(**kwargs)
+    return compression
+
+
+def error_vs_precision(**kwargs) -> ExperimentSeries:
+    """Figure 8: average error vs precision width."""
+    _, error = precision_sweep(**kwargs)
+    return error

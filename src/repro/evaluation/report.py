@@ -1,0 +1,65 @@
+"""Plain-text rendering of experiment results.
+
+The benchmarks print the same rows the paper's figures plot; these helpers
+format an :class:`~repro.evaluation.experiments.ExperimentSeries` as an
+aligned text table (and as raw rows for programmatic use).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.evaluation.experiments import ExperimentSeries
+
+__all__ = ["series_to_rows", "render_series", "render_table"]
+
+
+def series_to_rows(series: ExperimentSeries) -> List[List[str]]:
+    """Convert a series into rows: header plus one row per x value."""
+    filters = series.filter_names()
+    header = [series.x_label] + filters
+    rows = [header]
+    for index, x in enumerate(series.x_values):
+        row = [_format_number(x)]
+        for name in filters:
+            values = series.series[name]
+            row.append(_format_number(values[index]) if index < len(values) else "-")
+        rows.append(row)
+    return rows
+
+
+def render_table(rows: Sequence[Sequence[str]]) -> str:
+    """Render rows as an aligned, pipe-separated text table."""
+    if not rows:
+        return ""
+    widths = [0] * max(len(row) for row in rows)
+    for row in rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    lines = []
+    for index, row in enumerate(rows):
+        padded = [cell.ljust(widths[column]) for column, cell in enumerate(row)]
+        lines.append(" | ".join(padded).rstrip())
+        if index == 0:
+            lines.append("-+-".join("-" * width for width in widths[: len(row)]))
+    return "\n".join(lines)
+
+
+def render_series(series: ExperimentSeries) -> str:
+    """Render a full experiment series with its title and axis labels."""
+    table = render_table(series_to_rows(series))
+    header = f"{series.title}\n({series.y_label} vs {series.x_label})"
+    return f"{header}\n{table}"
+
+
+def _format_number(value: float) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)

@@ -1,0 +1,127 @@
+"""Effect of the signal behaviour (paper §5.3, Figures 9–10).
+
+Both experiments use the paper's random-walk model
+(:mod:`repro.data.random_walk`):
+
+* Figure 9 sweeps the probability of a downward step ``p`` from 0 to 0.5 with
+  the maximum step magnitude fixed at 400 % of the precision width;
+* Figure 10 sweeps the maximum step magnitude from 10 % to 10 000 % of the
+  precision width (log grid) with ``p`` fixed at 0.5.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.registry import PAPER_FILTERS
+from repro.data.random_walk import RandomWalkConfig, random_walk
+from repro.evaluation.experiments import ExperimentSeries, run_filters
+
+__all__ = [
+    "MONOTONICITY_PROBABILITIES",
+    "DELTA_PERCENTS",
+    "compression_vs_monotonicity",
+    "compression_vs_delta",
+]
+
+#: Figure 9's sweep of the probability of a decrease per data point.
+MONOTONICITY_PROBABILITIES = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5)
+
+#: Figure 10's sweep of the maximum delta, as a percentage of the precision width.
+DELTA_PERCENTS = (10.0, 31.6, 100.0, 316.0, 1000.0, 3160.0, 10000.0)
+
+#: Default precision width used for the synthetic experiments (absolute units).
+DEFAULT_EPSILON = 1.0
+
+
+def compression_vs_monotonicity(
+    probabilities: Sequence[float] = MONOTONICITY_PROBABILITIES,
+    epsilon: float = DEFAULT_EPSILON,
+    delta_percent_of_epsilon: float = 400.0,
+    length: int = 10_000,
+    seed: int = 7,
+    filters: Iterable[str] = PAPER_FILTERS,
+) -> ExperimentSeries:
+    """Figure 9: compression ratio vs degree of monotonicity.
+
+    Args:
+        probabilities: Values of ``p`` (probability of a downward step).
+        epsilon: Absolute precision width used by every filter.
+        delta_percent_of_epsilon: Maximum step magnitude as % of ε (400 % in
+            the paper).
+        length: Number of data points per generated signal.
+        seed: Base random seed (each ``p`` uses a derived seed).
+        filters: Registered filter names to evaluate.
+    """
+    series = ExperimentSeries(
+        name="figure9",
+        title="Figure 9: effect of the degree of monotonicity",
+        x_label="probability of decrease per data point",
+        x_values=list(probabilities),
+        y_label="compression ratio",
+        metadata={
+            "epsilon": epsilon,
+            "max_delta_percent_of_epsilon": delta_percent_of_epsilon,
+            "points": length,
+        },
+    )
+    max_delta = epsilon * delta_percent_of_epsilon / 100.0
+    for index, probability in enumerate(probabilities):
+        times, values = random_walk(
+            RandomWalkConfig(
+                length=length,
+                decrease_probability=probability,
+                max_delta=max_delta,
+                seed=seed + index,
+            )
+        )
+        runs = run_filters(times, values, epsilon, filters=filters)
+        for name, run in runs.items():
+            series.add(name, run.compression_ratio)
+    return series
+
+
+def compression_vs_delta(
+    delta_percents: Sequence[float] = DELTA_PERCENTS,
+    epsilon: float = DEFAULT_EPSILON,
+    decrease_probability: float = 0.5,
+    length: int = 10_000,
+    seed: int = 11,
+    filters: Iterable[str] = PAPER_FILTERS,
+) -> ExperimentSeries:
+    """Figure 10: compression ratio vs magnitude of change per data point.
+
+    Args:
+        delta_percents: Maximum step magnitudes as % of ε (log grid in the
+            paper, 10 % … 10 000 %).
+        epsilon: Absolute precision width used by every filter.
+        decrease_probability: ``p`` of the random walk (0.5 in the paper).
+        length: Number of data points per generated signal.
+        seed: Base random seed (each delta uses a derived seed).
+        filters: Registered filter names to evaluate.
+    """
+    series = ExperimentSeries(
+        name="figure10",
+        title="Figure 10: effect of the magnitude of change per data point",
+        x_label="maximum delta (% of precision width)",
+        x_values=list(delta_percents),
+        y_label="compression ratio",
+        metadata={
+            "epsilon": epsilon,
+            "decrease_probability": decrease_probability,
+            "points": length,
+        },
+    )
+    for index, percent in enumerate(delta_percents):
+        times, values = random_walk(
+            RandomWalkConfig(
+                length=length,
+                decrease_probability=decrease_probability,
+                max_delta=epsilon * percent / 100.0,
+                seed=seed + index,
+            )
+        )
+        runs = run_filters(times, values, epsilon, filters=filters)
+        for name, run in runs.items():
+            series.add(name, run.compression_ratio)
+    return series

@@ -1,0 +1,128 @@
+"""Headline-claim check (paper abstract and §1).
+
+The paper's central quantitative claims are:
+
+1. the slide filter achieves the highest compression ratio in (nearly) all
+   configurations,
+2. the swing filter generally outperforms the cache and linear baselines, and
+3. the slide filter improves over the best of the previous techniques (cache
+   or linear) by up to a factor of two.
+
+:func:`headline_claims` aggregates the Figure 7 / 9 / 10 / 11 / 12 sweeps and
+evaluates each claim, so the summary benchmark can print a paper-vs-measured
+verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.evaluation.dimensionality import compression_vs_correlation, compression_vs_dimensions
+from repro.evaluation.experiments import ExperimentSeries
+from repro.evaluation.precision_sweep import compression_vs_precision
+from repro.evaluation.signal_behavior import compression_vs_delta, compression_vs_monotonicity
+
+__all__ = ["ClaimCheck", "HeadlineSummary", "headline_claims"]
+
+
+@dataclass(frozen=True)
+class ClaimCheck:
+    """Outcome of checking one claim over all aggregated configurations."""
+
+    claim: str
+    holds_in: int
+    total: int
+
+    @property
+    def fraction(self) -> float:
+        """Fraction of configurations in which the claim holds."""
+        return self.holds_in / self.total if self.total else 0.0
+
+    @property
+    def holds_mostly(self) -> bool:
+        """True when the claim holds in at least 80 % of configurations."""
+        return self.fraction >= 0.8
+
+
+@dataclass(frozen=True)
+class HeadlineSummary:
+    """Aggregated claim checks plus the peak slide-vs-baseline improvement."""
+
+    checks: List[ClaimCheck]
+    max_slide_improvement_over_baselines: float
+    configurations: int
+
+    def as_rows(self) -> List[List[str]]:
+        """Render the summary as table rows for the benchmark output."""
+        rows = [["claim", "holds in", "fraction"]]
+        for check in self.checks:
+            rows.append([check.claim, f"{check.holds_in}/{check.total}", f"{check.fraction:.0%}"])
+        rows.append(
+            [
+                "max slide improvement over best of cache/linear",
+                f"{self.max_slide_improvement_over_baselines:.2f}x",
+                "",
+            ]
+        )
+        return rows
+
+
+def _collect_configurations(series_list: Sequence[ExperimentSeries]) -> List[Dict[str, float]]:
+    configurations: List[Dict[str, float]] = []
+    for series in series_list:
+        names = series.filter_names()
+        for index in range(len(series.x_values)):
+            configurations.append({name: series.series[name][index] for name in names})
+    return configurations
+
+
+def headline_claims(fast: bool = True) -> HeadlineSummary:
+    """Evaluate the paper's headline claims over the aggregated sweeps.
+
+    Args:
+        fast: Use reduced workload sizes so the whole aggregation stays cheap
+            enough for the benchmark suite; set to ``False`` to use the full
+            experiment defaults.
+    """
+    if fast:
+        sweeps = [
+            compression_vs_precision(),
+            compression_vs_monotonicity(length=3_000),
+            compression_vs_delta(length=3_000),
+            compression_vs_dimensions(dimension_counts=(1, 3, 5, 10), length=2_000),
+            compression_vs_correlation(correlations=(0.1, 0.5, 1.0), length=2_000),
+        ]
+    else:
+        sweeps = [
+            compression_vs_precision(),
+            compression_vs_monotonicity(),
+            compression_vs_delta(),
+            compression_vs_dimensions(),
+            compression_vs_correlation(),
+        ]
+    configurations = _collect_configurations(sweeps)
+
+    slide_best = 0
+    swing_beats_baselines = 0
+    slide_beats_swing = 0
+    max_improvement = 0.0
+    for config in configurations:
+        baseline = max(config["cache"], config["linear"])
+        slide_best += int(config["slide"] >= max(config.values()) - 1e-12)
+        swing_beats_baselines += int(config["swing"] >= baseline)
+        slide_beats_swing += int(config["slide"] >= config["swing"])
+        if baseline > 0:
+            max_improvement = max(max_improvement, config["slide"] / baseline)
+
+    total = len(configurations)
+    checks = [
+        ClaimCheck("slide filter achieves the highest compression ratio", slide_best, total),
+        ClaimCheck("swing filter outperforms cache and linear baselines", swing_beats_baselines, total),
+        ClaimCheck("slide filter outperforms the swing filter", slide_beats_swing, total),
+    ]
+    return HeadlineSummary(
+        checks=checks,
+        max_slide_improvement_over_baselines=max_improvement,
+        configurations=total,
+    )

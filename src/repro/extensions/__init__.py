@@ -1,0 +1,30 @@
+"""Related-work baselines used for ablations and context.
+
+These algorithms are discussed in the paper's related-work section (§6) and
+are provided so the benchmarks can put the swing/slide results in a wider
+context:
+
+* :mod:`~repro.extensions.kalman` — a Kalman-filter-based predictor with a
+  dead-band, in the spirit of Jain et al. [15];
+* :mod:`~repro.extensions.swab` — the SWAB sliding-window-and-bottom-up
+  segmentation of Keogh et al. [16], whose online half can be swapped for a
+  swing or slide filter;
+* :mod:`~repro.extensions.optimal_pca` — the optimal offline piece-wise
+  constant approximation (dynamic programming), the quality ceiling for the
+  cache-filter family of Lazaridis & Mehrotra [18];
+* :mod:`~repro.extensions.adaptive` — adaptive per-stream precision
+  allocation for aggregate monitoring, in the spirit of Olston et al. [21].
+"""
+
+from repro.extensions.adaptive import AdaptiveAggregateMonitor
+from repro.extensions.kalman import KalmanFilterPredictor
+from repro.extensions.optimal_pca import optimal_piecewise_constant
+from repro.extensions.swab import bottom_up_segments, swab_segments
+
+__all__ = [
+    "KalmanFilterPredictor",
+    "optimal_piecewise_constant",
+    "bottom_up_segments",
+    "swab_segments",
+    "AdaptiveAggregateMonitor",
+]

@@ -1,0 +1,142 @@
+"""Kalman-filter-based stream predictor with a dead-band (related work [15]).
+
+Jain, Chang and Wang (SIGMOD 2004) reduce stream traffic by running identical
+Kalman filters at the transmitter and the receiver: the transmitter only sends
+a correction when the prediction error exceeds the precision width.  Between
+corrections no measurement updates happen (the receiver has no measurements),
+so with the constant-velocity model used here the shared prediction evolves
+*linearly* in time — which means the receiver-side signal is a piece-wise
+linear function and the scheme plugs directly into this library's recording /
+reconstruction model: a ``SEGMENT_START`` is emitted at every correction and a
+``SEGMENT_END`` closes the segment at the last point covered by it.
+
+Two deliberate deviations from a textbook Kalman filter keep the paper's L∞
+guarantee intact:
+
+* at a correction the transmitted value is the *measurement* itself (not the
+  Kalman-blended estimate), so the recorded point is exact;
+* the velocity estimate is still refined with the standard Kalman update, so
+  the predictor keeps adapting to the signal's trend.
+
+The paper (§6) notes that a Kalman filter can mimic cache- or linear-style
+prediction but cannot maintain the *set* of candidate segments that swing and
+slide filters do; the ablation benchmarks make that comparison concrete.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.base import StreamFilter
+from repro.core.types import DataPoint, RecordingKind
+
+__all__ = ["KalmanFilterPredictor"]
+
+
+class KalmanFilterPredictor(StreamFilter):
+    """Dead-band Kalman predictor (constant-velocity model per dimension).
+
+    Args:
+        epsilon: Precision width specification.
+        process_noise: Variance of the random acceleration driving the model.
+        measurement_noise: Variance of the measurement noise.
+        max_lag: Optional bound on points between transmissions.
+    """
+
+    name = "kalman"
+    family = "linear"
+
+    def __init__(
+        self,
+        epsilon,
+        process_noise: float = 1e-3,
+        measurement_noise: float = 1e-2,
+        max_lag: Optional[int] = None,
+    ) -> None:
+        super().__init__(epsilon, max_lag=max_lag)
+        if process_noise <= 0.0 or measurement_noise <= 0.0:
+            raise ValueError("noise variances must be positive")
+        self.process_noise = process_noise
+        self.measurement_noise = measurement_noise
+        self._state: Optional[np.ndarray] = None  # shape (d, 2): [value, velocity]
+        self._covariance: Optional[np.ndarray] = None  # shape (d, 2, 2)
+        self._previous_time: Optional[float] = None
+        self._previous_prediction: Optional[np.ndarray] = None
+        self._segment_start_time: Optional[float] = None
+        self._since_update = 0
+
+    # ------------------------------------------------------------------ #
+    # StreamFilter hooks
+    # ------------------------------------------------------------------ #
+    def _feed_point(self, point: DataPoint) -> None:
+        if self._state is None:
+            self._reset_state(point)
+            self._emit(point.time, point.value, RecordingKind.SEGMENT_START)
+            self._segment_start_time = point.time
+            return
+        dt = point.time - self._previous_time
+        self._predict(dt)
+        prediction = self._state[:, 0].copy()
+        within = np.all(np.abs(point.value - prediction) <= self._epsilon_array())
+        lag_ok = self.max_lag is None or self._since_update + 1 < self.max_lag
+        if within and lag_ok:
+            self._previous_time = point.time
+            self._previous_prediction = prediction
+            self._since_update += 1
+            return
+        # Correction: close the running segment at its last covered point,
+        # then transmit the measurement and start a new segment from it.
+        if self._previous_time > self._segment_start_time:
+            self._emit(self._previous_time, self._previous_prediction, RecordingKind.SEGMENT_END)
+        self._update(point.value)
+        self._state[:, 0] = point.value
+        self._emit(point.time, point.value, RecordingKind.SEGMENT_START)
+        self._segment_start_time = point.time
+        self._previous_time = point.time
+        self._previous_prediction = point.value.copy()
+        self._since_update = 0
+
+    def _finish_stream(self) -> None:
+        if self._state is None:
+            return
+        if self._previous_time > self._segment_start_time:
+            self._emit(self._previous_time, self._previous_prediction, RecordingKind.SEGMENT_END)
+
+    # ------------------------------------------------------------------ #
+    # Kalman mechanics (independent 2-state filter per dimension)
+    # ------------------------------------------------------------------ #
+    def _reset_state(self, point: DataPoint) -> None:
+        dimensions = point.dimensions
+        self._state = np.zeros((dimensions, 2))
+        self._state[:, 0] = point.value
+        self._covariance = np.tile(np.eye(2), (dimensions, 1, 1))
+        self._previous_time = point.time
+        self._previous_prediction = point.value.copy()
+        self._since_update = 0
+
+    def _predict(self, dt: float) -> None:
+        transition = np.array([[1.0, dt], [0.0, 1.0]])
+        noise = self.process_noise * np.array(
+            [[dt**4 / 4.0, dt**3 / 2.0], [dt**3 / 2.0, dt**2]]
+        )
+        for i in range(self._state.shape[0]):
+            self._state[i] = transition @ self._state[i]
+            self._covariance[i] = transition @ self._covariance[i] @ transition.T + noise
+
+    def _update(self, measurement: np.ndarray) -> None:
+        observation = np.array([[1.0, 0.0]])
+        for i in range(self._state.shape[0]):
+            innovation = measurement[i] - self._state[i, 0]
+            innovation_var = self._covariance[i, 0, 0] + self.measurement_noise
+            gain = (self._covariance[i] @ observation.T / innovation_var).ravel()
+            self._state[i] = self._state[i] + gain * innovation
+            self._covariance[i] = (np.eye(2) - np.outer(gain, observation)) @ self._covariance[i]
+
+    @property
+    def predicted_value(self) -> Optional[np.ndarray]:
+        """Current predicted value per dimension (``None`` before any point)."""
+        if self._state is None:
+            return None
+        return self._state[:, 0].copy()

@@ -1,0 +1,87 @@
+"""Optimal piece-wise constant approximation under an L∞ bound.
+
+Lazaridis & Mehrotra (ICDE 2003, reference [18] of the paper) show that the
+greedy online strategy implemented by
+:class:`~repro.core.cache.MidrangeCacheFilter` — extend the current interval
+while its value spread stays within ``2·ε`` and represent it by its midrange —
+produces the *minimum possible number of segments* for a piece-wise constant
+approximation.  This module provides an independent offline implementation of
+that optimum (a single greedy scan over the full signal) so tests and
+ablations can verify the online cache filter against it, plus a helper that
+returns the segments themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ConstantSegment", "optimal_piecewise_constant", "optimal_segment_count"]
+
+
+@dataclass(frozen=True)
+class ConstantSegment:
+    """A maximal run of points representable by a single held value."""
+
+    start_index: int
+    end_index: int
+    value: np.ndarray
+
+    @property
+    def length(self) -> int:
+        """Number of data points covered by the segment."""
+        return self.end_index - self.start_index + 1
+
+
+def optimal_piecewise_constant(values: Sequence, epsilon) -> List[ConstantSegment]:
+    """Partition the signal into the fewest ε-representable constant segments.
+
+    Args:
+        values: Signal values, shape ``(n,)`` or ``(n, d)``.
+        epsilon: Scalar or per-dimension precision widths.
+
+    Returns:
+        The segments in order; each value is the per-dimension midrange of the
+        covered points, which is within ε of every covered point.
+
+    Raises:
+        ValueError: If the signal is empty.
+    """
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot segment an empty signal")
+    if array.ndim == 1:
+        array = array[:, np.newaxis]
+    bound = np.atleast_1d(np.asarray(epsilon, dtype=float))
+    if bound.size == 1:
+        bound = np.full(array.shape[1], float(bound[0]))
+    if bound.shape[0] != array.shape[1]:
+        raise ValueError("epsilon dimensionality does not match the signal")
+
+    segments: List[ConstantSegment] = []
+    start = 0
+    running_min = array[0].copy()
+    running_max = array[0].copy()
+    for index in range(1, array.shape[0]):
+        candidate_min = np.minimum(running_min, array[index])
+        candidate_max = np.maximum(running_max, array[index])
+        if np.all(candidate_max - candidate_min <= 2.0 * bound):
+            running_min, running_max = candidate_min, candidate_max
+            continue
+        segments.append(
+            ConstantSegment(start, index - 1, (running_min + running_max) / 2.0)
+        )
+        start = index
+        running_min = array[index].copy()
+        running_max = array[index].copy()
+    segments.append(
+        ConstantSegment(start, array.shape[0] - 1, (running_min + running_max) / 2.0)
+    )
+    return segments
+
+
+def optimal_segment_count(values: Sequence, epsilon) -> int:
+    """Minimum number of constant segments needed to stay within ε."""
+    return len(optimal_piecewise_constant(values, epsilon))

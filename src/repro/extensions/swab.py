@@ -1,0 +1,163 @@
+"""SWAB-style time-series segmentation (related work [16]).
+
+Keogh, Chu, Hart and Pazzani (ICDM 2001) combine an offline *bottom-up*
+segmentation with an online sliding window (SWAB = Sliding Window And
+Bottom-up).  The paper notes (§6) that its online half can be replaced by a
+swing or slide filter; this module provides both halves in their original
+form so that combination can be evaluated:
+
+* :func:`bottom_up_segments` — offline bottom-up merging until every segment's
+  maximum deviation from its least-squares line would exceed the bound;
+* :func:`swab_segments` — the windowed online variant: the buffer is
+  segmented bottom-up, the leftmost segment is emitted, and the buffer slides
+  forward.
+
+Unlike the paper's filters these functions work on a finite array (they are
+references / comparators, not online transmitters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["LinearSegment", "bottom_up_segments", "swab_segments"]
+
+
+@dataclass(frozen=True)
+class LinearSegment:
+    """A least-squares line fitted to a contiguous run of points."""
+
+    start_index: int
+    end_index: int
+    start_value: float
+    end_value: float
+
+    @property
+    def length(self) -> int:
+        """Number of points covered."""
+        return self.end_index - self.start_index + 1
+
+
+def _fit_segment(times: np.ndarray, values: np.ndarray, start: int, end: int) -> Tuple[float, float, float]:
+    """Least-squares line over ``[start, end]``; returns (v_start, v_end, max_error)."""
+    t = times[start : end + 1]
+    x = values[start : end + 1]
+    if len(t) == 1:
+        return float(x[0]), float(x[0]), 0.0
+    slope, intercept = np.polyfit(t, x, 1)
+    fitted = slope * t + intercept
+    max_error = float(np.max(np.abs(fitted - x)))
+    return float(fitted[0]), float(fitted[-1]), max_error
+
+
+def bottom_up_segments(times: Sequence[float], values: Sequence[float], epsilon: float) -> List[LinearSegment]:
+    """Offline bottom-up segmentation under a maximum-deviation bound.
+
+    Adjacent segments are merged greedily (cheapest merge first) while the
+    merged segment's maximum deviation from its least-squares line stays
+    within ``epsilon``.
+
+    Raises:
+        ValueError: If the signal is empty or ``epsilon`` is negative.
+    """
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if times.size == 0:
+        raise ValueError("cannot segment an empty signal")
+    if epsilon < 0.0:
+        raise ValueError("epsilon must be non-negative")
+
+    # Start from pairs of points (the finest piece-wise linear description).
+    boundaries: List[Tuple[int, int]] = []
+    index = 0
+    n = len(times)
+    while index < n - 1:
+        boundaries.append((index, index + 1))
+        index += 2
+    if index == n - 1:
+        boundaries.append((n - 1, n - 1))
+    if not boundaries:
+        boundaries = [(0, 0)]
+
+    def merge_cost(left: Tuple[int, int], right: Tuple[int, int]) -> float:
+        return _fit_segment(times, values, left[0], right[1])[2]
+
+    costs = [
+        merge_cost(boundaries[i], boundaries[i + 1]) for i in range(len(boundaries) - 1)
+    ]
+    while costs:
+        best = int(np.argmin(costs))
+        if costs[best] > epsilon:
+            break
+        merged = (boundaries[best][0], boundaries[best + 1][1])
+        boundaries[best : best + 2] = [merged]
+        del costs[best]
+        if best > 0:
+            costs[best - 1] = merge_cost(boundaries[best - 1], boundaries[best])
+        if best < len(boundaries) - 1:
+            costs[best] = merge_cost(boundaries[best], boundaries[best + 1])
+
+    segments = []
+    for start, end in boundaries:
+        v_start, v_end, _ = _fit_segment(times, values, start, end)
+        segments.append(LinearSegment(start, end, v_start, v_end))
+    return segments
+
+
+def swab_segments(
+    times: Sequence[float],
+    values: Sequence[float],
+    epsilon: float,
+    buffer_size: int = 100,
+) -> List[LinearSegment]:
+    """Sliding-window-and-bottom-up segmentation (the online SWAB variant).
+
+    Args:
+        times: Timestamps of the signal.
+        values: Values of the signal.
+        epsilon: Maximum allowed deviation of a segment from its points.
+        buffer_size: Number of points kept in the working buffer.
+
+    Raises:
+        ValueError: If the buffer size is smaller than 2.
+    """
+    if buffer_size < 2:
+        raise ValueError("buffer_size must be at least 2")
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if times.size == 0:
+        raise ValueError("cannot segment an empty signal")
+
+    segments: List[LinearSegment] = []
+    window_start = 0
+    n = len(times)
+    while window_start < n:
+        window_end = min(window_start + buffer_size, n)
+        local = bottom_up_segments(
+            times[window_start:window_end], values[window_start:window_end], epsilon
+        )
+        first = local[0]
+        shifted = LinearSegment(
+            first.start_index + window_start,
+            first.end_index + window_start,
+            first.start_value,
+            first.end_value,
+        )
+        segments.append(shifted)
+        if shifted.end_index + 1 >= n:
+            # Emit any remaining local segments and stop.
+            for extra in local[1:]:
+                segments.append(
+                    LinearSegment(
+                        extra.start_index + window_start,
+                        extra.end_index + window_start,
+                        extra.start_value,
+                        extra.end_value,
+                    )
+                )
+            break
+        window_start = shifted.end_index + 1
+    return segments

@@ -1,0 +1,25 @@
+"""Geometric primitives used by the stream filters.
+
+The swing and slide filters reason about straight lines in the ``t``–``x``
+plane (one plane per signal dimension) and, for the slide filter, about the
+convex hull of the data points observed in the current filtering interval.
+This subpackage provides those primitives:
+
+* :class:`~repro.geometry.lines.Line` — an infinite line ``x = a·t + b`` with
+  helpers for construction from two points, evaluation, and intersection.
+* :class:`~repro.geometry.hull.IncrementalConvexHull` — the online upper/lower
+  monotone-chain hull of a sequence of points with strictly increasing ``t``.
+* :mod:`~repro.geometry.tangents` — extremal ε-shifted support lines between a
+  new point and the hull vertices (Lemma 4.3 of the paper).
+"""
+
+from repro.geometry.hull import IncrementalConvexHull
+from repro.geometry.lines import Line
+from repro.geometry.tangents import max_slope_lower_line, min_slope_upper_line
+
+__all__ = [
+    "Line",
+    "IncrementalConvexHull",
+    "min_slope_upper_line",
+    "max_slope_lower_line",
+]

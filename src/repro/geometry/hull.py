@@ -1,0 +1,150 @@
+"""Incremental convex hull of a time-ordered point sequence.
+
+The slide filter (paper §4.1, Lemma 4.3) only needs to examine the vertices of
+the convex hull of the data points observed in the current filtering interval
+when one of its bounding lines has to be re-supported.  Because points arrive
+in strictly increasing time order, the hull can be maintained with the classic
+monotone-chain ("Andrew") incremental update: the new point is appended to
+both the upper and the lower chain and previously inserted vertices that no
+longer form a convex turn are popped from the tail.
+
+Amortised cost is O(1) per point; each point is pushed and popped at most once
+per chain.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["IncrementalConvexHull", "cross_product"]
+
+Point = Tuple[float, float]
+
+
+def cross_product(o: Point, a: Point, b: Point) -> float:
+    """Return the z-component of the cross product ``(a - o) x (b - o)``.
+
+    Positive values mean the three points make a counter-clockwise turn,
+    negative values a clockwise turn, and zero that they are collinear.
+    """
+    return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+
+class IncrementalConvexHull:
+    """Online convex hull for points with strictly increasing ``t``.
+
+    The hull is stored as two chains sharing their first and last points:
+
+    * ``upper``: vertices making clockwise turns as time increases — the part
+      of the hull boundary seen from above.
+    * ``lower``: vertices making counter-clockwise turns — the part seen from
+      below.
+
+    The interface is intentionally small: :meth:`add` to append the next point
+    in time order, plus read-only views of the chains used by the slide
+    filter's tangent searches.
+    """
+
+    def __init__(self, points: Iterable[Point] = ()) -> None:
+        self._upper: List[Point] = []
+        self._lower: List[Point] = []
+        self._count = 0
+        self._last_time: float | None = None
+        for t, x in points:
+            self.add(t, x)
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add(self, t: float, x: float) -> None:
+        """Append the point ``(t, x)``; ``t`` must exceed all previous times.
+
+        Raises:
+            ValueError: If ``t`` is not strictly greater than the time of the
+                previously added point.
+        """
+        if self._last_time is not None and t <= self._last_time:
+            raise ValueError(
+                f"hull points must have strictly increasing time; got {t!r} "
+                f"after {self._last_time!r}"
+            )
+        self._last_time = t
+        point = (t, x)
+        self._append(self._upper, point, keep_turn=-1)
+        self._append(self._lower, point, keep_turn=+1)
+        self._count += 1
+
+    @staticmethod
+    def _append(chain: List[Point], point: Point, keep_turn: int) -> None:
+        """Append ``point`` to ``chain`` keeping only convex turns.
+
+        Args:
+            chain: The upper or lower chain, ordered by time.
+            point: The new point (later than everything in ``chain``).
+            keep_turn: ``-1`` to keep clockwise turns (upper chain), ``+1`` to
+                keep counter-clockwise turns (lower chain).
+        """
+        chain.append(point)
+        while len(chain) >= 3:
+            turn = cross_product(chain[-3], chain[-2], chain[-1])
+            if turn * keep_turn > 0.0:
+                break
+            # The middle vertex is no longer on the hull (wrong turn or
+            # collinear); drop it and re-examine the new tail triple.
+            del chain[-2]
+
+    def clear(self) -> None:
+        """Forget all points (start of a new filtering interval)."""
+        self._upper.clear()
+        self._lower.clear()
+        self._count = 0
+        self._last_time = None
+
+    # ------------------------------------------------------------------ #
+    # Inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def upper(self) -> Sequence[Point]:
+        """Vertices of the upper chain, ordered by time."""
+        return tuple(self._upper)
+
+    @property
+    def lower(self) -> Sequence[Point]:
+        """Vertices of the lower chain, ordered by time."""
+        return tuple(self._lower)
+
+    @property
+    def size(self) -> int:
+        """Number of points fed into the hull so far."""
+        return self._count
+
+    @property
+    def vertex_count(self) -> int:
+        """Number of distinct hull vertices currently stored."""
+        return len(self.vertices())
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __bool__(self) -> bool:
+        return self._count > 0
+
+    def vertices(self) -> List[Point]:
+        """Return all distinct hull vertices ordered by time."""
+        if not self._upper:
+            return []
+        merged = dict.fromkeys(self._upper)
+        merged.update(dict.fromkeys(self._lower))
+        return sorted(merged, key=lambda p: p[0])
+
+    def contains_time(self, t: float) -> bool:
+        """Return ``True`` when ``t`` falls inside the hull's time span."""
+        if not self._upper:
+            return False
+        return self._upper[0][0] <= t <= self._upper[-1][0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"IncrementalConvexHull(points={self._count}, "
+            f"upper={len(self._upper)}, lower={len(self._lower)})"
+        )

@@ -1,0 +1,118 @@
+"""Extremal ε-shifted support lines used by the slide filter.
+
+When a new data point ``(t_new, x_new)`` invalidates one of the slide filter's
+bounding lines, the replacement bound is (Lemma 4.1 of the paper):
+
+* **Upper bound** ``u``: the *minimum-slope* line through some earlier point
+  shifted down by ε — ``(t', x' - ε)`` — and the new point shifted up by ε —
+  ``(t_new, x_new + ε)``.
+* **Lower bound** ``l``: the *maximum-slope* line through some earlier point
+  shifted up by ε — ``(t', x' + ε)`` — and the new point shifted down by ε —
+  ``(t_new, x_new - ε)``.
+
+Lemma 4.3 shows that only the vertices of the convex hull of the earlier
+points need to be considered.  These helpers perform that scan; the caller
+passes either the full point list (non-optimized slide filter) or the hull
+vertices (optimized slide filter).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.geometry.lines import Line
+
+__all__ = [
+    "min_slope_upper_line",
+    "max_slope_lower_line",
+    "candidate_upper_lines",
+    "candidate_lower_lines",
+]
+
+Point = Tuple[float, float]
+
+
+def candidate_upper_lines(
+    support_points: Iterable[Point], t_new: float, x_new: float, epsilon: float
+) -> Sequence[Line]:
+    """Return every upper-bound candidate induced by ``support_points``.
+
+    Each candidate passes through ``(t', x' - ε)`` and ``(t_new, x_new + ε)``.
+    Support points at the same time as the new point are skipped (they cannot
+    define a non-vertical line).
+    """
+    lines = []
+    for t_prev, x_prev in support_points:
+        if t_prev >= t_new:
+            continue
+        lines.append(
+            Line.from_points(t_prev, x_prev - epsilon, t_new, x_new + epsilon)
+        )
+    return lines
+
+
+def candidate_lower_lines(
+    support_points: Iterable[Point], t_new: float, x_new: float, epsilon: float
+) -> Sequence[Line]:
+    """Return every lower-bound candidate induced by ``support_points``.
+
+    Each candidate passes through ``(t', x' + ε)`` and ``(t_new, x_new - ε)``.
+    """
+    lines = []
+    for t_prev, x_prev in support_points:
+        if t_prev >= t_new:
+            continue
+        lines.append(
+            Line.from_points(t_prev, x_prev + epsilon, t_new, x_new - epsilon)
+        )
+    return lines
+
+
+def min_slope_upper_line(
+    support_points: Iterable[Point],
+    t_new: float,
+    x_new: float,
+    epsilon: float,
+    current: Optional[Line] = None,
+) -> Line:
+    """Return the minimum-slope upper bounding line (paper property P3).
+
+    Args:
+        support_points: Earlier data points (or their hull vertices).
+        t_new: Time of the newly arrived point.
+        x_new: Value of the newly arrived point.
+        epsilon: Precision width in this dimension.
+        current: The existing upper bound; when given it competes with the new
+            candidates (Algorithm 2, line 39 keeps "the lowest of uᵢᵏ and
+            uᵢⱼ'ᵏ"), which for lines meeting at the new point is the one with
+            the smaller slope.
+
+    Raises:
+        ValueError: If no candidate line can be constructed.
+    """
+    candidates = list(candidate_upper_lines(support_points, t_new, x_new, epsilon))
+    if current is not None:
+        candidates.append(current)
+    if not candidates:
+        raise ValueError("no support points available to build an upper bound")
+    return min(candidates, key=lambda line: line.slope)
+
+
+def max_slope_lower_line(
+    support_points: Iterable[Point],
+    t_new: float,
+    x_new: float,
+    epsilon: float,
+    current: Optional[Line] = None,
+) -> Line:
+    """Return the maximum-slope lower bounding line (paper property P3).
+
+    Mirror image of :func:`min_slope_upper_line`; see that function for the
+    parameter description.
+    """
+    candidates = list(candidate_lower_lines(support_points, t_new, x_new, epsilon))
+    if current is not None:
+        candidates.append(current)
+    if not candidates:
+        raise ValueError("no support points available to build a lower bound")
+    return max(candidates, key=lambda line: line.slope)

@@ -1,0 +1,38 @@
+"""Evaluation metrics (paper §5.1).
+
+* :mod:`~repro.metrics.compression` — compression ratio and recording
+  accounting, including the independent-vs-joint dimensionality correction of
+  §5.4.
+* :mod:`~repro.metrics.error` — average / maximum error of an approximation
+  against the original signal, expressed absolutely or as a percentage of the
+  signal range.
+* :mod:`~repro.metrics.timing` — per-data-point processing-time measurement
+  used by the overhead experiment (Figure 13).
+"""
+
+from repro.metrics.compression import (
+    compression_ratio,
+    independent_equivalent_ratio,
+    recordings_for_run,
+)
+from repro.metrics.error import (
+    average_error,
+    average_error_percent_of_range,
+    error_profile,
+    max_error,
+    signal_range,
+)
+from repro.metrics.timing import TimingResult, measure_filter_overhead
+
+__all__ = [
+    "compression_ratio",
+    "recordings_for_run",
+    "independent_equivalent_ratio",
+    "average_error",
+    "max_error",
+    "average_error_percent_of_range",
+    "signal_range",
+    "error_profile",
+    "TimingResult",
+    "measure_filter_overhead",
+]

@@ -1,0 +1,96 @@
+"""Error metrics for reconstructed approximations (paper §5.1).
+
+The paper reports the *average error* — the sum of per-sample absolute errors
+divided by the number of samples — expressed as a percentage of the signal's
+value range, alongside the guaranteed maximum (the prescribed precision
+width).  These helpers compute both for any
+:class:`~repro.approximation.piecewise.Approximation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple, Union
+
+import numpy as np
+
+from repro.approximation.piecewise import Approximation
+from repro.core.types import ensure_points
+
+__all__ = [
+    "signal_range",
+    "average_error",
+    "max_error",
+    "average_error_percent_of_range",
+    "error_profile",
+    "ErrorProfile",
+]
+
+
+def signal_range(values: Union[np.ndarray, Iterable]) -> float:
+    """Return ``max - min`` over all values (all dimensions pooled)."""
+    array = np.asarray(list(values) if not isinstance(values, np.ndarray) else values, dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot compute the range of an empty signal")
+    return float(array.max() - array.min())
+
+
+def _point_errors(approximation: Approximation, times, values) -> np.ndarray:
+    points = list(zip(np.asarray(times, dtype=float), values))
+    deviations = approximation.deviations(points)
+    return np.abs(deviations)
+
+
+def average_error(approximation: Approximation, times, values) -> float:
+    """Mean absolute error over all samples (and dimensions)."""
+    errors = _point_errors(approximation, times, values)
+    if errors.size == 0:
+        return 0.0
+    return float(errors.mean())
+
+
+def max_error(approximation: Approximation, times, values) -> float:
+    """Maximum absolute error over all samples (and dimensions)."""
+    errors = _point_errors(approximation, times, values)
+    if errors.size == 0:
+        return 0.0
+    return float(errors.max())
+
+
+def average_error_percent_of_range(approximation: Approximation, times, values) -> float:
+    """Average error expressed as a percentage of the signal's range (§5.2)."""
+    value_range = signal_range(values)
+    if value_range == 0.0:
+        return 0.0
+    return 100.0 * average_error(approximation, times, values) / value_range
+
+
+@dataclass(frozen=True)
+class ErrorProfile:
+    """Summary of an approximation's deviation from the original signal."""
+
+    mean_absolute: float
+    max_absolute: float
+    root_mean_square: float
+    mean_percent_of_range: float
+    max_percent_of_range: float
+
+
+def error_profile(approximation: Approximation, times, values) -> ErrorProfile:
+    """Compute the full error summary in one pass."""
+    errors = _point_errors(approximation, times, values)
+    if errors.size == 0:
+        return ErrorProfile(0.0, 0.0, 0.0, 0.0, 0.0)
+    value_range = signal_range(values)
+    mean_abs = float(errors.mean())
+    max_abs = float(errors.max())
+    rms = float(np.sqrt(np.mean(errors**2)))
+    if value_range == 0.0:
+        return ErrorProfile(mean_abs, max_abs, rms, 0.0, 0.0)
+    return ErrorProfile(
+        mean_absolute=mean_abs,
+        max_absolute=max_abs,
+        root_mean_square=rms,
+        mean_percent_of_range=100.0 * mean_abs / value_range,
+        max_percent_of_range=100.0 * max_abs / value_range,
+    )

@@ -1,0 +1,238 @@
+"""Analytic aggregates over piece-wise approximations.
+
+For a piece-wise *linear* approximation the usual monitoring aggregates can
+be computed exactly from the segment endpoints — no resampling needed:
+
+* the minimum / maximum over a time range is attained at a segment endpoint
+  or at a range boundary;
+* the time-weighted mean is the integral of the trapezoids divided by the
+  range length;
+* threshold crossings are the roots of ``segment(t) = threshold``.
+
+Piece-wise *constant* approximations are handled through the same interface
+(each held value is a zero-slope segment).
+
+Because every original data point is within ε of the approximation, the
+min / max / mean computed here differ from the corresponding aggregates of
+the original signal by at most ε per dimension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.approximation.piecewise import (
+    Approximation,
+    PiecewiseConstantApproximation,
+    PiecewiseLinearApproximation,
+)
+
+__all__ = [
+    "RangeAggregate",
+    "range_aggregate",
+    "window_aggregates",
+    "integral",
+    "threshold_crossings",
+    "resample",
+]
+
+
+@dataclass(frozen=True)
+class RangeAggregate:
+    """Aggregates of one dimension of an approximation over ``[start, end]``.
+
+    Attributes:
+        start: Start of the queried time range.
+        end: End of the queried time range.
+        minimum: Minimum of the approximation over the range.
+        maximum: Maximum of the approximation over the range.
+        mean: Time-weighted mean of the approximation over the range.
+        integral: Integral of the approximation over the range.
+    """
+
+    start: float
+    end: float
+    minimum: float
+    maximum: float
+    mean: float
+    integral: float
+
+
+def _segments_of(approximation: Approximation, dimension: int) -> List[Tuple[float, float, float, float]]:
+    """Flatten an approximation into ``(t0, x0, t1, x1)`` pieces for one dimension."""
+    if isinstance(approximation, PiecewiseLinearApproximation):
+        return [
+            (
+                segment.start_time,
+                float(segment.start_value[dimension]),
+                segment.end_time,
+                float(segment.end_value[dimension]),
+            )
+            for segment in approximation.segments
+        ]
+    if isinstance(approximation, PiecewiseConstantApproximation):
+        steps = list(approximation.steps)
+        pieces = []
+        for index, start in enumerate(steps):
+            value = float(approximation.value_at(start)[dimension])
+            end = steps[index + 1] if index + 1 < len(steps) else start
+            pieces.append((start, value, end, value))
+        return pieces
+    raise TypeError(f"unsupported approximation type: {type(approximation)!r}")
+
+
+def _piece_overlap(piece, start: float, end: float):
+    """Clip a piece to ``[start, end]``; return None when disjoint."""
+    t0, x0, t1, x1 = piece
+    lo, hi = max(t0, start), min(t1, end)
+    if hi < lo:
+        return None
+
+    def value(t: float) -> float:
+        if t1 == t0:
+            return x0
+        return x0 + (x1 - x0) * (t - t0) / (t1 - t0)
+
+    return lo, value(lo), hi, value(hi)
+
+
+def range_aggregate(
+    approximation: Approximation, start: float, end: float, dimension: int = 0
+) -> RangeAggregate:
+    """Min / max / mean / integral of one dimension over ``[start, end]``.
+
+    The query range is clipped to the approximation's span; times outside it
+    are evaluated by extending the first/last piece (consistent with
+    :meth:`Approximation.value_at`).
+
+    Raises:
+        ValueError: If ``end < start``.
+    """
+    if end < start:
+        raise ValueError("end must not precede start")
+    if end == start:
+        value = float(approximation.value_at(start)[dimension])
+        return RangeAggregate(start, end, value, value, value, 0.0)
+
+    minimum = float("inf")
+    maximum = float("-inf")
+    total_area = 0.0
+    covered = 0.0
+    pieces = _segments_of(approximation, dimension)
+    for piece in pieces:
+        clipped = _piece_overlap(piece, start, end)
+        if clipped is None:
+            continue
+        lo, value_lo, hi, value_hi = clipped
+        minimum = min(minimum, value_lo, value_hi)
+        maximum = max(maximum, value_lo, value_hi)
+        total_area += 0.5 * (value_lo + value_hi) * (hi - lo)
+        covered += hi - lo
+
+    # Handle query ranges sticking out of the approximation's span: evaluate
+    # the boundary values so min/max/mean stay defined.
+    for boundary in (start, end):
+        value = float(approximation.value_at(boundary)[dimension])
+        minimum = min(minimum, value)
+        maximum = max(maximum, value)
+    if covered <= 0.0:
+        # Entirely outside the span: treat as the boundary evaluation held
+        # over the range.
+        value_start = float(approximation.value_at(start)[dimension])
+        value_end = float(approximation.value_at(end)[dimension])
+        total_area = 0.5 * (value_start + value_end) * (end - start)
+        covered = end - start
+
+    mean = total_area / covered
+    return RangeAggregate(start, end, minimum, maximum, mean, total_area)
+
+
+def window_aggregates(
+    approximation: Approximation,
+    start: float,
+    end: float,
+    window: float,
+    dimension: int = 0,
+) -> List[RangeAggregate]:
+    """Tumbling-window aggregates covering ``[start, end]``.
+
+    Args:
+        approximation: The compressed signal.
+        start: Start of the first window.
+        end: End of the query range (the last window may be shorter).
+        window: Window length (must be positive).
+        dimension: Signal dimension to aggregate.
+    """
+    if window <= 0.0:
+        raise ValueError("window must be positive")
+    if end < start:
+        raise ValueError("end must not precede start")
+    results = []
+    cursor = start
+    while cursor < end:
+        upper = min(cursor + window, end)
+        results.append(range_aggregate(approximation, cursor, upper, dimension))
+        cursor = upper
+    return results
+
+
+def integral(approximation: Approximation, start: float, end: float, dimension: int = 0) -> float:
+    """Integral of the approximation over ``[start, end]`` (one dimension)."""
+    return range_aggregate(approximation, start, end, dimension).integral
+
+
+def threshold_crossings(
+    approximation: Approximation,
+    threshold: float,
+    start: float = None,
+    end: float = None,
+    dimension: int = 0,
+) -> List[float]:
+    """Times at which the approximation crosses ``threshold``.
+
+    Only genuine sign changes are reported (touching the threshold without
+    crossing does not count); crossings are clipped to ``[start, end]`` when
+    given.
+    """
+    crossings: List[float] = []
+    for t0, x0, t1, x1 in _segments_of(approximation, dimension):
+        if t1 == t0:
+            continue
+        # A genuine crossing needs the endpoints strictly on opposite sides of
+        # the threshold; merely touching it does not count.
+        if (x0 - threshold) * (x1 - threshold) >= 0.0:
+            continue
+        # Linear interpolation of the crossing time within the piece.
+        fraction = (threshold - x0) / (x1 - x0)
+        crossing = t0 + fraction * (t1 - t0)
+        if start is not None and crossing < start:
+            continue
+        if end is not None and crossing > end:
+            continue
+        crossings.append(float(crossing))
+    return sorted(crossings)
+
+
+def resample(
+    approximation: Approximation,
+    start: float,
+    end: float,
+    step: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample the approximation on a regular grid (all dimensions).
+
+    Returns:
+        ``(times, values)`` with ``values`` of shape ``(n, d)``.
+
+    Raises:
+        ValueError: If ``step`` is not positive or the range is empty.
+    """
+    if step <= 0.0:
+        raise ValueError("step must be positive")
+    if end < start:
+        raise ValueError("end must not precede start")
+    times = np.arange(start, end + step / 2.0, step)
+    return times, approximation.values_at(times)

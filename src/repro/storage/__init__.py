@@ -1,0 +1,15 @@
+"""Persistent storage of compressed streams.
+
+The monitoring scenario of the paper keeps the recordings — not the raw data
+points — in a repository for later offline analysis.  This subpackage
+provides that repository:
+
+* :class:`~repro.storage.segment_store.SegmentStore` — an append-only,
+  file-backed store holding one compressed series per named stream, with
+  time-range retrieval and reconstruction back into an evaluable
+  approximation.
+"""
+
+from repro.storage.segment_store import SegmentStore, StoredStream
+
+__all__ = ["SegmentStore", "StoredStream"]

@@ -1,0 +1,282 @@
+"""Append-only, file-backed store for compressed streams.
+
+A :class:`SegmentStore` manages a directory holding one append-only log per
+named stream.  Each log record is one transmitted
+:class:`~repro.core.types.Recording` (kind, time, values) encoded with the
+binary codec from :mod:`repro.approximation.encoding`; a small JSON catalog
+keeps per-stream metadata (dimensions, recording count, time span, the
+precision width it was compressed with).
+
+The store is deliberately simple — a faithful stand-in for the "repository
+used for storing the monitoring data" of the paper's introduction — but it is
+a real, durable store: streams survive re-opening the directory, appends are
+flushed per batch, and reads can be restricted to a time range without
+decoding the whole log.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.approximation.piecewise import Approximation
+from repro.approximation.reconstruct import reconstruct
+from repro.core.types import Recording, RecordingKind
+
+__all__ = ["SegmentStore", "StoredStream"]
+
+_RECORD_KINDS = {
+    RecordingKind.SEGMENT_START: 0,
+    RecordingKind.SEGMENT_END: 1,
+    RecordingKind.HOLD: 2,
+}
+_KIND_BY_CODE = {code: kind for kind, code in _RECORD_KINDS.items()}
+
+
+@dataclass
+class StoredStream:
+    """Catalog entry of one stream held by the store.
+
+    Attributes:
+        name: Stream identifier.
+        dimensions: Dimensionality of the stored values.
+        recordings: Number of recordings appended so far.
+        first_time: Time of the earliest recording (``None`` when empty).
+        last_time: Time of the latest recording (``None`` when empty).
+        epsilon: Precision width the stream was compressed with (optional,
+            informational).
+    """
+
+    name: str
+    dimensions: int
+    recordings: int = 0
+    first_time: Optional[float] = None
+    last_time: Optional[float] = None
+    epsilon: Optional[List[float]] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "dimensions": self.dimensions,
+            "recordings": self.recordings,
+            "first_time": self.first_time,
+            "last_time": self.last_time,
+            "epsilon": self.epsilon,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "StoredStream":
+        return cls(
+            name=str(payload["name"]),
+            dimensions=int(payload["dimensions"]),
+            recordings=int(payload["recordings"]),
+            first_time=payload.get("first_time"),
+            last_time=payload.get("last_time"),
+            epsilon=payload.get("epsilon"),
+        )
+
+
+class SegmentStore:
+    """Directory-backed repository of compressed streams.
+
+    Args:
+        directory: Directory holding the catalog and the per-stream logs; it
+            is created if missing.
+    """
+
+    CATALOG_NAME = "catalog.json"
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        self._catalog_path = self._directory / self.CATALOG_NAME
+        self._catalog: Dict[str, StoredStream] = {}
+        if self._catalog_path.exists():
+            payload = json.loads(self._catalog_path.read_text())
+            for entry in payload.get("streams", []):
+                stream = StoredStream.from_dict(entry)
+                self._catalog[stream.name] = stream
+
+    # ------------------------------------------------------------------ #
+    # Catalog
+    # ------------------------------------------------------------------ #
+    @property
+    def directory(self) -> Path:
+        """The backing directory."""
+        return self._directory
+
+    def streams(self) -> List[StoredStream]:
+        """Return the catalog entries sorted by stream name."""
+        return [self._catalog[name] for name in sorted(self._catalog)]
+
+    def stream_names(self) -> List[str]:
+        """Return the stored stream names, sorted."""
+        return sorted(self._catalog)
+
+    def describe(self, name: str) -> StoredStream:
+        """Return the catalog entry for ``name``.
+
+        Raises:
+            KeyError: If the stream does not exist.
+        """
+        try:
+            return self._catalog[name]
+        except KeyError:
+            raise KeyError(f"unknown stream {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._catalog
+
+    def __len__(self) -> int:
+        return len(self._catalog)
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+    def append(
+        self,
+        name: str,
+        recordings: Iterable[Recording],
+        epsilon: Optional[Sequence[float]] = None,
+    ) -> StoredStream:
+        """Append recordings to a stream (creating the stream if needed).
+
+        Recordings must be appended in time order (within and across calls).
+
+        Raises:
+            ValueError: If the recordings are out of order or their
+                dimensionality differs from the stream's.
+        """
+        records = list(recordings)
+        if not records:
+            return self._catalog.get(name) or self._register(name, 1, epsilon)
+        dimensions = records[0].dimensions
+        entry = self._catalog.get(name)
+        if entry is None:
+            entry = self._register(name, dimensions, epsilon)
+        if entry.dimensions != dimensions:
+            raise ValueError(
+                f"stream {name!r} holds {entry.dimensions}-dimensional values, "
+                f"got {dimensions}-dimensional recordings"
+            )
+        packer = struct.Struct(f"<Bd{dimensions}d")
+        last_time = entry.last_time
+        with open(self._log_path(name), "ab") as log:
+            for record in records:
+                if record.dimensions != dimensions:
+                    raise ValueError("recordings must share one dimensionality")
+                if last_time is not None and record.time < last_time:
+                    raise ValueError(
+                        f"recordings must be appended in time order; got {record.time!r} "
+                        f"after {last_time!r}"
+                    )
+                last_time = record.time
+                log.write(
+                    packer.pack(_RECORD_KINDS[record.kind], record.time, *map(float, record.value))
+                )
+        entry.recordings += len(records)
+        if entry.first_time is None:
+            entry.first_time = records[0].time
+        entry.last_time = last_time
+        if epsilon is not None:
+            entry.epsilon = [float(value) for value in np.atleast_1d(epsilon)]
+        self._save_catalog()
+        return entry
+
+    def _register(self, name: str, dimensions: int, epsilon) -> StoredStream:
+        entry = StoredStream(
+            name=name,
+            dimensions=dimensions,
+            epsilon=[float(v) for v in np.atleast_1d(epsilon)] if epsilon is not None else None,
+        )
+        self._catalog[name] = entry
+        self._log_path(name).touch()
+        self._save_catalog()
+        return entry
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    def read(
+        self,
+        name: str,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> List[Recording]:
+        """Read a stream's recordings, optionally restricted to a time range.
+
+        The range filter keeps one recording before ``start`` when available,
+        so the returned recordings still describe the approximation over the
+        whole requested range.
+        """
+        entry = self.describe(name)
+        packer = struct.Struct(f"<Bd{entry.dimensions}d")
+        recordings: List[Recording] = []
+        payload = self._log_path(name).read_bytes()
+        for offset in range(0, len(payload), packer.size):
+            fields = packer.unpack_from(payload, offset)
+            recordings.append(
+                Recording(fields[1], np.asarray(fields[2:], dtype=float), _KIND_BY_CODE[fields[0]])
+            )
+        if start is None and end is None:
+            return recordings
+        filtered: List[Recording] = []
+        previous: Optional[Recording] = None
+        for record in recordings:
+            if start is not None and record.time < start:
+                previous = record
+                continue
+            if end is not None and record.time > end:
+                filtered.append(record)
+                break
+            if previous is not None:
+                filtered.append(previous)
+                previous = None
+            filtered.append(record)
+        if not filtered and previous is not None:
+            filtered.append(previous)
+        return filtered
+
+    def reconstruct(
+        self,
+        name: str,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> Approximation:
+        """Rebuild the stored approximation (optionally over a time range)."""
+        recordings = self.read(name, start, end)
+        return reconstruct(recordings)
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def delete(self, name: str) -> None:
+        """Remove a stream and its log file.
+
+        Raises:
+            KeyError: If the stream does not exist.
+        """
+        self.describe(name)
+        self._log_path(name).unlink(missing_ok=True)
+        del self._catalog[name]
+        self._save_catalog()
+
+    def total_bytes(self) -> int:
+        """Total size of all stream logs on disk."""
+        return sum(self._log_path(name).stat().st_size for name in self._catalog)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _log_path(self, name: str) -> Path:
+        safe = "".join(ch if ch.isalnum() or ch in "-_." else "_" for ch in name)
+        return self._directory / f"{safe}.seg"
+
+    def _save_catalog(self) -> None:
+        payload = {"streams": [entry.to_dict() for entry in self._catalog.values()]}
+        self._catalog_path.write_text(json.dumps(payload, indent=2, sort_keys=True))

@@ -1,0 +1,31 @@
+"""Streaming substrate: sources, transmitter/receiver channel, pipelines.
+
+The paper's setting is continuous monitoring: a *transmitter* (sensor, probe)
+filters its measurements online and sends recordings to a *receiver* (a data
+stream management system or repository) over a channel.  This subpackage
+models that setting so the filters can be exercised end-to-end:
+
+* :mod:`~repro.streams.source` — stream sources over arrays, callables, files
+  and generators,
+* :mod:`~repro.streams.transport` — transmitter, channel and receiver with
+  lag and traffic accounting,
+* :mod:`~repro.streams.pipeline` — a convenience pipeline tying a source, a
+  filter and a receiver together and reporting the run's statistics.
+"""
+
+from repro.streams.pipeline import MonitoringPipeline, PipelineReport
+from repro.streams.source import ArraySource, CallbackSource, CsvSource, IterableSource, StreamSource
+from repro.streams.transport import Channel, Receiver, Transmitter
+
+__all__ = [
+    "StreamSource",
+    "ArraySource",
+    "IterableSource",
+    "CallbackSource",
+    "CsvSource",
+    "Transmitter",
+    "Receiver",
+    "Channel",
+    "MonitoringPipeline",
+    "PipelineReport",
+]

@@ -1,0 +1,153 @@
+"""Managing a fleet of monitored streams.
+
+Large monitoring deployments (the paper's motivating setting) track many
+variables at once.  :class:`StreamSet` owns one filter-equipped transmitter
+per named stream, routes observations to the right transmitter, and offers
+fleet-wide statistics plus optional archiving of every stream into a
+:class:`~repro.storage.segment_store.SegmentStore`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.approximation.piecewise import Approximation
+from repro.core.base import StreamFilter
+from repro.core.registry import create_filter
+from repro.storage.segment_store import SegmentStore
+from repro.streams.transport import Transmitter
+
+__all__ = ["StreamSet", "StreamSetReport"]
+
+FilterFactory = Callable[[], StreamFilter]
+
+
+@dataclass(frozen=True)
+class StreamSetReport:
+    """Fleet-wide statistics of a :class:`StreamSet` run.
+
+    Attributes:
+        streams: Number of managed streams.
+        points: Total observations across all streams.
+        recordings: Total recordings transmitted across all streams.
+        compression_ratio: ``points / recordings``.
+        bytes_sent: Total channel payload bytes.
+        worst_lag: Largest transmitter→receiver lag seen on any stream.
+    """
+
+    streams: int
+    points: int
+    recordings: int
+    compression_ratio: float
+    bytes_sent: int
+    worst_lag: int
+
+
+class StreamSet:
+    """A set of independently filtered streams sharing one configuration.
+
+    Args:
+        filter_name: Registered filter name (or a custom factory via
+            ``filter_factory``).
+        epsilon: Precision width passed to every per-stream filter.
+        filter_factory: Alternative to ``filter_name``: a zero-argument
+            callable returning a fresh filter per stream.
+        store: Optional :class:`SegmentStore`; when given, every transmitted
+            recording is also appended to the store under the stream's name.
+        **filter_kwargs: Extra options forwarded to :func:`create_filter`.
+    """
+
+    def __init__(
+        self,
+        filter_name: Optional[str] = None,
+        epsilon=None,
+        filter_factory: Optional[FilterFactory] = None,
+        store: Optional[SegmentStore] = None,
+        **filter_kwargs,
+    ) -> None:
+        if filter_factory is None:
+            if filter_name is None or epsilon is None:
+                raise ValueError("provide either filter_factory or (filter_name and epsilon)")
+            filter_factory = lambda: create_filter(filter_name, epsilon, **filter_kwargs)  # noqa: E731
+        self._factory = filter_factory
+        self._epsilon = epsilon
+        self._store = store
+        self._transmitters: Dict[str, Transmitter] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Observation
+    # ------------------------------------------------------------------ #
+    def observe(self, stream: str, time: float, value) -> int:
+        """Route one measurement to its stream; return the recordings emitted."""
+        if self._closed:
+            raise RuntimeError("the stream set has been closed")
+        transmitter = self._transmitters.get(stream)
+        if transmitter is None:
+            transmitter = Transmitter(self._factory())
+            self._transmitters[stream] = transmitter
+        recordings = transmitter.observe(time, value)
+        if self._store is not None and recordings:
+            self._store.append(stream, recordings, epsilon=self._epsilon_list())
+        return len(recordings)
+
+    def close(self) -> StreamSetReport:
+        """Flush every stream's filter and return the fleet report."""
+        if not self._closed:
+            for name, transmitter in self._transmitters.items():
+                recordings = transmitter.close()
+                if self._store is not None and recordings:
+                    self._store.append(name, recordings, epsilon=self._epsilon_list())
+            self._closed = True
+        return self.report()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def stream_names(self) -> List[str]:
+        """Names of the streams observed so far, sorted."""
+        return sorted(self._transmitters)
+
+    def __len__(self) -> int:
+        return len(self._transmitters)
+
+    def approximation(self, stream: str) -> Approximation:
+        """Receiver-side approximation of one stream.
+
+        Raises:
+            KeyError: If the stream has not been observed.
+        """
+        try:
+            transmitter = self._transmitters[stream]
+        except KeyError:
+            raise KeyError(f"unknown stream {stream!r}") from None
+        return transmitter.receiver.approximation()
+
+    def report(self) -> StreamSetReport:
+        """Fleet-wide statistics (valid before or after :meth:`close`)."""
+        points = sum(t.observed_points for t in self._transmitters.values())
+        recordings = sum(t.receiver.recording_count for t in self._transmitters.values())
+        bytes_sent = sum(t.channel.bytes_sent for t in self._transmitters.values())
+        worst_lag = max(
+            (t.receiver.max_lag_seen for t in self._transmitters.values()), default=0
+        )
+        ratio = points / recordings if recordings else (float("inf") if points else 0.0)
+        return StreamSetReport(
+            streams=len(self._transmitters),
+            points=points,
+            recordings=recordings,
+            compression_ratio=ratio,
+            bytes_sent=bytes_sent,
+            worst_lag=worst_lag,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _epsilon_list(self) -> Optional[List[float]]:
+        if self._epsilon is None:
+            return None
+        return [float(v) for v in np.atleast_1d(self._epsilon)]

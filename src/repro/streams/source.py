@@ -1,0 +1,149 @@
+"""Stream sources.
+
+A :class:`StreamSource` is simply an iterable of
+:class:`~repro.core.types.DataPoint`; the concrete classes adapt the common
+ways a monitored signal shows up in practice — in-memory arrays, Python
+iterables, callables polled for new samples, and CSV files.
+"""
+
+from __future__ import annotations
+
+import abc
+import csv
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.types import DataPoint
+
+__all__ = [
+    "StreamSource",
+    "ArraySource",
+    "IterableSource",
+    "CallbackSource",
+    "CsvSource",
+]
+
+
+class StreamSource(abc.ABC):
+    """Abstract iterable of data points."""
+
+    @abc.abstractmethod
+    def __iter__(self) -> Iterator[DataPoint]:
+        """Yield the stream's data points in time order."""
+
+    def to_arrays(self) -> tuple:
+        """Materialize the stream into ``(times, values)`` arrays."""
+        points = list(self)
+        if not points:
+            return np.empty(0), np.empty((0, 0))
+        times = np.array([p.time for p in points])
+        values = np.vstack([p.value for p in points])
+        return times, values
+
+
+class ArraySource(StreamSource):
+    """Stream over parallel time/value arrays.
+
+    Args:
+        times: Sequence of timestamps, strictly increasing.
+        values: Sequence of scalars or vectors, one per timestamp.
+    """
+
+    def __init__(self, times: Sequence[float], values: Sequence) -> None:
+        self._times = np.asarray(times, dtype=float)
+        self._values = np.asarray(values, dtype=float)
+        if self._times.ndim != 1:
+            raise ValueError("times must be one-dimensional")
+        if len(self._times) != len(self._values):
+            raise ValueError("times and values must have the same length")
+
+    def __len__(self) -> int:
+        return int(self._times.shape[0])
+
+    def __iter__(self) -> Iterator[DataPoint]:
+        for time, value in zip(self._times, self._values):
+            yield DataPoint(float(time), value)
+
+
+class IterableSource(StreamSource):
+    """Stream over any iterable of ``(t, value)`` pairs or data points."""
+
+    def __init__(self, iterable: Iterable) -> None:
+        self._iterable = iterable
+
+    def __iter__(self) -> Iterator[DataPoint]:
+        for element in self._iterable:
+            if isinstance(element, DataPoint):
+                yield element
+            else:
+                time, value = element
+                yield DataPoint(float(time), value)
+
+
+class CallbackSource(StreamSource):
+    """Stream produced by polling a callable until it returns ``None``.
+
+    Args:
+        poll: Zero-argument callable returning the next ``(t, value)`` pair or
+            ``None`` when the stream is exhausted.
+        limit: Optional hard cap on the number of polled points.
+    """
+
+    def __init__(self, poll: Callable[[], Optional[tuple]], limit: Optional[int] = None) -> None:
+        if limit is not None and limit < 0:
+            raise ValueError("limit must be non-negative")
+        self._poll = poll
+        self._limit = limit
+
+    def __iter__(self) -> Iterator[DataPoint]:
+        produced = 0
+        while self._limit is None or produced < self._limit:
+            sample = self._poll()
+            if sample is None:
+                return
+            time, value = sample
+            yield DataPoint(float(time), value)
+            produced += 1
+
+
+class CsvSource(StreamSource):
+    """Stream over a CSV file with a time column and one or more value columns.
+
+    Args:
+        path: CSV file path.
+        time_column: Index of the timestamp column (default 0).
+        value_columns: Indices of the value columns (default: every column
+            after the time column).
+        skip_header: Number of leading rows to skip (default 1).
+        delimiter: Field delimiter (default ``","``).
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        time_column: int = 0,
+        value_columns: Optional[Sequence[int]] = None,
+        skip_header: int = 1,
+        delimiter: str = ",",
+    ) -> None:
+        self._path = Path(path)
+        self._time_column = time_column
+        self._value_columns = list(value_columns) if value_columns is not None else None
+        self._skip_header = skip_header
+        self._delimiter = delimiter
+
+    def __iter__(self) -> Iterator[DataPoint]:
+        with open(self._path, newline="") as handle:
+            reader = csv.reader(handle, delimiter=self._delimiter)
+            for index, row in enumerate(reader):
+                if index < self._skip_header or not row:
+                    continue
+                time = float(row[self._time_column])
+                if self._value_columns is None:
+                    columns = [i for i in range(len(row)) if i != self._time_column]
+                else:
+                    columns = self._value_columns
+                values = [float(row[i]) for i in columns]
+                yield DataPoint(time, values if len(values) > 1 else values[0])

@@ -1,0 +1,158 @@
+"""Transmitter, channel and receiver simulation.
+
+The transmitter wraps a filter; every data point it observes is filtered and
+any resulting recordings are pushed through a :class:`Channel` to a
+:class:`Receiver`.  The channel keeps traffic statistics (messages and bytes),
+and the receiver tracks the transmitter→receiver lag — the number of data
+points the transmitter has processed beyond the last recording it has seen —
+which is the quantity bounded by ``m_max_lag`` in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.approximation.encoding import encode_recordings
+from repro.approximation.piecewise import Approximation
+from repro.approximation.reconstruct import reconstruct
+from repro.core.base import StreamFilter
+from repro.core.types import DataPoint, Recording
+
+__all__ = ["Channel", "Receiver", "Transmitter"]
+
+
+@dataclass
+class Channel:
+    """A loss-less channel counting transmitted messages and bytes."""
+
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    _receivers: List["Receiver"] = field(default_factory=list)
+
+    def attach(self, receiver: "Receiver") -> None:
+        """Register a receiver for future transmissions."""
+        self._receivers.append(receiver)
+
+    def transmit(self, recording: Recording, observed_points: int) -> None:
+        """Deliver one recording to every attached receiver."""
+        self.messages_sent += 1
+        self.bytes_sent += len(encode_recordings([recording]))
+        for receiver in self._receivers:
+            receiver.deliver(recording, observed_points)
+
+
+class Receiver:
+    """Receiver-side state: recordings received and lag statistics."""
+
+    def __init__(self) -> None:
+        self._recordings: List[Recording] = []
+        self._points_at_last_recording = 0
+        self._observed_points = 0
+        self._max_lag_seen = 0
+
+    # ------------------------------------------------------------------ #
+    # Channel interface
+    # ------------------------------------------------------------------ #
+    def deliver(self, recording: Recording, observed_points: int) -> None:
+        """Accept a recording; ``observed_points`` is the transmitter's count."""
+        self._recordings.append(recording)
+        self._points_at_last_recording = observed_points
+        self._observed_points = observed_points
+
+    def note_observation(self, observed_points: int) -> None:
+        """Update lag statistics after the transmitter processed a point."""
+        self._observed_points = observed_points
+        self._max_lag_seen = max(self._max_lag_seen, self.current_lag)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def recordings(self) -> List[Recording]:
+        """All recordings received so far."""
+        return list(self._recordings)
+
+    @property
+    def recording_count(self) -> int:
+        """Number of recordings received."""
+        return len(self._recordings)
+
+    @property
+    def current_lag(self) -> int:
+        """Points processed by the transmitter since the last recording."""
+        return self._observed_points - self._points_at_last_recording
+
+    @property
+    def max_lag_seen(self) -> int:
+        """Largest lag observed during the run."""
+        return self._max_lag_seen
+
+    def approximation(self) -> Approximation:
+        """Reconstruct the signal approximation from the received recordings."""
+        return reconstruct(self._recordings)
+
+
+class Transmitter:
+    """Filter-equipped transmitter pushing recordings through a channel.
+
+    Args:
+        stream_filter: The online filter applied to observed data points.
+        channel: Channel used for transmission; a fresh one is created when
+            omitted.
+        receiver: Receiver attached to the channel; a fresh one is created
+            when omitted.
+    """
+
+    def __init__(
+        self,
+        stream_filter: StreamFilter,
+        channel: Optional[Channel] = None,
+        receiver: Optional[Receiver] = None,
+    ) -> None:
+        self.filter = stream_filter
+        self.channel = channel or Channel()
+        self.receiver = receiver or Receiver()
+        self.channel.attach(self.receiver)
+        self._observed_points = 0
+
+    # ------------------------------------------------------------------ #
+    # Observation
+    # ------------------------------------------------------------------ #
+    def observe(self, time: float, value) -> List[Recording]:
+        """Process one measurement; transmit any recordings it triggers."""
+        recordings = self.filter.feed(time, value)
+        self._observed_points += 1
+        for recording in recordings:
+            self.channel.transmit(recording, self._observed_points)
+        self.receiver.note_observation(self._observed_points)
+        return recordings
+
+    def observe_point(self, point: DataPoint) -> List[Recording]:
+        """Like :meth:`observe` for a :class:`DataPoint`."""
+        return self.observe(point.time, point.value)
+
+    def close(self) -> List[Recording]:
+        """Signal end-of-stream, transmitting the filter's final recordings."""
+        recordings = self.filter.finish()
+        for recording in recordings:
+            self.channel.transmit(recording, self._observed_points)
+        return recordings
+
+    @property
+    def observed_points(self) -> int:
+        """Number of measurements observed so far."""
+        return self._observed_points
+
+    @property
+    def suppressed_points(self) -> int:
+        """Measurements that did not require any transmission."""
+        return self._observed_points - self.channel.messages_sent
+
+    def compression_ratio(self) -> float:
+        """Points observed divided by recordings transmitted so far."""
+        if self.channel.messages_sent == 0:
+            return float("inf") if self._observed_points else 0.0
+        return self._observed_points / self.channel.messages_sent

@@ -1,0 +1,63 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.approximation.reconstruct import reconstruct
+from repro.data.random_walk import RandomWalkConfig, random_walk
+from repro.data.sst import sea_surface_temperature
+
+
+# --------------------------------------------------------------------------- #
+# Signals
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="session")
+def sst_signal():
+    """The canonical sea-surface-temperature surrogate."""
+    return sea_surface_temperature()
+
+
+@pytest.fixture(scope="session")
+def noisy_walk():
+    """A 1-D oscillating random walk with moderately large steps."""
+    return random_walk(RandomWalkConfig(length=1_500, decrease_probability=0.5, max_delta=2.0, seed=3))
+
+
+@pytest.fixture(scope="session")
+def smooth_walk():
+    """A 1-D random walk with small steps (long filtering intervals)."""
+    return random_walk(RandomWalkConfig(length=1_500, decrease_probability=0.5, max_delta=0.2, seed=4))
+
+
+@pytest.fixture(scope="session")
+def monotone_walk():
+    """A monotonically increasing random walk."""
+    return random_walk(RandomWalkConfig(length=1_000, decrease_probability=0.0, max_delta=1.0, seed=5))
+
+
+# --------------------------------------------------------------------------- #
+# Helpers
+# --------------------------------------------------------------------------- #
+def assert_within_bound(result, times, values, epsilon, slack: float = 1e-8):
+    """Reconstruct a filter result and assert the paper's L∞ guarantee."""
+    approximation = reconstruct(result)
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    deviations = np.abs(approximation.deviations(list(zip(times, values))))
+    bound = np.atleast_1d(np.asarray(epsilon, dtype=float))
+    if bound.size == 1 and deviations.shape[1] > 1:
+        bound = np.full(deviations.shape[1], float(bound[0]))
+    tolerance = bound + slack * (1.0 + np.abs(bound))
+    worst = float(np.max(deviations - tolerance)) if deviations.size else -1.0
+    assert np.all(deviations <= tolerance), (
+        f"error bound violated by {worst:.3e} (epsilon={epsilon!r})"
+    )
+    return approximation
+
+
+@pytest.fixture
+def within_bound_checker():
+    """Expose :func:`assert_within_bound` as a fixture."""
+    return assert_within_bound

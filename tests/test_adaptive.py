@@ -1,0 +1,109 @@
+"""Tests for the adaptive aggregate-precision allocator (related work [21])."""
+
+import numpy as np
+import pytest
+
+from repro.extensions.adaptive import AdaptiveAggregateMonitor
+
+
+def run_two_streams(adaptive: bool, seed: int = 17, length: int = 4_000, budget: float = 2.0):
+    """One stable and one volatile stream feeding the SUM monitor."""
+    rng = np.random.default_rng(seed)
+    stable = np.cumsum(rng.normal(0.0, 0.01, length))
+    volatile = np.cumsum(rng.normal(0.0, 0.5, length))
+    monitor = AdaptiveAggregateMonitor(
+        ["stable", "volatile"],
+        total_epsilon=budget,
+        adjustment_interval=100 if adaptive else None,
+    )
+    for s, v in zip(stable, volatile):
+        monitor.observe("stable", s)
+        monitor.observe("volatile", v)
+    return monitor.close(), monitor
+
+
+class TestValidation:
+    def test_requires_streams(self):
+        with pytest.raises(ValueError):
+            AdaptiveAggregateMonitor([], total_epsilon=1.0)
+
+    def test_requires_unique_streams(self):
+        with pytest.raises(ValueError):
+            AdaptiveAggregateMonitor(["a", "a"], total_epsilon=1.0)
+
+    def test_requires_positive_budget(self):
+        with pytest.raises(ValueError):
+            AdaptiveAggregateMonitor(["a"], total_epsilon=0.0)
+
+    def test_parameter_ranges(self):
+        with pytest.raises(ValueError):
+            AdaptiveAggregateMonitor(["a"], 1.0, adaptation_rate=1.5)
+        with pytest.raises(ValueError):
+            AdaptiveAggregateMonitor(["a"], 1.0, adjustment_interval=0)
+
+    def test_unknown_stream(self):
+        monitor = AdaptiveAggregateMonitor(["a"], 1.0)
+        with pytest.raises(KeyError):
+            monitor.observe("b", 1.0)
+
+    def test_observe_after_close(self):
+        monitor = AdaptiveAggregateMonitor(["a"], 1.0)
+        monitor.observe("a", 1.0)
+        monitor.close()
+        with pytest.raises(RuntimeError):
+            monitor.observe("a", 2.0)
+
+
+class TestGuarantee:
+    def test_initial_allocation_is_uniform_and_sums_to_budget(self):
+        monitor = AdaptiveAggregateMonitor(["a", "b", "c", "d"], total_epsilon=2.0)
+        allocation = monitor.current_allocation()
+        assert all(value == pytest.approx(0.5) for value in allocation.values())
+        assert sum(allocation.values()) == pytest.approx(2.0)
+
+    def test_budget_preserved_across_reallocations(self):
+        report, monitor = run_two_streams(adaptive=True)
+        assert report.reallocations > 0
+        assert sum(monitor.current_allocation().values()) == pytest.approx(report.total_epsilon)
+
+    def test_aggregate_error_bounded_by_budget(self):
+        for adaptive in (True, False):
+            report, _ = run_two_streams(adaptive=adaptive)
+            assert report.max_aggregate_error <= report.total_epsilon + 1e-9
+
+    def test_estimated_sum_tracks_true_sum(self):
+        _, monitor = run_two_streams(adaptive=True)
+        assert abs(monitor.true_sum() - monitor.estimated_sum()) <= monitor.total_epsilon + 1e-9
+
+    def test_first_observation_is_always_transmitted(self):
+        monitor = AdaptiveAggregateMonitor(["a"], total_epsilon=10.0)
+        assert monitor.observe("a", 5.0) is True
+        assert monitor.observe("a", 5.1) is False
+
+
+class TestAdaptation:
+    def test_volatile_stream_receives_wider_band(self):
+        report, _ = run_two_streams(adaptive=True)
+        assert report.allocations["volatile"] > report.allocations["stable"]
+
+    def test_adaptation_reduces_traffic_vs_uniform_split(self):
+        adaptive_report, _ = run_two_streams(adaptive=True)
+        uniform_report, _ = run_two_streams(adaptive=False)
+        assert adaptive_report.messages < uniform_report.messages
+        assert adaptive_report.compression_ratio > uniform_report.compression_ratio
+
+    def test_uniform_mode_never_reallocates(self):
+        report, _ = run_two_streams(adaptive=False)
+        assert report.reallocations == 0
+        assert report.allocations["stable"] == pytest.approx(report.allocations["volatile"])
+
+    def test_epsilon_history_recorded(self):
+        _, monitor = run_two_streams(adaptive=True)
+        history = monitor._allocations["volatile"].epsilon_history
+        assert len(history) >= 2
+        assert history[0] == pytest.approx(1.0)
+
+    def test_report_counts_points(self):
+        report, _ = run_two_streams(adaptive=True, length=1_000)
+        assert report.points == 2_000
+        assert report.messages >= 2

@@ -1,0 +1,115 @@
+"""Tests for the shared :class:`~repro.core.base.StreamFilter` machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import StreamFilter
+from repro.core.cache import CacheFilter
+from repro.core.errors import (
+    DimensionMismatchError,
+    FilterStateError,
+    StreamOrderError,
+)
+from repro.core.swing import SwingFilter
+from repro.core.types import DataPoint, RecordingKind
+
+
+class EchoFilter(StreamFilter):
+    """Trivial filter recording every point (used to test the base class)."""
+
+    name = "echo"
+    family = "constant"
+
+    def _feed_point(self, point):
+        self._emit(point.time, point.value, RecordingKind.HOLD)
+
+    def _finish_stream(self):
+        pass
+
+
+class TestValidation:
+    def test_strictly_increasing_times_enforced(self):
+        stream_filter = EchoFilter(1.0)
+        stream_filter.feed(0.0, 1.0)
+        with pytest.raises(StreamOrderError):
+            stream_filter.feed(0.0, 2.0)
+        with pytest.raises(StreamOrderError):
+            stream_filter.feed(-1.0, 2.0)
+
+    def test_dimension_mismatch_rejected(self):
+        stream_filter = EchoFilter(1.0)
+        stream_filter.feed(0.0, [1.0, 2.0])
+        with pytest.raises(DimensionMismatchError):
+            stream_filter.feed(1.0, 3.0)
+
+    def test_feed_after_finish_rejected(self):
+        stream_filter = EchoFilter(1.0)
+        stream_filter.feed(0.0, 1.0)
+        stream_filter.finish()
+        with pytest.raises(FilterStateError):
+            stream_filter.feed(1.0, 2.0)
+
+    def test_epsilon_resolved_on_first_point(self):
+        stream_filter = EchoFilter(0.5)
+        assert stream_filter.epsilon is None
+        stream_filter.feed(0.0, [1.0, 2.0, 3.0])
+        assert stream_filter.epsilon.dimensions == 3
+
+    def test_max_lag_must_be_at_least_two(self):
+        with pytest.raises(ValueError):
+            SwingFilter(1.0, max_lag=1)
+
+
+class TestLifecycle:
+    def test_feed_returns_new_recordings_only(self):
+        stream_filter = EchoFilter(1.0)
+        first = stream_filter.feed(0.0, 1.0)
+        second = stream_filter.feed(1.0, 2.0)
+        assert len(first) == 1
+        assert len(second) == 1
+        assert first[0].time == 0.0
+        assert second[0].time == 1.0
+
+    def test_finish_is_idempotent(self):
+        stream_filter = EchoFilter(1.0)
+        stream_filter.feed(0.0, 1.0)
+        stream_filter.finish()
+        assert stream_filter.finish() == []
+
+    def test_finish_on_empty_stream(self):
+        stream_filter = EchoFilter(1.0)
+        assert stream_filter.finish() == []
+        assert stream_filter.result().points_processed == 0
+
+    def test_process_accepts_tuples_and_datapoints(self):
+        result = EchoFilter(1.0).process([(0.0, 1.0), DataPoint(1.0, 2.0)])
+        assert result.points_processed == 2
+        assert result.recording_count == 2
+
+    def test_result_reflects_dimensions(self):
+        result = EchoFilter(1.0).process([(0.0, [1.0, 2.0])])
+        assert result.dimensions == 2
+
+    def test_run_classmethod(self):
+        result = CacheFilter.run([(0.0, 1.0), (1.0, 1.1)], epsilon=0.5)
+        assert result.points_processed == 2
+
+    def test_feed_point_equivalent_to_feed(self):
+        a = EchoFilter(1.0)
+        b = EchoFilter(1.0)
+        a.feed(0.0, 3.0)
+        b.feed_point(DataPoint(0.0, 3.0))
+        assert a.recordings[0].time == b.recordings[0].time
+
+    def test_points_processed_counts_all(self):
+        stream_filter = SwingFilter(10.0)
+        for t in range(10):
+            stream_filter.feed(float(t), 0.0)
+        assert stream_filter.points_processed == 10
+
+    def test_recordings_property_is_immutable_copy(self):
+        stream_filter = EchoFilter(1.0)
+        stream_filter.feed(0.0, 1.0)
+        recordings = stream_filter.recordings
+        assert isinstance(recordings, tuple)
+        assert len(recordings) == 1

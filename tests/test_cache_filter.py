@@ -1,0 +1,132 @@
+"""Tests for the cache (piece-wise constant) filters."""
+
+import numpy as np
+import pytest
+
+from repro.approximation.reconstruct import reconstruct
+from repro.core.cache import CacheFilter, MeanCacheFilter, MidrangeCacheFilter
+from repro.data.patterns import constant_signal, step_signal
+
+from conftest import assert_within_bound
+
+
+class TestFirstValueCache:
+    def test_constant_signal_single_recording(self):
+        times, values = constant_signal(length=50, value=3.0)
+        result = CacheFilter(0.1).process(zip(times, values))
+        assert result.recording_count == 1
+        assert result.compression_ratio == 50.0
+
+    def test_within_epsilon_filtered_out(self):
+        stream = [(0.0, 1.0), (1.0, 1.4), (2.0, 0.6), (3.0, 1.49)]
+        result = CacheFilter(0.5).process(stream)
+        assert result.recording_count == 1
+
+    def test_violation_triggers_recording(self):
+        stream = [(0.0, 1.0), (1.0, 1.6)]
+        result = CacheFilter(0.5).process(stream)
+        assert result.recording_count == 2
+        assert result.recordings[1].component(0) == pytest.approx(1.6)
+
+    def test_step_signal_two_recordings(self):
+        times, values = step_signal(length=40, low=0.0, high=10.0)
+        result = CacheFilter(1.0).process(zip(times, values))
+        assert result.recording_count == 2
+
+    def test_recording_value_is_first_of_interval(self):
+        stream = [(0.0, 1.0), (1.0, 1.4), (2.0, 5.0), (3.0, 5.3)]
+        result = CacheFilter(0.5).process(stream)
+        assert [r.component(0) for r in result.recordings] == [1.0, 5.0]
+
+    def test_error_bound_on_random_walk(self, noisy_walk):
+        times, values = noisy_walk
+        epsilon = 0.75
+        result = CacheFilter(epsilon).process(zip(times, values))
+        assert_within_bound(result, times, values, epsilon)
+
+    def test_multidimensional_any_dimension_triggers(self):
+        stream = [(0.0, [0.0, 0.0]), (1.0, [0.1, 0.9]), (2.0, [0.1, 0.8])]
+        result = CacheFilter(0.5).process(stream)
+        # Second point violates in dimension 2 only; third stays within the
+        # bound of the new recording in both dimensions.
+        assert result.recording_count == 2
+
+    def test_hold_kind(self):
+        result = CacheFilter(0.5).process([(0.0, 1.0)])
+        assert all(r.kind.value == "hold" for r in result.recordings)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            CacheFilter(0.5, mode="median")
+
+    def test_max_lag_forces_updates(self):
+        times = np.arange(20.0)
+        values = np.zeros(20)
+        bounded = CacheFilter(0.5, max_lag=5).process(zip(times, values))
+        unbounded = CacheFilter(0.5).process(zip(times, values))
+        assert unbounded.recording_count == 1
+        assert bounded.recording_count == 4
+
+
+class TestMidrangeCache:
+    def test_accepts_spread_up_to_two_epsilon(self):
+        stream = [(0.0, 0.0), (1.0, 1.9), (2.0, 0.1), (3.0, 2.0)]
+        result = MidrangeCacheFilter(1.0).process(stream)
+        assert result.recording_count == 1
+
+    def test_rejects_spread_beyond_two_epsilon(self):
+        stream = [(0.0, 0.0), (1.0, 2.1)]
+        result = MidrangeCacheFilter(1.0).process(stream)
+        assert result.recording_count == 2
+
+    def test_recording_is_midrange(self):
+        stream = [(0.0, 0.0), (1.0, 2.0), (2.0, 1.0)]
+        result = MidrangeCacheFilter(1.0).process(stream)
+        assert result.recording_count == 1
+        assert result.recordings[0].component(0) == pytest.approx(1.0)
+
+    def test_beats_or_matches_first_value_cache(self, noisy_walk):
+        times, values = noisy_walk
+        epsilon = 1.0
+        first = CacheFilter(epsilon).process(zip(times, values))
+        midrange = MidrangeCacheFilter(epsilon).process(zip(times, values))
+        assert midrange.recording_count <= first.recording_count
+
+    def test_error_bound(self, noisy_walk):
+        times, values = noisy_walk
+        epsilon = 1.0
+        result = MidrangeCacheFilter(epsilon).process(zip(times, values))
+        assert_within_bound(result, times, values, epsilon)
+
+
+class TestMeanCache:
+    def test_recording_is_mean(self):
+        stream = [(0.0, 0.0), (1.0, 1.0), (2.0, 0.5)]
+        result = MeanCacheFilter(1.0).process(stream)
+        assert result.recording_count == 1
+        assert result.recordings[0].component(0) == pytest.approx(0.5)
+
+    def test_error_bound(self, smooth_walk):
+        times, values = smooth_walk
+        epsilon = 0.5
+        result = MeanCacheFilter(epsilon).process(zip(times, values))
+        assert_within_bound(result, times, values, epsilon)
+
+    def test_rejects_point_that_breaks_mean_guarantee(self):
+        # Mean of (0, 10) is 5: both endpoints deviate by 5 > epsilon=1.
+        result = MeanCacheFilter(1.0).process([(0.0, 0.0), (1.0, 10.0)])
+        assert result.recording_count == 2
+
+
+class TestReconstruction:
+    def test_piecewise_constant_reconstruction(self):
+        stream = [(0.0, 1.0), (1.0, 1.2), (2.0, 5.0), (3.0, 5.2)]
+        result = CacheFilter(0.5).process(stream)
+        approx = reconstruct(result)
+        assert approx.value_at(0.5)[0] == pytest.approx(1.0)
+        assert approx.value_at(2.5)[0] == pytest.approx(5.0)
+
+    def test_compression_never_below_one(self, sst_signal):
+        times, values = sst_signal
+        result = CacheFilter(0.004).process(zip(times, values))
+        assert result.compression_ratio >= 1.0

@@ -1,0 +1,128 @@
+"""Tests for the command-line interface."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.random_walk import RandomWalkConfig, random_walk
+
+
+def write_csv(path, times, values):
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["t", "x"])
+        for t, x in zip(times, values):
+            writer.writerow([t, x])
+
+
+@pytest.fixture
+def csv_workload(tmp_path):
+    times, values = random_walk(RandomWalkConfig(length=300, max_delta=0.5, seed=33))
+    path = tmp_path / "signal.csv"
+    write_csv(path, times, values)
+    return path, times, values
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compress_requires_precision(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compress", "--dataset", "sst"])
+
+    def test_workload_is_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["compress", "--dataset", "sst", "--input", "x.csv", "--epsilon", "1"]
+            )
+
+
+class TestCommands:
+    def test_filters_command(self, capsys):
+        assert main(["filters"]) == 0
+        output = capsys.readouterr().out
+        for name in ("cache", "linear", "swing", "slide"):
+            assert name in output
+
+    def test_datasets_command(self, capsys):
+        assert main(["datasets"]) == 0
+        assert "sst" in capsys.readouterr().out
+
+    def test_compress_dataset(self, capsys, tmp_path):
+        output_path = tmp_path / "recordings.csv"
+        code = main(
+            [
+                "compress",
+                "--dataset",
+                "sst",
+                "--filter",
+                "swing",
+                "--precision-percent",
+                "1",
+                "-o",
+                str(output_path),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "compression ratio" in output
+        rows = list(csv.reader(open(output_path)))
+        assert rows[0] == ["kind", "time", "x1"]
+        assert len(rows) > 2
+
+    def test_compress_csv_input(self, capsys, csv_workload):
+        path, _, _ = csv_workload
+        code = main(["compress", "--input", str(path), "--filter", "slide", "--epsilon", "0.5"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "recordings" in output
+
+    def test_compress_with_max_lag(self, capsys, csv_workload):
+        path, _, _ = csv_workload
+        code = main(
+            [
+                "compress",
+                "--input",
+                str(path),
+                "--filter",
+                "swing",
+                "--epsilon",
+                "0.5",
+                "--max-lag",
+                "20",
+            ]
+        )
+        assert code == 0
+
+    def test_evaluate_command(self, capsys, csv_workload):
+        path, _, _ = csv_workload
+        code = main(["evaluate", "--input", str(path), "--epsilon", "0.5"])
+        assert code == 0
+        output = capsys.readouterr().out
+        for name in ("cache", "linear", "swing", "slide"):
+            assert name in output
+
+    def test_evaluate_filter_subset(self, capsys, csv_workload):
+        path, _, _ = csv_workload
+        code = main(
+            ["evaluate", "--input", str(path), "--epsilon", "0.5", "--filters", "swing", "slide"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "swing" in output
+        assert "cache" not in output.replace("cache-", "")
+
+    def test_empty_csv_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("t,x\n")
+        with pytest.raises(SystemExit):
+            main(["compress", "--input", str(path), "--epsilon", "0.5"])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0

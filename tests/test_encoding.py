@@ -1,0 +1,78 @@
+"""Tests for the binary recording codec."""
+
+import numpy as np
+import pytest
+
+from repro.approximation.encoding import (
+    byte_compression_ratio,
+    decode_recordings,
+    encode_recordings,
+    encoded_size_bytes,
+    raw_size_bytes,
+)
+from repro.core.swing import SwingFilter
+from repro.core.types import Recording, RecordingKind
+
+
+class TestRoundTrip:
+    def test_empty(self):
+        payload = encode_recordings([])
+        assert decode_recordings(payload) == []
+
+    def test_single_recording(self):
+        original = [Recording(1.5, [2.0, 3.0], RecordingKind.SEGMENT_START)]
+        decoded = decode_recordings(encode_recordings(original))
+        assert len(decoded) == 1
+        assert decoded[0].time == 1.5
+        assert decoded[0].kind is RecordingKind.SEGMENT_START
+        assert np.allclose(decoded[0].value, [2.0, 3.0])
+
+    def test_all_kinds_round_trip(self):
+        original = [
+            Recording(0.0, 1.0, RecordingKind.SEGMENT_START),
+            Recording(1.0, 2.0, RecordingKind.SEGMENT_END),
+            Recording(2.0, 3.0, RecordingKind.HOLD),
+        ]
+        decoded = decode_recordings(encode_recordings(original))
+        assert [r.kind for r in decoded] == [r.kind for r in original]
+        assert [r.time for r in decoded] == [0.0, 1.0, 2.0]
+
+    def test_filter_result_round_trip(self):
+        result = SwingFilter(0.5).process([(float(t), float(t) * 0.1) for t in range(50)])
+        decoded = decode_recordings(encode_recordings(result))
+        assert len(decoded) == result.recording_count
+        for a, b in zip(decoded, result.recordings):
+            assert a.time == b.time
+            assert np.allclose(a.value, b.value)
+
+    def test_mixed_dimensions_rejected(self):
+        records = [
+            Recording(0.0, 1.0, RecordingKind.HOLD),
+            Recording(1.0, [1.0, 2.0], RecordingKind.HOLD),
+        ]
+        with pytest.raises(ValueError):
+            encode_recordings(records)
+
+
+class TestSizes:
+    def test_encoded_size_grows_with_recordings(self):
+        one = encoded_size_bytes([Recording(0.0, 1.0, RecordingKind.HOLD)])
+        two = encoded_size_bytes(
+            [Recording(0.0, 1.0, RecordingKind.HOLD), Recording(1.0, 2.0, RecordingKind.HOLD)]
+        )
+        assert two > one
+
+    def test_raw_size(self):
+        assert raw_size_bytes(10, 1) == 10 * 16
+        assert raw_size_bytes(10, 3) == 10 * 32
+
+    def test_raw_size_validation(self):
+        with pytest.raises(ValueError):
+            raw_size_bytes(-1, 1)
+
+    def test_byte_compression_ratio_greater_than_one_for_compressible_signal(self):
+        times = np.arange(200.0)
+        values = 0.5 * times
+        result = SwingFilter(0.1).process(zip(times, values))
+        ratio = byte_compression_ratio(result, point_count=200, dimensions=1)
+        assert ratio > 10.0

@@ -1,0 +1,103 @@
+"""Unit tests for :mod:`repro.core.epsilon`."""
+
+import numpy as np
+import pytest
+
+from repro.core.epsilon import ErrorBound, epsilon_from_percent
+from repro.core.errors import InvalidPrecisionError
+
+
+class TestErrorBound:
+    def test_uniform(self):
+        bound = ErrorBound.uniform(0.5, dimensions=3)
+        assert bound.dimensions == 3
+        assert list(bound) == [0.5, 0.5, 0.5]
+
+    def test_of_scalar_broadcast(self):
+        bound = ErrorBound.of(1.5, dimensions=4)
+        assert bound.dimensions == 4
+        assert bound.component(3) == 1.5
+
+    def test_of_vector_checked(self):
+        bound = ErrorBound.of([1.0, 2.0], dimensions=2)
+        assert bound.component(1) == 2.0
+        with pytest.raises(InvalidPrecisionError):
+            ErrorBound.of([1.0, 2.0], dimensions=3)
+
+    def test_of_passthrough(self):
+        original = ErrorBound.uniform(0.1, 2)
+        assert ErrorBound.of(original, 2) is original
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidPrecisionError):
+            ErrorBound(np.array([-0.1]))
+
+    def test_nan_rejected(self):
+        with pytest.raises(InvalidPrecisionError):
+            ErrorBound(np.array([float("nan")]))
+
+    def test_infinite_rejected(self):
+        with pytest.raises(InvalidPrecisionError):
+            ErrorBound(np.array([float("inf")]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidPrecisionError):
+            ErrorBound(np.array([]))
+
+    def test_zero_allowed(self):
+        bound = ErrorBound.uniform(0.0, 1)
+        assert bound.component(0) == 0.0
+
+    def test_matrix_rejected(self):
+        with pytest.raises(InvalidPrecisionError):
+            ErrorBound(np.ones((2, 2)))
+
+    def test_zero_dimensions_rejected(self):
+        with pytest.raises(InvalidPrecisionError):
+            ErrorBound.uniform(1.0, dimensions=0)
+
+    def test_satisfied_by(self):
+        bound = ErrorBound(np.array([1.0, 2.0]))
+        assert bound.satisfied_by(np.array([0.5, -1.5]))
+        assert not bound.satisfied_by(np.array([1.5, 0.0]))
+        assert bound.satisfied_by(np.array([1.5, 0.0]), slack=0.6)
+
+    def test_as_array_is_copy(self):
+        bound = ErrorBound.uniform(1.0, 2)
+        array = bound.as_array()
+        array[0] = 99.0
+        assert bound.component(0) == 1.0
+
+    def test_len(self):
+        assert len(ErrorBound.uniform(1.0, 5)) == 5
+
+
+class TestFromPercent:
+    def test_from_percent_of_range_single_dimension(self):
+        values = np.array([0.0, 10.0, 5.0])
+        bound = ErrorBound.from_percent_of_range(10.0, values)
+        assert bound.component(0) == pytest.approx(1.0)
+
+    def test_from_percent_of_range_per_dimension(self):
+        values = np.array([[0.0, 0.0], [10.0, 100.0]])
+        bound = ErrorBound.from_percent_of_range(1.0, values)
+        assert bound.component(0) == pytest.approx(0.1)
+        assert bound.component(1) == pytest.approx(1.0)
+
+    def test_from_percent_global_range(self):
+        values = np.array([[0.0, 0.0], [10.0, 100.0]])
+        bound = ErrorBound.from_percent_of_range(1.0, values, per_dimension=False)
+        assert bound.component(0) == pytest.approx(1.0)
+        assert bound.component(1) == pytest.approx(1.0)
+
+    def test_from_percent_empty_rejected(self):
+        with pytest.raises(InvalidPrecisionError):
+            ErrorBound.from_percent_of_range(1.0, np.array([]))
+
+    def test_epsilon_from_percent_helper(self):
+        values = [20.5, 24.5]
+        assert epsilon_from_percent(10.0, values) == pytest.approx(0.4)
+
+    def test_epsilon_from_percent_empty(self):
+        with pytest.raises(InvalidPrecisionError):
+            epsilon_from_percent(1.0, [])

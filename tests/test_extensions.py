@@ -1,0 +1,163 @@
+"""Tests for the related-work baselines (Kalman, SWAB, optimal PCA)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import MidrangeCacheFilter
+from repro.data.patterns import ramp_signal, sine_signal, step_signal
+from repro.data.random_walk import RandomWalkConfig, random_walk
+from repro.extensions.kalman import KalmanFilterPredictor
+from repro.extensions.optimal_pca import optimal_piecewise_constant, optimal_segment_count
+from repro.extensions.swab import bottom_up_segments, swab_segments
+
+from conftest import assert_within_bound
+
+
+class TestKalmanPredictor:
+    def test_error_bound_on_random_walk(self, smooth_walk):
+        times, values = smooth_walk
+        epsilon = 0.5
+        result = KalmanFilterPredictor(epsilon).process(zip(times, values))
+        assert_within_bound(result, times, values, epsilon)
+
+    def test_error_bound_on_noisy_walk(self, noisy_walk):
+        times, values = noisy_walk
+        epsilon = 1.0
+        result = KalmanFilterPredictor(epsilon).process(zip(times, values))
+        assert_within_bound(result, times, values, epsilon)
+
+    def test_tracks_linear_trend_cheaply(self):
+        times, values = ramp_signal(length=300, slope=0.5)
+        result = KalmanFilterPredictor(0.5).process(zip(times, values))
+        # After locking onto the constant velocity the predictor should stop
+        # transmitting; expect far fewer recordings than points.
+        assert result.recording_count < 60
+
+    def test_worse_than_slide_on_irregular_signal(self, noisy_walk):
+        from repro.core.slide import SlideFilter
+
+        times, values = noisy_walk
+        epsilon = 1.0
+        kalman = KalmanFilterPredictor(epsilon).process(zip(times, values))
+        slide = SlideFilter(epsilon).process(zip(times, values))
+        assert slide.recording_count <= kalman.recording_count
+
+    def test_multidimensional(self):
+        rng = np.random.default_rng(3)
+        times = np.arange(200.0)
+        values = np.cumsum(rng.normal(0, 0.3, (200, 2)), axis=0)
+        epsilon = 0.5
+        result = KalmanFilterPredictor(epsilon).process(zip(times, values))
+        assert_within_bound(result, times, values, epsilon)
+
+    def test_predicted_value_property(self):
+        kalman = KalmanFilterPredictor(0.5)
+        assert kalman.predicted_value is None
+        kalman.feed(0.0, 2.0)
+        assert kalman.predicted_value[0] == pytest.approx(2.0)
+
+    def test_noise_validation(self):
+        with pytest.raises(ValueError):
+            KalmanFilterPredictor(0.5, process_noise=0.0)
+        with pytest.raises(ValueError):
+            KalmanFilterPredictor(0.5, measurement_noise=-1.0)
+
+    def test_single_point(self):
+        result = KalmanFilterPredictor(0.5).process([(0.0, 1.0)])
+        assert result.recording_count == 1
+
+
+class TestOptimalPiecewiseConstant:
+    def test_constant_signal_single_segment(self):
+        segments = optimal_piecewise_constant(np.ones(50), 0.1)
+        assert len(segments) == 1
+        assert segments[0].length == 50
+
+    def test_step_signal_two_segments(self):
+        _, values = step_signal(length=60, low=0.0, high=10.0)
+        assert optimal_segment_count(values, 1.0) == 2
+
+    def test_segments_respect_bound(self):
+        rng = np.random.default_rng(0)
+        values = np.cumsum(rng.normal(0, 0.4, 500))
+        epsilon = 0.6
+        segments = optimal_piecewise_constant(values, epsilon)
+        for segment in segments:
+            chunk = values[segment.start_index : segment.end_index + 1]
+            assert np.all(np.abs(chunk - segment.value[0]) <= epsilon + 1e-12)
+
+    def test_segments_are_contiguous_partition(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(0, 1, 200)
+        segments = optimal_piecewise_constant(values, 0.5)
+        assert segments[0].start_index == 0
+        assert segments[-1].end_index == 199
+        for left, right in zip(segments, segments[1:]):
+            assert right.start_index == left.end_index + 1
+
+    def test_midrange_cache_filter_is_optimal(self):
+        """The online midrange cache filter matches the offline optimum [18]."""
+        rng = np.random.default_rng(2)
+        values = np.cumsum(rng.normal(0, 0.5, 800))
+        times = np.arange(800.0)
+        epsilon = 0.75
+        online = MidrangeCacheFilter(epsilon).process(zip(times, values))
+        offline = optimal_segment_count(values, epsilon)
+        assert online.recording_count == offline
+
+    def test_multidimensional_bound(self):
+        # Dimension 2 forces the breaks (spread 3 > 2·ε) while dimension 1
+        # alone would fit in a single segment.
+        values = np.array([[0.0, 0.0], [0.5, 3.0], [1.0, 0.0]])
+        segments = optimal_piecewise_constant(values, [1.0, 1.0])
+        assert len(segments) == 3
+        assert optimal_segment_count(values[:, 0], 1.0) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            optimal_piecewise_constant(np.array([]), 0.5)
+
+    def test_epsilon_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            optimal_piecewise_constant(np.zeros((5, 2)), [1.0, 2.0, 3.0])
+
+
+class TestSwab:
+    def test_straight_line_single_segment(self):
+        times, values = ramp_signal(length=40, slope=1.0)
+        segments = bottom_up_segments(times, values, epsilon=0.01)
+        assert len(segments) == 1
+        assert segments[0].length == 40
+
+    def test_segments_partition_signal(self):
+        times, values = sine_signal(length=300, amplitude=5.0, period=60.0)
+        segments = bottom_up_segments(times, values, epsilon=0.5)
+        assert segments[0].start_index == 0
+        assert segments[-1].end_index == 299
+        for left, right in zip(segments, segments[1:]):
+            assert right.start_index == left.end_index + 1
+
+    def test_smaller_epsilon_needs_more_segments(self):
+        times, values = sine_signal(length=300, amplitude=5.0, period=60.0)
+        coarse = bottom_up_segments(times, values, epsilon=1.0)
+        fine = bottom_up_segments(times, values, epsilon=0.1)
+        assert len(fine) >= len(coarse)
+
+    def test_swab_covers_signal(self):
+        times, values = random_walk(RandomWalkConfig(length=400, max_delta=0.5, seed=9))
+        segments = swab_segments(times, values, epsilon=0.5, buffer_size=80)
+        assert segments[0].start_index == 0
+        assert segments[-1].end_index == 399
+
+    def test_swab_validation(self):
+        with pytest.raises(ValueError):
+            swab_segments([0.0], [1.0], epsilon=0.5, buffer_size=1)
+        with pytest.raises(ValueError):
+            bottom_up_segments([], [], epsilon=0.5)
+        with pytest.raises(ValueError):
+            bottom_up_segments([0.0], [1.0], epsilon=-1.0)
+
+    def test_single_point(self):
+        segments = bottom_up_segments([0.0], [5.0], epsilon=0.5)
+        assert len(segments) == 1
+        assert segments[0].length == 1

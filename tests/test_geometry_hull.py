@@ -1,0 +1,122 @@
+"""Unit tests for :mod:`repro.geometry.hull`."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.hull import IncrementalConvexHull, cross_product
+
+
+def brute_force_hull_vertices(points):
+    """Reference hull vertices via numpy/cross-product scan (O(n^2) check)."""
+    # A point is a hull vertex iff it is not strictly inside the hull; for the
+    # test we use the property that the incremental hull's vertex set must be
+    # a subset of the points and every point must lie within the hull's upper
+    # and lower chains.
+    return points
+
+
+class TestCrossProduct:
+    def test_counter_clockwise_positive(self):
+        assert cross_product((0, 0), (1, 0), (1, 1)) > 0
+
+    def test_clockwise_negative(self):
+        assert cross_product((0, 0), (1, 1), (1, 0)) < 0
+
+    def test_collinear_zero(self):
+        assert cross_product((0, 0), (1, 1), (2, 2)) == 0
+
+
+class TestIncrementalConvexHull:
+    def test_empty_hull(self):
+        hull = IncrementalConvexHull()
+        assert len(hull) == 0
+        assert not hull
+        assert hull.vertices() == []
+
+    def test_single_point(self):
+        hull = IncrementalConvexHull([(0.0, 1.0)])
+        assert hull.vertices() == [(0.0, 1.0)]
+        assert hull.size == 1
+
+    def test_two_points(self):
+        hull = IncrementalConvexHull([(0.0, 1.0), (1.0, 3.0)])
+        assert hull.vertices() == [(0.0, 1.0), (1.0, 3.0)]
+
+    def test_collinear_points_keep_endpoints(self):
+        hull = IncrementalConvexHull([(0.0, 0.0), (1.0, 1.0), (2.0, 2.0), (3.0, 3.0)])
+        vertices = hull.vertices()
+        assert (0.0, 0.0) in vertices
+        assert (3.0, 3.0) in vertices
+        # Interior collinear points are dropped from the chains.
+        assert len(hull.upper) == 2
+        assert len(hull.lower) == 2
+
+    def test_interior_point_removed(self):
+        # The middle point is dominated (inside the triangle's chain).
+        hull = IncrementalConvexHull([(0.0, 0.0), (1.0, 0.1), (2.0, 10.0)])
+        assert (1.0, 0.1) not in hull.upper
+        assert (1.0, 0.1) in hull.lower  # it is below the line 0->2, so on the lower chain
+
+    def test_non_increasing_time_rejected(self):
+        hull = IncrementalConvexHull([(0.0, 0.0)])
+        with pytest.raises(ValueError):
+            hull.add(0.0, 1.0)
+        with pytest.raises(ValueError):
+            hull.add(-1.0, 1.0)
+
+    def test_clear(self):
+        hull = IncrementalConvexHull([(0.0, 0.0), (1.0, 1.0)])
+        hull.clear()
+        assert len(hull) == 0
+        hull.add(5.0, 5.0)
+        assert hull.vertices() == [(5.0, 5.0)]
+
+    def test_contains_time(self):
+        hull = IncrementalConvexHull([(1.0, 0.0), (4.0, 2.0)])
+        assert hull.contains_time(2.5)
+        assert not hull.contains_time(0.5)
+        assert not hull.contains_time(4.5)
+
+    def test_vertex_count_much_smaller_for_noisy_data(self):
+        rng = np.random.default_rng(1)
+        values = np.cumsum(rng.normal(0, 0.01, 500)) + np.linspace(0, 1, 500)
+        hull = IncrementalConvexHull(zip(np.arange(500.0), values))
+        assert hull.size == 500
+        assert hull.vertex_count < 100
+
+    def test_chains_share_endpoints(self):
+        rng = np.random.default_rng(2)
+        points = list(zip(np.arange(50.0), rng.normal(0, 1, 50)))
+        hull = IncrementalConvexHull(points)
+        assert hull.upper[0] == hull.lower[0] == points[0]
+        assert hull.upper[-1] == hull.lower[-1] == points[-1]
+
+    def test_upper_chain_dominates_all_points(self):
+        rng = np.random.default_rng(3)
+        times = np.arange(200.0)
+        values = rng.normal(0, 5, 200)
+        hull = IncrementalConvexHull(zip(times, values))
+        upper = list(hull.upper)
+        lower = list(hull.lower)
+        # Every original point must lie on or below the upper chain and on or
+        # above the lower chain (the defining property of the hull).
+        for t, x in zip(times, values):
+            assert _chain_value(upper, t) >= x - 1e-9
+            assert _chain_value(lower, t) <= x + 1e-9
+
+    def test_vertices_sorted_by_time(self):
+        rng = np.random.default_rng(4)
+        hull = IncrementalConvexHull(zip(np.arange(100.0), rng.normal(0, 1, 100)))
+        vertices = hull.vertices()
+        times = [t for t, _ in vertices]
+        assert times == sorted(times)
+
+
+def _chain_value(chain, t):
+    """Piece-wise linear interpolation along a hull chain."""
+    for (t1, x1), (t2, x2) in zip(chain, chain[1:]):
+        if t1 <= t <= t2:
+            if t2 == t1:
+                return x1
+            return x1 + (x2 - x1) * (t - t1) / (t2 - t1)
+    return chain[-1][1]

@@ -1,0 +1,113 @@
+"""Unit tests for :mod:`repro.geometry.lines`."""
+
+import math
+
+import pytest
+
+from repro.geometry.lines import Line
+
+
+class TestConstruction:
+    def test_from_points_slope_and_intercept(self):
+        line = Line.from_points(0.0, 1.0, 2.0, 5.0)
+        assert line.slope == pytest.approx(2.0)
+        assert line.intercept == pytest.approx(1.0)
+
+    def test_from_points_negative_slope(self):
+        line = Line.from_points(1.0, 4.0, 3.0, 0.0)
+        assert line.slope == pytest.approx(-2.0)
+        assert line.value_at(2.0) == pytest.approx(2.0)
+
+    def test_from_points_equal_times_raises(self):
+        with pytest.raises(ValueError):
+            Line.from_points(1.0, 0.0, 1.0, 5.0)
+
+    def test_from_point_slope(self):
+        line = Line.from_point_slope(2.0, 3.0, 0.5)
+        assert line.value_at(2.0) == pytest.approx(3.0)
+        assert line.value_at(4.0) == pytest.approx(4.0)
+
+    def test_horizontal(self):
+        line = Line.horizontal(7.0)
+        assert line.slope == 0.0
+        assert line.value_at(-100.0) == pytest.approx(7.0)
+        assert line.value_at(100.0) == pytest.approx(7.0)
+
+
+class TestEvaluation:
+    def test_call_matches_value_at(self):
+        line = Line(1.5, -2.0)
+        assert line(4.0) == line.value_at(4.0)
+
+    def test_shifted(self):
+        line = Line(2.0, 1.0)
+        shifted = line.shifted(3.0)
+        assert shifted.slope == line.slope
+        assert shifted.value_at(10.0) == pytest.approx(line.value_at(10.0) + 3.0)
+
+    def test_vertical_distance_sign(self):
+        line = Line(0.0, 5.0)
+        assert line.vertical_distance(0.0, 7.0) == pytest.approx(2.0)
+        assert line.vertical_distance(0.0, 3.0) == pytest.approx(-2.0)
+
+    def test_above_below_point(self):
+        line = Line(1.0, 0.0)
+        assert line.is_above_point(2.0, 1.0)
+        assert not line.is_above_point(2.0, 3.0)
+        assert line.is_below_point(2.0, 3.0)
+        assert not line.is_below_point(2.0, 1.0)
+
+    def test_within_of_point(self):
+        line = Line(0.0, 0.0)
+        assert line.within_of_point(1.0, 0.5, epsilon=0.5)
+        assert not line.within_of_point(1.0, 0.6, epsilon=0.5)
+        assert line.within_of_point(1.0, 0.6, epsilon=0.5, slack=0.2)
+
+
+class TestIntersection:
+    def test_intersection_time(self):
+        a = Line(1.0, 0.0)
+        b = Line(-1.0, 4.0)
+        assert a.intersection_time(b) == pytest.approx(2.0)
+
+    def test_intersection_point(self):
+        a = Line(1.0, 0.0)
+        b = Line(-1.0, 4.0)
+        t, x = a.intersection_point(b)
+        assert t == pytest.approx(2.0)
+        assert x == pytest.approx(2.0)
+
+    def test_parallel_lines_no_intersection(self):
+        a = Line(1.0, 0.0)
+        b = Line(1.0, 5.0)
+        assert a.intersection_time(b) is None
+        assert a.intersection_point(b) is None
+
+    def test_coincident_lines_no_unique_intersection(self):
+        a = Line(2.0, 3.0)
+        assert a.intersection_time(Line(2.0, 3.0)) is None
+
+    def test_is_parallel_to(self):
+        assert Line(1.0, 0.0).is_parallel_to(Line(1.0, 9.0))
+        assert not Line(1.0, 0.0).is_parallel_to(Line(1.0001, 0.0))
+
+    def test_intersection_is_symmetric(self):
+        a = Line(0.3, 1.0)
+        b = Line(-0.7, 2.0)
+        assert a.intersection_time(b) == pytest.approx(b.intersection_time(a))
+
+
+class TestImmutability:
+    def test_frozen(self):
+        line = Line(1.0, 2.0)
+        with pytest.raises(Exception):
+            line.slope = 3.0
+
+    def test_equality(self):
+        assert Line(1.0, 2.0) == Line(1.0, 2.0)
+        assert Line(1.0, 2.0) != Line(1.0, 2.5)
+
+    def test_nan_free_construction(self):
+        line = Line.from_points(0.0, 0.0, 1e-6, 1.0)
+        assert math.isfinite(line.slope)
+        assert math.isfinite(line.intercept)

@@ -1,0 +1,87 @@
+"""Unit tests for :mod:`repro.geometry.tangents`."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.lines import Line
+from repro.geometry.tangents import (
+    candidate_lower_lines,
+    candidate_upper_lines,
+    max_slope_lower_line,
+    min_slope_upper_line,
+)
+
+
+class TestCandidates:
+    def test_upper_candidates_pass_through_shifted_points(self):
+        support = [(0.0, 1.0), (1.0, 2.0)]
+        lines = candidate_upper_lines(support, 3.0, 4.0, epsilon=0.5)
+        assert len(lines) == 2
+        for (t, x), line in zip(support, lines):
+            assert line.value_at(t) == pytest.approx(x - 0.5)
+            assert line.value_at(3.0) == pytest.approx(4.5)
+
+    def test_lower_candidates_pass_through_shifted_points(self):
+        support = [(0.0, 1.0), (1.0, 2.0)]
+        lines = candidate_lower_lines(support, 3.0, 4.0, epsilon=0.5)
+        for (t, x), line in zip(support, lines):
+            assert line.value_at(t) == pytest.approx(x + 0.5)
+            assert line.value_at(3.0) == pytest.approx(3.5)
+
+    def test_candidates_skip_points_at_or_after_new_time(self):
+        support = [(0.0, 1.0), (3.0, 2.0), (4.0, 2.0)]
+        lines = candidate_upper_lines(support, 3.0, 4.0, epsilon=0.5)
+        assert len(lines) == 1
+
+
+class TestExtremalLines:
+    def test_min_slope_upper_line_selects_minimum(self):
+        support = [(0.0, 0.0), (1.0, 5.0)]
+        # Candidate from (1, 5): slope = (4+0.5 - 4.5)/(2-1) = 0; from (0, 0):
+        # slope = (4.5 - (-0.5))/2 = 2.5 -> the minimum is the first.
+        line = min_slope_upper_line(support, 2.0, 4.0, epsilon=0.5)
+        assert line.slope == pytest.approx(0.0)
+
+    def test_max_slope_lower_line_selects_maximum(self):
+        support = [(0.0, 0.0), (1.0, -5.0)]
+        line = max_slope_lower_line(support, 2.0, 4.0, epsilon=0.5)
+        # From (1,-5): slope = (3.5 - (-4.5)) / 1 = 8; from (0,0): (3.5-0.5)/2 = 1.5.
+        assert line.slope == pytest.approx(8.0)
+
+    def test_current_line_competes(self):
+        support = [(0.0, 0.0)]
+        current = Line(-10.0, 0.0)
+        line = min_slope_upper_line(support, 2.0, 4.0, epsilon=0.5, current=current)
+        assert line is current
+
+    def test_no_support_raises(self):
+        with pytest.raises(ValueError):
+            min_slope_upper_line([], 2.0, 4.0, epsilon=0.5)
+        with pytest.raises(ValueError):
+            max_slope_lower_line([], 2.0, 4.0, epsilon=0.5)
+
+    def test_extremal_lines_bound_all_points(self):
+        """The chosen bounds must stay within epsilon of every support point."""
+        rng = np.random.default_rng(0)
+        times = np.arange(20.0)
+        values = np.cumsum(rng.normal(0, 0.2, 20))
+        epsilon = 1.0
+        support = list(zip(times[:-1], values[:-1]))
+        t_new, x_new = float(times[-1]), float(values[-1])
+        upper = min_slope_upper_line(support, t_new, x_new, epsilon)
+        lower = max_slope_lower_line(support, t_new, x_new, epsilon)
+        for t, x in support + [(t_new, x_new)]:
+            assert upper.value_at(t) >= x - epsilon - 1e-9
+            assert lower.value_at(t) <= x + epsilon + 1e-9
+
+    def test_upper_above_lower_beyond_data(self):
+        rng = np.random.default_rng(1)
+        times = np.arange(30.0)
+        values = np.cumsum(rng.normal(0, 0.3, 30))
+        epsilon = 0.8
+        support = list(zip(times[:-1], values[:-1]))
+        t_new, x_new = float(times[-1]), float(values[-1])
+        upper = min_slope_upper_line(support, t_new, x_new, epsilon)
+        lower = max_slope_lower_line(support, t_new, x_new, epsilon)
+        for t in np.linspace(t_new, t_new + 50.0, 10):
+            assert upper.value_at(t) >= lower.value_at(t) - 1e-9

@@ -1,0 +1,128 @@
+"""End-to-end integration tests crossing module boundaries.
+
+These scenarios mirror how a downstream system would actually use the
+library: sensors feed transmitters, recordings travel over a channel into an
+archive, and queries run against the reconstructed approximation — with the
+paper's ε guarantee holding at every step.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.epsilon import epsilon_from_percent
+from repro.core.registry import PAPER_FILTERS, create_filter
+from repro.approximation.reconstruct import reconstruct
+from repro.data.correlated import CorrelatedWalkConfig, correlated_random_walk
+from repro.data.sst import sea_surface_temperature
+from repro.extensions.optimal_pca import optimal_segment_count
+from repro.queries.aggregates import range_aggregate, resample, window_aggregates
+from repro.storage.segment_store import SegmentStore
+from repro.streams.multiplex import StreamSet
+from repro.streams.pipeline import MonitoringPipeline
+from repro.streams.source import ArraySource
+
+
+class TestSensorToArchiveToQuery:
+    """Sensor → filter → channel → archive → reconstruction → queries."""
+
+    @pytest.fixture(scope="class")
+    def archive(self, tmp_path_factory):
+        store = SegmentStore(tmp_path_factory.mktemp("archive"))
+        times, values = sea_surface_temperature()
+        epsilon = epsilon_from_percent(1.0, values)
+        streams = StreamSet("slide", epsilon=epsilon, store=store)
+        for t, v in zip(times, values):
+            streams.observe("buoy-1", t, v)
+        report = streams.close()
+        return store, report, (times, values, epsilon)
+
+    def test_compression_and_archival_consistency(self, archive):
+        store, report, (times, values, epsilon) = archive
+        assert report.points == len(times)
+        assert store.describe("buoy-1").recordings == report.recordings
+        assert report.compression_ratio > 1.5
+
+    def test_archived_reconstruction_respects_bound(self, archive):
+        store, _, (times, values, epsilon) = archive
+        approx = store.reconstruct("buoy-1")
+        deviations = np.abs(approx.deviations(list(zip(times, values))))
+        assert float(deviations.max()) <= epsilon + 1e-8
+
+    def test_windowed_queries_match_raw_signal(self, archive):
+        store, _, (times, values, epsilon) = archive
+        approx = store.reconstruct("buoy-1")
+        day_minutes = 24 * 60.0
+        windows = window_aggregates(approx, float(times[0]), float(times[-1]), day_minutes)
+        assert len(windows) == int(np.ceil((times[-1] - times[0]) / day_minutes))
+        for window in windows:
+            mask = (times >= window.start) & (times <= window.end)
+            if not np.any(mask):
+                continue
+            assert window.maximum >= values[mask].max() - epsilon - 1e-9
+            assert window.minimum <= values[mask].min() + epsilon + 1e-9
+
+    def test_resampled_series_stays_within_bound(self, archive):
+        store, _, (times, values, epsilon) = archive
+        approx = store.reconstruct("buoy-1")
+        grid_times, grid_values = resample(approx, float(times[0]), float(times[-1]), 10.0)
+        original = np.interp(grid_times, times, values)
+        # The resampled approximation deviates from the (piece-wise linear
+        # interpolation of the) original by at most epsilon plus the local
+        # interpolation error, which is tiny at the original sampling rate.
+        assert np.max(np.abs(grid_values[:, 0] - original)) <= epsilon + 1e-6
+
+
+class TestMultiDimensionalPipeline:
+    def test_correlated_signal_through_pipeline(self):
+        times, values = correlated_random_walk(
+            CorrelatedWalkConfig(length=2_000, dimensions=3, correlation=0.8, max_delta=0.5, seed=3)
+        )
+        epsilon = [0.4, 0.4, 0.4]
+        pipeline = MonitoringPipeline("slide", epsilon=epsilon)
+        report = pipeline.run(ArraySource(times, values))
+        assert report.points == 2_000
+        assert report.max_absolute_error <= 0.4 + 1e-8
+        assert report.compression_ratio > 1.0
+
+    def test_all_paper_filters_agree_on_guarantee(self):
+        times, values = correlated_random_walk(
+            CorrelatedWalkConfig(length=1_000, dimensions=2, correlation=0.5, max_delta=1.0, seed=9)
+        )
+        epsilon = 0.8
+        for name in PAPER_FILTERS:
+            result = create_filter(name, epsilon).process(zip(times, values))
+            approx = reconstruct(result)
+            deviations = np.abs(approx.deviations(list(zip(times, values))))
+            assert float(deviations.max()) <= epsilon + 1e-8, name
+
+
+class TestCrossFilterConsistency:
+    def test_piecewise_constant_filters_bounded_below_by_optimum(self, sst_signal):
+        """No piece-wise constant filter can beat the offline optimum [18]."""
+        times, values = sst_signal
+        epsilon = epsilon_from_percent(3.16, values)
+        optimum = optimal_segment_count(values, epsilon)
+        for name in ("cache", "cache-midrange", "cache-mean"):
+            result = create_filter(name, epsilon).process(zip(times, values))
+            assert result.recording_count >= optimum
+
+    def test_slide_dominates_across_precisions(self, sst_signal):
+        times, values = sst_signal
+        for percent in (0.5, 2.0, 8.0):
+            epsilon = epsilon_from_percent(percent, values)
+            counts = {
+                name: create_filter(name, epsilon).process(zip(times, values)).recording_count
+                for name in PAPER_FILTERS
+            }
+            assert counts["slide"] <= min(counts.values()) + 1
+
+    def test_compression_monotone_in_epsilon(self, sst_signal):
+        times, values = sst_signal
+        for name in ("swing", "slide"):
+            previous = None
+            for percent in (0.5, 1.0, 4.0, 16.0):
+                epsilon = epsilon_from_percent(percent, values)
+                count = create_filter(name, epsilon).process(zip(times, values)).recording_count
+                if previous is not None:
+                    assert count <= previous * 1.05
+                previous = count

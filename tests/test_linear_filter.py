@@ -1,0 +1,116 @@
+"""Tests for the linear filters (connected and disconnected)."""
+
+import numpy as np
+import pytest
+
+from repro.approximation.reconstruct import reconstruct, segments_from_recordings
+from repro.core.linear import DisconnectedLinearFilter, LinearFilter
+from repro.data.patterns import ramp_signal, sawtooth_signal
+
+from conftest import assert_within_bound
+
+
+class TestConnectedLinear:
+    def test_ramp_needs_two_recordings(self):
+        times, values = ramp_signal(length=100, slope=0.5)
+        result = LinearFilter(0.01).process(zip(times, values))
+        assert result.recording_count == 2
+
+    def test_slope_fixed_by_first_two_points(self):
+        # The third point is within epsilon of the line through the first two,
+        # the fourth is not.
+        stream = [(0.0, 0.0), (1.0, 1.0), (2.0, 2.3), (3.0, 4.0)]
+        result = LinearFilter(0.5).process(stream)
+        assert result.recording_count == 3  # start, violation end, final end
+
+    def test_segments_are_connected(self, noisy_walk):
+        times, values = noisy_walk
+        result = LinearFilter(1.0).process(zip(times, values))
+        segments = segments_from_recordings(result)
+        assert all(segment.connected_to_previous for segment in segments[1:])
+
+    def test_error_bound_on_random_walk(self, noisy_walk):
+        times, values = noisy_walk
+        epsilon = 0.8
+        result = LinearFilter(epsilon).process(zip(times, values))
+        assert_within_bound(result, times, values, epsilon)
+
+    def test_error_bound_on_sawtooth(self):
+        times, values = sawtooth_signal(length=500, amplitude=5.0, period=50.0)
+        epsilon = 0.3
+        result = LinearFilter(epsilon).process(zip(times, values))
+        assert_within_bound(result, times, values, epsilon)
+
+    def test_single_point_stream(self):
+        result = LinearFilter(0.5).process([(0.0, 1.0)])
+        assert result.recording_count == 1
+        approx = reconstruct(result)
+        assert approx.value_at(0.0)[0] == pytest.approx(1.0)
+
+    def test_two_point_stream(self):
+        result = LinearFilter(0.5).process([(0.0, 1.0), (1.0, 2.0)])
+        assert result.recording_count == 2
+        approx = reconstruct(result)
+        assert approx.value_at(1.0)[0] == pytest.approx(2.0)
+
+    def test_multidimensional_error_bound(self):
+        rng = np.random.default_rng(0)
+        times = np.arange(300.0)
+        values = np.cumsum(rng.normal(0, 0.5, (300, 3)), axis=0)
+        epsilon = 0.6
+        result = LinearFilter(epsilon).process(zip(times, values))
+        assert_within_bound(result, times, values, epsilon)
+
+    def test_max_lag_limits_interval_length(self):
+        times, values = ramp_signal(length=100, slope=1.0)
+        bounded = LinearFilter(0.5, max_lag=10).process(zip(times, values))
+        unbounded = LinearFilter(0.5).process(zip(times, values))
+        assert bounded.recording_count > unbounded.recording_count
+        # With a lag bound of 10 points, gaps between recordings stay small.
+        gaps = np.diff([r.time for r in bounded.recordings])
+        assert np.max(gaps) <= 10.0
+
+
+class TestDisconnectedLinear:
+    def test_ramp_needs_two_recordings(self):
+        times, values = ramp_signal(length=100, slope=-0.25)
+        result = DisconnectedLinearFilter(0.01).process(zip(times, values))
+        assert result.recording_count == 2
+
+    def test_two_recordings_per_segment(self, noisy_walk):
+        times, values = noisy_walk
+        result = DisconnectedLinearFilter(1.0).process(zip(times, values))
+        segments = segments_from_recordings(result)
+        assert not any(segment.connected_to_previous for segment in segments)
+        positive = [s for s in segments if s.duration > 0.0]
+        degenerate = [s for s in segments if s.duration == 0.0]
+        assert result.recording_count == 2 * len(positive) + len(degenerate)
+
+    def test_error_bound(self, noisy_walk):
+        times, values = noisy_walk
+        epsilon = 0.7
+        result = DisconnectedLinearFilter(epsilon).process(zip(times, values))
+        assert_within_bound(result, times, values, epsilon)
+
+    def test_new_segment_starts_at_violating_point(self):
+        stream = [(0.0, 0.0), (1.0, 0.0), (2.0, 5.0), (3.0, 10.0)]
+        result = DisconnectedLinearFilter(0.5).process(stream)
+        start_times = [r.time for r in result.recordings if r.kind.value == "segment_start"]
+        assert 2.0 in start_times
+
+    def test_trailing_single_point_interval(self):
+        # The last point violates and the stream ends immediately: it becomes
+        # a degenerate (zero-length) segment.
+        stream = [(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 50.0)]
+        epsilon = 0.5
+        result = DisconnectedLinearFilter(epsilon).process(stream)
+        assert_within_bound(result, [t for t, _ in stream], [v for _, v in stream], epsilon)
+
+
+class TestComparative:
+    def test_connected_uses_fewer_recordings_than_disconnected(self, noisy_walk):
+        times, values = noisy_walk
+        epsilon = 1.0
+        connected = LinearFilter(epsilon).process(zip(times, values))
+        disconnected = DisconnectedLinearFilter(epsilon).process(zip(times, values))
+        assert connected.recording_count <= disconnected.recording_count

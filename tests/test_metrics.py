@@ -1,0 +1,129 @@
+"""Tests for the compression, error and timing metrics."""
+
+import numpy as np
+import pytest
+
+from repro.approximation.piecewise import PiecewiseLinearApproximation
+from repro.approximation.reconstruct import reconstruct
+from repro.core.swing import SwingFilter
+from repro.core.types import FilterResult, Recording, RecordingKind, Segment
+from repro.metrics.compression import (
+    compression_ratio,
+    independent_equivalent_ratio,
+    recordings_for_run,
+)
+from repro.metrics.error import (
+    average_error,
+    average_error_percent_of_range,
+    error_profile,
+    max_error,
+    signal_range,
+)
+from repro.metrics.timing import measure_filter_overhead
+
+
+def make_result(recordings, points):
+    return FilterResult(
+        recordings=[Recording(float(i), 0.0, RecordingKind.HOLD) for i in range(recordings)],
+        points_processed=points,
+        dimensions=1,
+    )
+
+
+class TestCompression:
+    def test_ratio_from_result(self):
+        assert compression_ratio(make_result(5, 50)) == 10.0
+
+    def test_ratio_from_count(self):
+        assert compression_ratio(4, point_count=40) == 10.0
+
+    def test_ratio_from_count_requires_points(self):
+        with pytest.raises(ValueError):
+            compression_ratio(4)
+
+    def test_zero_recordings(self):
+        assert compression_ratio(make_result(0, 10)) == float("inf")
+        assert compression_ratio(make_result(0, 0)) == 0.0
+
+    def test_recordings_for_run(self):
+        assert recordings_for_run(make_result(7, 70)) == 7
+        assert recordings_for_run(9) == 9
+
+    def test_independent_equivalent_ratio_matches_paper_example(self):
+        # Paper §5.4: 2.47 × (5+1)/(2·5) = 1.48 for a 5-dimensional signal.
+        assert independent_equivalent_ratio(2.47, 5) == pytest.approx(1.482, abs=1e-3)
+
+    def test_independent_equivalent_ratio_single_dimension_is_identity(self):
+        assert independent_equivalent_ratio(3.0, 1) == pytest.approx(3.0)
+
+    def test_independent_equivalent_ratio_validates_dimensions(self):
+        with pytest.raises(ValueError):
+            independent_equivalent_ratio(1.0, 0)
+
+
+class TestErrorMetrics:
+    def setup_method(self):
+        self.approx = PiecewiseLinearApproximation([Segment(0.0, [0.0], 10.0, [10.0])])
+        self.times = np.array([0.0, 5.0, 10.0])
+        self.values = np.array([1.0, 5.0, 9.0])
+
+    def test_signal_range(self):
+        assert signal_range(self.values) == pytest.approx(8.0)
+
+    def test_signal_range_empty(self):
+        with pytest.raises(ValueError):
+            signal_range(np.array([]))
+
+    def test_average_error(self):
+        assert average_error(self.approx, self.times, self.values) == pytest.approx(2.0 / 3.0)
+
+    def test_max_error(self):
+        assert max_error(self.approx, self.times, self.values) == pytest.approx(1.0)
+
+    def test_percent_of_range(self):
+        expected = 100.0 * (2.0 / 3.0) / 8.0
+        assert average_error_percent_of_range(self.approx, self.times, self.values) == pytest.approx(expected)
+
+    def test_error_profile(self):
+        profile = error_profile(self.approx, self.times, self.values)
+        assert profile.max_absolute == pytest.approx(1.0)
+        assert profile.mean_absolute == pytest.approx(2.0 / 3.0)
+        assert profile.root_mean_square >= profile.mean_absolute
+        assert profile.max_percent_of_range == pytest.approx(12.5)
+
+    def test_error_profile_constant_signal(self):
+        approx = PiecewiseLinearApproximation([Segment(0.0, [1.0], 1.0, [1.0])])
+        profile = error_profile(approx, [0.0, 1.0], [1.0, 1.0])
+        assert profile.mean_absolute == 0.0
+        assert profile.mean_percent_of_range == 0.0
+
+    def test_average_error_below_epsilon_for_real_filter(self, sst_signal):
+        times, values = sst_signal
+        epsilon = 0.2
+        result = SwingFilter(epsilon).process(zip(times, values))
+        approx = reconstruct(result)
+        assert average_error(approx, times, values) <= epsilon
+
+
+class TestTiming:
+    def test_measure_overhead_basic(self):
+        times = np.arange(300.0)
+        values = np.sin(times / 10.0)
+        timing = measure_filter_overhead(lambda: SwingFilter(0.05), times, values, repeats=1)
+        assert timing.points == 300
+        assert timing.microseconds_per_point >= 0.0
+        assert timing.filter_name == "swing"
+
+    def test_measure_overhead_validates_input(self):
+        with pytest.raises(ValueError):
+            measure_filter_overhead(lambda: SwingFilter(0.1), [], [], repeats=1)
+        with pytest.raises(ValueError):
+            measure_filter_overhead(lambda: SwingFilter(0.1), [0.0], [1.0], repeats=0)
+
+    def test_explicit_name_used(self):
+        times = np.arange(50.0)
+        values = np.zeros(50)
+        timing = measure_filter_overhead(
+            lambda: SwingFilter(0.1), times, values, repeats=1, filter_name="custom"
+        )
+        assert timing.filter_name == "custom"

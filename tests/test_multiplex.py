@@ -1,0 +1,104 @@
+"""Tests for the multi-stream fleet manager."""
+
+import numpy as np
+import pytest
+
+from repro.core.swing import SwingFilter
+from repro.data.random_walk import RandomWalkConfig, random_walk
+from repro.storage.segment_store import SegmentStore
+from repro.streams.multiplex import StreamSet
+
+
+def walk(seed, length=400):
+    return random_walk(RandomWalkConfig(length=length, max_delta=0.3, seed=seed))
+
+
+class TestStreamSet:
+    def test_requires_configuration(self):
+        with pytest.raises(ValueError):
+            StreamSet()
+        with pytest.raises(ValueError):
+            StreamSet(filter_name="slide")
+
+    def test_observe_routes_by_stream_name(self):
+        streams = StreamSet("swing", epsilon=0.5)
+        times_a, values_a = walk(1)
+        times_b, values_b = walk(2)
+        for t, a, b in zip(times_a, values_a, values_b):
+            streams.observe("sensor-a", t, a)
+            streams.observe("sensor-b", t, b)
+        report = streams.close()
+        assert report.streams == 2
+        assert report.points == 2 * len(times_a)
+        assert report.recordings >= 2
+        assert report.compression_ratio > 1.0
+        assert streams.stream_names() == ["sensor-a", "sensor-b"]
+
+    def test_error_bound_per_stream(self):
+        epsilon = 0.4
+        streams = StreamSet("slide", epsilon=epsilon)
+        data = {f"s{i}": walk(10 + i) for i in range(3)}
+        for name, (times, values) in data.items():
+            for t, v in zip(times, values):
+                streams.observe(name, t, v)
+        streams.close()
+        for name, (times, values) in data.items():
+            approx = streams.approximation(name)
+            deviations = np.abs(approx.deviations(list(zip(times, values))))
+            assert float(deviations.max()) <= epsilon + 1e-8
+
+    def test_unknown_stream_approximation(self):
+        streams = StreamSet("swing", epsilon=0.5)
+        with pytest.raises(KeyError):
+            streams.approximation("missing")
+
+    def test_observe_after_close_rejected(self):
+        streams = StreamSet("swing", epsilon=0.5)
+        streams.observe("a", 0.0, 1.0)
+        streams.close()
+        with pytest.raises(RuntimeError):
+            streams.observe("a", 1.0, 2.0)
+
+    def test_close_is_idempotent(self):
+        streams = StreamSet("swing", epsilon=0.5)
+        streams.observe("a", 0.0, 1.0)
+        first = streams.close()
+        second = streams.close()
+        assert first == second
+
+    def test_custom_filter_factory(self):
+        streams = StreamSet(filter_factory=lambda: SwingFilter(0.25, max_lag=50))
+        times, values = walk(5)
+        for t, v in zip(times, values):
+            streams.observe("only", t, v)
+        report = streams.close()
+        assert report.streams == 1
+        assert report.worst_lag <= 50
+
+    def test_archiving_into_segment_store(self, tmp_path):
+        store = SegmentStore(tmp_path / "archive")
+        epsilon = 0.5
+        streams = StreamSet("slide", epsilon=epsilon, store=store)
+        data = {f"s{i}": walk(20 + i, length=300) for i in range(2)}
+        for name, (times, values) in data.items():
+            for t, v in zip(times, values):
+                streams.observe(name, t, v)
+        report = streams.close()
+        # Everything that was transmitted is also archived.
+        assert sorted(store.stream_names()) == sorted(data)
+        archived = sum(store.describe(name).recordings for name in store.stream_names())
+        assert archived == report.recordings
+        # Archived data still honours the error bound.
+        for name, (times, values) in data.items():
+            approx = store.reconstruct(name)
+            deviations = np.abs(approx.deviations(list(zip(times, values))))
+            assert float(deviations.max()) <= epsilon + 1e-8
+
+    def test_report_before_close(self):
+        streams = StreamSet("swing", epsilon=0.5)
+        times, values = walk(7, length=100)
+        for t, v in zip(times, values):
+            streams.observe("a", t, v)
+        interim = streams.report()
+        assert interim.points == 100
+        assert interim.streams == 1

@@ -1,0 +1,125 @@
+"""Tests for the evaluable piece-wise approximations."""
+
+import numpy as np
+import pytest
+
+from repro.approximation.piecewise import (
+    PiecewiseConstantApproximation,
+    PiecewiseLinearApproximation,
+    approximate_points,
+)
+from repro.core.types import Segment
+
+
+def make_pla():
+    return PiecewiseLinearApproximation(
+        [
+            Segment(0.0, [0.0], 10.0, [10.0]),
+            Segment(12.0, [0.0], 20.0, [4.0]),
+            Segment(20.0, [4.0], 30.0, [4.0], connected_to_previous=True),
+        ]
+    )
+
+
+class TestPiecewiseLinear:
+    def test_requires_segments(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearApproximation([])
+
+    def test_requires_time_order(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearApproximation(
+                [Segment(5.0, [0.0], 6.0, [1.0]), Segment(0.0, [0.0], 1.0, [1.0])]
+            )
+
+    def test_interpolation_inside_segment(self):
+        approx = make_pla()
+        assert approx.value_at(5.0)[0] == pytest.approx(5.0)
+        assert approx.value_at(16.0)[0] == pytest.approx(2.0)
+
+    def test_segment_boundaries(self):
+        approx = make_pla()
+        assert approx.value_at(10.0)[0] == pytest.approx(10.0)
+        assert approx.value_at(20.0)[0] == pytest.approx(4.0)
+
+    def test_extrapolation_before_and_after(self):
+        approx = make_pla()
+        assert approx.value_at(-1.0)[0] == pytest.approx(-1.0)
+        assert approx.value_at(35.0)[0] == pytest.approx(4.0)
+
+    def test_gap_times_use_next_segment(self):
+        approx = make_pla()
+        # 11.0 falls in the gap; the second segment extrapolates backwards.
+        assert approx.value_at(11.0)[0] == pytest.approx(-0.5)
+
+    def test_values_at_matches_value_at(self):
+        approx = make_pla()
+        times = [0.0, 3.0, 15.0, 25.0]
+        batch = approx.values_at(times)
+        single = np.array([approx.value_at(t) for t in times])
+        assert np.allclose(batch, single)
+
+    def test_counts(self):
+        approx = make_pla()
+        assert approx.segment_count == 3
+        assert approx.connected_count() == 1
+        assert approx.start_time == 0.0
+        assert approx.end_time == 30.0
+        assert approx.dimensions == 1
+
+    def test_error_metrics(self):
+        approx = PiecewiseLinearApproximation([Segment(0.0, [0.0], 10.0, [10.0])])
+        points = [(0.0, 0.5), (5.0, 5.0), (10.0, 9.0)]
+        assert approx.max_absolute_error(points) == pytest.approx(1.0)
+        assert approx.mean_absolute_error(points) == pytest.approx(0.5)
+        assert approx.within_bound(points, 1.0)
+        assert not approx.within_bound(points, 0.4)
+
+    def test_empty_points_error_zero(self):
+        approx = make_pla()
+        assert approx.max_absolute_error([]) == 0.0
+        assert approx.mean_absolute_error([]) == 0.0
+        assert approx.within_bound([], 0.0)
+
+
+class TestPiecewiseConstant:
+    def test_holds_until_next_step(self):
+        approx = PiecewiseConstantApproximation([0.0, 5.0], [[1.0], [2.0]])
+        assert approx.value_at(0.0)[0] == 1.0
+        assert approx.value_at(4.999)[0] == 1.0
+        assert approx.value_at(5.0)[0] == 2.0
+
+    def test_before_first_step_uses_first_value(self):
+        approx = PiecewiseConstantApproximation([0.0], [[3.0]])
+        assert approx.value_at(-10.0)[0] == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PiecewiseConstantApproximation([], [])
+        with pytest.raises(ValueError):
+            PiecewiseConstantApproximation([0.0, 0.0], [[1.0], [2.0]])
+        with pytest.raises(ValueError):
+            PiecewiseConstantApproximation([0.0], [[1.0], [2.0]])
+
+    def test_values_at_vectorized(self):
+        approx = PiecewiseConstantApproximation([0.0, 2.0, 4.0], [[0.0], [1.0], [2.0]])
+        values = approx.values_at([0.5, 2.5, 4.5, 10.0])
+        assert values.ravel().tolist() == [0.0, 1.0, 2.0, 2.0]
+
+    def test_multidimensional(self):
+        approx = PiecewiseConstantApproximation([0.0, 1.0], [[1.0, 2.0], [3.0, 4.0]])
+        assert approx.dimensions == 2
+        assert approx.value_at(0.5).tolist() == [1.0, 2.0]
+
+    def test_step_count(self):
+        approx = PiecewiseConstantApproximation([0.0, 1.0, 2.0], [[1.0], [2.0], [3.0]])
+        assert approx.step_count == 3
+        assert approx.steps == (0.0, 1.0, 2.0)
+
+
+class TestHelpers:
+    def test_approximate_points(self):
+        approx = PiecewiseLinearApproximation([Segment(0.0, [0.0], 10.0, [10.0])])
+        sampled = approximate_points(approx, [(2.0, 99.0), (4.0, 99.0)])
+        assert sampled[0].component(0) == pytest.approx(2.0)
+        assert sampled[1].component(0) == pytest.approx(4.0)

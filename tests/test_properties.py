@@ -1,0 +1,188 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+The paper's central theorem (3.1 / 4.1) is that *every* original data point
+lies within ε of the generated approximation, for *any* input signal.  These
+tests generate arbitrary signals and check that invariant — plus a handful of
+structural invariants of the geometry substrate and the codecs — across all
+filters.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.approximation.encoding import decode_recordings, encode_recordings
+from repro.approximation.reconstruct import reconstruct, segments_from_recordings
+from repro.core.cache import CacheFilter, MeanCacheFilter, MidrangeCacheFilter
+from repro.core.linear import DisconnectedLinearFilter, LinearFilter
+from repro.core.slide import SlideFilter
+from repro.core.swing import SwingFilter
+from repro.extensions.kalman import KalmanFilterPredictor
+from repro.geometry.hull import IncrementalConvexHull
+
+from conftest import assert_within_bound
+
+
+# --------------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------------- #
+def signals(min_size=1, max_size=120, value_range=50.0):
+    """Strategy producing (times, values) with strictly increasing times."""
+    return st.lists(
+        st.tuples(
+            st.floats(min_value=0.05, max_value=5.0, allow_nan=False),
+            st.floats(min_value=-value_range, max_value=value_range, allow_nan=False),
+        ),
+        min_size=min_size,
+        max_size=max_size,
+    ).map(_to_signal)
+
+
+def _to_signal(steps):
+    times = np.cumsum([step[0] for step in steps])
+    values = np.array([step[1] for step in steps])
+    return times, values
+
+
+epsilons = st.floats(min_value=0.01, max_value=20.0, allow_nan=False)
+
+ALL_FILTERS = [
+    CacheFilter,
+    MidrangeCacheFilter,
+    MeanCacheFilter,
+    LinearFilter,
+    DisconnectedLinearFilter,
+    SwingFilter,
+    SlideFilter,
+    KalmanFilterPredictor,
+]
+
+
+# --------------------------------------------------------------------------- #
+# The headline invariant: the L∞ error bound (Theorems 3.1 and 4.1)
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("filter_class", ALL_FILTERS, ids=lambda cls: cls.name)
+@given(signal=signals(), epsilon=epsilons)
+@settings(max_examples=40, deadline=None)
+def test_every_filter_respects_the_error_bound(filter_class, signal, epsilon):
+    times, values = signal
+    result = filter_class(epsilon).process(zip(times, values))
+    assert_within_bound(result, times, values, epsilon)
+
+
+@given(signal=signals(min_size=3), epsilon=epsilons)
+@settings(max_examples=40, deadline=None)
+def test_slide_without_validation_respects_the_error_bound(signal, epsilon):
+    times, values = signal
+    result = SlideFilter(epsilon, validate_connections=False).process(zip(times, values))
+    assert_within_bound(result, times, values, epsilon)
+
+
+@given(signal=signals(min_size=3), epsilon=epsilons, max_lag=st.integers(2, 20))
+@settings(max_examples=30, deadline=None)
+def test_bounded_lag_preserves_the_error_bound(signal, epsilon, max_lag):
+    times, values = signal
+    for filter_class in (SwingFilter, SlideFilter):
+        result = filter_class(epsilon, max_lag=max_lag).process(zip(times, values))
+        assert_within_bound(result, times, values, epsilon)
+
+
+@given(signal=signals(min_size=2, max_size=60), epsilon=epsilons)
+@settings(max_examples=30, deadline=None)
+def test_multidimensional_error_bound(signal, epsilon):
+    times, values = signal
+    stacked = np.column_stack([values, -0.5 * values + 3.0])
+    for filter_class in (SwingFilter, SlideFilter):
+        result = filter_class(epsilon).process(zip(times, stacked))
+        assert_within_bound(result, times, stacked, epsilon)
+
+
+# --------------------------------------------------------------------------- #
+# Structural invariants
+# --------------------------------------------------------------------------- #
+@given(signal=signals(min_size=2), epsilon=epsilons)
+@settings(max_examples=40, deadline=None)
+def test_recording_times_strictly_increase(signal, epsilon):
+    times, values = signal
+    for filter_class in (CacheFilter, LinearFilter, SwingFilter, SlideFilter):
+        result = filter_class(epsilon).process(zip(times, values))
+        recorded = [r.time for r in result.recordings]
+        assert all(b > a for a, b in zip(recorded, recorded[1:]))
+
+
+@given(signal=signals(min_size=2), epsilon=epsilons)
+@settings(max_examples=40, deadline=None)
+def test_recordings_never_exceed_points(signal, epsilon):
+    times, values = signal
+    for filter_class in (CacheFilter, SwingFilter,):
+        result = filter_class(epsilon).process(zip(times, values))
+        assert 1 <= result.recording_count <= len(times)
+
+
+@given(signal=signals(min_size=2), epsilon=epsilons)
+@settings(max_examples=40, deadline=None)
+def test_swing_segments_are_connected(signal, epsilon):
+    times, values = signal
+    result = SwingFilter(epsilon).process(zip(times, values))
+    segments = segments_from_recordings(result)
+    assert all(segment.connected_to_previous for segment in segments[1:])
+
+
+@given(signal=signals(min_size=2), epsilon=epsilons)
+@settings(max_examples=30, deadline=None)
+def test_slide_hull_and_naive_variants_agree(signal, epsilon):
+    times, values = signal
+    optimized = SlideFilter(epsilon).process(zip(times, values))
+    naive = SlideFilter(epsilon, use_convex_hull=False).process(zip(times, values))
+    assert optimized.recording_count == naive.recording_count
+    for a, b in zip(optimized.recordings, naive.recordings):
+        assert a.time == pytest.approx(b.time, rel=1e-9, abs=1e-9)
+        np.testing.assert_allclose(a.value, b.value, rtol=1e-7, atol=1e-7)
+
+
+@given(signal=signals(min_size=1), epsilon=epsilons)
+@settings(max_examples=40, deadline=None)
+def test_encoding_round_trip(signal, epsilon):
+    times, values = signal
+    result = SlideFilter(epsilon).process(zip(times, values))
+    decoded = decode_recordings(encode_recordings(result))
+    assert len(decoded) == result.recording_count
+    for original, restored in zip(result.recordings, decoded):
+        assert original.kind is restored.kind
+        assert original.time == restored.time
+        np.testing.assert_array_equal(original.value, restored.value)
+
+
+@given(
+    points=st.lists(
+        st.floats(min_value=-100.0, max_value=100.0, allow_nan=False), min_size=1, max_size=150
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_hull_contains_all_points(points):
+    times = np.arange(float(len(points)))
+    hull = IncrementalConvexHull(zip(times, points))
+    upper = list(hull.upper)
+    lower = list(hull.lower)
+
+    def chain_value(chain, t):
+        for (t1, x1), (t2, x2) in zip(chain, chain[1:]):
+            if t1 <= t <= t2:
+                return x1 if t2 == t1 else x1 + (x2 - x1) * (t - t1) / (t2 - t1)
+        return chain[-1][1]
+
+    for t, x in zip(times, points):
+        assert chain_value(upper, t) >= x - 1e-7
+        assert chain_value(lower, t) <= x + 1e-7
+
+
+@given(signal=signals(min_size=1, max_size=80), epsilon=epsilons)
+@settings(max_examples=30, deadline=None)
+def test_reconstruction_covers_every_data_time(signal, epsilon):
+    times, values = signal
+    for filter_class in (CacheFilter, LinearFilter, SwingFilter, SlideFilter):
+        result = filter_class(epsilon).process(zip(times, values))
+        approximation = reconstruct(result)
+        sampled = approximation.values_at(times)
+        assert sampled.shape == (len(times), 1)
+        assert np.all(np.isfinite(sampled))

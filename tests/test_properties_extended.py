@@ -1,0 +1,124 @@
+"""Additional property-based tests: queries, storage and cross-filter laws."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.approximation.reconstruct import reconstruct
+from repro.core.cache import CacheFilter, MidrangeCacheFilter
+from repro.core.slide import SlideFilter
+from repro.core.swing import SwingFilter
+from repro.extensions.optimal_pca import optimal_segment_count
+from repro.queries.aggregates import range_aggregate, resample, window_aggregates
+from repro.storage.segment_store import SegmentStore
+
+
+def signals(min_size=3, max_size=80, value_range=30.0):
+    return st.lists(
+        st.tuples(
+            st.floats(min_value=0.1, max_value=3.0, allow_nan=False),
+            st.floats(min_value=-value_range, max_value=value_range, allow_nan=False),
+        ),
+        min_size=min_size,
+        max_size=max_size,
+    ).map(
+        lambda steps: (
+            np.cumsum([s[0] for s in steps]),
+            np.array([s[1] for s in steps]),
+        )
+    )
+
+
+epsilons = st.floats(min_value=0.05, max_value=10.0, allow_nan=False)
+
+
+@given(signal=signals(), epsilon=epsilons)
+@settings(max_examples=30, deadline=None)
+def test_range_aggregates_bounded_by_epsilon(signal, epsilon):
+    """Min/max/mean queried from the compressed signal stay within ε of the truth."""
+    times, values = signal
+    approx = reconstruct(SlideFilter(epsilon).process(zip(times, values)))
+    aggregate = range_aggregate(approx, float(times[0]), float(times[-1]))
+    assert aggregate.maximum >= values.max() - epsilon - 1e-7
+    assert aggregate.minimum <= values.min() + epsilon + 1e-7
+    assert aggregate.minimum - 1e-7 <= aggregate.mean <= aggregate.maximum + 1e-7
+
+
+@given(signal=signals(), epsilon=epsilons, window=st.floats(min_value=0.5, max_value=50.0))
+@settings(max_examples=30, deadline=None)
+def test_window_aggregates_partition_the_range(signal, epsilon, window):
+    """Tumbling windows tile the queried range exactly, without gaps."""
+    times, values = signal
+    approx = reconstruct(SwingFilter(epsilon).process(zip(times, values)))
+    start, end = float(times[0]), float(times[-1])
+    windows = window_aggregates(approx, start, end, window)
+    assert windows[0].start == start
+    assert windows[-1].end == pytest.approx(end)
+    for left, right in zip(windows, windows[1:]):
+        assert right.start == pytest.approx(left.end)
+    total = sum(w.integral for w in windows)
+    assert total == pytest.approx(range_aggregate(approx, start, end).integral, rel=1e-6, abs=1e-6)
+
+
+@given(signal=signals(), epsilon=epsilons)
+@settings(max_examples=25, deadline=None)
+def test_resampling_at_original_times_respects_epsilon(signal, epsilon):
+    times, values = signal
+    approx = reconstruct(SlideFilter(epsilon).process(zip(times, values)))
+    sampled = approx.values_at(times)[:, 0]
+    assert np.max(np.abs(sampled - values)) <= epsilon + 1e-6 * (1.0 + epsilon)
+
+
+@given(signal=signals(), epsilon=epsilons)
+@settings(max_examples=20, deadline=None)
+def test_segment_store_round_trip_is_lossless(tmp_path_factory, signal, epsilon):
+    """Recordings survive the store byte-for-byte (up to float64 precision)."""
+    times, values = signal
+    result = SlideFilter(epsilon).process(zip(times, values))
+    store = SegmentStore(tmp_path_factory.mktemp("roundtrip"))
+    store.append("stream", result.recordings, epsilon=epsilon)
+    restored = store.read("stream")
+    assert len(restored) == result.recording_count
+    for original, copy in zip(result.recordings, restored):
+        assert original.kind is copy.kind
+        assert original.time == copy.time
+        np.testing.assert_array_equal(original.value, copy.value)
+
+
+@given(signal=signals(), epsilon=epsilons)
+@settings(max_examples=30, deadline=None)
+def test_midrange_cache_matches_offline_optimum(signal, epsilon):
+    """The online midrange cache filter is optimal for piece-wise constants [18]."""
+    times, values = signal
+    online = MidrangeCacheFilter(epsilon).process(zip(times, values))
+    assert online.recording_count == optimal_segment_count(values, epsilon)
+
+
+@given(signal=signals(), epsilon=epsilons)
+@settings(max_examples=30, deadline=None)
+def test_first_value_cache_never_beats_midrange(signal, epsilon):
+    times, values = signal
+    first = CacheFilter(epsilon).process(zip(times, values))
+    midrange = MidrangeCacheFilter(epsilon).process(zip(times, values))
+    assert midrange.recording_count <= first.recording_count
+
+
+@given(signal=signals(), small=epsilons, factor=st.floats(min_value=1.5, max_value=10.0))
+@settings(max_examples=25, deadline=None)
+def test_wider_epsilon_never_needs_more_recordings_for_cache(signal, small, factor):
+    """For the cache filter a wider band can only merge intervals."""
+    times, values = signal
+    narrow = CacheFilter(small).process(zip(times, values))
+    wide = CacheFilter(small * factor).process(zip(times, values))
+    assert wide.recording_count <= narrow.recording_count
+
+
+@given(signal=signals(min_size=4), epsilon=epsilons, max_lag=st.integers(2, 10))
+@settings(max_examples=25, deadline=None)
+def test_bounded_lag_never_reduces_recordings(signal, epsilon, max_lag):
+    """Tightening the lag bound can only add transmissions."""
+    times, values = signal
+    for filter_class in (SwingFilter, SlideFilter):
+        bounded = filter_class(epsilon, max_lag=max_lag).process(zip(times, values))
+        unbounded = filter_class(epsilon).process(zip(times, values))
+        assert bounded.recording_count >= unbounded.recording_count

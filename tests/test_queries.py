@@ -1,0 +1,147 @@
+"""Tests for query processing over compressed approximations."""
+
+import numpy as np
+import pytest
+
+from repro.approximation.piecewise import (
+    PiecewiseConstantApproximation,
+    PiecewiseLinearApproximation,
+)
+from repro.approximation.reconstruct import reconstruct
+from repro.core.slide import SlideFilter
+from repro.core.types import Segment
+from repro.data.patterns import sine_signal
+from repro.queries.aggregates import (
+    integral,
+    range_aggregate,
+    resample,
+    threshold_crossings,
+    window_aggregates,
+)
+
+
+def simple_pla():
+    """A ramp from (0,0) to (10,10) followed by a flat piece at 4."""
+    return PiecewiseLinearApproximation(
+        [
+            Segment(0.0, [0.0], 10.0, [10.0]),
+            Segment(10.0, [4.0], 20.0, [4.0]),
+        ]
+    )
+
+
+class TestRangeAggregate:
+    def test_single_segment_range(self):
+        aggregate = range_aggregate(simple_pla(), 0.0, 10.0)
+        assert aggregate.minimum == pytest.approx(0.0)
+        assert aggregate.maximum == pytest.approx(10.0)
+        assert aggregate.mean == pytest.approx(5.0)
+        assert aggregate.integral == pytest.approx(50.0)
+
+    def test_partial_range(self):
+        aggregate = range_aggregate(simple_pla(), 2.0, 6.0)
+        assert aggregate.minimum == pytest.approx(2.0)
+        assert aggregate.maximum == pytest.approx(6.0)
+        assert aggregate.mean == pytest.approx(4.0)
+
+    def test_range_spanning_two_segments(self):
+        aggregate = range_aggregate(simple_pla(), 5.0, 15.0)
+        assert aggregate.maximum == pytest.approx(10.0)
+        assert aggregate.minimum == pytest.approx(4.0)
+        # integral = ramp part (5..10): (5+10)/2*5 = 37.5; flat part: 4*5 = 20.
+        assert aggregate.integral == pytest.approx(57.5)
+        assert aggregate.mean == pytest.approx(5.75)
+
+    def test_zero_length_range(self):
+        aggregate = range_aggregate(simple_pla(), 3.0, 3.0)
+        assert aggregate.minimum == aggregate.maximum == pytest.approx(3.0)
+        assert aggregate.integral == 0.0
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            range_aggregate(simple_pla(), 5.0, 1.0)
+
+    def test_constant_approximation(self):
+        approx = PiecewiseConstantApproximation([0.0, 10.0], [[2.0], [6.0]])
+        aggregate = range_aggregate(approx, 0.0, 10.0)
+        assert aggregate.minimum == pytest.approx(2.0)
+        assert aggregate.maximum == pytest.approx(6.0)
+
+    def test_range_outside_span(self):
+        aggregate = range_aggregate(simple_pla(), 25.0, 30.0)
+        # The flat tail extrapolates at 4.
+        assert aggregate.mean == pytest.approx(4.0)
+
+    def test_aggregate_close_to_true_signal(self):
+        """Aggregates from the approximation stay within ε of the true ones."""
+        times, values = sine_signal(length=1000, amplitude=5.0, period=250.0)
+        epsilon = 0.2
+        approx = reconstruct(SlideFilter(epsilon).process(zip(times, values)))
+        aggregate = range_aggregate(approx, 100.0, 600.0)
+        window = (times >= 100.0) & (times <= 600.0)
+        assert aggregate.maximum == pytest.approx(values[window].max(), abs=epsilon + 1e-9)
+        assert aggregate.minimum == pytest.approx(values[window].min(), abs=epsilon + 1e-9)
+        assert aggregate.mean == pytest.approx(values[window].mean(), abs=epsilon + 0.05)
+
+
+class TestWindowAggregates:
+    def test_windows_cover_range(self):
+        windows = window_aggregates(simple_pla(), 0.0, 20.0, window=5.0)
+        assert len(windows) == 4
+        assert windows[0].start == 0.0
+        assert windows[-1].end == 20.0
+
+    def test_last_window_truncated(self):
+        windows = window_aggregates(simple_pla(), 0.0, 12.0, window=5.0)
+        assert windows[-1].end == 12.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            window_aggregates(simple_pla(), 0.0, 10.0, window=0.0)
+        with pytest.raises(ValueError):
+            window_aggregates(simple_pla(), 10.0, 0.0, window=1.0)
+
+
+class TestIntegralAndCrossings:
+    def test_integral_helper(self):
+        assert integral(simple_pla(), 0.0, 10.0) == pytest.approx(50.0)
+
+    def test_threshold_crossings_on_ramp(self):
+        crossings = threshold_crossings(simple_pla(), threshold=5.0)
+        assert crossings == [pytest.approx(5.0)]
+
+    def test_threshold_crossings_range_filter(self):
+        assert threshold_crossings(simple_pla(), 5.0, start=6.0) == []
+
+    def test_no_crossing_when_touching(self):
+        approx = PiecewiseLinearApproximation([Segment(0.0, [0.0], 10.0, [5.0])])
+        # Reaches exactly 5 at the end without crossing above.
+        assert threshold_crossings(approx, 5.0) == []
+
+    def test_crossings_on_sine(self):
+        times, values = sine_signal(length=1000, amplitude=1.0, period=200.0)
+        approx = reconstruct(SlideFilter(0.05).process(zip(times, values)))
+        crossings = threshold_crossings(approx, 0.0, start=1.0, end=999.0)
+        # A sine with period 200 over ~1000 samples crosses zero ~10 times.
+        assert 8 <= len(crossings) <= 12
+
+
+class TestResample:
+    def test_resample_grid(self):
+        times, values = resample(simple_pla(), 0.0, 10.0, step=2.5)
+        assert times.tolist() == [0.0, 2.5, 5.0, 7.5, 10.0]
+        assert values.shape == (5, 1)
+        assert values[2, 0] == pytest.approx(5.0)
+
+    def test_resample_validation(self):
+        with pytest.raises(ValueError):
+            resample(simple_pla(), 0.0, 10.0, step=0.0)
+        with pytest.raises(ValueError):
+            resample(simple_pla(), 10.0, 0.0, step=1.0)
+
+    def test_resample_accuracy_against_original(self):
+        times, values = sine_signal(length=500, amplitude=2.0, period=125.0)
+        epsilon = 0.1
+        approx = reconstruct(SlideFilter(epsilon).process(zip(times, values)))
+        grid_times, grid_values = resample(approx, 0.0, 499.0, step=1.0)
+        assert np.max(np.abs(grid_values[:, 0] - values[: len(grid_times)])) <= epsilon + 1e-9

@@ -1,0 +1,138 @@
+"""Tests for recording-stream reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro.approximation.piecewise import (
+    PiecewiseConstantApproximation,
+    PiecewiseLinearApproximation,
+)
+from repro.approximation.reconstruct import (
+    reconstruct,
+    recordings_per_segment,
+    segments_from_recordings,
+)
+from repro.core.types import Recording, RecordingKind
+
+
+def rec(time, value, kind):
+    return Recording(time, value, kind)
+
+
+class TestSegmentsFromRecordings:
+    def test_single_disconnected_segment(self):
+        records = [
+            rec(0.0, 1.0, RecordingKind.SEGMENT_START),
+            rec(5.0, 2.0, RecordingKind.SEGMENT_END),
+        ]
+        segments = segments_from_recordings(records)
+        assert len(segments) == 1
+        assert not segments[0].connected_to_previous
+        assert segments[0].duration == 5.0
+
+    def test_connected_chain(self):
+        records = [
+            rec(0.0, 1.0, RecordingKind.SEGMENT_START),
+            rec(5.0, 2.0, RecordingKind.SEGMENT_END),
+            rec(9.0, 0.0, RecordingKind.SEGMENT_END),
+        ]
+        segments = segments_from_recordings(records)
+        assert len(segments) == 2
+        assert segments[1].connected_to_previous
+        assert segments[1].start_time == 5.0
+
+    def test_mixed_connected_and_disconnected(self):
+        records = [
+            rec(0.0, 1.0, RecordingKind.SEGMENT_START),
+            rec(5.0, 2.0, RecordingKind.SEGMENT_END),
+            rec(6.0, 10.0, RecordingKind.SEGMENT_START),
+            rec(9.0, 12.0, RecordingKind.SEGMENT_END),
+            rec(12.0, 13.0, RecordingKind.SEGMENT_END),
+        ]
+        segments = segments_from_recordings(records)
+        assert [s.connected_to_previous for s in segments] == [False, False, True]
+
+    def test_trailing_start_becomes_point_segment(self):
+        records = [
+            rec(0.0, 1.0, RecordingKind.SEGMENT_START),
+            rec(5.0, 2.0, RecordingKind.SEGMENT_END),
+            rec(6.0, 9.0, RecordingKind.SEGMENT_START),
+        ]
+        segments = segments_from_recordings(records)
+        assert len(segments) == 2
+        assert segments[1].duration == 0.0
+
+    def test_hold_recordings_rejected(self):
+        with pytest.raises(ValueError):
+            segments_from_recordings([rec(0.0, 1.0, RecordingKind.HOLD)])
+
+    def test_leading_end_anchors_partial_stream(self):
+        # A time-range read from a store may start with an end recording: it
+        # produces no segment itself but anchors the next connected one.
+        records = [
+            rec(0.0, 1.0, RecordingKind.SEGMENT_END),
+            rec(4.0, 3.0, RecordingKind.SEGMENT_END),
+        ]
+        segments = segments_from_recordings(records)
+        assert len(segments) == 1
+        assert segments[0].start_time == 0.0
+        assert segments[0].connected_to_previous
+
+    def test_lone_end_recording_yields_no_segments(self):
+        assert segments_from_recordings([rec(0.0, 1.0, RecordingKind.SEGMENT_END)]) == []
+
+    def test_recordings_per_segment_accounting(self):
+        records = [
+            rec(0.0, 1.0, RecordingKind.SEGMENT_START),
+            rec(5.0, 2.0, RecordingKind.SEGMENT_END),
+            rec(9.0, 0.0, RecordingKind.SEGMENT_END),
+            rec(10.0, 5.0, RecordingKind.SEGMENT_START),
+            rec(12.0, 6.0, RecordingKind.SEGMENT_END),
+        ]
+        segments = segments_from_recordings(records)
+        assert recordings_per_segment(segments) == len(records)
+
+
+class TestReconstruct:
+    def test_constant_family(self):
+        records = [rec(0.0, 1.0, RecordingKind.HOLD), rec(3.0, 2.0, RecordingKind.HOLD)]
+        approx = reconstruct(records)
+        assert isinstance(approx, PiecewiseConstantApproximation)
+        assert approx.value_at(2.9)[0] == 1.0
+        assert approx.value_at(3.0)[0] == 2.0
+
+    def test_linear_family(self):
+        records = [
+            rec(0.0, 0.0, RecordingKind.SEGMENT_START),
+            rec(4.0, 8.0, RecordingKind.SEGMENT_END),
+        ]
+        approx = reconstruct(records)
+        assert isinstance(approx, PiecewiseLinearApproximation)
+        assert approx.value_at(2.0)[0] == pytest.approx(4.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            reconstruct([])
+
+    def test_mixed_kinds_rejected(self):
+        with pytest.raises(ValueError):
+            reconstruct(
+                [rec(0.0, 1.0, RecordingKind.HOLD), rec(1.0, 1.0, RecordingKind.SEGMENT_START)]
+            )
+
+    def test_accepts_filter_result(self):
+        from repro.core.swing import SwingFilter
+
+        result = SwingFilter(0.5).process([(0.0, 0.0), (1.0, 0.1), (2.0, 0.2)])
+        approx = reconstruct(result)
+        assert isinstance(approx, PiecewiseLinearApproximation)
+
+    def test_multidimensional_reconstruction(self):
+        records = [
+            rec(0.0, [0.0, 10.0], RecordingKind.SEGMENT_START),
+            rec(2.0, [2.0, 6.0], RecordingKind.SEGMENT_END),
+        ]
+        approx = reconstruct(records)
+        value = approx.value_at(1.0)
+        assert value[0] == pytest.approx(1.0)
+        assert value[1] == pytest.approx(8.0)

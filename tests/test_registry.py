@@ -1,0 +1,73 @@
+"""Tests for the filter registry."""
+
+import pytest
+
+from repro.core.base import StreamFilter
+from repro.core.registry import (
+    PAPER_FILTERS,
+    available_filters,
+    create_filter,
+    filter_classes,
+    paper_filters,
+    register_filter,
+)
+from repro.core.slide import SlideFilter
+from repro.core.swing import SwingFilter
+from repro.core.types import RecordingKind
+
+
+class TestRegistry:
+    def test_paper_filters_present(self):
+        names = available_filters()
+        for name in PAPER_FILTERS:
+            assert name in names
+
+    def test_create_filter_returns_configured_instance(self):
+        swing = create_filter("swing", 0.5, max_lag=10)
+        assert isinstance(swing, SwingFilter)
+        assert swing.max_lag == 10
+
+    def test_create_slide_variants(self):
+        plain = create_filter("slide-unoptimized", 0.5)
+        assert isinstance(plain, SlideFilter)
+        assert plain.use_convex_hull is False
+        disconnected = create_filter("slide-disconnected", 0.5)
+        assert disconnected.connect_segments is False
+
+    def test_unknown_filter_raises_with_hint(self):
+        with pytest.raises(KeyError) as excinfo:
+            create_filter("does-not-exist", 0.5)
+        assert "available" in str(excinfo.value)
+
+    def test_register_custom_filter(self):
+        class NullFilter(StreamFilter):
+            name = "null-test"
+            family = "constant"
+
+            def _feed_point(self, point):
+                self._emit(point.time, point.value, RecordingKind.HOLD)
+
+            def _finish_stream(self):
+                pass
+
+        register_filter("null-test", NullFilter)
+        try:
+            instance = create_filter("null-test", 1.0)
+            assert isinstance(instance, NullFilter)
+            with pytest.raises(ValueError):
+                register_filter("null-test", NullFilter)
+            register_filter("null-test", NullFilter, overwrite=True)
+        finally:
+            from repro.core.registry import FILTER_REGISTRY
+
+            FILTER_REGISTRY.pop("null-test", None)
+
+    def test_paper_filters_helper(self):
+        filters = paper_filters(0.5)
+        assert set(filters) == set(PAPER_FILTERS)
+        assert all(f.epsilon is None for f in filters.values())  # resolved lazily
+
+    def test_filter_classes_only_contains_classes(self):
+        classes = filter_classes()
+        assert "swing" in classes
+        assert "slide-unoptimized" not in classes

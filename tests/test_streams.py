@@ -1,0 +1,158 @@
+"""Tests for the streaming substrate (sources, transport, pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.core.swing import SwingFilter
+from repro.core.types import DataPoint
+from repro.streams.pipeline import MonitoringPipeline
+from repro.streams.source import ArraySource, CallbackSource, CsvSource, IterableSource
+from repro.streams.transport import Channel, Receiver, Transmitter
+
+
+class TestSources:
+    def test_array_source(self):
+        source = ArraySource([0.0, 1.0, 2.0], [5.0, 6.0, 7.0])
+        points = list(source)
+        assert len(source) == 3
+        assert points[2].component(0) == 7.0
+
+    def test_array_source_multidimensional(self):
+        source = ArraySource([0.0, 1.0], [[1.0, 2.0], [3.0, 4.0]])
+        points = list(source)
+        assert points[0].dimensions == 2
+
+    def test_array_source_validation(self):
+        with pytest.raises(ValueError):
+            ArraySource([0.0, 1.0], [1.0])
+        with pytest.raises(ValueError):
+            ArraySource([[0.0], [1.0]], [1.0, 2.0])
+
+    def test_iterable_source_accepts_tuples_and_points(self):
+        source = IterableSource([(0.0, 1.0), DataPoint(1.0, 2.0)])
+        points = list(source)
+        assert [p.time for p in points] == [0.0, 1.0]
+
+    def test_callback_source_stops_on_none(self):
+        samples = iter([(0.0, 1.0), (1.0, 2.0), None, (2.0, 3.0)])
+        source = CallbackSource(lambda: next(samples))
+        assert len(list(source)) == 2
+
+    def test_callback_source_limit(self):
+        counter = iter(range(100))
+        source = CallbackSource(lambda: (float(next(counter)), 0.0), limit=5)
+        assert len(list(source)) == 5
+
+    def test_callback_source_validation(self):
+        with pytest.raises(ValueError):
+            CallbackSource(lambda: None, limit=-1)
+
+    def test_csv_source(self, tmp_path):
+        path = tmp_path / "signal.csv"
+        path.write_text("t,x,y\n0,1.0,10.0\n1,2.0,20.0\n2,3.0,30.0\n")
+        points = list(CsvSource(path))
+        assert len(points) == 3
+        assert points[1].value.tolist() == [2.0, 20.0]
+
+    def test_csv_source_selected_columns(self, tmp_path):
+        path = tmp_path / "signal.csv"
+        path.write_text("t,x,y\n0,1.0,10.0\n1,2.0,20.0\n")
+        points = list(CsvSource(path, value_columns=[2]))
+        assert points[0].dimensions == 1
+        assert points[0].component(0) == 10.0
+
+    def test_to_arrays(self):
+        source = ArraySource([0.0, 1.0], [1.0, 2.0])
+        times, values = source.to_arrays()
+        assert times.tolist() == [0.0, 1.0]
+        assert values.shape == (2, 1)
+
+
+class TestTransport:
+    def test_transmitter_counts_and_compression(self):
+        transmitter = Transmitter(SwingFilter(0.5))
+        for t in range(20):
+            transmitter.observe(float(t), 0.01 * t)
+        transmitter.close()
+        assert transmitter.observed_points == 20
+        assert transmitter.channel.messages_sent == transmitter.receiver.recording_count
+        assert transmitter.compression_ratio() >= 1.0
+        assert transmitter.suppressed_points == 20 - transmitter.channel.messages_sent
+
+    def test_channel_byte_accounting(self):
+        transmitter = Transmitter(SwingFilter(0.1))
+        transmitter.observe(0.0, 1.0)
+        transmitter.close()
+        assert transmitter.channel.bytes_sent > 0
+
+    def test_receiver_lag_tracking(self):
+        transmitter = Transmitter(SwingFilter(100.0))
+        for t in range(30):
+            transmitter.observe(float(t), float(t % 3))
+        # A huge epsilon means only the initial recording was transmitted, so
+        # the receiver lags behind by nearly the whole stream.
+        assert transmitter.receiver.max_lag_seen >= 25
+        transmitter.close()
+
+    def test_receiver_reconstruction_matches_filter(self, noisy_walk):
+        times, values = noisy_walk
+        epsilon = 1.0
+        transmitter = Transmitter(SwingFilter(epsilon))
+        for t, v in zip(times, values):
+            transmitter.observe(t, v)
+        transmitter.close()
+        approx = transmitter.receiver.approximation()
+        deviations = np.abs(approx.deviations(list(zip(times, values))))
+        assert float(deviations.max()) <= epsilon + 1e-8
+
+    def test_channel_multiple_receivers(self):
+        channel = Channel()
+        first, second = Receiver(), Receiver()
+        channel.attach(first)
+        transmitter = Transmitter(SwingFilter(0.5), channel=channel, receiver=second)
+        transmitter.observe(0.0, 1.0)
+        transmitter.close()
+        assert first.recording_count == second.recording_count >= 1
+
+
+class TestPipeline:
+    def test_run_with_filter_instance(self, smooth_walk):
+        times, values = smooth_walk
+        pipeline = MonitoringPipeline(SwingFilter(0.5))
+        report = pipeline.run(zip(times, values))
+        assert report.points == len(times)
+        assert report.recordings >= 1
+        assert report.compression_ratio > 1.0
+        assert report.max_absolute_error <= 0.5 + 1e-8
+        assert report.messages_sent == report.recordings
+        assert report.bytes_sent > 0
+
+    def test_run_with_filter_name(self, smooth_walk):
+        times, values = smooth_walk
+        pipeline = MonitoringPipeline("slide", epsilon=0.5)
+        report = pipeline.run(zip(times, values))
+        assert report.filter_name == "slide"
+        assert report.max_absolute_error <= 0.5 + 1e-8
+
+    def test_filter_name_requires_epsilon(self):
+        with pytest.raises(ValueError):
+            MonitoringPipeline("slide")
+
+    def test_empty_stream_report(self):
+        report = MonitoringPipeline(SwingFilter(1.0)).run([])
+        assert report.points == 0
+        assert report.recordings == 0
+        assert report.compression_ratio == 0.0
+
+    def test_approximation_accessible_after_run(self, smooth_walk):
+        times, values = smooth_walk
+        pipeline = MonitoringPipeline(SwingFilter(0.5))
+        pipeline.run(zip(times, values))
+        approx = pipeline.approximation()
+        assert approx.value_at(float(times[0])).shape == (1,)
+
+    def test_mean_error_percent_reported(self, sst_signal):
+        times, values = sst_signal
+        pipeline = MonitoringPipeline("swing", epsilon=0.04)
+        report = pipeline.run(zip(times, values))
+        assert 0.0 <= report.mean_error_percent_of_range <= 1.0 + 1e-9

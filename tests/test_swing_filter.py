@@ -1,0 +1,155 @@
+"""Tests for the swing filter (paper §3)."""
+
+import numpy as np
+import pytest
+
+from repro.approximation.reconstruct import reconstruct, segments_from_recordings
+from repro.core.swing import SwingFilter
+from repro.core.types import RecordingKind
+from repro.data.patterns import ramp_signal, sawtooth_signal, sine_signal
+from repro.data.random_walk import RandomWalkConfig, random_walk
+
+from conftest import assert_within_bound
+
+
+class TestBasicBehaviour:
+    def test_first_point_is_recorded(self):
+        swing = SwingFilter(0.5)
+        recordings = swing.feed(0.0, 1.0)
+        assert len(recordings) == 1
+        assert recordings[0].kind is RecordingKind.SEGMENT_START
+        assert recordings[0].component(0) == 1.0
+
+    def test_ramp_needs_two_recordings(self):
+        times, values = ramp_signal(length=200, slope=0.3)
+        result = SwingFilter(0.01).process(zip(times, values))
+        assert result.recording_count == 2
+
+    def test_paper_example_pattern(self):
+        """Reproduce Example 3.1: the swing filter absorbs the fourth point.
+
+        The pattern rises, dips, then rises again; a linear filter fixed on
+        the first two points records after three points, while the swing
+        filter swings its bounds and survives one point longer.
+        """
+        epsilon = 1.0
+        stream = [(0.0, 0.0), (1.0, 2.0), (2.0, 2.5), (3.0, 1.8), (4.0, 6.0)]
+        from repro.core.linear import LinearFilter
+
+        swing = SwingFilter(epsilon).process(stream)
+        linear = LinearFilter(epsilon).process(stream)
+        assert swing.recording_count <= linear.recording_count
+
+    def test_connected_segments_only(self, noisy_walk):
+        times, values = noisy_walk
+        result = SwingFilter(1.0).process(zip(times, values))
+        segments = segments_from_recordings(result)
+        assert all(segment.connected_to_previous for segment in segments[1:])
+        # Connected output: recordings = segments + 1.
+        assert result.recording_count == len(segments) + 1
+
+    def test_single_point_stream(self):
+        result = SwingFilter(0.5).process([(0.0, 3.0)])
+        assert result.recording_count == 1
+        assert reconstruct(result).value_at(0.0)[0] == pytest.approx(3.0)
+
+    def test_two_point_stream_exact_at_endpoints(self):
+        result = SwingFilter(0.5).process([(0.0, 1.0), (2.0, 2.0)])
+        approx = reconstruct(result)
+        assert approx.value_at(0.0)[0] == pytest.approx(1.0)
+        assert abs(approx.value_at(2.0)[0] - 2.0) <= 0.5 + 1e-9
+
+    def test_empty_stream(self):
+        result = SwingFilter(0.5).process([])
+        assert result.recording_count == 0
+
+
+class TestErrorGuarantee:
+    @pytest.mark.parametrize("epsilon", [0.1, 0.5, 2.0])
+    def test_random_walk_bound(self, noisy_walk, epsilon):
+        times, values = noisy_walk
+        result = SwingFilter(epsilon).process(zip(times, values))
+        assert_within_bound(result, times, values, epsilon)
+
+    def test_sine_bound(self):
+        times, values = sine_signal(length=2000, amplitude=10.0, period=300.0)
+        epsilon = 0.25
+        result = SwingFilter(epsilon).process(zip(times, values))
+        assert_within_bound(result, times, values, epsilon)
+
+    def test_sawtooth_bound(self):
+        times, values = sawtooth_signal(length=1000, amplitude=3.0, period=80.0)
+        epsilon = 0.2
+        result = SwingFilter(epsilon).process(zip(times, values))
+        assert_within_bound(result, times, values, epsilon)
+
+    def test_multidimensional_bound_with_vector_epsilon(self):
+        rng = np.random.default_rng(5)
+        times = np.arange(400.0)
+        values = np.cumsum(rng.normal(0, [0.2, 1.0], (400, 2)), axis=0)
+        epsilon = [0.3, 1.5]
+        result = SwingFilter(epsilon).process(zip(times, values))
+        assert_within_bound(result, times, values, epsilon)
+
+    def test_zero_epsilon_still_bounded(self):
+        times = np.arange(30.0)
+        values = np.where(times % 2 == 0, 0.0, 1.0)
+        result = SwingFilter(0.0).process(zip(times, values))
+        assert_within_bound(result, times, values, 0.0)
+
+    def test_irregular_time_steps(self):
+        rng = np.random.default_rng(6)
+        times = np.cumsum(rng.uniform(0.1, 5.0, 300))
+        values = np.cumsum(rng.normal(0, 0.5, 300))
+        epsilon = 0.4
+        result = SwingFilter(epsilon).process(zip(times, values))
+        assert_within_bound(result, times, values, epsilon)
+
+
+class TestCompressionQuality:
+    def test_beats_linear_on_random_walk(self, noisy_walk):
+        from repro.core.linear import LinearFilter
+
+        times, values = noisy_walk
+        epsilon = 1.0
+        swing = SwingFilter(epsilon).process(zip(times, values))
+        linear = LinearFilter(epsilon).process(zip(times, values))
+        assert swing.recording_count < linear.recording_count
+
+    def test_larger_epsilon_never_hurts_much(self, noisy_walk):
+        times, values = noisy_walk
+        small = SwingFilter(0.2).process(zip(times, values))
+        large = SwingFilter(2.0).process(zip(times, values))
+        assert large.recording_count <= small.recording_count
+
+    def test_mse_recording_is_admissible(self):
+        """The recorded endpoint stays within the bound cone (paper eq. 5)."""
+        rng = np.random.default_rng(7)
+        times = np.arange(200.0)
+        values = np.cumsum(rng.normal(0, 0.7, 200))
+        epsilon = 0.5
+        result = SwingFilter(epsilon).process(zip(times, values))
+        assert_within_bound(result, times, values, epsilon)
+
+
+class TestMaxLag:
+    def test_max_lag_bounds_gap_between_recordings(self):
+        times, values = ramp_signal(length=120, slope=0.05)
+        result = SwingFilter(5.0, max_lag=15).process(zip(times, values))
+        gaps = np.diff([r.time for r in result.recordings])
+        assert np.max(gaps) <= 15.0
+
+    def test_max_lag_preserves_error_bound(self):
+        times, values = random_walk(
+            RandomWalkConfig(length=800, decrease_probability=0.5, max_delta=1.0, seed=9)
+        )
+        epsilon = 0.6
+        result = SwingFilter(epsilon, max_lag=10).process(zip(times, values))
+        assert_within_bound(result, times, values, epsilon)
+
+    def test_max_lag_costs_compression(self, smooth_walk):
+        times, values = smooth_walk
+        epsilon = 1.0
+        bounded = SwingFilter(epsilon, max_lag=8).process(zip(times, values))
+        unbounded = SwingFilter(epsilon).process(zip(times, values))
+        assert bounded.recording_count >= unbounded.recording_count

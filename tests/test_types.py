@@ -1,0 +1,151 @@
+"""Unit tests for :mod:`repro.core.types`."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import (
+    DataPoint,
+    FilterResult,
+    Recording,
+    RecordingKind,
+    Segment,
+    as_value_vector,
+    ensure_points,
+    points_from_arrays,
+    split_connected_runs,
+)
+
+
+class TestValueVector:
+    def test_scalar_becomes_vector(self):
+        assert as_value_vector(3.0).shape == (1,)
+
+    def test_list_preserved(self):
+        vector = as_value_vector([1.0, 2.0, 3.0])
+        assert vector.shape == (3,)
+        assert vector.dtype == float
+
+    def test_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            as_value_vector([[1.0, 2.0], [3.0, 4.0]])
+
+
+class TestDataPoint:
+    def test_scalar_point(self):
+        point = DataPoint(1.0, 5.0)
+        assert point.dimensions == 1
+        assert point.component(0) == 5.0
+
+    def test_vector_point(self):
+        point = DataPoint(2.0, [1.0, 2.0, 3.0])
+        assert point.dimensions == 3
+        assert point.component(2) == 3.0
+
+    def test_as_tuple(self):
+        point = DataPoint(1.5, [1.0, 2.0])
+        assert point.as_tuple() == (1.5, (1.0, 2.0))
+
+
+class TestRecording:
+    def test_kind_and_value(self):
+        recording = Recording(3.0, 7.0, RecordingKind.SEGMENT_END)
+        assert recording.kind is RecordingKind.SEGMENT_END
+        assert recording.component(0) == 7.0
+        assert recording.dimensions == 1
+
+
+class TestSegment:
+    def test_slope_and_interpolation(self):
+        segment = Segment(0.0, [0.0], 10.0, [5.0])
+        assert segment.slope()[0] == pytest.approx(0.5)
+        assert segment.value_at(4.0)[0] == pytest.approx(2.0)
+        assert segment.duration == 10.0
+
+    def test_extrapolation_outside_span(self):
+        segment = Segment(0.0, [0.0], 2.0, [2.0])
+        assert segment.value_at(4.0)[0] == pytest.approx(4.0)
+        assert segment.value_at(-1.0)[0] == pytest.approx(-1.0)
+
+    def test_zero_duration_segment(self):
+        segment = Segment(1.0, [3.0], 1.0, [3.0])
+        assert segment.duration == 0.0
+        assert segment.slope()[0] == 0.0
+        assert segment.value_at(1.0)[0] == 3.0
+
+    def test_reversed_times_rejected(self):
+        with pytest.raises(ValueError):
+            Segment(2.0, [0.0], 1.0, [1.0])
+
+    def test_covers(self):
+        segment = Segment(1.0, [0.0], 3.0, [1.0])
+        assert segment.covers(2.0)
+        assert not segment.covers(3.5)
+
+    def test_multidimensional_interpolation(self):
+        segment = Segment(0.0, [0.0, 10.0], 2.0, [2.0, 6.0])
+        value = segment.value_at(1.0)
+        assert value[0] == pytest.approx(1.0)
+        assert value[1] == pytest.approx(8.0)
+
+
+class TestFilterResult:
+    def test_compression_ratio(self):
+        result = FilterResult(
+            recordings=[Recording(0.0, 0.0, RecordingKind.HOLD)], points_processed=10, dimensions=1
+        )
+        assert result.compression_ratio == 10.0
+        assert result.recording_count == 1
+
+    def test_empty_result(self):
+        result = FilterResult()
+        assert result.compression_ratio == 0.0
+        assert result.recording_matrix().shape[0] == 0
+
+    def test_recording_matrix_shape(self):
+        result = FilterResult(
+            recordings=[
+                Recording(0.0, [1.0, 2.0], RecordingKind.SEGMENT_START),
+                Recording(1.0, [3.0, 4.0], RecordingKind.SEGMENT_END),
+            ],
+            points_processed=5,
+            dimensions=2,
+        )
+        matrix = result.recording_matrix()
+        assert matrix.shape == (2, 3)
+        assert matrix[1, 0] == 1.0
+        assert matrix[1, 2] == 4.0
+
+    def test_recording_times(self):
+        result = FilterResult(
+            recordings=[
+                Recording(0.0, 0.0, RecordingKind.HOLD),
+                Recording(4.0, 1.0, RecordingKind.HOLD),
+            ],
+            points_processed=5,
+            dimensions=1,
+        )
+        assert result.recording_times() == [0.0, 4.0]
+
+
+class TestHelpers:
+    def test_points_from_arrays(self):
+        points = points_from_arrays([0.0, 1.0], [5.0, 6.0])
+        assert len(points) == 2
+        assert points[1].time == 1.0
+
+    def test_ensure_points_mixed_input(self):
+        mixed = [DataPoint(0.0, 1.0), (1.0, 2.0)]
+        points = ensure_points(mixed)
+        assert all(isinstance(p, DataPoint) for p in points)
+        assert points[1].component(0) == 2.0
+
+    def test_split_connected_runs(self):
+        segments = [
+            Segment(0.0, [0.0], 1.0, [1.0]),
+            Segment(1.0, [1.0], 2.0, [2.0], connected_to_previous=True),
+            Segment(3.0, [0.0], 4.0, [1.0]),
+        ]
+        runs = split_connected_runs(segments)
+        assert len(runs) == 2
+        assert len(runs[0]) == 2
+        assert len(runs[1]) == 1
