@@ -12,6 +12,8 @@ The package provides:
 * a transmitter/receiver streaming substrate (:mod:`repro.streams`),
 * synthetic workload generators and a sea-surface-temperature surrogate
   (:mod:`repro.data`),
+* a vectorized batch ingestion pipeline with pluggable recording sinks
+  (:mod:`repro.pipeline`),
 * compression / error / timing metrics (:mod:`repro.metrics`),
 * the experiment harness regenerating every figure of the paper's evaluation
   (:mod:`repro.evaluation`), and
@@ -56,6 +58,7 @@ from repro.core import (
     paper_filters,
     register_filter,
 )
+from repro.pipeline import BatchIngestor, IngestReport, ListSink, StoreSink
 
 __version__ = "1.0.0"
 
@@ -84,4 +87,8 @@ __all__ = [
     "register_filter",
     "paper_filters",
     "PAPER_FILTERS",
+    "BatchIngestor",
+    "IngestReport",
+    "ListSink",
+    "StoreSink",
 ]

@@ -5,6 +5,8 @@ The ``repro`` command exposes the library's everyday operations:
 * ``repro filters`` / ``repro datasets`` — list what is available,
 * ``repro compress`` — compress a CSV file (or built-in dataset) with one
   filter and write the recordings to a CSV file,
+* ``repro ingest`` — batch-ingest a workload into a durable segment store
+  through the vectorized pipeline,
 * ``repro evaluate`` — compare several filters on one workload,
 * ``repro experiment`` — run one of the paper's figure experiments and print
   its table.
@@ -13,6 +15,8 @@ Examples::
 
     repro compress --dataset sst --filter slide --precision-percent 1 -o out.csv
     repro compress --input measurements.csv --filter swing --epsilon 0.5 -o out.csv
+    repro ingest --dataset sst --filter slide --precision-percent 1 --store ./archive
+    repro ingest --input ticks.csv --filter swing --epsilon 0.5 --store ./archive --chunk-size 8192
     repro evaluate --dataset random-walk --epsilon 0.5
     repro experiment figure9
 """
@@ -22,6 +26,7 @@ from __future__ import annotations
 import argparse
 import csv
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -29,8 +34,10 @@ import numpy as np
 from repro import __version__
 from repro.approximation.reconstruct import reconstruct
 from repro.core.epsilon import epsilon_from_percent
+from repro.core.errors import ReproError
 from repro.core.registry import PAPER_FILTERS, available_filters, create_filter
 from repro.data.datasets import available_datasets, dataset_entries, load_dataset
+from repro.pipeline import DEFAULT_CHUNK_SIZE, BatchIngestor, StoreSink
 from repro.evaluation import (
     compression_vs_correlation,
     compression_vs_delta,
@@ -79,6 +86,26 @@ def build_parser() -> argparse.ArgumentParser:
     _add_precision_arguments(compress)
     compress.add_argument("--max-lag", type=int, default=None, help="m_max_lag bound in points")
     compress.add_argument("-o", "--output", default=None, help="write recordings to this CSV file")
+
+    ingest = subparsers.add_parser(
+        "ingest", help="batch-ingest one workload into a segment store"
+    )
+    _add_workload_arguments(ingest)
+    ingest.add_argument("--filter", default="slide", help="filter name (default: slide)")
+    _add_precision_arguments(ingest)
+    ingest.add_argument("--max-lag", type=int, default=None, help="m_max_lag bound in points")
+    ingest.add_argument(
+        "--chunk-size",
+        type=int,
+        default=DEFAULT_CHUNK_SIZE,
+        help=f"points per ingestion chunk (default {DEFAULT_CHUNK_SIZE})",
+    )
+    ingest.add_argument("--store", required=True, help="segment store directory")
+    ingest.add_argument(
+        "--name",
+        default=None,
+        help="stream name in the store (default: the dataset or input file name)",
+    )
 
     evaluate = subparsers.add_parser("evaluate", help="compare filters on one workload")
     _add_workload_arguments(evaluate)
@@ -181,6 +208,39 @@ def _command_compress(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_ingest(args: argparse.Namespace) -> int:
+    times, values = _load_workload(args)
+    epsilon = _resolve_epsilon(args, values)
+    if args.name:
+        stream_name = args.name
+    elif args.dataset:
+        stream_name = args.dataset
+    else:
+        stream_name = Path(args.input).stem
+    kwargs = {"max_lag": args.max_lag} if args.max_lag is not None else {}
+    try:
+        # Build the filter and ingestor before the sink so a bad filter name,
+        # filter option or chunk size does not create the store directory as
+        # a side effect.
+        stream_filter = create_filter(args.filter, epsilon, **kwargs)
+        ingestor = BatchIngestor(stream_filter, chunk_size=args.chunk_size)
+        ingestor.sink = StoreSink(args.store, stream_name, epsilon=[epsilon])
+        report = ingestor.run(times, values)
+    except (KeyError, ValueError, ReproError) as error:
+        message = error.args[0] if error.args else error
+        raise SystemExit(f"ingest failed: {message}") from error
+
+    print(f"filter            : {report.filter_name}")
+    print(f"precision width   : {epsilon:.6g}")
+    print(f"stream            : {stream_name} -> {args.store}")
+    print(f"data points       : {report.points}")
+    print(f"chunks            : {report.chunks} (chunk size {args.chunk_size})")
+    print(f"recordings        : {report.recordings}")
+    print(f"compression ratio : {report.compression_ratio:.3f}")
+    print(f"throughput        : {report.points_per_second:,.0f} points/s")
+    return 0
+
+
 def _command_evaluate(args: argparse.Namespace) -> int:
     times, values = _load_workload(args)
     epsilon = _resolve_epsilon(args, values)
@@ -217,6 +277,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_datasets()
     if args.command == "compress":
         return _command_compress(args)
+    if args.command == "ingest":
+        return _command_ingest(args)
     if args.command == "evaluate":
         return _command_evaluate(args)
     if args.command == "experiment":

@@ -123,6 +123,81 @@ class StreamFilter(abc.ABC):
         """Like :meth:`feed` but accepting a :class:`DataPoint` directly."""
         return self.feed(point.time, point.value)
 
+    def process_batch(self, times, values) -> List[Recording]:
+        """Process a chunk of points at once and return the emitted recordings.
+
+        This is the vectorized fast path used by
+        :class:`repro.pipeline.BatchIngestor`.  It is behaviourally equivalent
+        to feeding every point through :meth:`feed` in order — filters that
+        override :meth:`_process_batch` guarantee *identical* recordings — but
+        amortizes validation, ε resolution and (for the filters that vectorize
+        their inner loop) the per-point work over the whole chunk.
+
+        Args:
+            times: 1-D array of timestamps, strictly increasing and strictly
+                after every previously processed point.
+            values: Array of shape ``(n,)`` (scalar signal) or ``(n, d)``.
+
+        Returns:
+            Recordings emitted while processing this chunk (possibly empty).
+
+        Raises:
+            FilterStateError: If the filter has already been finished.
+            StreamOrderError: If the timestamps are not strictly increasing.
+            DimensionMismatchError: If ``d`` differs from earlier points.
+        """
+        if self._finished:
+            raise FilterStateError("filter has already been finished")
+        times_in, values_in = times, values
+        times = np.asarray(times, dtype=float)
+        if times.ndim != 1:
+            raise ValueError(f"times must be a 1-D array, got shape {times.shape}")
+        values = np.asarray(values, dtype=float)
+        if values.ndim not in (1, 2):
+            raise ValueError(
+                f"values must have shape (n,) or (n, d), got shape {values.shape}"
+            )
+        # Defensive copies when the coerced arrays alias caller memory: the
+        # filter's interval state (anchors, buffered points) can outlive this
+        # call, and callers may legitimately refill their input buffers
+        # between chunks.
+        if times is times_in or times.base is not None:
+            times = times.copy()
+        if values is values_in or values.base is not None:
+            values = values.copy()
+        if values.ndim == 1:
+            values = values.reshape(-1, 1)
+        if values.shape[0] != times.shape[0]:
+            raise ValueError(
+                f"times and values disagree on length: {times.shape[0]} vs {values.shape[0]}"
+            )
+        if times.size == 0:
+            return []
+        if self._dimensions is None:
+            self._dimensions = int(values.shape[1])
+            self._epsilon = ErrorBound.of(self._epsilon_spec, self._dimensions)
+        elif values.shape[1] != self._dimensions:
+            raise DimensionMismatchError(
+                f"expected {self._dimensions}-dimensional values, got {values.shape[1]}"
+            )
+        if self._last_time is not None and times[0] <= self._last_time:
+            raise StreamOrderError(
+                f"timestamps must be strictly increasing; got {float(times[0])!r} "
+                f"after {self._last_time!r}"
+            )
+        steps = np.diff(times)
+        if steps.size and not np.all(steps > 0.0):
+            bad = int(np.argmax(steps <= 0.0))
+            raise StreamOrderError(
+                f"timestamps must be strictly increasing; got {float(times[bad + 1])!r} "
+                f"after {float(times[bad])!r}"
+            )
+        self._pending = []
+        self._process_batch(times, values)
+        self._points_processed += int(times.size)
+        self._last_time = float(times[-1])
+        return self._pending
+
     def finish(self) -> List[Recording]:
         """Signal end-of-stream and return the final recordings."""
         if self._finished:
@@ -168,6 +243,17 @@ class StreamFilter(abc.ABC):
     def _feed_point(self, point: DataPoint) -> None:
         """Process one validated data point."""
 
+    def _process_batch(self, times: np.ndarray, values: np.ndarray) -> None:
+        """Process one validated chunk (``times`` 1-D, ``values`` 2-D).
+
+        The default implementation falls back to the per-point hook.  Filters
+        with a vectorized inner loop override this; overrides MUST produce
+        exactly the recordings the per-point path would produce, so callers
+        may mix :meth:`feed` and :meth:`process_batch` freely.
+        """
+        for index in range(times.shape[0]):
+            self._feed_point(DataPoint(float(times[index]), values[index]))
+
     @abc.abstractmethod
     def _finish_stream(self) -> None:
         """Flush state at end-of-stream (only called if at least one point arrived)."""
@@ -176,8 +262,13 @@ class StreamFilter(abc.ABC):
     # Helpers for subclasses
     # ------------------------------------------------------------------ #
     def _emit(self, time: float, value, kind: RecordingKind) -> Recording:
-        """Record a transmitted point and return it."""
-        recording = Recording(float(time), np.asarray(value, dtype=float), kind)
+        """Record a transmitted point and return it.
+
+        The value is copied: recordings outlive the call, and ``value`` is
+        often a row view of a caller-owned chunk array (or the caller's own
+        array in the per-point path).
+        """
+        recording = Recording(float(time), np.array(value, dtype=float), kind)
         self._recordings.append(recording)
         self._pending.append(recording)
         return recording

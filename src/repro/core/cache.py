@@ -33,6 +33,10 @@ __all__ = ["CacheFilter", "MidrangeCacheFilter", "MeanCacheFilter"]
 
 _VALID_MODES = ("first", "midrange", "mean")
 
+#: Initial lookahead (in points) of the batch scan; doubled while no
+#: rejection is found, reset after each interval.
+_INITIAL_WINDOW = 64
+
 
 class CacheFilter(StreamFilter):
     """Piece-wise constant filter with a configurable representative policy.
@@ -74,6 +78,65 @@ class CacheFilter(StreamFilter):
         else:
             self._close_interval()
             self._open_interval(point)
+
+    def _process_batch(self, times: np.ndarray, values: np.ndarray) -> None:
+        """Vectorized chunk processing (identical recordings to feed()).
+
+        All three acceptance policies only depend on running prefix state
+        (first value, running min/max, running sum), so the would-be state
+        after each candidate point is computed with inclusive prefix scans
+        (``np.minimum.accumulate`` / ``np.cumsum`` — sequential, matching the
+        per-point update order bit for bit) and the first rejected point is
+        found without a Python loop.  The loop below runs once per interval
+        (plus once per growth of the geometric lookahead window).
+        """
+        if self.max_lag is not None:
+            super()._process_batch(times, values)
+            return
+        epsilon = self._epsilon_array()
+        total = times.shape[0]
+        position = 0
+        window = _INITIAL_WINDOW
+        while position < total:
+            if self._interval_count == 0:
+                self._open_interval(DataPoint(float(times[position]), values[position]))
+                position += 1
+                continue
+            stop = min(position + window, total)
+            xs = values[position:stop]
+            # Inclusive prefixes: row k is the interval state *after* also
+            # accepting candidate point k (what _accepts inspects).
+            running_min = np.minimum.accumulate(
+                np.vstack([self._interval_min[None, :], xs]), axis=0
+            )[1:]
+            running_max = np.maximum.accumulate(
+                np.vstack([self._interval_max[None, :], xs]), axis=0
+            )[1:]
+            running_sum = np.cumsum(np.vstack([self._interval_sum[None, :], xs]), axis=0)[1:]
+            if self.mode == "first":
+                accepted = np.all(np.abs(xs - self._interval_first) <= epsilon, axis=1)
+            elif self.mode == "midrange":
+                accepted = np.all(running_max - running_min <= 2.0 * epsilon, axis=1)
+            else:
+                counts = self._interval_count + 1 + np.arange(xs.shape[0])
+                running_mean = running_sum / counts[:, None]
+                accepted = np.all(running_max - running_mean <= epsilon, axis=1) & np.all(
+                    running_mean - running_min <= epsilon, axis=1
+                )
+            run = len(accepted) if bool(accepted.all()) else int(np.argmin(accepted))
+            if run > 0:
+                self._interval_min = running_min[run - 1].copy()
+                self._interval_max = running_max[run - 1].copy()
+                self._interval_sum = running_sum[run - 1].copy()
+                self._interval_count += run
+            if run == len(accepted):
+                position = stop
+                window *= 2
+                continue
+            self._close_interval()
+            self._open_interval(DataPoint(float(times[position + run]), values[position + run]))
+            position += run + 1
+            window = _INITIAL_WINDOW
 
     def _finish_stream(self) -> None:
         if self._interval_count > 0:

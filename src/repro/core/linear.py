@@ -28,6 +28,10 @@ from repro.core.types import DataPoint, RecordingKind
 
 __all__ = ["LinearFilter", "DisconnectedLinearFilter"]
 
+#: Initial lookahead (in points) of the batch scan; doubled while no
+#: violation is found, reset after each segment.
+_INITIAL_WINDOW = 64
+
 
 class LinearFilter(StreamFilter):
     """Connected-segment linear filter (slope fixed by the first two points)."""
@@ -77,6 +81,59 @@ class LinearFilter(StreamFilter):
         self._define_slope(point)
         self._last_point = point
         self._interval_points = 1
+
+    def _process_batch(self, times: np.ndarray, values: np.ndarray) -> None:
+        """Vectorized chunk processing (identical recordings to feed()).
+
+        Within a filtering interval the approximating line is fixed, so chunk
+        points are checked against its prediction in vectorized comparisons
+        over a geometrically growing lookahead window; the Python loop runs
+        once per segment (plus once per window growth), not once per point.
+        """
+        if self.max_lag is not None:
+            super()._process_batch(times, values)
+            return
+        epsilon = self._epsilon_array()
+        total = times.shape[0]
+        position = 0
+        window = _INITIAL_WINDOW
+        if self._anchor_time is None:
+            point = DataPoint(float(times[0]), values[0])
+            self._emit(point.time, point.value, RecordingKind.SEGMENT_START)
+            self._set_anchor(point.time, point.value)
+            self._last_point = point
+            self._interval_points = 1
+            position = 1
+        while position < total:
+            if self._slope is None:
+                point = DataPoint(float(times[position]), values[position])
+                self._define_slope(point)
+                self._after_accept(point)
+                position += 1
+                continue
+            stop = min(position + window, total)
+            ts = times[position:stop]
+            xs = values[position:stop]
+            # Same arithmetic as _predict().
+            predictions = self._anchor_value + self._slope * (ts[:, None] - self._anchor_time)
+            accepted = np.all(np.abs(xs - predictions) <= epsilon, axis=1)
+            run = len(accepted) if bool(accepted.all()) else int(np.argmin(accepted))
+            if run > 0:
+                self._last_point = DataPoint(float(ts[run - 1]), xs[run - 1])
+                self._interval_points += run
+            if run == len(accepted):
+                position = stop
+                window *= 2
+                continue
+            violator = DataPoint(float(ts[run]), xs[run])
+            end_value = self._predict(self._last_point.time)
+            self._emit(self._last_point.time, end_value, RecordingKind.SEGMENT_END)
+            self._set_anchor(self._last_point.time, end_value)
+            self._define_slope(violator)
+            self._last_point = violator
+            self._interval_points = 1
+            position += run + 1
+            window = _INITIAL_WINDOW
 
     def _finish_stream(self) -> None:
         if self._last_point is None:
@@ -145,6 +202,46 @@ class DisconnectedLinearFilter(StreamFilter):
 
         self._close_segment()
         self._start_segment(point)
+
+    def _process_batch(self, times: np.ndarray, values: np.ndarray) -> None:
+        """Vectorized chunk processing (identical recordings to feed())."""
+        if self.max_lag is not None:
+            super()._process_batch(times, values)
+            return
+        epsilon = self._epsilon_array()
+        total = times.shape[0]
+        position = 0
+        window = _INITIAL_WINDOW
+        while position < total:
+            if self._anchor_time is None:
+                self._start_segment(DataPoint(float(times[position]), values[position]))
+                position += 1
+                continue
+            if self._slope is None:
+                point = DataPoint(float(times[position]), values[position])
+                self._slope = (point.value - self._anchor_value) / (
+                    point.time - self._anchor_time
+                )
+                self._after_accept(point)
+                position += 1
+                continue
+            stop = min(position + window, total)
+            ts = times[position:stop]
+            xs = values[position:stop]
+            predictions = self._anchor_value + self._slope * (ts[:, None] - self._anchor_time)
+            accepted = np.all(np.abs(xs - predictions) <= epsilon, axis=1)
+            run = len(accepted) if bool(accepted.all()) else int(np.argmin(accepted))
+            if run > 0:
+                self._last_point = DataPoint(float(ts[run - 1]), xs[run - 1])
+                self._interval_points += run
+            if run == len(accepted):
+                position = stop
+                window *= 2
+                continue
+            self._close_segment()
+            self._start_segment(DataPoint(float(ts[run]), xs[run]))
+            position += run + 1
+            window = _INITIAL_WINDOW
 
     def _finish_stream(self) -> None:
         if self._last_point is not None and self._last_point.time > self._anchor_time:

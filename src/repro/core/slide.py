@@ -42,6 +42,15 @@ __all__ = ["SlideFilter"]
 #: Relative slack used when verifying a connection against buffered points.
 _VALIDATION_SLACK = 1e-9
 
+#: Initial lookahead (in points) of the batch scan; doubled while no event is
+#: found, reset after each event.
+_INITIAL_WINDOW = 64
+
+#: Consecutive zero-lookahead events before the batch scan drops to scalar
+#: stepping, and consecutive silent points before it resumes probing.
+_SCALAR_ENTER_EVENTS = 2
+_SCALAR_EXIT_STREAK = 8
+
 
 def _safe_line(t1: float, x1: float, t2: float, x2: float) -> Optional[Line]:
     """Build a line through two points, returning ``None`` when degenerate."""
@@ -86,7 +95,8 @@ class _PreviousSegment:
     start_time: float
     end_time: float
     min_connection_time: float
-    points: Optional[List[DataPoint]]
+    #: Buffered interval points as ``(time, value-vector)`` pairs.
+    points: Optional[List[Tuple[float, np.ndarray]]]
 
 
 class SlideFilter(StreamFilter):
@@ -135,7 +145,9 @@ class SlideFilter(StreamFilter):
         self._upper: Optional[List[Line]] = None
         self._lower: Optional[List[Line]] = None
         self._hulls: Optional[List[IncrementalConvexHull]] = None
-        self._raw_points: Optional[List[DataPoint]] = None
+        #: Buffered interval points as ``(time, value-vector)`` pairs (only
+        #: kept when connection validation or the non-hull variant needs them).
+        self._raw_points: Optional[List[Tuple[float, np.ndarray]]] = None
         # Raw moments for the MSE-optimal slope through an arbitrary pivot.
         self._n = 0
         self._sum_t = 0.0
@@ -177,6 +189,134 @@ class SlideFilter(StreamFilter):
         self._finalize_interval(connect=self.connect_segments)
         self._begin_interval(point)
 
+    def _process_batch(self, times: np.ndarray, values: np.ndarray) -> None:
+        """Event-driven chunk processing (identical recordings to feed()).
+
+        Per-point Python work only happens at *events*: points that violate a
+        bound or force a bound to slide onto a new support point.  All points
+        in between ("silent" points) are detected with one vectorized scan of
+        the remaining chunk against the current bounding lines and absorbed in
+        bulk: their hull insertions run in one tight loop per dimension (the
+        hull state only depends on the insertion order, which is preserved)
+        and the MSE moments are accumulated with sequential ``np.cumsum``
+        scans matching the per-point addition order bit for bit.
+
+        Bound updates are sequential by nature (each one moves the lines the
+        next acceptance test uses), so stretches where almost every point is
+        an event would pay for a vectorized probe and then discard it.  The
+        loop therefore runs in two modes: *probing* mode scans a
+        geometrically growing lookahead window for the next event and absorbs
+        the silent points in bulk; after consecutive immediate events it
+        drops into *scalar* mode, which steps point by point exactly like
+        :meth:`_feed_point` and returns to probing once a few silent points
+        in a row suggest the event cluster has ended.
+        """
+        if self.max_lag is not None or self._locked_lines is not None:
+            # Bounded-lag bookkeeping is inherently sequential.
+            super()._process_batch(times, values)
+            return
+        epsilon = self._epsilon_array()
+        total = times.shape[0]
+        position = 0
+        window = _INITIAL_WINDOW
+        scalar_mode = False
+        immediate_events = 0
+        silent_streak = 0
+        while position < total:
+            if self._first_point is None:
+                self._begin_interval(DataPoint(float(times[position]), values[position]))
+                position += 1
+                continue
+            if self._upper is None:
+                point = DataPoint(float(times[position]), values[position])
+                self._open_bounds(self._first_point, point)
+                self._absorb(point)
+                position += 1
+                continue
+            if scalar_mode:
+                point = DataPoint(float(times[position]), values[position])
+                if self._accepts(point):
+                    changed = self._update_bounds(point)
+                    self._absorb(point)
+                    if changed:
+                        silent_streak = 0
+                    else:
+                        silent_streak += 1
+                        if silent_streak >= _SCALAR_EXIT_STREAK:
+                            scalar_mode = False
+                            window = _INITIAL_WINDOW
+                else:
+                    self._finalize_interval(connect=self.connect_segments)
+                    self._begin_interval(point)
+                    silent_streak = 0
+                position += 1
+                continue
+            stop = min(position + window, total)
+            ts = times[position:stop]
+            xs = values[position:stop]
+            upper_slopes = np.array([line.slope for line in self._upper])
+            upper_intercepts = np.array([line.intercept for line in self._upper])
+            lower_slopes = np.array([line.slope for line in self._lower])
+            lower_intercepts = np.array([line.intercept for line in self._lower])
+            # Same arithmetic as Line.value_at (slope * t + intercept).
+            upper_values = ts[:, None] * upper_slopes + upper_intercepts
+            lower_values = ts[:, None] * lower_slopes + lower_intercepts
+            violates = np.any(xs > upper_values + epsilon, axis=1) | np.any(
+                xs < lower_values - epsilon, axis=1
+            )
+            needs_update = np.any(xs > lower_values + epsilon, axis=1) | np.any(
+                xs < upper_values - epsilon, axis=1
+            )
+            event = violates | needs_update
+            run = int(np.argmax(event)) if bool(event.any()) else len(ts)
+            if run > 0:
+                self._absorb_run(ts[:run], xs[:run])
+            if run == len(ts):
+                # No event inside the window: widen the lookahead.
+                position = stop
+                window *= 2
+                immediate_events = 0
+                continue
+            point = DataPoint(float(ts[run]), xs[run])
+            if violates[run]:
+                self._finalize_interval(connect=self.connect_segments)
+                self._begin_interval(point)
+            else:
+                self._update_bounds(point)
+                self._absorb(point)
+            position += run + 1
+            window = _INITIAL_WINDOW
+            if run == 0:
+                immediate_events += 1
+                if immediate_events >= _SCALAR_ENTER_EVENTS:
+                    scalar_mode = True
+                    silent_streak = 0
+                    immediate_events = 0
+            else:
+                immediate_events = 0
+
+    def _absorb_run(self, ts: np.ndarray, xs: np.ndarray) -> None:
+        """Bulk equivalent of :meth:`_absorb` for a run of silent points."""
+        count = ts.shape[0]
+        time_list = ts.tolist()
+        self._last_point = DataPoint(time_list[-1], xs[-1])
+        self._interval_points += count
+        self._n += count
+        self._sum_t = float(np.cumsum(np.concatenate(([self._sum_t], ts)))[-1])
+        self._sum_tt = float(np.cumsum(np.concatenate(([self._sum_tt], ts * ts)))[-1])
+        # .copy(): keep the (d,) rows, not views pinning the whole scan temps.
+        self._sum_x = np.cumsum(np.vstack([self._sum_x[None, :], xs]), axis=0)[-1].copy()
+        self._sum_xt = np.cumsum(
+            np.vstack([self._sum_xt[None, :], xs * ts[:, None]]), axis=0
+        )[-1].copy()
+        if self._raw_points is not None:
+            self._raw_points.extend(zip(time_list, xs))
+        if self._hulls is not None:
+            for dimension, hull in enumerate(self._hulls):
+                column = xs[:, dimension].tolist()
+                for index in range(count):
+                    hull.add(time_list[index], column[index])
+
     def _finish_stream(self) -> None:
         if self._locked_lines is not None:
             self._close_locked_segment()
@@ -205,7 +345,11 @@ class SlideFilter(StreamFilter):
         self._upper = None
         self._lower = None
         self._hulls = None
-        self._raw_points = [point] if (self.validate_connections or not self.use_convex_hull) else None
+        self._raw_points = (
+            [(point.time, point.value)]
+            if (self.validate_connections or not self.use_convex_hull)
+            else None
+        )
         self._n = 1
         self._sum_t = point.time
         self._sum_tt = point.time * point.time
@@ -247,7 +391,7 @@ class SlideFilter(StreamFilter):
         self._sum_x = self._sum_x + point.value
         self._sum_xt = self._sum_xt + point.value * point.time
         if self._raw_points is not None:
-            self._raw_points.append(point)
+            self._raw_points.append((point.time, point.value))
         if self.max_lag is not None and self._interval_points >= self.max_lag:
             self._lock_segment()
 
@@ -261,9 +405,14 @@ class SlideFilter(StreamFilter):
                 return False
         return True
 
-    def _update_bounds(self, point: DataPoint) -> None:
-        """Slide the bounds so they stay extremal after accepting ``point``."""
+    def _update_bounds(self, point: DataPoint) -> bool:
+        """Slide the bounds so they stay extremal after accepting ``point``.
+
+        Returns whether any bounding line actually moved (used by the batch
+        path to decide when a dense stretch of update events has ended).
+        """
         epsilon = self._epsilon_array()
+        changed = False
         for i in range(point.dimensions):
             value = point.component(i)
             if self.use_convex_hull:
@@ -273,15 +422,18 @@ class SlideFilter(StreamFilter):
                 self._lower[i] = max_slope_lower_line(
                     support, point.time, value, epsilon[i], current=self._lower[i]
                 )
+                changed = True
             if value < self._upper[i].value_at(point.time) - epsilon[i]:
                 self._upper[i] = min_slope_upper_line(
                     support, point.time, value, epsilon[i], current=self._upper[i]
                 )
+                changed = True
+        return changed
 
     def _support_points(self, dimension: int) -> Sequence[Tuple[float, float]]:
         if self.use_convex_hull:
             return self._hulls[dimension].vertices()
-        return [(p.time, p.component(dimension)) for p in self._raw_points]
+        return [(t, float(v[dimension])) for t, v in self._raw_points]
 
     # ------------------------------------------------------------------ #
     # Recording mechanism
@@ -588,11 +740,12 @@ class SlideFilter(StreamFilter):
         if not self.validate_connections or prev.points is None or self._raw_points is None:
             return True
         epsilon = self._epsilon_array()
-        tail = [p for p in prev.points if p.time > connection_time]
-        for point in tail + self._raw_points:
+        tail = [entry for entry in prev.points if entry[0] > connection_time]
+        for time, value in tail + self._raw_points:
             for i in range(self._dimensions):
-                slack = _VALIDATION_SLACK * (1.0 + abs(point.component(i)) + epsilon[i])
-                if abs(lines[i].value_at(point.time) - point.component(i)) > epsilon[i] + slack:
+                component = float(value[i])
+                slack = _VALIDATION_SLACK * (1.0 + abs(component) + epsilon[i])
+                if abs(lines[i].value_at(time) - component) > epsilon[i] + slack:
                     return False
         return True
 

@@ -25,6 +25,10 @@ from repro.core.types import DataPoint, RecordingKind
 
 __all__ = ["SwingFilter"]
 
+#: Initial lookahead (in points) of the batch scan; doubled while no
+#: violation is found, reset after each recording.
+_INITIAL_WINDOW = 64
+
 
 class SwingFilter(StreamFilter):
     """Online swing filter with optional bounded transmitter lag.
@@ -83,21 +87,22 @@ class SwingFilter(StreamFilter):
             self._after_accept(point)
             return
 
+        # Acceptance and the swing update are both expressed on the slopes of
+        # the candidate bounding lines through the anchor (dividing the
+        # line-space inequalities of Algorithm 1 by dt > 0).  The batch path
+        # (:meth:`_process_batch`) evaluates the very same expressions with
+        # prefix min/max scans, so both paths produce identical recordings.
         epsilon = self._epsilon_array()
         dt = point.time - self._anchor_time
-        upper = self._anchor_value + self._upper_slope * dt
-        lower = self._anchor_value + self._lower_slope * dt
-        if np.all(point.value <= upper + epsilon) and np.all(point.value >= lower - epsilon):
+        upper_candidate = (point.value + epsilon - self._anchor_value) / dt
+        lower_candidate = (point.value - epsilon - self._anchor_value) / dt
+        if np.all(lower_candidate <= self._upper_slope) and np.all(
+            upper_candidate >= self._lower_slope
+        ):
             # Filtered out: swing the bounds so every remaining candidate line
             # still represents all points, including this one.
-            swing_up = point.value - epsilon > lower
-            swing_down = point.value + epsilon < upper
-            if np.any(swing_up):
-                new_lower = (point.value - epsilon - self._anchor_value) / dt
-                self._lower_slope = np.where(swing_up, new_lower, self._lower_slope)
-            if np.any(swing_down):
-                new_upper = (point.value + epsilon - self._anchor_value) / dt
-                self._upper_slope = np.where(swing_down, new_upper, self._upper_slope)
+            self._upper_slope = np.minimum(self._upper_slope, upper_candidate)
+            self._lower_slope = np.maximum(self._lower_slope, lower_candidate)
             self._accumulate(point)
             self._after_accept(point)
             return
@@ -110,6 +115,95 @@ class SwingFilter(StreamFilter):
         self._reset_sums(point)
         self._last_point = point
         self._interval_points = 1
+
+    def _process_batch(self, times: np.ndarray, values: np.ndarray) -> None:
+        """Vectorized chunk processing (identical recordings to the feed path).
+
+        For every chunk position the candidate upper/lower slopes through the
+        current anchor are computed in one shot; the bounds in effect at each
+        position are prefix min/max scans over those candidates, so the first
+        violating point of each filtering interval is found without a Python
+        loop.  The Python loop below runs once per *recording*, not once per
+        point.  The MSE sums are accumulated with ``np.cumsum`` (a sequential
+        scan), matching the per-point addition order bit for bit.
+
+        The scan advances through the chunk in a geometrically growing
+        lookahead window (reset at every violation): candidate slopes are only
+        computed for points that are likely to share the current anchor, so a
+        chunk containing many short segments costs O(chunk), not
+        O(chunk × segments).
+        """
+        if self.max_lag is not None or self._locked_slope is not None:
+            # Bounded-lag bookkeeping is inherently sequential; keep the
+            # per-point reference path.
+            super()._process_batch(times, values)
+            return
+        epsilon = self._epsilon_array()
+        total = times.shape[0]
+        position = 0
+        window = _INITIAL_WINDOW
+        if self._anchor_time is None:
+            self._emit(times[0], values[0], RecordingKind.SEGMENT_START)
+            self._anchor_time = float(times[0])
+            self._anchor_value = values[0].copy()
+            self._last_point = DataPoint(float(times[0]), values[0])
+            position = 1
+        while position < total:
+            stop = min(position + window, total)
+            ts = times[position:stop]
+            xs = values[position:stop]
+            dt = ts - self._anchor_time
+            upper_candidates = (xs + epsilon - self._anchor_value) / dt[:, None]
+            lower_candidates = (xs - epsilon - self._anchor_value) / dt[:, None]
+            dims = upper_candidates.shape[1]
+            carried_upper = (
+                self._upper_slope if self._upper_slope is not None else np.full(dims, np.inf)
+            )
+            carried_lower = (
+                self._lower_slope if self._lower_slope is not None else np.full(dims, -np.inf)
+            )
+            # bound_*[k] = bounding slopes in effect when point k is checked
+            # (carried bounds tightened by the first k candidates).  With no
+            # open bounds the +/-inf seeds make the first point uncheckable —
+            # exactly the always-accepted bounds-opening point of the
+            # per-point path.
+            bound_upper = np.minimum.accumulate(
+                np.vstack([carried_upper[None, :], upper_candidates]), axis=0
+            )[:-1]
+            bound_lower = np.maximum.accumulate(
+                np.vstack([carried_lower[None, :], lower_candidates]), axis=0
+            )[:-1]
+            accepted = np.all(lower_candidates <= bound_upper, axis=1) & np.all(
+                upper_candidates >= bound_lower, axis=1
+            )
+            run = len(accepted) if bool(accepted.all()) else int(np.argmin(accepted))
+            if run > 0:
+                self._upper_slope = np.minimum(bound_upper[run - 1], upper_candidates[run - 1])
+                self._lower_slope = np.maximum(bound_lower[run - 1], lower_candidates[run - 1])
+                contributions = (xs[:run] - self._anchor_value) * dt[:run, None]
+                initial = self._sum_xt if self._sum_xt is not None else np.zeros(dims)
+                # .copy(): keep the (d,) row, not a view pinning the whole scan temp.
+                self._sum_xt = np.cumsum(
+                    np.vstack([initial[None, :], contributions]), axis=0
+                )[-1].copy()
+                self._sum_tt = float(
+                    np.cumsum(np.concatenate(([self._sum_tt], dt[:run] * dt[:run])))[-1]
+                )
+                self._interval_points += run
+                self._last_point = DataPoint(float(ts[run - 1]), xs[run - 1])
+            if run == len(accepted):
+                # No violation inside the window: widen the lookahead.
+                position = stop
+                window *= 2
+                continue
+            violator = DataPoint(float(ts[run]), xs[run])
+            self._close_segment(self._last_point.time)
+            self._open_bounds(violator)
+            self._reset_sums(violator)
+            self._last_point = violator
+            self._interval_points = 1
+            position += run + 1
+            window = _INITIAL_WINDOW
 
     def _finish_stream(self) -> None:
         if self._anchor_time is None or self._last_point is None:

@@ -1,0 +1,40 @@
+"""Vectorized batch ingestion pipeline.
+
+This subpackage is the high-throughput write path of the reproduction: it
+moves streams into filters chunk-by-chunk through the
+:meth:`~repro.core.base.StreamFilter.process_batch` fast path and routes the
+emitted recordings into pluggable sinks (in-memory, callback, or a durable
+:class:`~repro.storage.segment_store.SegmentStore`).
+
+Typical use::
+
+    from repro.pipeline import BatchIngestor, StoreSink
+
+    sink = StoreSink("./archive", name="sst", epsilon=[0.25])
+    ingestor = BatchIngestor("slide", epsilon=0.25, chunk_size=4096, sink=sink)
+    report = ingestor.run(times, values)
+    print(report.points_per_second)
+"""
+
+from repro.pipeline.chunking import DEFAULT_CHUNK_SIZE, iter_chunks, normalize_chunk
+from repro.pipeline.ingest import BatchIngestor, IngestReport
+from repro.pipeline.sinks import (
+    CallbackSink,
+    ListSink,
+    NullSink,
+    RecordingSink,
+    StoreSink,
+)
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "iter_chunks",
+    "normalize_chunk",
+    "BatchIngestor",
+    "IngestReport",
+    "RecordingSink",
+    "ListSink",
+    "NullSink",
+    "CallbackSink",
+    "StoreSink",
+]

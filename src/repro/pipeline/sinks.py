@@ -1,0 +1,98 @@
+"""Pluggable recording sinks for the batch ingestion pipeline.
+
+A sink receives the recordings a filter emits — one call per ingested chunk
+plus one final call for the end-of-stream recordings — and forwards them to
+wherever they should live: an in-memory list, a :class:`SegmentStore` stream,
+a user callback, or nowhere (throughput measurements).  Sinks receive
+recordings in emission order, which for every filter in this library is also
+non-decreasing time order.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.types import Recording
+from repro.storage.segment_store import SegmentStore
+
+__all__ = [
+    "RecordingSink",
+    "ListSink",
+    "NullSink",
+    "CallbackSink",
+    "StoreSink",
+]
+
+
+class RecordingSink(abc.ABC):
+    """Destination for the recordings produced by a :class:`BatchIngestor`."""
+
+    @abc.abstractmethod
+    def write(self, recordings: Sequence[Recording]) -> None:
+        """Accept one batch of recordings (possibly empty)."""
+
+    def close(self) -> None:
+        """Flush and release any resources (default: no-op)."""
+
+
+class ListSink(RecordingSink):
+    """Collect every recording in an in-memory list."""
+
+    def __init__(self) -> None:
+        self.recordings: List[Recording] = []
+
+    def write(self, recordings: Sequence[Recording]) -> None:
+        self.recordings.extend(recordings)
+
+
+class NullSink(RecordingSink):
+    """Discard recordings, keeping only a count (for throughput benchmarks)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def write(self, recordings: Sequence[Recording]) -> None:
+        self.count += len(recordings)
+
+
+class CallbackSink(RecordingSink):
+    """Invoke ``callback(recordings)`` for every non-empty batch."""
+
+    def __init__(self, callback: Callable[[Sequence[Recording]], None]) -> None:
+        self._callback = callback
+
+    def write(self, recordings: Sequence[Recording]) -> None:
+        if recordings:
+            self._callback(recordings)
+
+
+class StoreSink(RecordingSink):
+    """Append recordings to one stream of a :class:`SegmentStore`.
+
+    Args:
+        store: The backing store (or a directory path to open one at).
+        name: Stream name to append to.
+        epsilon: Optional precision width recorded in the stream's catalog
+            entry.
+    """
+
+    def __init__(
+        self,
+        store,
+        name: str,
+        epsilon: Optional[Sequence[float]] = None,
+    ) -> None:
+        if not isinstance(store, SegmentStore):
+            store = SegmentStore(store)
+        self.store = store
+        self.name = name
+        self._epsilon = (
+            [float(v) for v in np.atleast_1d(epsilon)] if epsilon is not None else None
+        )
+
+    def write(self, recordings: Sequence[Recording]) -> None:
+        if recordings:
+            self.store.append(self.name, recordings, epsilon=self._epsilon)

@@ -20,6 +20,12 @@ from repro.queries.aggregates import (
     threshold_crossings,
     window_aggregates,
 )
+from repro.queries.stored import (
+    stored_range_aggregate,
+    stored_resample,
+    stored_threshold_crossings,
+    stored_window_aggregates,
+)
 
 __all__ = [
     "range_aggregate",
@@ -27,4 +33,8 @@ __all__ = [
     "integral",
     "threshold_crossings",
     "resample",
+    "stored_range_aggregate",
+    "stored_window_aggregates",
+    "stored_threshold_crossings",
+    "stored_resample",
 ]

@@ -1,0 +1,87 @@
+"""Queries over streams ingested into a :class:`SegmentStore`.
+
+These helpers close the loop of the paper's architecture: the batch pipeline
+(:mod:`repro.pipeline`) compresses a stream into recordings and appends them
+to a store; the functions here reconstruct the stored approximation for the
+requested time range only (the store keeps one recording before the range so
+the covering segments are complete) and delegate to the analytic query
+toolkit in :mod:`repro.queries.aggregates`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.queries.aggregates import (
+    RangeAggregate,
+    range_aggregate,
+    resample,
+    threshold_crossings,
+    window_aggregates,
+)
+from repro.storage.segment_store import SegmentStore
+
+__all__ = [
+    "stored_range_aggregate",
+    "stored_window_aggregates",
+    "stored_threshold_crossings",
+    "stored_resample",
+]
+
+
+def stored_range_aggregate(
+    store: SegmentStore,
+    name: str,
+    start: float,
+    end: float,
+    dimension: int = 0,
+) -> RangeAggregate:
+    """Aggregate one stored stream over ``[start, end]``."""
+    approximation = store.reconstruct(name, start, end)
+    return range_aggregate(approximation, start, end, dimension=dimension)
+
+
+def stored_window_aggregates(
+    store: SegmentStore,
+    name: str,
+    window: float,
+    start: Optional[float] = None,
+    end: Optional[float] = None,
+    dimension: int = 0,
+) -> List[RangeAggregate]:
+    """Tumbling-window aggregates of one stored stream."""
+    entry = store.describe(name)
+    start = entry.first_time if start is None else start
+    end = entry.last_time if end is None else end
+    approximation = store.reconstruct(name, start, end)
+    return window_aggregates(approximation, start, end, window, dimension=dimension)
+
+
+def stored_threshold_crossings(
+    store: SegmentStore,
+    name: str,
+    threshold: float,
+    start: Optional[float] = None,
+    end: Optional[float] = None,
+    dimension: int = 0,
+):
+    """Threshold crossings of one stored stream."""
+    approximation = store.reconstruct(name, start, end)
+    return threshold_crossings(approximation, threshold, start=start, end=end, dimension=dimension)
+
+
+def stored_resample(
+    store: SegmentStore,
+    name: str,
+    step: float,
+    start: Optional[float] = None,
+    end: Optional[float] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Resample one stored stream onto a regular time grid."""
+    entry = store.describe(name)
+    start = entry.first_time if start is None else start
+    end = entry.last_time if end is None else end
+    approximation = store.reconstruct(name, start, end)
+    return resample(approximation, start, end, step)

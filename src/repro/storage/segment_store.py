@@ -232,6 +232,12 @@ class SegmentStore:
                 previous = record
                 continue
             if end is not None and record.time > end:
+                # Flush the covering recording first: the requested range may
+                # fall strictly inside one segment, in which case `previous`
+                # is still pending here.
+                if previous is not None:
+                    filtered.append(previous)
+                    previous = None
                 filtered.append(record)
                 break
             if previous is not None:

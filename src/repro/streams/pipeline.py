@@ -19,6 +19,7 @@ from repro.core.base import StreamFilter
 from repro.core.registry import create_filter
 from repro.core.types import DataPoint, ensure_points
 from repro.metrics.error import error_profile
+from repro.pipeline.chunking import DEFAULT_CHUNK_SIZE, iter_chunks, normalize_chunk
 from repro.streams.source import IterableSource, StreamSource
 from repro.streams.transport import Channel, Receiver, Transmitter
 
@@ -81,7 +82,26 @@ class MonitoringPipeline:
             observed.append(point)
             self.transmitter.observe_point(point)
         self.transmitter.close()
-        return self._report(observed)
+        points = ensure_points(observed)
+        times = np.array([p.time for p in points])
+        values = np.vstack([p.value for p in points]) if points else np.empty((0, 0))
+        return self._report(times, values)
+
+    def run_arrays(
+        self, times, values, chunk_size: int = DEFAULT_CHUNK_SIZE
+    ) -> PipelineReport:
+        """Run the pipeline over array data via the batch fast path.
+
+        Equivalent to :meth:`run` over the same points (identical recordings
+        and traffic), but driven chunk-by-chunk through
+        :meth:`~repro.streams.transport.Transmitter.observe_batch`; the
+        reported ``max_lag`` is measured at chunk granularity.
+        """
+        times, values = normalize_chunk(times, values)
+        for chunk_times, chunk_values in iter_chunks(times, values, chunk_size):
+            self.transmitter.observe_batch(chunk_times, chunk_values)
+        self.transmitter.close()
+        return self._report(times, values)
 
     def approximation(self) -> Approximation:
         """Receiver-side approximation reconstructed from the recordings."""
@@ -90,22 +110,20 @@ class MonitoringPipeline:
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
-    def _report(self, observed: list) -> PipelineReport:
-        points = ensure_points(observed)
+    def _report(self, times: np.ndarray, values: np.ndarray) -> PipelineReport:
+        point_count = int(np.asarray(times).shape[0])
         recordings = self.receiver.recording_count
-        if recordings and points:
+        if recordings and point_count:
             approximation = self.receiver.approximation()
-            times = [p.time for p in points]
-            values = np.vstack([p.value for p in points])
             profile = error_profile(approximation, times, values)
             mean_abs, max_abs = profile.mean_absolute, profile.max_absolute
             mean_pct = profile.mean_percent_of_range
         else:
             mean_abs = max_abs = mean_pct = 0.0
-        ratio = (len(points) / recordings) if recordings else (float("inf") if points else 0.0)
+        ratio = (point_count / recordings) if recordings else (float("inf") if point_count else 0.0)
         return PipelineReport(
             filter_name=self.transmitter.filter.name,
-            points=len(points),
+            points=point_count,
             recordings=recordings,
             compression_ratio=ratio,
             mean_absolute_error=mean_abs,

@@ -134,6 +134,20 @@ class Transmitter:
         """Like :meth:`observe` for a :class:`DataPoint`."""
         return self.observe(point.time, point.value)
 
+    def observe_batch(self, times, values) -> List[Recording]:
+        """Process one chunk of measurements through the filter's fast path.
+
+        Recordings produced anywhere inside the chunk are transmitted at the
+        end of the chunk, so the receiver's lag statistics are tracked at
+        chunk granularity (an upper bound on the per-point lag).
+        """
+        recordings = self.filter.process_batch(times, values)
+        self._observed_points += int(np.asarray(times).shape[0])
+        for recording in recordings:
+            self.channel.transmit(recording, self._observed_points)
+        self.receiver.note_observation(self._observed_points)
+        return recordings
+
     def close(self) -> List[Recording]:
         """Signal end-of-stream, transmitting the filter's final recordings."""
         recordings = self.filter.finish()
