@@ -1,0 +1,281 @@
+"""Storage engine benchmark: block-indexed range reads vs seed decode.
+
+Builds a many-stream store (100 streams x 50k recordings by default), then
+answers random time-range reads two ways:
+
+* **seed** — the seed implementation's read path, re-implemented here
+  verbatim: decode the *entire* log with a per-record ``struct.unpack`` loop,
+  then scan linearly for the requested range;
+* **engine** — ``SegmentStore.read``: binary-search the per-block time index
+  to the overlapping blocks, decode only those bytes with ``np.frombuffer``.
+
+Both paths return bit-identical recordings (checked on a sample, including
+across shard counts 1 and 4); the headline number is the range-read speedup,
+asserted to be at least 5x unless ``--no-assert`` is given.  The benchmark
+also times small appends with write-through vs batched catalog persistence
+to show appends are no longer O(catalog) per call.
+
+Usage::
+
+    python benchmarks/bench_store.py                       # full 100 x 50k store
+    python benchmarks/bench_store.py --streams 12 --recordings 4000 --reads 40
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import struct
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.types import Recording, RecordingKind
+from repro.storage import SegmentStore, ShardedStore, open_store
+from repro.storage.backends.base import KIND_BY_CODE
+
+#: Points per bulk-append batch while building the store.
+BUILD_BATCH = 8192
+
+
+# --------------------------------------------------------------------------- #
+# Seed read path (verbatim re-implementation of the pre-engine SegmentStore)
+# --------------------------------------------------------------------------- #
+def seed_read(
+    log_path: Path,
+    dimensions: int,
+    start: Optional[float] = None,
+    end: Optional[float] = None,
+) -> List[Recording]:
+    packer = struct.Struct(f"<Bd{dimensions}d")
+    recordings: List[Recording] = []
+    payload = log_path.read_bytes()
+    for offset in range(0, len(payload), packer.size):
+        fields = packer.unpack_from(payload, offset)
+        recordings.append(
+            Recording(fields[1], np.asarray(fields[2:], dtype=float), KIND_BY_CODE[fields[0]])
+        )
+    if start is None and end is None:
+        return recordings
+    filtered: List[Recording] = []
+    previous: Optional[Recording] = None
+    for record in recordings:
+        if start is not None and record.time < start:
+            previous = record
+            continue
+        if end is not None and record.time > end:
+            if previous is not None:
+                filtered.append(previous)
+                previous = None
+            filtered.append(record)
+            break
+        if previous is not None:
+            filtered.append(previous)
+            previous = None
+        filtered.append(record)
+    if not filtered and previous is not None:
+        filtered.append(previous)
+    return filtered
+
+
+def seed_log_path(store, name: str) -> Tuple[Path, int]:
+    """Log path + dimensionality of a stream (works for sharded stores)."""
+    shard = store.shard_for(name) if isinstance(store, ShardedStore) else store
+    return shard._log_path(name), shard.describe(name).dimensions
+
+
+# --------------------------------------------------------------------------- #
+# Workload
+# --------------------------------------------------------------------------- #
+def stream_arrays(index: int, recordings: int, seed: int):
+    rng = np.random.default_rng(seed + index)
+    times = np.cumsum(rng.uniform(0.5, 1.5, recordings))
+    values = np.cumsum(rng.normal(0.0, 0.3, recordings))
+    kinds = np.ones(recordings, dtype=np.uint8)  # SEGMENT_END: connected PLA
+    kinds[0] = 0  # SEGMENT_START
+    return times, values, kinds
+
+
+def build_store(directory, streams: int, recordings: int, seed: int, shards=None):
+    store = open_store(directory, shards=shards, autoflush=False)
+    spans = {}
+    for index in range(streams):
+        name = f"host-{index:03d}/metric"
+        times, values, kinds = stream_arrays(index, recordings, seed)
+        for lo in range(0, recordings, BUILD_BATCH):
+            hi = lo + BUILD_BATCH
+            store.append_arrays(name, times[lo:hi], values[lo:hi], kinds=kinds[lo:hi])
+        spans[name] = (float(times[0]), float(times[-1]))
+    store.flush()
+    return store, spans
+
+
+def random_ranges(spans, reads: int, fraction: float, seed: int):
+    rng = np.random.default_rng(seed * 7 + 1)
+    names = sorted(spans)
+    queries = []
+    for _ in range(reads):
+        name = names[int(rng.integers(len(names)))]
+        first, last = spans[name]
+        width = (last - first) * fraction
+        start = float(rng.uniform(first, last - width))
+        queries.append((name, start, start + width))
+    return queries
+
+
+def identical(left: List[Recording], right: List[Recording]) -> bool:
+    return len(left) == len(right) and all(
+        a.time == b.time and a.kind == b.kind and np.array_equal(a.value, b.value)
+        for a, b in zip(left, right)
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Measurements
+# --------------------------------------------------------------------------- #
+def bench_range_reads(store, queries) -> Tuple[float, float]:
+    started = time.perf_counter()
+    for name, start, end in queries:
+        path, dimensions = seed_log_path(store, name)
+        seed_read(path, dimensions, start, end)
+    seed_elapsed = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for name, start, end in queries:
+        store.read(name, start, end)
+    engine_elapsed = time.perf_counter() - started
+    return seed_elapsed, engine_elapsed
+
+
+def check_equivalence(store, queries, sample: int = 10) -> None:
+    for name, start, end in queries[:sample]:
+        path, dimensions = seed_log_path(store, name)
+        assert identical(seed_read(path, dimensions, start, end), store.read(name, start, end)), (
+            name,
+            start,
+            end,
+        )
+    # Full reads too (no range -> the engine decodes everything, vectorized).
+    name = queries[0][0]
+    path, dimensions = seed_log_path(store, name)
+    assert identical(seed_read(path, dimensions), store.read(name))
+
+
+def check_shard_equivalence(root: Path, seed: int) -> None:
+    """A small store must read bit-identically across shard counts 1 and 4."""
+    stores = {
+        "plain": build_store(root / "eq-plain", 6, 2000, seed)[0],
+        "shards-1": build_store(root / "eq-s1", 6, 2000, seed, shards=1)[0],
+        "shards-4": build_store(root / "eq-s4", 6, 2000, seed, shards=4)[0],
+    }
+    reference = stores["plain"]
+    for name in reference.stream_names():
+        first, last = reference.describe(name).first_time, reference.describe(name).last_time
+        mid = first + (last - first) / 3.0
+        for label, store in stores.items():
+            assert identical(reference.read(name), store.read(name)), (label, name)
+            assert identical(
+                reference.read(name, mid, mid + (last - first) / 10.0),
+                store.read(name, mid, mid + (last - first) / 10.0),
+            ), (label, name)
+
+
+def bench_append_persistence(root: Path, seed: int, appends: int = 200) -> Tuple[float, float]:
+    """Time small appends with write-through vs batched catalog persistence."""
+
+    def run(autoflush: bool) -> float:
+        store = SegmentStore(root / f"append-{int(autoflush)}", autoflush=autoflush)
+        # Many catalog entries make the per-append rewrite cost visible.
+        for index in range(100):
+            store.append_arrays(f"s{index:03d}", [0.0], [0.0])
+        store.flush()
+        batch = [
+            Recording(1.0 + step, [float(step)], RecordingKind.HOLD) for step in range(appends)
+        ]
+        started = time.perf_counter()
+        for record in batch:
+            store.append("s000", [record])
+        store.flush()
+        return time.perf_counter() - started
+
+    return run(True), run(False)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--streams", type=int, default=100, help="streams in the store")
+    parser.add_argument(
+        "--recordings", type=int, default=50_000, help="recordings per stream"
+    )
+    parser.add_argument("--reads", type=int, default=100, help="random range reads to time")
+    parser.add_argument(
+        "--range-fraction", type=float, default=0.01, help="range width as span fraction"
+    )
+    parser.add_argument("--seed", type=int, default=42, help="workload seed")
+    parser.add_argument(
+        "--directory", default=None, help="store directory (default: a temp dir)"
+    )
+    parser.add_argument(
+        "--no-check", action="store_true", help="skip the bit-identical equivalence checks"
+    )
+    parser.add_argument(
+        "--no-assert", action="store_true", help="report only; do not enforce the 5x target"
+    )
+    args = parser.parse_args(argv)
+
+    root = Path(args.directory) if args.directory else Path(tempfile.mkdtemp(prefix="bench-store-"))
+    cleanup = args.directory is None
+    try:
+        print(
+            f"building store: {args.streams} streams x {args.recordings:,} recordings "
+            f"({args.streams * args.recordings:,} total)"
+        )
+        started = time.perf_counter()
+        store, spans = build_store(root / "store", args.streams, args.recordings, args.seed)
+        build_elapsed = time.perf_counter() - started
+        total = args.streams * args.recordings
+        print(
+            f"bulk load: {total / build_elapsed:,.0f} recordings/s "
+            f"({store.total_bytes() / 1e6:.1f} MB on disk)"
+        )
+
+        queries = random_ranges(spans, args.reads, args.range_fraction, args.seed)
+        if not args.no_check:
+            check_equivalence(store, queries)
+            check_shard_equivalence(root, args.seed)
+            print("equivalence: seed and engine reads bit-identical (plain + 1/4 shards)")
+
+        seed_elapsed, engine_elapsed = bench_range_reads(store, queries)
+        speedup = seed_elapsed / engine_elapsed if engine_elapsed else float("inf")
+        print(
+            f"\n{args.reads} range reads ({args.range_fraction:.1%} of span each):\n"
+            f"  seed decode : {seed_elapsed * 1e3:9.1f} ms "
+            f"({seed_elapsed / args.reads * 1e3:7.2f} ms/read)\n"
+            f"  block index : {engine_elapsed * 1e3:9.1f} ms "
+            f"({engine_elapsed / args.reads * 1e3:7.2f} ms/read)\n"
+            f"  speedup     : {speedup:9.1f}x"
+        )
+
+        write_through, batched = bench_append_persistence(root, args.seed)
+        print(
+            f"\n200 single-recording appends on a 100-stream catalog:\n"
+            f"  write-through catalog : {write_through * 1e3:7.1f} ms\n"
+            f"  batched (flush once)  : {batched * 1e3:7.1f} ms "
+            f"({write_through / batched:.1f}x)"
+        )
+
+        if not args.no_assert and speedup < 5.0:
+            print("FAIL: block-indexed range reads are below the 5x speedup target")
+            return 1
+        return 0
+    finally:
+        if cleanup:
+            shutil.rmtree(root, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,7 @@ Examples::
     repro compress --input measurements.csv --filter swing --epsilon 0.5 -o out.csv
     repro ingest --dataset sst --filter slide --precision-percent 1 --store ./archive
     repro ingest --input ticks.csv --filter swing --epsilon 0.5 --store ./archive --chunk-size 8192
+    repro ingest --dataset random-walk --filter swing --epsilon 0.5 --store ./archive --shards 4
     repro evaluate --dataset random-walk --epsilon 0.5
     repro experiment figure9
 """
@@ -101,6 +102,13 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"points per ingestion chunk (default {DEFAULT_CHUNK_SIZE})",
     )
     ingest.add_argument("--store", required=True, help="segment store directory")
+    ingest.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="create/open the store sharded across this many shard stores "
+        "(default: an unsharded store; must match an existing sharded store)",
+    )
     ingest.add_argument(
         "--name",
         default=None,
@@ -222,17 +230,20 @@ def _command_ingest(args: argparse.Namespace) -> int:
         # Build the filter and ingestor before the sink so a bad filter name,
         # filter option or chunk size does not create the store directory as
         # a side effect.
+        if args.shards is not None and args.shards < 1:
+            raise ValueError(f"shards must be positive, got {args.shards}")
         stream_filter = create_filter(args.filter, epsilon, **kwargs)
         ingestor = BatchIngestor(stream_filter, chunk_size=args.chunk_size)
-        ingestor.sink = StoreSink(args.store, stream_name, epsilon=[epsilon])
+        ingestor.sink = StoreSink(args.store, stream_name, epsilon=[epsilon], shards=args.shards)
         report = ingestor.run(times, values)
     except (KeyError, ValueError, ReproError) as error:
         message = error.args[0] if error.args else error
         raise SystemExit(f"ingest failed: {message}") from error
 
+    store_label = args.store if args.shards is None else f"{args.store} ({args.shards} shards)"
     print(f"filter            : {report.filter_name}")
     print(f"precision width   : {epsilon:.6g}")
-    print(f"stream            : {stream_name} -> {args.store}")
+    print(f"stream            : {stream_name} -> {store_label}")
     print(f"data points       : {report.points}")
     print(f"chunks            : {report.chunks} (chunk size {args.chunk_size})")
     print(f"recordings        : {report.recordings}")

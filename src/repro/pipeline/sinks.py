@@ -16,7 +16,7 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from repro.core.types import Recording
-from repro.storage.segment_store import SegmentStore
+from repro.storage import SegmentStore, ShardedStore, open_store
 
 __all__ = [
     "RecordingSink",
@@ -70,13 +70,21 @@ class CallbackSink(RecordingSink):
 
 
 class StoreSink(RecordingSink):
-    """Append recordings to one stream of a :class:`SegmentStore`.
+    """Append recordings to one stream of a segment store (plain or sharded).
 
     Args:
-        store: The backing store (or a directory path to open one at).
+        store: The backing store, or a directory path to open one at.  A
+            path is opened with deferred catalog persistence (the catalog is
+            written once on :meth:`close` instead of per append); pass a
+            store instance to control persistence yourself.
         name: Stream name to append to.
         epsilon: Optional precision width recorded in the stream's catalog
             entry.
+        shards: When ``store`` is a path of a new store, create it sharded
+            with this many shards (must match for an existing sharded store).
+
+    Raises:
+        ValueError: If ``shards`` is combined with a store instance.
     """
 
     def __init__(
@@ -84,9 +92,12 @@ class StoreSink(RecordingSink):
         store,
         name: str,
         epsilon: Optional[Sequence[float]] = None,
+        shards: Optional[int] = None,
     ) -> None:
-        if not isinstance(store, SegmentStore):
-            store = SegmentStore(store)
+        if not isinstance(store, (SegmentStore, ShardedStore)):
+            store = open_store(store, shards=shards, autoflush=False)
+        elif shards is not None:
+            raise ValueError("shards applies only when the store is given as a path")
         self.store = store
         self.name = name
         self._epsilon = (
@@ -96,3 +107,6 @@ class StoreSink(RecordingSink):
     def write(self, recordings: Sequence[Recording]) -> None:
         if recordings:
             self.store.append(self.name, recordings, epsilon=self._epsilon)
+
+    def close(self) -> None:
+        self.store.flush()

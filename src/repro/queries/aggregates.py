@@ -20,7 +20,7 @@ the original signal by at most ε per dimension.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -61,42 +61,35 @@ class RangeAggregate:
     integral: float
 
 
-def _segments_of(approximation: Approximation, dimension: int) -> List[Tuple[float, float, float, float]]:
-    """Flatten an approximation into ``(t0, x0, t1, x1)`` pieces for one dimension."""
+def _segments_of(
+    approximation: Approximation, dimension: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten an approximation into ``(t0, x0, t1, x1)`` endpoint arrays.
+
+    Each position describes one piece for the requested dimension; every
+    aggregate below computes over these arrays instead of looping pieces.
+    """
     if isinstance(approximation, PiecewiseLinearApproximation):
-        return [
-            (
-                segment.start_time,
-                float(segment.start_value[dimension]),
-                segment.end_time,
-                float(segment.end_value[dimension]),
-            )
-            for segment in approximation.segments
-        ]
+        segments = approximation.segments
+        count = len(segments)
+        t0 = np.empty(count)
+        x0 = np.empty(count)
+        t1 = np.empty(count)
+        x1 = np.empty(count)
+        for index, segment in enumerate(segments):
+            t0[index] = segment.start_time
+            x0[index] = segment.start_value[dimension]
+            t1[index] = segment.end_time
+            x1[index] = segment.end_value[dimension]
+        return t0, x0, t1, x1
     if isinstance(approximation, PiecewiseConstantApproximation):
-        steps = list(approximation.steps)
-        pieces = []
-        for index, start in enumerate(steps):
-            value = float(approximation.value_at(start)[dimension])
-            end = steps[index + 1] if index + 1 < len(steps) else start
-            pieces.append((start, value, end, value))
-        return pieces
+        steps = np.asarray(approximation.steps, dtype=float)
+        values = approximation.values_at(steps)[:, dimension]
+        ends = np.empty_like(steps)
+        ends[:-1] = steps[1:]
+        ends[-1] = steps[-1]
+        return steps, values, ends, values
     raise TypeError(f"unsupported approximation type: {type(approximation)!r}")
-
-
-def _piece_overlap(piece, start: float, end: float):
-    """Clip a piece to ``[start, end]``; return None when disjoint."""
-    t0, x0, t1, x1 = piece
-    lo, hi = max(t0, start), min(t1, end)
-    if hi < lo:
-        return None
-
-    def value(t: float) -> float:
-        if t1 == t0:
-            return x0
-        return x0 + (x1 - x0) * (t - t0) / (t1 - t0)
-
-    return lo, value(lo), hi, value(hi)
 
 
 def range_aggregate(
@@ -111,26 +104,46 @@ def range_aggregate(
     Raises:
         ValueError: If ``end < start``.
     """
+    return _aggregate_over(
+        approximation, _segments_of(approximation, dimension), start, end, dimension
+    )
+
+
+def _aggregate_over(
+    approximation: Approximation,
+    pieces: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    start: float,
+    end: float,
+    dimension: int,
+) -> RangeAggregate:
+    """Aggregate pre-flattened endpoint arrays over one ``[start, end]`` range."""
     if end < start:
         raise ValueError("end must not precede start")
     if end == start:
         value = float(approximation.value_at(start)[dimension])
         return RangeAggregate(start, end, value, value, value, 0.0)
 
+    t0, x0, t1, x1 = pieces
+    lo = np.maximum(t0, start)
+    hi = np.minimum(t1, end)
+    overlap = hi >= lo
     minimum = float("inf")
     maximum = float("-inf")
     total_area = 0.0
     covered = 0.0
-    pieces = _segments_of(approximation, dimension)
-    for piece in pieces:
-        clipped = _piece_overlap(piece, start, end)
-        if clipped is None:
-            continue
-        lo, value_lo, hi, value_hi = clipped
-        minimum = min(minimum, value_lo, value_hi)
-        maximum = max(maximum, value_lo, value_hi)
-        total_area += 0.5 * (value_lo + value_hi) * (hi - lo)
-        covered += hi - lo
+    if overlap.any():
+        t0c, x0c, t1c, x1c = t0[overlap], x0[overlap], t1[overlap], x1[overlap]
+        loc, hic = lo[overlap], hi[overlap]
+        duration = t1c - t0c
+        # Zero-duration pieces hold their start value; avoid the 0/0.
+        safe = np.where(duration > 0.0, duration, 1.0)
+        value_lo = np.where(duration > 0.0, x0c + (x1c - x0c) * (loc - t0c) / safe, x0c)
+        value_hi = np.where(duration > 0.0, x0c + (x1c - x0c) * (hic - t0c) / safe, x0c)
+        minimum = float(np.minimum(value_lo, value_hi).min())
+        maximum = float(np.maximum(value_lo, value_hi).max())
+        spans = hic - loc
+        total_area = float((0.5 * (value_lo + value_hi) * spans).sum())
+        covered = float(spans.sum())
 
     # Handle query ranges sticking out of the approximation's span: evaluate
     # the boundary values so min/max/mean stay defined.
@@ -170,11 +183,14 @@ def window_aggregates(
         raise ValueError("window must be positive")
     if end < start:
         raise ValueError("end must not precede start")
+    # The endpoint arrays are shared across all windows — flattening the
+    # approximation once instead of once per window.
+    pieces = _segments_of(approximation, dimension)
     results = []
     cursor = start
     while cursor < end:
         upper = min(cursor + window, end)
-        results.append(range_aggregate(approximation, cursor, upper, dimension))
+        results.append(_aggregate_over(approximation, pieces, cursor, upper, dimension))
         cursor = upper
     return results
 
@@ -187,33 +203,35 @@ def integral(approximation: Approximation, start: float, end: float, dimension: 
 def threshold_crossings(
     approximation: Approximation,
     threshold: float,
-    start: float = None,
-    end: float = None,
+    start: Optional[float] = None,
+    end: Optional[float] = None,
     dimension: int = 0,
 ) -> List[float]:
     """Times at which the approximation crosses ``threshold``.
 
     Only genuine sign changes are reported (touching the threshold without
-    crossing does not count); crossings are clipped to ``[start, end]`` when
-    given.
+    crossing does not count); crossings are clipped to the closed interval
+    ``[start, end]`` when given (a crossing exactly at a boundary is kept).
     """
-    crossings: List[float] = []
-    for t0, x0, t1, x1 in _segments_of(approximation, dimension):
-        if t1 == t0:
-            continue
-        # A genuine crossing needs the endpoints strictly on opposite sides of
-        # the threshold; merely touching it does not count.
-        if (x0 - threshold) * (x1 - threshold) >= 0.0:
-            continue
-        # Linear interpolation of the crossing time within the piece.
-        fraction = (threshold - x0) / (x1 - x0)
-        crossing = t0 + fraction * (t1 - t0)
-        if start is not None and crossing < start:
-            continue
-        if end is not None and crossing > end:
-            continue
-        crossings.append(float(crossing))
-    return sorted(crossings)
+    t0, x0, t1, x1 = _segments_of(approximation, dimension)
+    # A genuine crossing needs the endpoints strictly on opposite sides of
+    # the threshold; merely touching it does not count.
+    crossing_mask = (t1 != t0) & ((x0 - threshold) * (x1 - threshold) < 0.0)
+    if not crossing_mask.any():
+        return []
+    t0c, x0c, t1c, x1c = (
+        t0[crossing_mask],
+        x0[crossing_mask],
+        t1[crossing_mask],
+        x1[crossing_mask],
+    )
+    # Linear interpolation of the crossing time within each piece.
+    crossings = t0c + (threshold - x0c) / (x1c - x0c) * (t1c - t0c)
+    if start is not None:
+        crossings = crossings[crossings >= start]
+    if end is not None:
+        crossings = crossings[crossings <= end]
+    return sorted(float(crossing) for crossing in crossings)
 
 
 def resample(

@@ -3,9 +3,11 @@
 These helpers close the loop of the paper's architecture: the batch pipeline
 (:mod:`repro.pipeline`) compresses a stream into recordings and appends them
 to a store; the functions here reconstruct the stored approximation for the
-requested time range only (the store keeps one recording before the range so
-the covering segments are complete) and delegate to the analytic query
-toolkit in :mod:`repro.queries.aggregates`.
+requested time range only (the store's block index prunes the read to the
+overlapping blocks, keeping one recording before the range so the covering
+segments are complete) and delegate to the analytic query toolkit in
+:mod:`repro.queries.aggregates`.  Every helper accepts a plain
+:class:`SegmentStore` or a :class:`~repro.storage.ShardedStore`.
 """
 
 from __future__ import annotations
@@ -21,7 +23,7 @@ from repro.queries.aggregates import (
     threshold_crossings,
     window_aggregates,
 )
-from repro.storage.segment_store import SegmentStore
+from repro.storage import StoreLike
 
 __all__ = [
     "stored_range_aggregate",
@@ -32,7 +34,7 @@ __all__ = [
 
 
 def stored_range_aggregate(
-    store: SegmentStore,
+    store: StoreLike,
     name: str,
     start: float,
     end: float,
@@ -44,7 +46,7 @@ def stored_range_aggregate(
 
 
 def stored_window_aggregates(
-    store: SegmentStore,
+    store: StoreLike,
     name: str,
     window: float,
     start: Optional[float] = None,
@@ -60,7 +62,7 @@ def stored_window_aggregates(
 
 
 def stored_threshold_crossings(
-    store: SegmentStore,
+    store: StoreLike,
     name: str,
     threshold: float,
     start: Optional[float] = None,
@@ -73,7 +75,7 @@ def stored_threshold_crossings(
 
 
 def stored_resample(
-    store: SegmentStore,
+    store: StoreLike,
     name: str,
     step: float,
     start: Optional[float] = None,

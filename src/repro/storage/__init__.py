@@ -2,14 +2,68 @@
 
 The monitoring scenario of the paper keeps the recordings — not the raw data
 points — in a repository for later offline analysis.  This subpackage
-provides that repository:
+provides that repository as a small storage engine:
 
 * :class:`~repro.storage.segment_store.SegmentStore` — an append-only,
   file-backed store holding one compressed series per named stream, with
-  time-range retrieval and reconstruction back into an evaluable
-  approximation.
+  block-indexed time-range retrieval, vectorized decode, batched catalog
+  persistence and reconstruction back into an evaluable approximation.
+* :class:`~repro.storage.sharded_store.ShardedStore` — the same public API,
+  hash-partitioning stream names across N shard stores with a unified
+  catalog view and parallel multi-stream range reads.
+* :mod:`~repro.storage.backends` — the pluggable byte-level backends behind
+  both (block-indexed append-only logs by default).
+* :func:`open_store` — open whichever of the two lives at a directory.
 """
 
-from repro.storage.segment_store import SegmentStore, StoredStream
+from pathlib import Path
+from typing import Optional, Union
 
-__all__ = ["SegmentStore", "StoredStream"]
+from repro.storage.backends import StorageBackend, available_backends, get_backend
+from repro.storage.segment_store import SegmentStore, StoredStream
+from repro.storage.sharded_store import DEFAULT_SHARDS, ShardedStore, shard_index
+
+__all__ = [
+    "SegmentStore",
+    "StoredStream",
+    "ShardedStore",
+    "DEFAULT_SHARDS",
+    "shard_index",
+    "StorageBackend",
+    "get_backend",
+    "available_backends",
+    "StoreLike",
+    "open_store",
+]
+
+#: Anything with the segment-store public API (append/read/reconstruct/...).
+StoreLike = Union[SegmentStore, ShardedStore]
+
+
+def open_store(
+    directory: Union[str, Path],
+    shards: Optional[int] = None,
+    **options,
+) -> StoreLike:
+    """Open (or create) the store living at ``directory``.
+
+    An existing sharded store is reopened as a :class:`ShardedStore`
+    (validating ``shards`` when given); an existing plain store as a
+    :class:`SegmentStore`.  A fresh directory becomes a sharded store when
+    ``shards`` is given and a plain store otherwise.  Extra keyword options
+    (``autoflush``, ``backend``, ``block_records``) are forwarded.
+
+    Raises:
+        ValueError: If ``shards`` is requested for an existing unsharded
+            store, or disagrees with an existing sharded store's count.
+    """
+    path = Path(directory)
+    if (path / ShardedStore.META_NAME).exists():
+        return ShardedStore(path, shards, **options)
+    if shards is not None:
+        if (path / SegmentStore.CATALOG_NAME).exists():
+            raise ValueError(
+                f"store at {str(path)!r} is not sharded; open it without `shards`"
+            )
+        return ShardedStore(path, shards, **options)
+    return SegmentStore(path, **options)

@@ -1,0 +1,35 @@
+"""Pluggable byte-level backends for the segment store.
+
+* :mod:`~repro.storage.backends.base` — the :class:`StorageBackend`
+  interface, the shared record wire format, and the backend registry.
+* :mod:`~repro.storage.backends.block_log` — the default
+  :class:`BlockLogBackend`: append-only logs with a per-block time index,
+  binary-search range pruning and vectorized ``np.frombuffer`` decode.
+"""
+
+from repro.storage.backends.base import (
+    KIND_BY_CODE,
+    RECORD_KINDS,
+    StorageBackend,
+    available_backends,
+    get_backend,
+    range_indices,
+    record_dtype,
+    record_size,
+    register_backend,
+)
+from repro.storage.backends.block_log import DEFAULT_BLOCK_RECORDS, BlockLogBackend
+
+__all__ = [
+    "RECORD_KINDS",
+    "KIND_BY_CODE",
+    "record_dtype",
+    "record_size",
+    "range_indices",
+    "StorageBackend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "BlockLogBackend",
+    "DEFAULT_BLOCK_RECORDS",
+]

@@ -1,0 +1,166 @@
+"""Storage backend abstraction for the segment store.
+
+A :class:`StorageBackend` owns the on-disk layout of one stream's append-only
+log: how record batches are encoded, how the per-stream block index kept in
+the catalog is maintained, and how a time-range read decides which bytes to
+decode.  :class:`~repro.storage.segment_store.SegmentStore` is a thin facade
+over a backend — it manages the catalog (names, dimensions, counts, epsilon)
+and delegates every byte-level operation here.
+
+The record wire format is shared by all backends and unchanged from the seed
+implementation: one packed ``<Bd{d}d`` record per recording (kind code, time,
+``d`` value doubles), so logs written by any earlier version of the library
+remain readable.
+"""
+
+from __future__ import annotations
+
+import abc
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Type
+
+import numpy as np
+
+from repro.core.types import Recording, RecordingKind
+
+__all__ = [
+    "RECORD_KINDS",
+    "KIND_BY_CODE",
+    "record_dtype",
+    "record_size",
+    "range_indices",
+    "StorageBackend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+]
+
+#: Wire codes of the recording kinds (stable — part of the log format).
+RECORD_KINDS = {
+    RecordingKind.SEGMENT_START: 0,
+    RecordingKind.SEGMENT_END: 1,
+    RecordingKind.HOLD: 2,
+}
+KIND_BY_CODE = {code: kind for kind, code in RECORD_KINDS.items()}
+
+
+def record_dtype(dimensions: int) -> np.dtype:
+    """Packed structured dtype of one log record (``<Bd{d}d`` equivalent)."""
+    return np.dtype([("kind", "u1"), ("time", "<f8"), ("values", "<f8", (dimensions,))])
+
+
+def record_size(dimensions: int) -> int:
+    """Bytes per log record for a ``dimensions``-dimensional stream."""
+    return 1 + 8 + 8 * dimensions
+
+
+def range_indices(
+    times: np.ndarray, start: Optional[float], end: Optional[float]
+) -> np.ndarray:
+    """Indices of the records a ``[start, end]`` read returns.
+
+    Replicates the store's established range semantics over a sorted time
+    array: the last record before ``start`` is kept (so the approximation
+    still covers the range start) and the first record after ``end`` is kept
+    (so it covers the range end).
+    """
+    n = times.shape[0]
+    if start is None and end is None:
+        return np.arange(n, dtype=np.intp)
+    i0 = int(np.searchsorted(times, start, side="left")) if start is not None else 0
+    head = i0 - 1 if start is not None and i0 > 0 else i0
+    if end is None:
+        return np.arange(head, n, dtype=np.intp)
+    i1 = int(np.searchsorted(times, end, side="right"))
+    after = max(i0, i1)
+    body = np.arange(head, after, dtype=np.intp)
+    if after >= n:
+        return body
+    return np.concatenate([body, [after]])
+
+
+class StorageBackend(abc.ABC):
+    """Byte-level reader/writer of one stream's append-only log.
+
+    Backends receive the log ``path`` and the stream's catalog entry (a
+    :class:`~repro.storage.segment_store.StoredStream`); they may mutate the
+    entry's ``blocks`` index but never the rest of the catalog metadata.
+    """
+
+    #: Registry name, also persisted in the catalog header.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def append(
+        self,
+        path: Path,
+        entry,
+        kinds: np.ndarray,
+        times: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        """Append already-validated record arrays to the log and index them."""
+
+    @abc.abstractmethod
+    def read_arrays(
+        self,
+        path: Path,
+        entry,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Decode the range as ``(kinds (n,), times (n,), values (n, d))``."""
+
+    @abc.abstractmethod
+    def recover(self, path: Path, entry) -> bool:
+        """Reconcile the catalog entry with the log actually on disk.
+
+        Handles logs that are longer than the catalog says (appends that were
+        flushed to the log but whose catalog update was lost) and shorter
+        (crash mid-flush, or a seed-era catalog with no block index at all).
+        Returns ``True`` when the entry was modified and the catalog should
+        be re-persisted.
+        """
+
+    def read(
+        self,
+        path: Path,
+        entry,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> List[Recording]:
+        """Decode the range into :class:`Recording` objects."""
+        kinds, times, values = self.read_arrays(path, entry, start, end)
+        return [
+            Recording(float(t), v, KIND_BY_CODE[int(k)])
+            for k, t, v in zip(kinds, times, values)
+        ]
+
+
+_BACKENDS: Dict[str, Type[StorageBackend]] = {}
+
+
+def register_backend(cls: Type[StorageBackend]) -> Type[StorageBackend]:
+    """Class decorator adding a backend to the registry."""
+    _BACKENDS[cls.name] = cls
+    return cls
+
+
+def available_backends() -> List[str]:
+    """Names of the registered backends, sorted."""
+    return sorted(_BACKENDS)
+
+
+def get_backend(name: str, **options) -> StorageBackend:
+    """Instantiate a registered backend by name.
+
+    Raises:
+        KeyError: If no backend of that name is registered.
+    """
+    try:
+        cls = _BACKENDS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown storage backend {name!r}; available: {', '.join(available_backends())}"
+        ) from None
+    return cls(**options)

@@ -2,40 +2,58 @@
 
 A :class:`SegmentStore` manages a directory holding one append-only log per
 named stream.  Each log record is one transmitted
-:class:`~repro.core.types.Recording` (kind, time, values) encoded with the
-binary codec from :mod:`repro.approximation.encoding`; a small JSON catalog
+:class:`~repro.core.types.Recording` (kind, time, values); a JSON catalog
 keeps per-stream metadata (dimensions, recording count, time span, the
-precision width it was compressed with).
+precision width it was compressed with, the collision-safe log filename and
+the block index).
 
-The store is deliberately simple — a faithful stand-in for the "repository
-used for storing the monitoring data" of the paper's introduction — but it is
-a real, durable store: streams survive re-opening the directory, appends are
-flushed per batch, and reads can be restricted to a time range without
-decoding the whole log.
+The byte-level layout lives in a pluggable
+:class:`~repro.storage.backends.base.StorageBackend`; the default
+:class:`~repro.storage.backends.block_log.BlockLogBackend` keeps a per-block
+time index in the catalog so range reads binary-search to the overlapping
+blocks and decode them vectorized (``np.frombuffer`` + structured dtype)
+instead of walking the whole log with per-record ``struct.unpack``.
+
+Catalog persistence is batched: appends mark the catalog dirty and
+``flush()`` (or ``close()``, or leaving the store's context manager) writes
+it once.  The default ``autoflush=True`` keeps the seed's write-through
+behaviour; bulk writers pass ``autoflush=False`` so a fleet-sized ingest does
+not rewrite the catalog per append.  Either way the store recovers on open:
+log bytes that never made it into the catalog are re-indexed, and a log
+truncated mid-record by a crash is clamped to the last complete record.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
-import struct
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.approximation.piecewise import Approximation
 from repro.approximation.reconstruct import reconstruct
 from repro.core.types import Recording, RecordingKind
+from repro.storage.backends.base import (
+    KIND_BY_CODE,
+    RECORD_KINDS,
+    StorageBackend,
+    get_backend,
+)
 
 __all__ = ["SegmentStore", "StoredStream"]
 
-_RECORD_KINDS = {
-    RecordingKind.SEGMENT_START: 0,
-    RecordingKind.SEGMENT_END: 1,
-    RecordingKind.HOLD: 2,
-}
-_KIND_BY_CODE = {code: kind for kind, code in _RECORD_KINDS.items()}
+# Backwards-compatible aliases (the codes are part of the log format and now
+# live with the backends).
+_RECORD_KINDS = RECORD_KINDS
+_KIND_BY_CODE = KIND_BY_CODE
+
+#: Catalog schema version written by this release.  Version 1 (the seed) had
+#: no ``filename``/``blocks`` fields; both are recovered on open.
+_CATALOG_VERSION = 2
 
 
 @dataclass
@@ -50,6 +68,9 @@ class StoredStream:
         last_time: Time of the latest recording (``None`` when empty).
         epsilon: Precision width the stream was compressed with (optional,
             informational).
+        filename: Collision-safe log filename inside the store directory.
+        blocks: Block index: ``[byte_offset, record_count, min_time,
+            max_time]`` per block, maintained by the storage backend.
     """
 
     name: str
@@ -58,6 +79,8 @@ class StoredStream:
     first_time: Optional[float] = None
     last_time: Optional[float] = None
     epsilon: Optional[List[float]] = None
+    filename: Optional[str] = None
+    blocks: List[list] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -67,6 +90,8 @@ class StoredStream:
             "first_time": self.first_time,
             "last_time": self.last_time,
             "epsilon": self.epsilon,
+            "filename": self.filename,
+            "blocks": [list(block) for block in self.blocks],
         }
 
     @classmethod
@@ -78,7 +103,28 @@ class StoredStream:
             first_time=payload.get("first_time"),
             last_time=payload.get("last_time"),
             epsilon=payload.get("epsilon"),
+            filename=payload.get("filename"),
+            blocks=[list(block) for block in payload.get("blocks", [])],
         )
+
+
+def _sanitize(name: str) -> str:
+    return "".join(ch if ch.isalnum() or ch in "-_." else "_" for ch in name)
+
+
+def _stream_filename(name: str) -> str:
+    """Collision-safe log filename: sanitized name plus a hash of the raw name.
+
+    The hash suffix keeps streams like ``"a/b"`` and ``"a_b"`` (identical
+    after sanitization) in distinct files.
+    """
+    digest = hashlib.blake2b(name.encode("utf-8"), digest_size=4).hexdigest()
+    return f"{_sanitize(name)}-{digest}.seg"
+
+
+def _legacy_filename(name: str) -> str:
+    """Filename used by seed-era catalogs (no collision protection)."""
+    return f"{_sanitize(name)}.seg"
 
 
 class SegmentStore:
@@ -87,20 +133,54 @@ class SegmentStore:
     Args:
         directory: Directory holding the catalog and the per-stream logs; it
             is created if missing.
+        autoflush: When ``True`` (default) every mutation persists the
+            catalog immediately, like the seed implementation.  When
+            ``False`` the catalog is only written by :meth:`flush` /
+            :meth:`close` (new-stream registrations still persist right away
+            so recovery always knows each stream's dimensionality).
+        backend: Storage backend instance or registry name
+            (default ``"block-log"``).
+        block_records: Records per index block, forwarded to the default
+            backend.
     """
 
     CATALOG_NAME = "catalog.json"
 
-    def __init__(self, directory: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        *,
+        autoflush: bool = True,
+        backend: Union[StorageBackend, str, None] = None,
+        block_records: Optional[int] = None,
+    ) -> None:
+        if isinstance(backend, StorageBackend):
+            self._backend = backend
+        else:
+            options = {} if block_records is None else {"block_records": block_records}
+            self._backend = get_backend(backend or "block-log", **options)
         self._directory = Path(directory)
         self._directory.mkdir(parents=True, exist_ok=True)
         self._catalog_path = self._directory / self.CATALOG_NAME
         self._catalog: Dict[str, StoredStream] = {}
+        self._autoflush = bool(autoflush)
+        self._dirty = False
         if self._catalog_path.exists():
             payload = json.loads(self._catalog_path.read_text())
-            for entry in payload.get("streams", []):
-                stream = StoredStream.from_dict(entry)
+            for raw in payload.get("streams", []):
+                stream = StoredStream.from_dict(raw)
+                if stream.filename is None:
+                    stream.filename = _legacy_filename(stream.name)
+                    self._dirty = True
                 self._catalog[stream.name] = stream
+        self._recover()
+
+    def _recover(self) -> None:
+        for entry in self._catalog.values():
+            if self._backend.recover(self._entry_path(entry), entry):
+                self._dirty = True
+        if self._dirty and self._autoflush:
+            self.flush()
 
     # ------------------------------------------------------------------ #
     # Catalog
@@ -109,6 +189,11 @@ class SegmentStore:
     def directory(self) -> Path:
         """The backing directory."""
         return self._directory
+
+    @property
+    def backend(self) -> StorageBackend:
+        """The storage backend in use."""
+        return self._backend
 
     def streams(self) -> List[StoredStream]:
         """Return the catalog entries sorted by stream name."""
@@ -143,10 +228,13 @@ class SegmentStore:
         name: str,
         recordings: Iterable[Recording],
         epsilon: Optional[Sequence[float]] = None,
-    ) -> StoredStream:
+    ) -> Optional[StoredStream]:
         """Append recordings to a stream (creating the stream if needed).
 
         Recordings must be appended in time order (within and across calls).
+        An empty iterable is a no-op: it neither registers an unknown stream
+        (the dimensionality is not known yet) nor touches an existing one,
+        and returns the current catalog entry — ``None`` for unknown streams.
 
         Raises:
             ValueError: If the recordings are out of order or their
@@ -154,49 +242,128 @@ class SegmentStore:
         """
         records = list(recordings)
         if not records:
-            return self._catalog.get(name) or self._register(name, 1, epsilon)
+            return self._catalog.get(name)
         dimensions = records[0].dimensions
+        count = len(records)
+        kinds = np.empty(count, dtype=np.uint8)
+        times = np.empty(count, dtype=float)
+        values = np.empty((count, dimensions), dtype=float)
+        for index, record in enumerate(records):
+            if record.dimensions != dimensions:
+                raise ValueError("recordings must share one dimensionality")
+            kinds[index] = RECORD_KINDS[record.kind]
+            times[index] = record.time
+            values[index] = record.value
+        return self._append_arrays(name, kinds, times, values, epsilon)
+
+    def append_arrays(
+        self,
+        name: str,
+        times,
+        values,
+        kinds=None,
+        epsilon: Optional[Sequence[float]] = None,
+    ) -> Optional[StoredStream]:
+        """Vectorized bulk append from parallel arrays.
+
+        Args:
+            name: Stream to append to (created if needed).
+            times: ``(n,)`` non-decreasing times.
+            values: ``(n,)`` or ``(n, d)`` values.
+            kinds: Per-record :class:`RecordingKind` (or wire codes); a
+                scalar broadcasts, ``None`` means :data:`RecordingKind.HOLD`.
+            epsilon: Optional precision width stored in the catalog entry.
+
+        Raises:
+            ValueError: Like :meth:`append`, plus on shape mismatches.
+        """
+        times = np.asarray(times, dtype=float).reshape(-1)
+        if times.shape[0] == 0:
+            return self._catalog.get(name)
+        values = np.asarray(values, dtype=float)
+        if values.ndim == 1:
+            values = values.reshape(-1, 1)
+        if values.ndim != 2 or values.shape[0] != times.shape[0]:
+            raise ValueError(
+                f"values must have shape (n,) or (n, d) matching {times.shape[0]} times, "
+                f"got {values.shape}"
+            )
+        kinds = self._coerce_kinds(kinds, times.shape[0])
+        return self._append_arrays(name, kinds, times, values, epsilon)
+
+    @staticmethod
+    def _coerce_kinds(kinds, count: int) -> np.ndarray:
+        if kinds is None:
+            kinds = RECORD_KINDS[RecordingKind.HOLD]
+        if isinstance(kinds, RecordingKind):
+            kinds = RECORD_KINDS[kinds]
+        if np.isscalar(kinds):
+            return np.full(count, int(kinds), dtype=np.uint8)
+        codes = np.asarray(
+            [RECORD_KINDS[k] if isinstance(k, RecordingKind) else int(k) for k in kinds],
+            dtype=np.uint8,
+        )
+        if codes.shape[0] != count:
+            raise ValueError(f"kinds must match the {count} records, got {codes.shape[0]}")
+        return codes
+
+    def _append_arrays(
+        self,
+        name: str,
+        kinds: np.ndarray,
+        times: np.ndarray,
+        values: np.ndarray,
+        epsilon: Optional[Sequence[float]],
+    ) -> StoredStream:
+        dimensions = int(values.shape[1])
         entry = self._catalog.get(name)
-        if entry is None:
-            entry = self._register(name, dimensions, epsilon)
-        if entry.dimensions != dimensions:
+        if entry is not None and entry.dimensions != dimensions:
             raise ValueError(
                 f"stream {name!r} holds {entry.dimensions}-dimensional values, "
                 f"got {dimensions}-dimensional recordings"
             )
-        packer = struct.Struct(f"<Bd{dimensions}d")
-        last_time = entry.last_time
-        with open(self._log_path(name), "ab") as log:
-            for record in records:
-                if record.dimensions != dimensions:
-                    raise ValueError("recordings must share one dimensionality")
-                if last_time is not None and record.time < last_time:
-                    raise ValueError(
-                        f"recordings must be appended in time order; got {record.time!r} "
-                        f"after {last_time!r}"
-                    )
-                last_time = record.time
-                log.write(
-                    packer.pack(_RECORD_KINDS[record.kind], record.time, *map(float, record.value))
-                )
-        entry.recordings += len(records)
+        self._check_time_order(times, None if entry is None else entry.last_time)
+        if entry is None:
+            entry = self._register(name, dimensions, epsilon)
+        self._backend.append(self._entry_path(entry), entry, kinds, times, values)
+        entry.recordings += times.shape[0]
         if entry.first_time is None:
-            entry.first_time = records[0].time
-        entry.last_time = last_time
+            entry.first_time = float(times[0])
+        entry.last_time = float(times[-1])
         if epsilon is not None:
             entry.epsilon = [float(value) for value in np.atleast_1d(epsilon)]
-        self._save_catalog()
+        self._mark_dirty()
         return entry
+
+    @staticmethod
+    def _check_time_order(times: np.ndarray, last_time: Optional[float]) -> None:
+        backwards = np.nonzero(np.diff(times) < 0.0)[0]
+        if backwards.size:
+            index = int(backwards[0])
+            raise ValueError(
+                f"recordings must be appended in time order; got {float(times[index + 1])!r} "
+                f"after {float(times[index])!r}"
+            )
+        if last_time is not None and times[0] < last_time:
+            raise ValueError(
+                f"recordings must be appended in time order; got {float(times[0])!r} "
+                f"after {last_time!r}"
+            )
 
     def _register(self, name: str, dimensions: int, epsilon) -> StoredStream:
         entry = StoredStream(
             name=name,
             dimensions=dimensions,
             epsilon=[float(v) for v in np.atleast_1d(epsilon)] if epsilon is not None else None,
+            filename=_stream_filename(name),
         )
         self._catalog[name] = entry
-        self._log_path(name).touch()
-        self._save_catalog()
+        self._entry_path(entry).touch()
+        # Registration always persists immediately — recovery after a crash
+        # needs the dimensionality to parse the log, and it cannot come from
+        # the log itself.
+        self._dirty = True
+        self.flush()
         return entry
 
     # ------------------------------------------------------------------ #
@@ -210,43 +377,23 @@ class SegmentStore:
     ) -> List[Recording]:
         """Read a stream's recordings, optionally restricted to a time range.
 
-        The range filter keeps one recording before ``start`` when available,
-        so the returned recordings still describe the approximation over the
-        whole requested range.
+        The range filter keeps one recording before ``start`` and one after
+        ``end`` when available, so the returned recordings still describe the
+        approximation over the whole requested range.  Only the log blocks
+        overlapping the range are decoded.
         """
         entry = self.describe(name)
-        packer = struct.Struct(f"<Bd{entry.dimensions}d")
-        recordings: List[Recording] = []
-        payload = self._log_path(name).read_bytes()
-        for offset in range(0, len(payload), packer.size):
-            fields = packer.unpack_from(payload, offset)
-            recordings.append(
-                Recording(fields[1], np.asarray(fields[2:], dtype=float), _KIND_BY_CODE[fields[0]])
-            )
-        if start is None and end is None:
-            return recordings
-        filtered: List[Recording] = []
-        previous: Optional[Recording] = None
-        for record in recordings:
-            if start is not None and record.time < start:
-                previous = record
-                continue
-            if end is not None and record.time > end:
-                # Flush the covering recording first: the requested range may
-                # fall strictly inside one segment, in which case `previous`
-                # is still pending here.
-                if previous is not None:
-                    filtered.append(previous)
-                    previous = None
-                filtered.append(record)
-                break
-            if previous is not None:
-                filtered.append(previous)
-                previous = None
-            filtered.append(record)
-        if not filtered and previous is not None:
-            filtered.append(previous)
-        return filtered
+        return self._backend.read(self._entry_path(entry), entry, start, end)
+
+    def read_arrays(
+        self,
+        name: str,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Like :meth:`read` but as ``(kinds, times, values)`` arrays."""
+        entry = self.describe(name)
+        return self._backend.read_arrays(self._entry_path(entry), entry, start, end)
 
     def reconstruct(
         self,
@@ -267,22 +414,60 @@ class SegmentStore:
         Raises:
             KeyError: If the stream does not exist.
         """
-        self.describe(name)
-        self._log_path(name).unlink(missing_ok=True)
+        entry = self.describe(name)
+        self._entry_path(entry).unlink(missing_ok=True)
         del self._catalog[name]
-        self._save_catalog()
+        self._mark_dirty()
 
     def total_bytes(self) -> int:
         """Total size of all stream logs on disk."""
-        return sum(self._log_path(name).stat().st_size for name in self._catalog)
+        total = 0
+        for entry in self._catalog.values():
+            path = self._entry_path(entry)
+            if path.exists():
+                total += path.stat().st_size
+        return total
+
+    def flush(self) -> None:
+        """Persist the catalog if it has pending changes.
+
+        The write is atomic (temp file + rename in the same directory): a
+        crash mid-flush leaves the previous catalog intact rather than a
+        truncated JSON file that would make the store unopenable.
+        """
+        if not self._dirty:
+            return
+        payload = {
+            "version": _CATALOG_VERSION,
+            "backend": self._backend.name,
+            "streams": [entry.to_dict() for entry in self._catalog.values()],
+        }
+        staging = self._catalog_path.with_suffix(".json.tmp")
+        staging.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        os.replace(staging, self._catalog_path)
+        self._dirty = False
+
+    def close(self) -> None:
+        """Flush pending catalog changes."""
+        self.flush()
+
+    def __enter__(self) -> "SegmentStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
-    def _log_path(self, name: str) -> Path:
-        safe = "".join(ch if ch.isalnum() or ch in "-_." else "_" for ch in name)
-        return self._directory / f"{safe}.seg"
+    def _entry_path(self, entry: StoredStream) -> Path:
+        return self._directory / entry.filename
 
-    def _save_catalog(self) -> None:
-        payload = {"streams": [entry.to_dict() for entry in self._catalog.values()]}
-        self._catalog_path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    def _log_path(self, name: str) -> Path:
+        """Log path of a stream already in the catalog."""
+        return self._entry_path(self.describe(name))
+
+    def _mark_dirty(self) -> None:
+        self._dirty = True
+        if self._autoflush:
+            self.flush()

@@ -1,0 +1,251 @@
+"""Hash-partitioned store spreading streams across several segment stores.
+
+A :class:`ShardedStore` presents the same public API as a single
+:class:`~repro.storage.segment_store.SegmentStore` but hash-partitions
+stream names across ``N`` shard stores, each in its own subdirectory.  The
+shard of a stream is a stable function of its name (BLAKE2 digest modulo the
+shard count), so a store can be reopened — or grown by other writers — and
+every stream is found where it was written.  The shard count itself is
+pinned in a small ``shards.json`` meta file and validated on reopen.
+
+Shards are plain segment stores: the catalog/``streams()``/``total_bytes()``
+views here merge the per-shard catalogs, and :meth:`read_many` fans a
+multi-stream range read out across the shards in parallel.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.approximation.piecewise import Approximation
+from repro.core.types import Recording
+from repro.storage.backends.base import StorageBackend
+from repro.storage.segment_store import SegmentStore, StoredStream
+
+__all__ = ["ShardedStore", "DEFAULT_SHARDS", "shard_index"]
+
+#: Default shard count for new sharded stores.
+DEFAULT_SHARDS = 4
+
+
+def shard_index(name: str, shards: int) -> int:
+    """Stable shard of a stream name (independent of ``PYTHONHASHSEED``)."""
+    digest = hashlib.blake2b(name.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % shards
+
+
+class ShardedStore:
+    """Sharded repository of compressed streams.
+
+    Args:
+        directory: Root directory; shards live in ``shard-NN`` subdirectories.
+        shards: Shard count for a new store.  For an existing store it may be
+            omitted; when given it must match the persisted count.
+        autoflush: Forwarded to every shard store.
+        backend: Storage backend name or instance, forwarded to every shard.
+        block_records: Block index granularity, forwarded to every shard.
+
+    Raises:
+        ValueError: If ``shards`` is not positive, or disagrees with the
+            shard count the store was created with.
+    """
+
+    META_NAME = "shards.json"
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        shards: Optional[int] = None,
+        *,
+        autoflush: bool = True,
+        backend: Union[StorageBackend, str, None] = None,
+        block_records: Optional[int] = None,
+    ) -> None:
+        if shards is not None and shards < 1:
+            raise ValueError(f"shards must be positive, got {shards}")
+        self._directory = Path(directory)
+        meta_path = self._directory / self.META_NAME
+        if meta_path.exists():
+            persisted = int(json.loads(meta_path.read_text())["shards"])
+            if shards is not None and shards != persisted:
+                raise ValueError(
+                    f"store at {str(self._directory)!r} has {persisted} shards, "
+                    f"requested {shards}"
+                )
+            shards = persisted
+        else:
+            shards = DEFAULT_SHARDS if shards is None else shards
+            self._directory.mkdir(parents=True, exist_ok=True)
+            meta_path.write_text(json.dumps({"version": 1, "shards": shards}))
+        self._shard_count = shards
+        self._shards = [
+            SegmentStore(
+                self._directory / f"shard-{index:02d}",
+                autoflush=autoflush,
+                backend=backend,
+                block_records=block_records,
+            )
+            for index in range(shards)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Topology
+    # ------------------------------------------------------------------ #
+    @property
+    def directory(self) -> Path:
+        """The root directory."""
+        return self._directory
+
+    @property
+    def shard_count(self) -> int:
+        """Number of shards."""
+        return self._shard_count
+
+    @property
+    def shards(self) -> Tuple[SegmentStore, ...]:
+        """The underlying shard stores, in shard order."""
+        return tuple(self._shards)
+
+    def shard_for(self, name: str) -> SegmentStore:
+        """The shard store responsible for ``name``."""
+        return self._shards[shard_index(name, self._shard_count)]
+
+    # ------------------------------------------------------------------ #
+    # Catalog (unified view)
+    # ------------------------------------------------------------------ #
+    def streams(self) -> List[StoredStream]:
+        """All catalog entries across shards, sorted by stream name."""
+        merged = [entry for shard in self._shards for entry in shard.streams()]
+        return sorted(merged, key=lambda entry: entry.name)
+
+    def stream_names(self) -> List[str]:
+        """All stored stream names across shards, sorted."""
+        return sorted(name for shard in self._shards for name in shard.stream_names())
+
+    def describe(self, name: str) -> StoredStream:
+        """Catalog entry for ``name`` (raises ``KeyError`` when unknown)."""
+        return self.shard_for(name).describe(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.shard_for(name)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+    def append(
+        self,
+        name: str,
+        recordings: Iterable[Recording],
+        epsilon: Optional[Sequence[float]] = None,
+    ) -> Optional[StoredStream]:
+        """Append recordings to ``name``'s shard (see ``SegmentStore.append``)."""
+        return self.shard_for(name).append(name, recordings, epsilon=epsilon)
+
+    def append_arrays(
+        self,
+        name: str,
+        times,
+        values,
+        kinds=None,
+        epsilon: Optional[Sequence[float]] = None,
+    ) -> Optional[StoredStream]:
+        """Vectorized bulk append (see ``SegmentStore.append_arrays``)."""
+        return self.shard_for(name).append_arrays(
+            name, times, values, kinds=kinds, epsilon=epsilon
+        )
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    def read(
+        self,
+        name: str,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> List[Recording]:
+        """Range read of one stream (see ``SegmentStore.read``)."""
+        return self.shard_for(name).read(name, start, end)
+
+    def read_arrays(
+        self,
+        name: str,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Range read as arrays (see ``SegmentStore.read_arrays``)."""
+        return self.shard_for(name).read_arrays(name, start, end)
+
+    def reconstruct(
+        self,
+        name: str,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> Approximation:
+        """Rebuild one stored approximation (see ``SegmentStore.reconstruct``)."""
+        return self.shard_for(name).reconstruct(name, start, end)
+
+    def read_many(
+        self,
+        names: Iterable[str],
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> Dict[str, List[Recording]]:
+        """Range-read several streams, fanning out across shards in parallel.
+
+        Returns a dict mapping each requested name to its recordings.  Reads
+        of streams on different shards run concurrently (one worker per
+        involved shard); a single-shard request degrades to a serial loop.
+        """
+        by_shard: Dict[int, List[str]] = {}
+        for name in names:
+            by_shard.setdefault(shard_index(name, self._shard_count), []).append(name)
+
+        def read_shard(index: int) -> List[Tuple[str, List[Recording]]]:
+            shard = self._shards[index]
+            return [(name, shard.read(name, start, end)) for name in by_shard[index]]
+
+        results: Dict[str, List[Recording]] = {}
+        if len(by_shard) <= 1:
+            batches = [read_shard(index) for index in by_shard]
+        else:
+            with ThreadPoolExecutor(max_workers=len(by_shard)) as executor:
+                batches = list(executor.map(read_shard, by_shard))
+        for batch in batches:
+            results.update(batch)
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def delete(self, name: str) -> None:
+        """Remove a stream (raises ``KeyError`` when unknown)."""
+        self.shard_for(name).delete(name)
+
+    def total_bytes(self) -> int:
+        """Total size of all stream logs across all shards."""
+        return sum(shard.total_bytes() for shard in self._shards)
+
+    def flush(self) -> None:
+        """Persist pending catalog changes on every shard."""
+        for shard in self._shards:
+            shard.flush()
+
+    def close(self) -> None:
+        """Flush every shard."""
+        for shard in self._shards:
+            shard.close()
+
+    def __enter__(self) -> "ShardedStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -3,21 +3,29 @@
 Large monitoring deployments (the paper's motivating setting) track many
 variables at once.  :class:`StreamSet` owns one filter-equipped transmitter
 per named stream, routes observations to the right transmitter, and offers
-fleet-wide statistics plus optional archiving of every stream into a
-:class:`~repro.storage.segment_store.SegmentStore`.
+fleet-wide statistics plus optional archiving of every stream into a segment
+store (plain or sharded).
+
+Archiving is batched: transmitted recordings are buffered per stream and
+appended to the store in ``archive_batch``-sized batches (plus one final
+flush on :meth:`close`), so archiving a fleet does not rewrite the store
+catalog once per observation.  The batch ingestion path —
+:meth:`observe_batch` and :meth:`run_arrays` — additionally routes chunked
+arrays through the filters' vectorized ``process_batch`` fast path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.approximation.piecewise import Approximation
 from repro.core.base import StreamFilter
 from repro.core.registry import create_filter
-from repro.storage.segment_store import SegmentStore
+from repro.pipeline.chunking import DEFAULT_CHUNK_SIZE, iter_chunks
+from repro.storage import StoreLike
 from repro.streams.transport import Transmitter
 
 __all__ = ["StreamSet", "StreamSetReport"]
@@ -55,8 +63,11 @@ class StreamSet:
         epsilon: Precision width passed to every per-stream filter.
         filter_factory: Alternative to ``filter_name``: a zero-argument
             callable returning a fresh filter per stream.
-        store: Optional :class:`SegmentStore`; when given, every transmitted
-            recording is also appended to the store under the stream's name.
+        store: Optional segment store (plain or sharded); when given, every
+            transmitted recording is also appended to the store under the
+            stream's name.
+        archive_batch: Recordings buffered per stream before they are
+            appended to the store (1 restores write-through archiving).
         **filter_kwargs: Extra options forwarded to :func:`create_filter`.
     """
 
@@ -65,17 +76,22 @@ class StreamSet:
         filter_name: Optional[str] = None,
         epsilon=None,
         filter_factory: Optional[FilterFactory] = None,
-        store: Optional[SegmentStore] = None,
+        store: Optional[StoreLike] = None,
+        archive_batch: int = 256,
         **filter_kwargs,
     ) -> None:
         if filter_factory is None:
             if filter_name is None or epsilon is None:
                 raise ValueError("provide either filter_factory or (filter_name and epsilon)")
             filter_factory = lambda: create_filter(filter_name, epsilon, **filter_kwargs)  # noqa: E731
+        if archive_batch < 1:
+            raise ValueError(f"archive_batch must be positive, got {archive_batch}")
         self._factory = filter_factory
         self._epsilon = epsilon
         self._store = store
+        self._archive_batch = archive_batch
         self._transmitters: Dict[str, Transmitter] = {}
+        self._pending: Dict[str, List] = {}
         self._closed = False
 
     # ------------------------------------------------------------------ #
@@ -83,24 +99,72 @@ class StreamSet:
     # ------------------------------------------------------------------ #
     def observe(self, stream: str, time: float, value) -> int:
         """Route one measurement to its stream; return the recordings emitted."""
-        if self._closed:
-            raise RuntimeError("the stream set has been closed")
-        transmitter = self._transmitters.get(stream)
-        if transmitter is None:
-            transmitter = Transmitter(self._factory())
-            self._transmitters[stream] = transmitter
+        transmitter = self._transmitter(stream)
         recordings = transmitter.observe(time, value)
-        if self._store is not None and recordings:
-            self._store.append(stream, recordings, epsilon=self._epsilon_list())
+        self._archive(stream, recordings)
         return len(recordings)
 
+    def observe_batch(self, stream: str, times, values) -> int:
+        """Route one chunk of measurements through the vectorized fast path.
+
+        Args:
+            stream: Target stream name.
+            times: ``(n,)`` observation times.
+            values: ``(n,)`` or ``(n, d)`` observed values.
+
+        Returns:
+            The number of recordings the chunk triggered.
+        """
+        transmitter = self._transmitter(stream)
+        recordings = transmitter.observe_batch(times, values)
+        self._archive(stream, recordings)
+        return len(recordings)
+
+    def run_arrays(
+        self,
+        data: Mapping[str, Tuple],
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        close: bool = True,
+    ) -> StreamSetReport:
+        """Ingest several streams given as ``{name: (times, values)}`` arrays.
+
+        The streams' chunks are interleaved round-robin — the multiplexed
+        arrival order of a live fleet — and each chunk goes through
+        :meth:`observe_batch`.  With ``close=True`` (default) the set is
+        closed afterwards, flushing every filter and the archive buffers.
+        """
+        iterators = {
+            name: iter_chunks(times, values, chunk_size)
+            for name, (times, values) in data.items()
+        }
+        while iterators:
+            exhausted = []
+            for name, chunks in iterators.items():
+                chunk = next(chunks, None)
+                if chunk is None:
+                    exhausted.append(name)
+                    continue
+                self.observe_batch(name, chunk[0], chunk[1])
+            for name in exhausted:
+                del iterators[name]
+        if close:
+            return self.close()
+        return self.report()
+
+    def flush(self) -> None:
+        """Append all buffered recordings to the store and flush its catalog."""
+        if self._store is None:
+            return
+        for stream in list(self._pending):
+            self._flush_stream(stream)
+        self._store.flush()
+
     def close(self) -> StreamSetReport:
-        """Flush every stream's filter and return the fleet report."""
+        """Flush every stream's filter and archive buffer; return the report."""
         if not self._closed:
             for name, transmitter in self._transmitters.items():
-                recordings = transmitter.close()
-                if self._store is not None and recordings:
-                    self._store.append(name, recordings, epsilon=self._epsilon_list())
+                self._archive(name, transmitter.close())
+            self.flush()
             self._closed = True
         return self.report()
 
@@ -147,6 +211,29 @@ class StreamSet:
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
+    def _transmitter(self, stream: str) -> Transmitter:
+        if self._closed:
+            raise RuntimeError("the stream set has been closed")
+        transmitter = self._transmitters.get(stream)
+        if transmitter is None:
+            transmitter = Transmitter(self._factory())
+            self._transmitters[stream] = transmitter
+        return transmitter
+
+    def _archive(self, stream: str, recordings) -> None:
+        if self._store is None or not recordings:
+            return
+        buffer = self._pending.setdefault(stream, [])
+        buffer.extend(recordings)
+        if len(buffer) >= self._archive_batch:
+            self._flush_stream(stream)
+
+    def _flush_stream(self, stream: str) -> None:
+        buffer = self._pending.get(stream)
+        if buffer:
+            self._store.append(stream, buffer, epsilon=self._epsilon_list())
+            buffer.clear()
+
     def _epsilon_list(self) -> Optional[List[float]]:
         if self._epsilon is None:
             return None

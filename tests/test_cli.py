@@ -126,3 +126,63 @@ class TestCommands:
         with pytest.raises(SystemExit) as excinfo:
             main(["--version"])
         assert excinfo.value.code == 0
+
+
+class TestIngestSharded:
+    def test_ingest_into_sharded_store(self, capsys, csv_workload, tmp_path):
+        from repro.storage import ShardedStore, open_store
+
+        path, times, values = csv_workload
+        store_dir = tmp_path / "archive"
+        code = main(
+            ["ingest", "--input", str(path), "--filter", "swing", "--epsilon",
+             "0.5", "--store", str(store_dir), "--shards", "4", "--name", "sensor/1"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "4 shards" in output
+        store = open_store(store_dir)
+        assert isinstance(store, ShardedStore)
+        assert store.shard_count == 4
+        approx = store.reconstruct("sensor/1")
+        deviations = np.abs(approx.deviations(list(zip(times, values))))
+        assert float(deviations.max()) <= 0.5 + 1e-8
+
+    def test_ingest_reopens_existing_sharded_store(self, csv_workload, tmp_path):
+        from repro.storage import open_store
+
+        path, _, _ = csv_workload
+        store_dir = tmp_path / "archive"
+        assert main(
+            ["ingest", "--input", str(path), "--filter", "swing", "--epsilon",
+             "0.5", "--store", str(store_dir), "--shards", "2", "--name", "a"]
+        ) == 0
+        # Same shard count: fine; ingest a second stream.
+        assert main(
+            ["ingest", "--input", str(path), "--filter", "swing", "--epsilon",
+             "0.5", "--store", str(store_dir), "--shards", "2", "--name", "b"]
+        ) == 0
+        assert open_store(store_dir).stream_names() == ["a", "b"]
+
+    def test_ingest_shard_count_mismatch_fails_cleanly(self, csv_workload, tmp_path):
+        path, _, _ = csv_workload
+        store_dir = tmp_path / "archive"
+        assert main(
+            ["ingest", "--input", str(path), "--filter", "swing", "--epsilon",
+             "0.5", "--store", str(store_dir), "--shards", "2"]
+        ) == 0
+        with pytest.raises(SystemExit, match="ingest failed"):
+            main(
+                ["ingest", "--input", str(path), "--filter", "swing", "--epsilon",
+                 "0.5", "--store", str(store_dir), "--shards", "3"]
+            )
+
+    def test_ingest_invalid_shard_count_leaves_no_store(self, csv_workload, tmp_path):
+        path, _, _ = csv_workload
+        store_dir = tmp_path / "archive"
+        with pytest.raises(SystemExit, match="shards"):
+            main(
+                ["ingest", "--input", str(path), "--filter", "swing", "--epsilon",
+                 "0.5", "--store", str(store_dir), "--shards", "0"]
+            )
+        assert not store_dir.exists()

@@ -102,3 +102,97 @@ class TestStreamSet:
         interim = streams.report()
         assert interim.points == 100
         assert interim.streams == 1
+
+
+class TestBatchIngestion:
+    def test_observe_batch_matches_per_point(self):
+        times, values = walk(31)
+        per_point = StreamSet("swing", epsilon=0.5)
+        batched = StreamSet("swing", epsilon=0.5)
+        for t, v in zip(times, values):
+            per_point.observe("a", t, v)
+        for lo in range(0, len(times), 64):
+            batched.observe_batch("a", times[lo : lo + 64], values[lo : lo + 64])
+        report_a = per_point.close()
+        report_b = batched.close()
+        assert report_a.points == report_b.points
+        assert report_a.recordings == report_b.recordings
+        grid = np.linspace(float(times[0]), float(times[-1]), 100)
+        np.testing.assert_array_equal(
+            per_point.approximation("a").values_at(grid),
+            batched.approximation("a").values_at(grid),
+        )
+
+    def test_run_arrays_ingests_a_fleet(self, tmp_path):
+        store = SegmentStore(tmp_path / "archive", autoflush=False)
+        streams = StreamSet("swing", epsilon=0.5, store=store)
+        data = {f"s{i}": walk(40 + i, length=300) for i in range(3)}
+        report = streams.run_arrays(data, chunk_size=128)
+        assert report.streams == 3
+        assert report.points == 3 * 300
+        # Everything transmitted is archived, across all streams.
+        assert sorted(store.stream_names()) == sorted(data)
+        archived = sum(store.describe(name).recordings for name in store.stream_names())
+        assert archived == report.recordings
+        for name, (times, values) in data.items():
+            approx = store.reconstruct(name)
+            deviations = np.abs(approx.deviations(list(zip(times, values))))
+            assert float(deviations.max()) <= 0.5 + 1e-8
+
+    def test_run_arrays_without_close_keeps_accepting(self):
+        streams = StreamSet("swing", epsilon=0.5)
+        times, values = walk(51, length=100)
+        streams.run_arrays({"a": (times, values)}, close=False)
+        streams.observe("a", float(times[-1]) + 1.0, float(values[-1]))
+        report = streams.close()
+        assert report.points == 101
+
+    def test_archiving_into_sharded_store(self, tmp_path):
+        from repro.storage import ShardedStore
+
+        store = ShardedStore(tmp_path / "archive", 4, autoflush=False)
+        epsilon = 0.4
+        streams = StreamSet("slide", epsilon=epsilon, store=store, archive_batch=32)
+        data = {f"host-{i}/load": walk(60 + i, length=250) for i in range(5)}
+        for name, (times, values) in data.items():
+            for t, v in zip(times, values):
+                streams.observe(name, t, v)
+        report = streams.close()
+        assert sorted(store.stream_names()) == sorted(data)
+        archived = sum(store.describe(name).recordings for name in store.stream_names())
+        assert archived == report.recordings
+        for name, (times, values) in data.items():
+            approx = store.reconstruct(name)
+            deviations = np.abs(approx.deviations(list(zip(times, values))))
+            assert float(deviations.max()) <= epsilon + 1e-8
+
+    def test_archive_buffer_flushes_at_batch_size(self, tmp_path):
+        class CountingStore(SegmentStore):
+            appends = 0
+
+            def append(self, name, recordings, epsilon=None):
+                type(self).appends += 1
+                return super().append(name, recordings, epsilon=epsilon)
+
+        store = CountingStore(tmp_path / "archive")
+        streams = StreamSet("cache", epsilon=0.01, store=store, archive_batch=64)
+        times, values = walk(70, length=500)
+        for t, v in zip(times, values):
+            streams.observe("a", t, v)
+        recordings_so_far = store.describe("a").recordings if "a" in store else 0
+        streams.close()
+        total = store.describe("a").recordings
+        # Far fewer appends than archived recordings: buffering is in effect.
+        assert CountingStore.appends <= int(np.ceil(total / 64)) + 1
+        assert total >= recordings_so_far
+
+    def test_invalid_archive_batch(self):
+        with pytest.raises(ValueError):
+            StreamSet("swing", epsilon=0.5, archive_batch=0)
+
+    def test_observe_batch_after_close_rejected(self):
+        streams = StreamSet("swing", epsilon=0.5)
+        streams.observe("a", 0.0, 1.0)
+        streams.close()
+        with pytest.raises(RuntimeError):
+            streams.observe_batch("a", [1.0], [2.0])

@@ -302,3 +302,33 @@ class TestEndToEnd:
         assert batched.messages_sent == per_point.messages_sent
         assert batched.bytes_sent == per_point.bytes_sent
         assert batched.max_absolute_error == pytest.approx(per_point.max_absolute_error)
+
+
+class TestStoreSinkSharded:
+    def test_store_sink_creates_sharded_store(self, tmp_path):
+        from repro.storage import ShardedStore, open_store
+
+        sink = StoreSink(tmp_path / "archive", "demo", epsilon=[0.5], shards=4)
+        assert isinstance(sink.store, ShardedStore)
+        sink.write(_recordings(3))
+        sink.close()
+        store = open_store(tmp_path / "archive")
+        assert store.shard_count == 4
+        assert store.describe("demo").recordings == 3
+
+    def test_store_sink_rejects_shards_with_store_instance(self, tmp_path):
+        import pytest as _pytest
+
+        store = SegmentStore(tmp_path / "archive")
+        with _pytest.raises(ValueError, match="path"):
+            StoreSink(store, "demo", shards=2)
+
+    def test_store_sink_accepts_sharded_store_instance(self, tmp_path):
+        from repro.storage import ShardedStore
+
+        store = ShardedStore(tmp_path / "archive", 2, autoflush=False)
+        sink = StoreSink(store, "demo", epsilon=[0.5])
+        sink.write(_recordings(4))
+        sink.close()  # flushes the deferred catalogs
+        reopened = ShardedStore(tmp_path / "archive")
+        assert reopened.describe("demo").recordings == 4

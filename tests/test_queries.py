@@ -145,3 +145,23 @@ class TestResample:
         approx = reconstruct(SlideFilter(epsilon).process(zip(times, values)))
         grid_times, grid_values = resample(approx, 0.0, 499.0, step=1.0)
         assert np.max(np.abs(grid_values[:, 0] - values[: len(grid_times)])) <= epsilon + 1e-9
+
+
+class TestThresholdCrossingBoundaries:
+    def test_crossing_exactly_at_range_boundary_is_kept(self):
+        """The clip is a closed interval: a crossing at t == start or
+        t == end must be reported."""
+        crossings = threshold_crossings(simple_pla(), 5.0, start=5.0, end=10.0)
+        assert crossings == [pytest.approx(5.0)]
+        crossings = threshold_crossings(simple_pla(), 5.0, start=0.0, end=5.0)
+        assert crossings == [pytest.approx(5.0)]
+
+    def test_crossing_just_outside_boundary_is_dropped(self):
+        assert threshold_crossings(simple_pla(), 5.0, start=5.0 + 1e-9) == []
+        assert threshold_crossings(simple_pla(), 5.0, end=5.0 - 1e-9) == []
+
+    def test_none_bounds_are_accepted(self):
+        # The signature promises Optional[float]; None means unbounded.
+        assert threshold_crossings(simple_pla(), 5.0, start=None, end=None) == [
+            pytest.approx(5.0)
+        ]

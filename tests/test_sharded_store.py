@@ -1,0 +1,180 @@
+"""Tests for the hash-partitioned sharded store and the open_store factory."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.slide import SlideFilter
+from repro.data.random_walk import RandomWalkConfig, random_walk
+from repro.storage import (
+    DEFAULT_SHARDS,
+    SegmentStore,
+    ShardedStore,
+    open_store,
+    shard_index,
+)
+
+
+def compressed_walk(seed, length=400, epsilon=0.5):
+    times, values = random_walk(RandomWalkConfig(length=length, max_delta=1.0, seed=seed))
+    return times, values, SlideFilter(epsilon).process(zip(times, values)).recordings
+
+
+def assert_identical(left, right):
+    assert len(left) == len(right)
+    for a, b in zip(left, right):
+        assert a.time == b.time
+        assert a.kind == b.kind
+        assert np.array_equal(a.value, b.value)
+
+
+@pytest.fixture
+def fleet():
+    return {f"host-{i}/load": compressed_walk(100 + i) for i in range(8)}
+
+
+class TestSharding:
+    def test_shard_index_is_stable_and_in_range(self):
+        for shards in (1, 3, 4, 16):
+            for name in ("a", "host-1/load", "äöü", ""):
+                index = shard_index(name, shards)
+                assert 0 <= index < shards
+                assert index == shard_index(name, shards)
+
+    def test_streams_land_on_their_shard(self, tmp_path, fleet):
+        store = ShardedStore(tmp_path / "sh", 4)
+        for name, (_, _, recordings) in fleet.items():
+            store.append(name, recordings)
+        for name in fleet:
+            shard = store.shard_for(name)
+            assert name in shard
+            assert name in store
+        assert len(store) == len(fleet)
+        assert store.stream_names() == sorted(fleet)
+
+    def test_round_trip_equivalence_across_shard_counts(self, tmp_path, fleet):
+        """read() / reconstruct() must be bit-identical across a single
+        store and sharded stores with 1 and 4 shards."""
+        single = SegmentStore(tmp_path / "single")
+        sharded_1 = ShardedStore(tmp_path / "s1", 1)
+        sharded_4 = ShardedStore(tmp_path / "s4", 4)
+        for name, (_, _, recordings) in fleet.items():
+            for store in (single, sharded_1, sharded_4):
+                store.append(name, recordings, epsilon=0.5)
+        for name, (times, _, _) in fleet.items():
+            lo, hi = float(times[100]), float(times[300])
+            reference_full = single.read(name)
+            reference_range = single.read(name, lo, hi)
+            grid = np.linspace(lo, hi, 50)
+            reference_values = single.reconstruct(name, lo, hi).values_at(grid)
+            for store in (sharded_1, sharded_4):
+                assert_identical(store.read(name), reference_full)
+                assert_identical(store.read(name, lo, hi), reference_range)
+                np.testing.assert_array_equal(
+                    store.reconstruct(name, lo, hi).values_at(grid), reference_values
+                )
+
+    def test_unified_catalog_view(self, tmp_path, fleet):
+        store = ShardedStore(tmp_path / "sh", 4)
+        for name, (_, _, recordings) in fleet.items():
+            store.append(name, recordings, epsilon=0.5)
+        entries = store.streams()
+        assert [entry.name for entry in entries] == sorted(fleet)
+        assert store.total_bytes() == sum(s.total_bytes() for s in store.shards)
+        assert store.total_bytes() > 0
+        entry = store.describe("host-0/load")
+        assert entry.recordings == len(fleet["host-0/load"][2])
+
+    def test_describe_and_delete_unknown(self, tmp_path):
+        store = ShardedStore(tmp_path / "sh", 4)
+        with pytest.raises(KeyError):
+            store.describe("missing")
+        with pytest.raises(KeyError):
+            store.delete("missing")
+
+    def test_delete_removes_from_owning_shard(self, tmp_path, fleet):
+        store = ShardedStore(tmp_path / "sh", 4)
+        for name, (_, _, recordings) in fleet.items():
+            store.append(name, recordings)
+        victim = next(iter(fleet))
+        store.delete(victim)
+        assert victim not in store
+        assert len(store) == len(fleet) - 1
+
+
+class TestPersistence:
+    def test_reopen_preserves_shard_count_and_data(self, tmp_path, fleet):
+        with ShardedStore(tmp_path / "sh", 3, autoflush=False) as store:
+            for name, (_, _, recordings) in fleet.items():
+                store.append(name, recordings)
+        reopened = ShardedStore(tmp_path / "sh")
+        assert reopened.shard_count == 3
+        assert reopened.stream_names() == sorted(fleet)
+        for name, (_, _, recordings) in fleet.items():
+            assert_identical(reopened.read(name), list(recordings))
+
+    def test_shard_count_mismatch_rejected(self, tmp_path):
+        ShardedStore(tmp_path / "sh", 4)
+        with pytest.raises(ValueError, match="4 shards"):
+            ShardedStore(tmp_path / "sh", 8)
+
+    def test_invalid_shard_count(self, tmp_path):
+        with pytest.raises(ValueError):
+            ShardedStore(tmp_path / "sh", 0)
+
+    def test_meta_file_written_once(self, tmp_path):
+        store = ShardedStore(tmp_path / "sh", 2)
+        payload = json.loads((tmp_path / "sh" / ShardedStore.META_NAME).read_text())
+        assert payload["shards"] == 2
+        assert store.shard_count == 2
+
+
+class TestReadMany:
+    def test_read_many_matches_serial_reads(self, tmp_path, fleet):
+        store = ShardedStore(tmp_path / "sh", 4)
+        for name, (_, _, recordings) in fleet.items():
+            store.append(name, recordings)
+        lo = 50.0
+        hi = 250.0
+        results = store.read_many(list(fleet), start=lo, end=hi)
+        assert sorted(results) == sorted(fleet)
+        for name in fleet:
+            assert_identical(results[name], store.read(name, lo, hi))
+
+    def test_read_many_single_shard(self, tmp_path, fleet):
+        store = ShardedStore(tmp_path / "sh", 1)
+        for name, (_, _, recordings) in fleet.items():
+            store.append(name, recordings)
+        results = store.read_many(list(fleet))
+        for name in fleet:
+            assert_identical(results[name], store.read(name))
+
+
+class TestOpenStore:
+    def test_opens_plain_store_by_default(self, tmp_path):
+        store = open_store(tmp_path / "plain")
+        assert isinstance(store, SegmentStore)
+
+    def test_creates_sharded_store_on_request(self, tmp_path):
+        store = open_store(tmp_path / "sh", shards=4)
+        assert isinstance(store, ShardedStore)
+        assert store.shard_count == 4
+
+    def test_reopens_sharded_store_without_shard_count(self, tmp_path):
+        open_store(tmp_path / "sh", shards=2)
+        store = open_store(tmp_path / "sh")
+        assert isinstance(store, ShardedStore)
+        assert store.shard_count == 2
+
+    def test_rejects_sharding_an_existing_plain_store(self, tmp_path):
+        from repro.core.types import Recording, RecordingKind
+
+        plain = SegmentStore(tmp_path / "plain")
+        plain.append("s", [Recording(0.0, 1.0, RecordingKind.HOLD)])
+        open_store(tmp_path / "plain")  # fine without shards
+        with pytest.raises(ValueError, match="not sharded"):
+            open_store(tmp_path / "plain", shards=4)
+
+    def test_default_shard_count(self, tmp_path):
+        assert ShardedStore(tmp_path / "sh").shard_count == DEFAULT_SHARDS

@@ -1,0 +1,291 @@
+"""Tests for the block-indexed storage backend: index maintenance, pruned
+range reads, durability/recovery, old-format migration and filename safety."""
+
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.core.types import Recording, RecordingKind
+from repro.storage import SegmentStore, available_backends, get_backend
+from repro.storage.backends.base import range_indices, record_dtype, record_size
+from repro.storage.segment_store import _legacy_filename
+
+
+def make_recordings(count, dimensions=1, start_time=0.0):
+    recordings = []
+    for index in range(count):
+        value = [float(index) * 0.5 + dim for dim in range(dimensions)]
+        kind = RecordingKind.SEGMENT_START if index == 0 else RecordingKind.SEGMENT_END
+        recordings.append(Recording(start_time + index, value, kind))
+    return recordings
+
+
+def times_of(recordings):
+    return [record.time for record in recordings]
+
+
+def assert_identical(left, right):
+    assert len(left) == len(right)
+    for a, b in zip(left, right):
+        assert a.time == b.time
+        assert a.kind == b.kind
+        assert np.array_equal(a.value, b.value)
+
+
+class TestRecordFormat:
+    def test_dtype_matches_struct_layout(self):
+        for dimensions in (1, 2, 5):
+            assert record_dtype(dimensions).itemsize == struct.calcsize(f"<Bd{dimensions}d")
+            assert record_size(dimensions) == struct.calcsize(f"<Bd{dimensions}d")
+
+    def test_struct_written_bytes_decode_identically(self, tmp_path):
+        """Bytes produced by the seed's struct packer decode to the same
+        recordings through the vectorized path."""
+        store = SegmentStore(tmp_path / "s")
+        recordings = make_recordings(50, dimensions=3)
+        store.append("stream", recordings)
+        packer = struct.Struct("<Bd3d")
+        raw = store._log_path("stream").read_bytes()
+        decoded = store.read("stream")
+        for index, record in enumerate(decoded):
+            fields = packer.unpack_from(raw, index * packer.size)
+            assert fields[1] == record.time
+            assert np.array_equal(np.asarray(fields[2:]), record.value)
+
+
+class TestRangeIndices:
+    def test_no_range_returns_all(self):
+        times = np.arange(10.0)
+        assert range_indices(times, None, None).tolist() == list(range(10))
+
+    def test_keeps_covering_records(self):
+        times = np.arange(10.0)
+        assert range_indices(times, 3.5, 6.5).tolist() == [3, 4, 5, 6, 7]
+
+    def test_exact_boundaries(self):
+        times = np.arange(10.0)
+        assert range_indices(times, 3.0, 6.0).tolist() == [2, 3, 4, 5, 6, 7]
+
+    def test_open_ended(self):
+        times = np.arange(10.0)
+        assert range_indices(times, 7.5, None).tolist() == [7, 8, 9]
+        assert range_indices(times, None, 2.5).tolist() == [0, 1, 2, 3]
+
+    def test_range_outside_span(self):
+        times = np.arange(10.0)
+        assert range_indices(times, 50.0, 60.0).tolist() == [9]
+        assert range_indices(times, -5.0, -1.0).tolist() == [0]
+
+    def test_range_inside_one_gap(self):
+        times = np.array([0.0, 10.0])
+        assert range_indices(times, 4.0, 6.0).tolist() == [0, 1]
+
+
+class TestBlockIndex:
+    def test_blocks_are_bounded_and_cover_log(self, tmp_path):
+        store = SegmentStore(tmp_path / "s", block_records=16)
+        store.append("stream", make_recordings(100))
+        store.append("stream", make_recordings(30, start_time=100.0))
+        entry = store.describe("stream")
+        assert sum(block[1] for block in entry.blocks) == 130
+        assert all(block[1] <= 16 for block in entry.blocks)
+        # Blocks tile the file contiguously.
+        size = record_size(1)
+        expected_offset = 0
+        for offset, count, min_time, max_time in entry.blocks:
+            assert offset == expected_offset
+            assert min_time <= max_time
+            expected_offset += count * size
+
+    def test_small_appends_coalesce_into_blocks(self, tmp_path):
+        """Per-recording appends must not create per-recording blocks."""
+        store = SegmentStore(tmp_path / "s", block_records=16)
+        for record in make_recordings(40):
+            store.append("stream", [record])
+        assert len(store.describe("stream").blocks) == int(np.ceil(40 / 16))
+
+    def test_pruned_range_reads_match_full_scan(self, tmp_path):
+        store = SegmentStore(tmp_path / "s", block_records=8)
+        recordings = make_recordings(200)
+        store.append("stream", recordings)
+        rng = np.random.default_rng(3)
+        for _ in range(25):
+            start, end = np.sort(rng.uniform(-10.0, 210.0, 2))
+            expected = [recordings[i] for i in range_indices(np.arange(200.0), start, end)]
+            assert_identical(store.read("stream", start, end), expected)
+
+    def test_multidimensional_range_read(self, tmp_path):
+        store = SegmentStore(tmp_path / "s", block_records=8)
+        recordings = make_recordings(64, dimensions=4)
+        store.append("stream", recordings)
+        subset = store.read("stream", 10.5, 20.5)
+        assert times_of(subset) == [10.0] + list(np.arange(11.0, 21.0)) + [21.0]
+        for record in subset:
+            assert np.array_equal(record.value, recordings[int(record.time)].value)
+
+
+class TestDurabilityAndRecovery:
+    def test_deferred_flush_does_not_rewrite_catalog_per_append(self, tmp_path):
+        store = SegmentStore(tmp_path / "s", autoflush=False)
+        store.append("stream", make_recordings(5))
+        registered = (tmp_path / "s" / "catalog.json").read_text()
+        store.append("stream", make_recordings(5, start_time=5.0))
+        assert (tmp_path / "s" / "catalog.json").read_text() == registered
+        store.flush()
+        assert (tmp_path / "s" / "catalog.json").read_text() != registered
+
+    def test_context_manager_flushes(self, tmp_path):
+        with SegmentStore(tmp_path / "s", autoflush=False) as store:
+            store.append("stream", make_recordings(7))
+        payload = json.loads((tmp_path / "s" / "catalog.json").read_text())
+        assert payload["streams"][0]["recordings"] == 7
+
+    def test_reopen_recovers_unflushed_appends(self, tmp_path):
+        """Log bytes whose catalog update was never flushed are re-indexed."""
+        store = SegmentStore(tmp_path / "s", autoflush=False, block_records=8)
+        recordings = make_recordings(30)
+        store.append("stream", recordings)
+        # No flush: the on-disk catalog still says 0 recordings.
+        reopened = SegmentStore(tmp_path / "s", block_records=8)
+        entry = reopened.describe("stream")
+        assert entry.recordings == 30
+        assert entry.first_time == 0.0 and entry.last_time == 29.0
+        assert_identical(reopened.read("stream"), recordings)
+
+    def test_reopen_clamps_partially_flushed_log(self, tmp_path):
+        """Catalog written, log truncated mid-record by a crash: the store
+        clamps to the last complete record instead of failing."""
+        store = SegmentStore(tmp_path / "s", block_records=8)
+        store.append("stream", make_recordings(30))
+        log_path = store._log_path("stream")
+        size = record_size(1)
+        with open(log_path, "rb+") as log:
+            log.truncate(20 * size + size // 2)  # 20 records + half a record
+        reopened = SegmentStore(tmp_path / "s", block_records=8)
+        entry = reopened.describe("stream")
+        assert entry.recordings == 20
+        assert entry.last_time == 19.0
+        assert times_of(reopened.read("stream")) == list(np.arange(20.0))
+        # Recovery dropped the partial record's bytes from the log, so later
+        # appends stay aligned with the indexed records.
+        assert log_path.stat().st_size == 20 * size
+        reopened.append("stream", make_recordings(5, start_time=20.0))
+        assert reopened.describe("stream").recordings == 25
+        # The full log — old records, clamp point and new records — decodes
+        # cleanly, including ranges spanning the clamp boundary.
+        assert times_of(reopened.read("stream")) == list(np.arange(25.0))
+        assert times_of(reopened.read("stream", 18.5, 21.5)) == [18.0, 19.0, 20.0, 21.0, 22.0]
+
+    def test_seed_format_store_is_readable_and_upgraded(self, tmp_path):
+        """A store written by the seed implementation (per-record struct log,
+        v1 catalog without filename/blocks) opens, reads and gets indexed."""
+        directory = tmp_path / "legacy"
+        directory.mkdir()
+        packer = struct.Struct("<Bd1d")
+        with open(directory / "old_stream.seg", "wb") as log:
+            for index in range(40):
+                log.write(packer.pack(1 if index else 0, float(index), index * 0.5))
+        catalog = {
+            "streams": [
+                {
+                    "name": "old/stream",
+                    "dimensions": 1,
+                    "recordings": 40,
+                    "first_time": 0.0,
+                    "last_time": 39.0,
+                    "epsilon": [0.5],
+                }
+            ]
+        }
+        (directory / "catalog.json").write_text(json.dumps(catalog))
+
+        store = SegmentStore(directory, block_records=16)
+        entry = store.describe("old/stream")
+        assert entry.filename == "old_stream.seg" == _legacy_filename("old/stream")
+        assert entry.blocks and sum(block[1] for block in entry.blocks) == 40
+        assert times_of(store.read("old/stream", 10.5, 12.5)) == [10.0, 11.0, 12.0, 13.0]
+        upgraded = json.loads((directory / "catalog.json").read_text())
+        assert upgraded["version"] == 2
+        assert upgraded["streams"][0]["blocks"]
+
+    def test_roundtrip_bit_identical_after_reopen(self, tmp_path):
+        recordings = make_recordings(100, dimensions=2)
+        with SegmentStore(tmp_path / "s", autoflush=False) as store:
+            store.append("stream", recordings, epsilon=[0.5, 0.5])
+        reopened = SegmentStore(tmp_path / "s")
+        assert_identical(reopened.read("stream"), recordings)
+
+
+class TestFilenames:
+    def test_sanitization_collisions_get_distinct_files(self, tmp_path):
+        store = SegmentStore(tmp_path / "s")
+        store.append("a/b", make_recordings(5))
+        store.append("a_b", make_recordings(3))
+        entry_slash = store.describe("a/b")
+        entry_under = store.describe("a_b")
+        assert entry_slash.filename != entry_under.filename
+        assert len(store.read("a/b")) == 5
+        assert len(store.read("a_b")) == 3
+        reopened = SegmentStore(tmp_path / "s")
+        assert len(reopened.read("a/b")) == 5
+        assert len(reopened.read("a_b")) == 3
+
+    def test_filename_persisted_in_catalog(self, tmp_path):
+        store = SegmentStore(tmp_path / "s")
+        store.append("a/b", make_recordings(2))
+        payload = json.loads((tmp_path / "s" / "catalog.json").read_text())
+        filename = payload["streams"][0]["filename"]
+        assert (tmp_path / "s" / filename).exists()
+
+
+class TestAppendSemantics:
+    def test_empty_append_does_not_register_unknown_stream(self, tmp_path):
+        """The seed fabricated a 1-dimensional stream here; registration is
+        now deferred until real recordings arrive."""
+        store = SegmentStore(tmp_path / "s")
+        assert store.append("ghost", []) is None
+        assert "ghost" not in store
+        # The stream can later be created with its true dimensionality.
+        store.append("ghost", make_recordings(3, dimensions=2))
+        assert store.describe("ghost").dimensions == 2
+
+    def test_failed_first_append_leaves_no_stream(self, tmp_path):
+        store = SegmentStore(tmp_path / "s")
+        bad = [Recording(5.0, 1.0, RecordingKind.HOLD), Recording(1.0, 2.0, RecordingKind.HOLD)]
+        with pytest.raises(ValueError):
+            store.append("stream", bad)
+        assert "stream" not in store
+
+    def test_append_arrays_matches_append(self, tmp_path):
+        store = SegmentStore(tmp_path / "s")
+        recordings = make_recordings(25, dimensions=2)
+        store.append("objects", recordings)
+        kinds = [record.kind for record in recordings]
+        times = [record.time for record in recordings]
+        values = np.vstack([record.value for record in recordings])
+        store.append_arrays("arrays", times, values, kinds=kinds)
+        assert_identical(store.read("arrays"), store.read("objects"))
+
+    def test_append_arrays_validates_shapes_and_order(self, tmp_path):
+        store = SegmentStore(tmp_path / "s")
+        with pytest.raises(ValueError):
+            store.append_arrays("stream", [0.0, 1.0], [[1.0], [2.0], [3.0]])
+        with pytest.raises(ValueError, match="time order"):
+            store.append_arrays("stream", [1.0, 0.0], [1.0, 2.0])
+
+
+class TestBackendRegistry:
+    def test_block_log_is_registered(self):
+        assert "block-log" in available_backends()
+        backend = get_backend("block-log", block_records=32)
+        assert backend.block_records == 32
+
+    def test_unknown_backend(self):
+        with pytest.raises(KeyError):
+            get_backend("no-such-backend")
+
+    def test_store_rejects_unknown_backend(self, tmp_path):
+        with pytest.raises(KeyError):
+            SegmentStore(tmp_path / "s", backend="no-such-backend")
