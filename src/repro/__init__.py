@@ -14,6 +14,8 @@ The package provides:
   (:mod:`repro.data`),
 * a vectorized batch ingestion pipeline with pluggable recording sinks
   (:mod:`repro.pipeline`),
+* a multi-process, async, checkpointable ingestion runtime built on
+  snapshot/restorable filter state (:mod:`repro.runtime`),
 * compression / error / timing metrics (:mod:`repro.metrics`),
 * the experiment harness regenerating every figure of the paper's evaluation
   (:mod:`repro.evaluation`), and

@@ -18,6 +18,11 @@ Examples::
     repro ingest --dataset sst --filter slide --precision-percent 1 --store ./archive
     repro ingest --input ticks.csv --filter swing --epsilon 0.5 --store ./archive --chunk-size 8192
     repro ingest --dataset random-walk --filter swing --epsilon 0.5 --store ./archive --shards 4
+    repro ingest --dataset correlated-5d --filter swing --epsilon 0.5 --store ./archive \
+        --split-dimensions --workers 4
+    repro ingest --dataset sst --filter slide --precision-percent 1 --store ./archive \
+        --checkpoint ./archive.ckpt --resume
+    repro compact --store ./archive
     repro evaluate --dataset random-walk --epsilon 0.5
     repro experiment figure9
 """
@@ -52,6 +57,13 @@ from repro.evaluation import (
 from repro.evaluation.experiments import run_filters
 from repro.evaluation.report import render_table
 from repro.metrics.error import error_profile
+from repro.runtime import (
+    DEFAULT_CHECKPOINT_EVERY,
+    ParallelIngestor,
+    StreamTask,
+    run_ingest,
+)
+from repro.storage import DEFAULT_SHARDS, open_store
 from repro.streams.source import CsvSource
 
 __all__ = ["main", "build_parser"]
@@ -113,6 +125,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--name",
         default=None,
         help="stream name in the store (default: the dataset or input file name)",
+    )
+    ingest.add_argument(
+        "--split-dimensions",
+        action="store_true",
+        help="store a d-dimensional workload as one stream per dimension "
+        "(NAME/d0..NAME/d{d-1}) in a sharded store; the stored layout is the "
+        "same for every --workers value",
+    )
+    ingest.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes; requires --split-dimensions when above 1 (a "
+        "single stream cannot be parallelized), streams are partitioned "
+        "shard-aligned across the workers (default 1: single process)",
+    )
+    ingest.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help="checkpoint directory: periodically snapshot filter state and "
+        "store offsets so a killed ingest can restart with --resume",
+    )
+    ingest.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=DEFAULT_CHECKPOINT_EVERY,
+        help=f"chunks between checkpoints (default {DEFAULT_CHECKPOINT_EVERY})",
+    )
+    ingest.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the last checkpoint in --checkpoint (fresh run when "
+        "there is none); never reprocesses or duplicates recordings",
+    )
+
+    compact = subparsers.add_parser(
+        "compact", help="merge undersized index blocks of a segment store"
+    )
+    compact.add_argument("--store", required=True, help="segment store directory")
+    compact.add_argument(
+        "--stream", default=None, help="compact only this stream (default: all)"
     )
 
     evaluate = subparsers.add_parser("evaluate", help="compare filters on one workload")
@@ -227,15 +281,44 @@ def _command_ingest(args: argparse.Namespace) -> int:
         stream_name = Path(args.input).stem
     kwargs = {"max_lag": args.max_lag} if args.max_lag is not None else {}
     try:
-        # Build the filter and ingestor before the sink so a bad filter name,
+        # Build the filter before touching the store so a bad filter name,
         # filter option or chunk size does not create the store directory as
         # a side effect.
         if args.shards is not None and args.shards < 1:
             raise ValueError(f"shards must be positive, got {args.shards}")
+        if args.workers < 1:
+            raise ValueError(f"workers must be positive, got {args.workers}")
+        if args.resume and args.checkpoint is None:
+            raise ValueError("--resume requires --checkpoint")
         stream_filter = create_filter(args.filter, epsilon, **kwargs)
-        ingestor = BatchIngestor(stream_filter, chunk_size=args.chunk_size)
-        ingestor.sink = StoreSink(args.store, stream_name, epsilon=[epsilon], shards=args.shards)
-        report = ingestor.run(times, values)
+        if args.workers > 1 and not args.split_dimensions:
+            raise ValueError(
+                "--workers above 1 requires --split-dimensions: a single "
+                "stream cannot be partitioned across workers"
+            )
+        if args.split_dimensions:
+            return _ingest_parallel(args, times, values, epsilon, stream_name, kwargs)
+        if args.checkpoint is not None:
+            report = run_ingest(
+                args.store,
+                stream_name,
+                args.filter,
+                epsilon,
+                times,
+                values,
+                shards=args.shards,
+                chunk_size=args.chunk_size,
+                checkpoint=args.checkpoint,
+                checkpoint_every=args.checkpoint_every,
+                resume=args.resume,
+                **kwargs,
+            )
+        else:
+            ingestor = BatchIngestor(stream_filter, chunk_size=args.chunk_size)
+            ingestor.sink = StoreSink(
+                args.store, stream_name, epsilon=[epsilon], shards=args.shards
+            )
+            report = ingestor.run(times, values)
     except (KeyError, ValueError, ReproError) as error:
         message = error.args[0] if error.args else error
         raise SystemExit(f"ingest failed: {message}") from error
@@ -249,6 +332,83 @@ def _command_ingest(args: argparse.Namespace) -> int:
     print(f"recordings        : {report.recordings}")
     print(f"compression ratio : {report.compression_ratio:.3f}")
     print(f"throughput        : {report.points_per_second:,.0f} points/s")
+    return 0
+
+
+def _ingest_parallel(
+    args: argparse.Namespace,
+    times: np.ndarray,
+    values: np.ndarray,
+    epsilon: float,
+    stream_name: str,
+    filter_kwargs: dict,
+) -> int:
+    """Store a workload as per-dimension streams, partitioned across workers.
+
+    The stored layout (stream names, shard count) depends only on the
+    workload and ``--shards`` — never on ``--workers`` — so runs with
+    different worker counts write, and resume, the same store.
+    """
+    if values.ndim == 1:
+        values = values.reshape(-1, 1)
+    tasks = [
+        StreamTask(name=f"{stream_name}/d{index}", times=times, values=values[:, index])
+        for index in range(values.shape[1])
+    ]
+    shards = args.shards if args.shards is not None else DEFAULT_SHARDS
+    ingestor = ParallelIngestor(
+        args.store,
+        args.filter,
+        epsilon,
+        workers=args.workers,
+        shards=shards,
+        chunk_size=args.chunk_size,
+        checkpoint=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+        **filter_kwargs,
+    )
+    report = ingestor.run(tasks)
+    ratio = report.points / report.recordings if report.recordings else 0.0
+    print(f"filter            : {args.filter}")
+    print(f"precision width   : {epsilon:.6g}")
+    print(f"streams           : {report.streams} -> {args.store} ({report.shards} shards)")
+    print(f"workers           : {report.workers}")
+    print(f"data points       : {report.points}")
+    print(f"recordings        : {report.recordings}")
+    print(f"compression ratio : {ratio:.3f}")
+    print(f"throughput        : {report.points_per_second:,.0f} points/s")
+    return 0
+
+
+def _command_compact(args: argparse.Namespace) -> int:
+    from repro.storage import SegmentStore, ShardedStore
+
+    root = Path(args.store)
+    # open_store would create an empty store at a mistyped path; compaction
+    # is maintenance of an *existing* store, so demand one.
+    if not (root / ShardedStore.META_NAME).exists() and not (
+        root / SegmentStore.CATALOG_NAME
+    ).exists():
+        raise SystemExit(f"compact failed: no segment store at {args.store!r}")
+    try:
+        store = open_store(args.store)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"compact failed: {error}") from error
+    try:
+        rebuilt = store.compact(args.stream)
+    except KeyError as error:
+        message = error.args[0] if error.args else error
+        raise SystemExit(f"compact failed: {message}") from error
+    finally:
+        store.close()
+    rows = [["stream", "blocks before", "blocks after"]]
+    for name in sorted(rebuilt):
+        before, after = rebuilt[name]
+        rows.append([name, str(before), str(after)])
+    if rebuilt:
+        print(render_table(rows))
+    print(f"compacted {len(rebuilt)} stream(s)")
     return 0
 
 
@@ -290,6 +450,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_compress(args)
     if args.command == "ingest":
         return _command_ingest(args)
+    if args.command == "compact":
+        return _command_compact(args)
     if args.command == "evaluate":
         return _command_evaluate(args)
     if args.command == "experiment":

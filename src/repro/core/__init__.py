@@ -24,8 +24,10 @@ from repro.core.registry import (
     create_filter,
     paper_filters,
     register_filter,
+    restore_filter,
 )
 from repro.core.slide import SlideFilter
+from repro.core.state import FilterState
 from repro.core.swing import SwingFilter
 from repro.core.types import (
     DataPoint,
@@ -61,5 +63,7 @@ __all__ = [
     "available_filters",
     "create_filter",
     "register_filter",
+    "restore_filter",
     "paper_filters",
+    "FilterState",
 ]

@@ -17,7 +17,8 @@ Concrete filters implement :meth:`_feed_point` and :meth:`_finish_stream`.
 from __future__ import annotations
 
 import abc
-from typing import Iterable, List, Optional, Sequence, Union
+import copy
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -27,11 +28,21 @@ from repro.core.errors import (
     FilterStateError,
     StreamOrderError,
 )
+from repro.core.state import FilterState
 from repro.core.types import DataPoint, FilterResult, Recording, RecordingKind
 
 __all__ = ["StreamFilter"]
 
 EpsilonSpec = Union[ErrorBound, float, Sequence[float]]
+
+#: Shared bookkeeping captured in every snapshot's ``base`` dict.
+_BASE_STATE_FIELDS = (
+    "_epsilon",
+    "_dimensions",
+    "_last_time",
+    "_points_processed",
+    "_finished",
+)
 
 
 class StreamFilter(abc.ABC):
@@ -52,6 +63,13 @@ class StreamFilter(abc.ABC):
     name: str = "abstract"
     #: ``"constant"`` for piece-wise constant output, ``"linear"`` otherwise.
     family: str = "linear"
+    #: Version of the filter-specific snapshot payload.  Bump whenever the
+    #: meaning of :attr:`_STATE_FIELDS` changes so old checkpoints are
+    #: rejected instead of silently misread.
+    state_version: int = 1
+    #: Names of the filter-specific attributes that fully determine every
+    #: future recording; subclasses with interval state override this.
+    _STATE_FIELDS: Tuple[str, ...] = ()
 
     def __init__(self, epsilon: EpsilonSpec, max_lag: Optional[int] = None) -> None:
         if max_lag is not None and max_lag < 2:
@@ -235,6 +253,82 @@ class StreamFilter(abc.ABC):
     def run(cls, stream: Iterable, epsilon: EpsilonSpec, **kwargs) -> FilterResult:
         """Construct a filter, process ``stream`` and return the result."""
         return cls(epsilon, **kwargs).process(stream)
+
+    # ------------------------------------------------------------------ #
+    # Snapshot / restore
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> FilterState:
+        """Capture the filter's complete resumable state.
+
+        The snapshot is a deep copy: the filter may keep processing points
+        afterwards without invalidating it, and it is picklable, so it can be
+        checkpointed to disk or shipped to another process.  It contains the
+        constructor configuration plus everything that determines future
+        recordings — but *not* the recordings already emitted (those belong
+        to the sink that consumed them); a restored filter starts with an
+        empty recording list.
+
+        Call between :meth:`feed` / :meth:`process_batch` calls, never from
+        inside a subclass hook.
+        """
+        return FilterState(
+            filter_name=self.name,
+            state_version=self.state_version,
+            config=copy.deepcopy(self._config_payload()),
+            base={name: copy.deepcopy(getattr(self, name)) for name in _BASE_STATE_FIELDS},
+            payload={name: copy.deepcopy(getattr(self, name)) for name in self._STATE_FIELDS},
+        )
+
+    def restore(self, state: FilterState) -> "StreamFilter":
+        """Replace this filter's state with a snapshot's, returning ``self``.
+
+        After restoring, feeding the points that followed the snapshot yields
+        recordings bit-identical to an uninterrupted run.  The snapshot's
+        configuration (ε, ``max_lag``, filter-specific options) is applied
+        too, so the instance behaves exactly like the snapshotted one even if
+        it was constructed with different settings.  The recording list is
+        cleared (see :meth:`snapshot`).
+
+        Raises:
+            FilterStateError: If the snapshot belongs to a different filter
+                or was written with a different ``state_version``.
+        """
+        if state.filter_name != self.name:
+            raise FilterStateError(
+                f"cannot restore a {state.filter_name!r} snapshot into a {self.name!r} filter"
+            )
+        if state.state_version != self.state_version:
+            raise FilterStateError(
+                f"{self.name!r} snapshot has state version {state.state_version}, "
+                f"this build expects {self.state_version}"
+            )
+        missing = [name for name in self._STATE_FIELDS if name not in state.payload]
+        if missing:
+            raise FilterStateError(
+                f"{self.name!r} snapshot is missing state fields: {', '.join(missing)}"
+            )
+        self._apply_config(state.config)
+        for name in _BASE_STATE_FIELDS:
+            setattr(self, name, copy.deepcopy(state.base[name]))
+        for name in self._STATE_FIELDS:
+            setattr(self, name, copy.deepcopy(state.payload[name]))
+        self._recordings = []
+        self._pending = []
+        return self
+
+    def _config_payload(self) -> Dict[str, Any]:
+        """Constructor configuration embedded in snapshots.
+
+        Subclasses with extra constructor options extend the returned dict;
+        every key must be a keyword their ``__init__`` accepts (so
+        :func:`repro.core.registry.restore_filter` can rebuild the filter).
+        """
+        return {"epsilon": self._epsilon_spec, "max_lag": self.max_lag}
+
+    def _apply_config(self, config: Dict[str, Any]) -> None:
+        """Adopt a snapshot's constructor configuration."""
+        self._epsilon_spec = copy.deepcopy(config["epsilon"])
+        self.max_lag = config["max_lag"]
 
     # ------------------------------------------------------------------ #
     # Hooks for subclasses

@@ -52,6 +52,15 @@ class CacheFilter(StreamFilter):
 
     name = "cache"
     family = "constant"
+    state_version = 1
+    _STATE_FIELDS = (
+        "_interval_start_time",
+        "_interval_min",
+        "_interval_max",
+        "_interval_sum",
+        "_interval_first",
+        "_interval_count",
+    )
 
     def __init__(self, epsilon, mode: str = "first", max_lag: Optional[int] = None) -> None:
         super().__init__(epsilon, max_lag=max_lag)
@@ -165,6 +174,21 @@ class CacheFilter(StreamFilter):
 
     def _lag_exceeded(self) -> bool:
         return self.max_lag is not None and self._interval_count >= self.max_lag
+
+    # ------------------------------------------------------------------ #
+    # Snapshot configuration
+    # ------------------------------------------------------------------ #
+    def _config_payload(self):
+        config = super()._config_payload()
+        if type(self) is CacheFilter:
+            # The named subclasses pin their mode in __init__ and do not
+            # accept it as a keyword, so only the base class records it.
+            config["mode"] = self.mode
+        return config
+
+    def _apply_config(self, config) -> None:
+        super()._apply_config({k: config[k] for k in ("epsilon", "max_lag")})
+        self.mode = config.get("mode", self.mode)
 
     # ------------------------------------------------------------------ #
     # Policies

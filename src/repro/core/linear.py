@@ -38,6 +38,14 @@ class LinearFilter(StreamFilter):
 
     name = "linear"
     family = "linear"
+    state_version = 1
+    _STATE_FIELDS = (
+        "_anchor_time",
+        "_anchor_value",
+        "_slope",
+        "_last_point",
+        "_interval_points",
+    )
 
     def __init__(self, epsilon, max_lag: Optional[int] = None) -> None:
         super().__init__(epsilon, max_lag=max_lag)
@@ -176,6 +184,14 @@ class DisconnectedLinearFilter(StreamFilter):
 
     name = "linear-disconnected"
     family = "linear"
+    state_version = 1
+    _STATE_FIELDS = (
+        "_anchor_time",
+        "_anchor_value",
+        "_slope",
+        "_last_point",
+        "_interval_points",
+    )
 
     def __init__(self, epsilon, max_lag: Optional[int] = None) -> None:
         super().__init__(epsilon, max_lag=max_lag)

@@ -14,6 +14,7 @@ from repro.core.base import StreamFilter
 from repro.core.cache import CacheFilter, MeanCacheFilter, MidrangeCacheFilter
 from repro.core.linear import DisconnectedLinearFilter, LinearFilter
 from repro.core.slide import SlideFilter
+from repro.core.state import FilterState
 from repro.core.swing import SwingFilter
 
 __all__ = [
@@ -22,6 +23,7 @@ __all__ = [
     "available_filters",
     "create_filter",
     "register_filter",
+    "restore_filter",
 ]
 
 #: Filters compared in the paper's evaluation (§5.1), in presentation order.
@@ -88,6 +90,32 @@ def filter_classes() -> Dict[str, Type[StreamFilter]]:
         for name, factory in FILTER_REGISTRY.items()
         if isinstance(factory, type)
     }
+
+
+def restore_filter(state: FilterState) -> StreamFilter:
+    """Rebuild a filter from a :class:`~repro.core.state.FilterState` snapshot.
+
+    The snapshot's ``filter_name`` is the filter *class's* registry name (a
+    variant like ``"slide-unoptimized"`` snapshots as ``"slide"`` with its
+    options in the config), so lookup goes through :func:`filter_classes`.
+
+    Raises:
+        KeyError: If no filter class of that name is registered.
+        FilterStateError: If the snapshot's state version does not match.
+    """
+    classes = filter_classes()
+    try:
+        cls = classes[state.filter_name]
+    except KeyError:
+        raise KeyError(
+            f"no filter class registered under {state.filter_name!r}; "
+            f"available: {', '.join(sorted(classes))}"
+        ) from None
+    config = dict(state.config)
+    epsilon = config.pop("epsilon")
+    instance = cls(epsilon, **config)
+    instance.restore(state)
+    return instance
 
 
 def paper_filters(epsilon, names: Iterable[str] = PAPER_FILTERS, **kwargs) -> Dict[str, StreamFilter]:

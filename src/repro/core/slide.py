@@ -125,6 +125,28 @@ class SlideFilter(StreamFilter):
 
     name = "slide"
     family = "linear"
+    state_version = 1
+    _STATE_FIELDS = (
+        "_first_point",
+        "_last_point",
+        "_interval_points",
+        "_upper",
+        "_lower",
+        "_hulls",
+        "_raw_points",
+        "_n",
+        "_sum_t",
+        "_sum_tt",
+        "_sum_x",
+        "_sum_xt",
+        "_prev",
+        "_previous_interval_end",
+        "_connection_time",
+        "_locked_lines",
+        "_locked_last_time",
+        "_locked_emitted_time",
+        "_locked_points_since_emit",
+    )
 
     def __init__(
         self,
@@ -163,6 +185,22 @@ class SlideFilter(StreamFilter):
         self._locked_last_time: Optional[float] = None
         self._locked_emitted_time: float = float("-inf")
         self._locked_points_since_emit = 0
+
+    # ------------------------------------------------------------------ #
+    # Snapshot configuration
+    # ------------------------------------------------------------------ #
+    def _config_payload(self):
+        config = super()._config_payload()
+        config["use_convex_hull"] = self.use_convex_hull
+        config["connect_segments"] = self.connect_segments
+        config["validate_connections"] = self.validate_connections
+        return config
+
+    def _apply_config(self, config) -> None:
+        super()._apply_config(config)
+        self.use_convex_hull = config["use_convex_hull"]
+        self.connect_segments = config["connect_segments"]
+        self.validate_connections = config["validate_connections"]
 
     # ------------------------------------------------------------------ #
     # StreamFilter hooks

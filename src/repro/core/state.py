@@ -1,0 +1,53 @@
+"""Explicit, versioned, picklable filter state.
+
+Every :class:`~repro.core.base.StreamFilter` is a long-lived online state
+machine: the current filtering interval's bounds, moment sums and buffered
+points fully determine every *future* recording.  :class:`FilterState`
+captures exactly that state — plus the constructor configuration needed to
+rebuild an equivalent filter — as a plain, picklable value object, so the
+layers above the filters (checkpointing, worker migration, parallel
+ingestion) can pause a stream, move it to another process, and resume it
+with recordings bit-identical to an uninterrupted run.
+
+A snapshot deliberately does *not* carry the recordings already emitted:
+they belong to whatever sink consumed them (an in-memory list, a segment
+store), and carrying them would make snapshots grow without bound.  A
+restored filter therefore starts with an empty recording list; the
+concatenation of the recordings emitted before the snapshot and after the
+restore equals the uninterrupted run's recordings exactly.
+
+Versioning: every filter class declares a ``state_version``; snapshots embed
+it and :meth:`~repro.core.base.StreamFilter.restore` rejects a snapshot
+whose version (or filter name) does not match, so stale checkpoints fail
+loudly instead of resuming with silently reinterpreted state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+__all__ = ["FilterState"]
+
+
+@dataclass(frozen=True)
+class FilterState:
+    """Complete resumable state of one :class:`StreamFilter` instance.
+
+    Attributes:
+        filter_name: The filter class's registry ``name`` (``"swing"``, …).
+        state_version: The filter class's ``state_version`` at snapshot time.
+        config: Constructor configuration (``epsilon``, ``max_lag`` and any
+            filter-specific options) sufficient to rebuild an equivalent
+            filter via :func:`repro.core.registry.restore_filter`.
+        base: The shared :class:`StreamFilter` bookkeeping (resolved ε,
+            dimensionality, last timestamp, points processed, finished flag).
+        payload: The filter-specific interval state (bounds, moment sums,
+            buffered points, hulls, …) as named fields.
+    """
+
+    filter_name: str
+    state_version: int
+    config: Dict[str, Any] = field(default_factory=dict)
+    base: Dict[str, Any] = field(default_factory=dict)
+    payload: Dict[str, Any] = field(default_factory=dict)

@@ -44,6 +44,18 @@ class SwingFilter(StreamFilter):
 
     name = "swing"
     family = "linear"
+    state_version = 1
+    _STATE_FIELDS = (
+        "_anchor_time",
+        "_anchor_value",
+        "_upper_slope",
+        "_lower_slope",
+        "_sum_xt",
+        "_sum_tt",
+        "_last_point",
+        "_interval_points",
+        "_locked_slope",
+    )
 
     def __init__(self, epsilon, max_lag: Optional[int] = None) -> None:
         super().__init__(epsilon, max_lag=max_lag)

@@ -123,6 +123,19 @@ class BatchIngestor:
         for chunk_times, chunk_values in chunks:
             self.ingest_chunk(chunk_times, chunk_values)
 
+    async def aingest_stream(self, chunks) -> None:
+        """Ingest an *async* iterable of ``(times, values)`` chunk pairs.
+
+        Bridges coroutine-producing sources (see
+        :mod:`repro.runtime.async_source`) into the same chunked batch path
+        as :meth:`ingest_stream`: each chunk is processed synchronously once
+        it arrives — filters are cheap per chunk, so the event loop is only
+        held for one vectorized scan at a time — while the source is awaited
+        between chunks.
+        """
+        async for chunk_times, chunk_values in chunks:
+            self.ingest_chunk(chunk_times, chunk_values)
+
     def close(self) -> IngestReport:
         """Finish the stream, flush final recordings, and return the report."""
         if not self._closed:

@@ -1,0 +1,51 @@
+"""Multi-process, async, checkpointable ingestion runtime.
+
+Built on the filter core's explicit state
+(:class:`~repro.core.state.FilterState` + ``snapshot()``/``restore()``),
+this subpackage turns single-process stream compression into an elastic,
+fault-tolerant runtime:
+
+* :class:`~repro.runtime.parallel.ParallelIngestor` — shard-aligned worker
+  processes, each exclusively owning its shards' segment stores; recordings
+  are bit-identical to a single-process run.
+* :mod:`~repro.runtime.async_source` — async source adapters feeding
+  coroutine producers into ``BatchIngestor.aingest_stream``.
+* :mod:`~repro.runtime.checkpoint` + :func:`~repro.runtime.ingest.
+  ingest_stream_checkpointed` — periodic atomic checkpoints of filter state
+  and store offsets, so a killed ingest resumes from the last checkpoint
+  without reprocessing or duplicating recordings.
+"""
+
+from repro.runtime.async_source import ArrayAsyncSource, AsyncSource, QueueAsyncSource
+from repro.runtime.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointManager,
+    IngestCheckpoint,
+)
+from repro.runtime.ingest import (
+    DEFAULT_CHECKPOINT_EVERY,
+    ingest_stream_checkpointed,
+    run_ingest,
+)
+from repro.runtime.parallel import (
+    ParallelIngestReport,
+    ParallelIngestor,
+    StreamReport,
+    StreamTask,
+)
+
+__all__ = [
+    "AsyncSource",
+    "ArrayAsyncSource",
+    "QueueAsyncSource",
+    "CheckpointManager",
+    "IngestCheckpoint",
+    "CHECKPOINT_VERSION",
+    "DEFAULT_CHECKPOINT_EVERY",
+    "ingest_stream_checkpointed",
+    "run_ingest",
+    "ParallelIngestor",
+    "ParallelIngestReport",
+    "StreamReport",
+    "StreamTask",
+]

@@ -1,0 +1,352 @@
+"""Checkpointed, resumable ingestion of one stream into a store.
+
+:func:`ingest_stream_checkpointed` is the durable counterpart of
+:class:`~repro.pipeline.ingest.BatchIngestor`: it drives a filter over the
+stream chunk by chunk, appends the emitted recordings straight to a store,
+and periodically freezes the run — store flush, then an atomic
+:class:`~repro.runtime.checkpoint.IngestCheckpoint` with the filter's
+snapshot and the consumed-point / stored-recording offsets.
+
+Resume semantics (``resume=True`` with an existing checkpoint):
+
+1. the store's stream is rolled back to ``recordings_stored`` (recordings
+   appended after the checkpoint — including any the crash left in the log —
+   are dropped, so nothing is duplicated),
+2. the filter is rebuilt from the checkpointed
+   :class:`~repro.core.state.FilterState`,
+3. the first ``points_ingested`` source points are skipped, and
+4. ingestion continues; the recordings produced are bit-identical to an
+   uninterrupted run because filter snapshots restore exactly.
+
+Both the ``repro ingest --checkpoint`` CLI path and the
+:class:`~repro.runtime.parallel.ParallelIngestor` workers run through this
+function.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.base import StreamFilter
+from repro.core.registry import create_filter, restore_filter
+from repro.pipeline.chunking import DEFAULT_CHUNK_SIZE, iter_chunks, normalize_chunk
+from repro.pipeline.ingest import IngestReport
+from repro.runtime.checkpoint import CheckpointManager, IngestCheckpoint
+from repro.storage import StoreLike, open_store
+
+__all__ = ["DEFAULT_CHECKPOINT_EVERY", "ingest_stream_checkpointed", "run_ingest"]
+
+#: Default checkpoint cadence, in ingested chunks.
+DEFAULT_CHECKPOINT_EVERY = 16
+
+
+def _skip_points(
+    chunks: Iterable[Tuple[np.ndarray, np.ndarray]], skip: int
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Drop the first ``skip`` points from a chunk iterable (resume path)."""
+    remaining = skip
+    for times, values in chunks:
+        times, values = normalize_chunk(times, values)
+        if remaining >= times.shape[0]:
+            remaining -= times.shape[0]
+            continue
+        if remaining > 0:
+            times, values = times[remaining:], values[remaining:]
+            remaining = 0
+        yield times, values
+
+
+def _epsilon_vector(spec) -> Optional[np.ndarray]:
+    """Normalize an ε spec for comparison (``None`` when not comparable)."""
+    epsilons = getattr(spec, "epsilons", spec)  # unwrap an ErrorBound
+    try:
+        return np.atleast_1d(np.asarray(epsilons, dtype=float))
+    except (TypeError, ValueError):
+        return None
+
+
+def _check_resume_config(name, previous, stream_filter, epsilon) -> None:
+    """Refuse to resume under a different filter or precision width.
+
+    The checkpointed config is what actually governs the resumed run
+    (:func:`restore_filter` rebuilds the filter from it); silently accepting
+    different request arguments would make the caller believe the remainder
+    of the stream was compressed with them.
+    """
+    state = previous.filter_state
+    if state is None:
+        return
+    requested = (
+        stream_filter.name
+        if isinstance(stream_filter, StreamFilter)
+        else create_filter(stream_filter, epsilon if epsilon is not None else 1.0).name
+    )
+    if requested != state.filter_name:
+        raise ValueError(
+            f"checkpoint for {name!r} was written by the {state.filter_name!r} "
+            f"filter, cannot resume with {requested!r}"
+        )
+    if epsilon is None:
+        return
+    ours = _epsilon_vector(epsilon)
+    theirs = _epsilon_vector(state.config.get("epsilon"))
+    if ours is not None and theirs is not None and not np.array_equal(ours, theirs):
+        raise ValueError(
+            f"checkpoint for {name!r} was written with epsilon "
+            f"{theirs.tolist()}, cannot resume with {ours.tolist()}"
+        )
+
+
+def ingest_stream_checkpointed(
+    store: StoreLike,
+    name: str,
+    stream_filter: Union[StreamFilter, str],
+    epsilon=None,
+    times=None,
+    values=None,
+    chunks: Optional[Iterable[Tuple[np.ndarray, np.ndarray]]] = None,
+    *,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    checkpoint: Optional[Union[CheckpointManager, str, Path]] = None,
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    resume: bool = False,
+    **filter_kwargs,
+) -> IngestReport:
+    """Ingest one stream into ``store``, checkpointing as it goes.
+
+    Args:
+        store: Open store (plain or sharded) the recordings are appended to.
+        name: Stream name in the store.
+        stream_filter: Filter instance or registered filter name.
+        epsilon: Precision width; required when the filter is given by name,
+            also recorded in the stream's catalog entry.
+        times / values: The workload as monolithic arrays (chunked with
+            ``chunk_size``); mutually exclusive with ``chunks``.
+        chunks: The workload as an iterable of ``(times, values)`` chunk
+            pairs (live ingestion).
+        chunk_size: Points per chunk for the array form.
+        checkpoint: Checkpoint manager or directory; ``None`` disables
+            checkpointing (the function degrades to a plain store ingest).
+        checkpoint_every: Chunks between checkpoints.
+        resume: Resume from ``name``'s checkpoint when one exists; without
+            one the run starts fresh.
+        **filter_kwargs: Extra options when building the filter by name.
+
+    Returns:
+        An :class:`~repro.pipeline.ingest.IngestReport` covering *this run*
+        (skipped points are not counted again on resume).
+
+    Raises:
+        ValueError: On conflicting workload arguments, a chunk-size mismatch
+            with the checkpoint being resumed, or a corrupt checkpoint.
+    """
+    if (times is None) != (values is None):
+        raise ValueError("times and values must be given together")
+    if (times is None) == (chunks is None):
+        raise ValueError("exactly one of (times, values) or chunks is required")
+    if checkpoint_every < 1:
+        raise ValueError(f"checkpoint_every must be positive, got {checkpoint_every}")
+    manager: Optional[CheckpointManager] = None
+    if checkpoint is not None:
+        manager = (
+            checkpoint
+            if isinstance(checkpoint, CheckpointManager)
+            else CheckpointManager(checkpoint)
+        )
+    if resume and manager is None:
+        raise ValueError("resume=True requires a checkpoint manager or directory")
+
+    skip = 0
+    the_filter: Optional[StreamFilter] = None
+    if resume and manager is not None:
+        previous = manager.load(name)
+        if previous is not None:
+            if previous.complete:
+                stored = store.describe(name).recordings if name in store else 0
+                if stored < previous.recordings_stored:
+                    raise ValueError(
+                        f"checkpoint marks {name!r} complete with "
+                        f"{previous.recordings_stored} recordings but the store "
+                        f"holds {stored} — wrong --store, or the store was "
+                        "deleted after the run finished"
+                    )
+                # Fully ingested already; nothing to redo.
+                return IngestReport(
+                    filter_name=previous.filter_state.filter_name
+                    if previous.filter_state is not None
+                    else str(stream_filter),
+                    points=0,
+                    recordings=0,
+                    chunks=0,
+                    compression_ratio=0.0,
+                    elapsed_seconds=0.0,
+                )
+            if times is not None and previous.chunk_size != chunk_size:
+                raise ValueError(
+                    f"checkpoint for {name!r} was written with chunk_size "
+                    f"{previous.chunk_size}, cannot resume with {chunk_size}"
+                )
+            _check_resume_config(name, previous, stream_filter, epsilon)
+            if name in store:
+                store.truncate_stream(name, previous.recordings_stored)
+            elif previous.recordings_stored > 0:
+                raise ValueError(
+                    f"checkpoint for {name!r} expects {previous.recordings_stored} "
+                    "stored recordings but the store does not know the stream"
+                )
+            the_filter = restore_filter(previous.filter_state)
+            skip = previous.points_ingested
+        elif name in store and store.describe(name).recordings > 0:
+            # Resume requested but nothing was ever checkpointed for this
+            # stream: the existing data cannot be attributed to a
+            # checkpointed run (those write an initial checkpoint before
+            # their first chunk), so it may be a legitimate earlier ingest —
+            # refuse rather than silently truncating or appending onto it.
+            raise ValueError(
+                f"no checkpoint found for stream {name!r} but the store already "
+                "holds data for it; delete the stream (or point --checkpoint at "
+                "the directory the original run used) before resuming"
+            )
+    if the_filter is None:
+        if isinstance(stream_filter, StreamFilter):
+            the_filter = stream_filter
+        else:
+            if epsilon is None:
+                raise ValueError("epsilon is required when the filter is given by name")
+            the_filter = create_filter(stream_filter, epsilon, **filter_kwargs)
+
+    epsilon_list = (
+        [float(v) for v in np.atleast_1d(epsilon)] if epsilon is not None else None
+    )
+    if times is not None:
+        chunk_iter: Iterable = iter_chunks(
+            np.asarray(times, dtype=float)[skip:],
+            np.asarray(values, dtype=float)[skip:],
+            chunk_size,
+        )
+    else:
+        chunk_iter = _skip_points(chunks, skip)
+
+    started = _time.perf_counter()
+    points = skip
+    run_points = 0
+    run_recordings = 0
+    run_chunks = 0
+    since_checkpoint = 0
+
+    def save_checkpoint(complete: bool) -> None:
+        if manager is None:
+            return
+        # The checkpoint records a durable fact about the store, so the log
+        # and catalog must be fsynced before it: a power loss must never
+        # leave a checkpoint claiming recordings the page cache still owned.
+        if name in store:
+            store.sync(name)
+        else:
+            store.flush()
+        stored = store.describe(name).recordings if name in store else 0
+        manager.save(
+            IngestCheckpoint(
+                stream=name,
+                filter_state=the_filter.snapshot(),
+                points_ingested=points,
+                recordings_stored=stored,
+                chunk_size=chunk_size,
+                complete=complete,
+            )
+        )
+
+    if manager is not None and skip == 0:
+        # Initial checkpoint before the first chunk: from here on a kill at
+        # *any* point leaves a checkpoint to resume from (it records the
+        # stream's pre-run length, so resume rolls back exactly the appends
+        # this run made).
+        save_checkpoint(complete=False)
+
+    for chunk_times, chunk_values in chunk_iter:
+        recordings = the_filter.process_batch(chunk_times, chunk_values)
+        if recordings:
+            store.append(name, recordings, epsilon=epsilon_list)
+        count = np.asarray(chunk_times).shape[0]
+        points += count
+        run_points += count
+        run_recordings += len(recordings)
+        run_chunks += 1
+        since_checkpoint += 1
+        if since_checkpoint >= checkpoint_every:
+            save_checkpoint(complete=False)
+            since_checkpoint = 0
+
+    final = the_filter.finish()
+    if final:
+        store.append(name, final, epsilon=epsilon_list)
+    run_recordings += len(final)
+    store.flush()
+    save_checkpoint(complete=True)
+    elapsed = _time.perf_counter() - started
+
+    if run_recordings:
+        ratio = run_points / run_recordings
+    else:
+        ratio = float("inf") if run_points else 0.0
+    return IngestReport(
+        filter_name=the_filter.name,
+        points=run_points,
+        recordings=run_recordings,
+        chunks=run_chunks,
+        compression_ratio=ratio,
+        elapsed_seconds=elapsed,
+    )
+
+
+def run_ingest(
+    store_directory: Union[str, Path],
+    name: str,
+    filter_name: str,
+    epsilon,
+    times,
+    values,
+    *,
+    shards: Optional[int] = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    checkpoint: Optional[Union[str, Path]] = None,
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    resume: bool = False,
+    **filter_kwargs,
+) -> IngestReport:
+    """Open (or create) the store at ``store_directory`` and ingest one stream.
+
+    Convenience wrapper around :func:`ingest_stream_checkpointed` used by the
+    ``repro ingest`` CLI; the store is opened with deferred catalog
+    persistence and closed (flushed) on the way out.
+    """
+    # Validate everything ingest_stream_checkpointed (or chunking) would
+    # reject *before* open_store, which creates the store directory as a
+    # side effect.
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    if checkpoint_every < 1:
+        raise ValueError(f"checkpoint_every must be positive, got {checkpoint_every}")
+    if resume and checkpoint is None:
+        raise ValueError("resume=True requires a checkpoint manager or directory")
+    store = open_store(store_directory, shards=shards, autoflush=False)
+    try:
+        return ingest_stream_checkpointed(
+            store,
+            name,
+            filter_name,
+            epsilon,
+            times,
+            values,
+            chunk_size=chunk_size,
+            checkpoint=checkpoint,
+            checkpoint_every=checkpoint_every,
+            resume=resume,
+            **filter_kwargs,
+        )
+    finally:
+        store.close()

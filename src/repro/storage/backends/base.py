@@ -111,6 +111,24 @@ class StorageBackend(abc.ABC):
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Decode the range as ``(kinds (n,), times (n,), values (n, d))``."""
 
+    def truncate(self, path: Path, entry, keep_records: int) -> None:
+        """Drop every record after the first ``keep_records`` from the log.
+
+        Used by checkpoint resume to roll a stream back to its last
+        checkpointed length before re-ingesting, so a crash between a
+        checkpoint and the next one cannot duplicate recordings.
+        """
+        raise NotImplementedError(f"backend {self.name!r} does not support truncation")
+
+    def compact(self, path: Path, entry) -> bool:
+        """Rewrite the log with a fully dense block index.
+
+        Merges undersized index blocks (left behind by truncation, recovery,
+        or a store previously opened with a smaller block granularity) into
+        full blocks.  Returns ``True`` when the entry's index was rebuilt.
+        """
+        raise NotImplementedError(f"backend {self.name!r} does not support compaction")
+
     @abc.abstractmethod
     def recover(self, path: Path, entry) -> bool:
         """Reconcile the catalog entry with the log actually on disk.

@@ -20,6 +20,7 @@ is clamped to the last complete record.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 from typing import List, Optional, Tuple
 
@@ -163,6 +164,104 @@ class BlockLogBackend(StorageBackend):
         return lo, hi
 
     # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def truncate(self, path: Path, entry, keep_records: int) -> None:
+        # Clamp the index first (it may need to read partial-block times from
+        # the file), then cut the file where the kept index actually ends —
+        # for a packed log that is ``keep_records * size``, and for a
+        # corrupt, non-packed index it keeps every byte the index still
+        # references instead of cutting into an indexed range.
+        size = record_size(entry.dimensions)
+        self._truncate_index(path, entry, keep_records)
+        if entry.blocks:
+            end = entry.blocks[-1][0] + entry.blocks[-1][1] * size
+        else:
+            end = 0
+        if path.exists():
+            with open(path, "rb+") as log:
+                log.truncate(end)
+
+    def compact(self, path: Path, entry) -> bool:
+        blocks = entry.blocks
+        if not blocks:
+            return False
+        packed = self._is_packed(blocks, entry.dimensions)
+        if packed and self._blocks_sized(blocks):
+            return False
+        dtype = record_dtype(entry.dimensions)
+        if packed:
+            # The log bytes are already a contiguous run of records (the
+            # normal case: appends, truncation and recovery all keep them
+            # packed) — only the index is fragmented, so rebuild it from the
+            # record times without rewriting identical bytes.  The rebuild
+            # streams the log in bounded chunks; _extend_index is
+            # incremental, so memory never holds more than one chunk.
+            total = sum(block[1] for block in blocks)
+            entry.blocks = []
+            chunk = max(self.block_records, 1) * 128
+            position = 0
+            with open(path, "rb") as log:
+                while position < total:
+                    count = min(chunk, total - position)
+                    log.seek(position * dtype.itemsize)
+                    payload = log.read(count * dtype.itemsize)
+                    records = np.frombuffer(
+                        payload, dtype=dtype, count=len(payload) // dtype.itemsize
+                    )
+                    self._extend_index(
+                        entry,
+                        position * dtype.itemsize,
+                        np.array(records["time"], dtype=float),
+                    )
+                    position += count
+            return True
+        # Stale offsets (should not happen, but a corrupt index must not
+        # survive compaction): the index is authoritative, so copy exactly
+        # the byte ranges it names — block by block, never the unindexed
+        # gaps between them — into a packed log and replace the file
+        # atomically.  Only the times (8 bytes per record) are retained for
+        # the reindex, not the record payloads.
+        staging = path.with_name(path.name + ".compact")
+        block_times: List[np.ndarray] = []
+        with open(path, "rb") as log, open(staging, "wb") as out:
+            for byte_offset, count, _, _ in blocks:
+                log.seek(byte_offset)
+                payload = log.read(count * dtype.itemsize)
+                out.write(payload)
+                records = np.frombuffer(
+                    payload, dtype=dtype, count=len(payload) // dtype.itemsize
+                )
+                block_times.append(np.array(records["time"], dtype=float))
+        os.replace(staging, path)
+        entry.blocks = []
+        offset = 0
+        for times in block_times:
+            self._extend_index(entry, offset, times)
+            offset += times.shape[0] * dtype.itemsize
+        return True
+
+    def _is_packed(self, blocks: List[list], dimensions: int) -> bool:
+        """Whether the indexed bytes form one contiguous run from offset 0."""
+        size = record_size(dimensions)
+        offset = 0
+        for byte_offset, count, _, _ in blocks:
+            if byte_offset != offset:
+                return False
+            offset += count * size
+        return True
+
+    def _blocks_sized(self, blocks: List[list]) -> bool:
+        """Whether every block is full (the trailing one may be partial)."""
+        for index, (_, count, _, _) in enumerate(blocks):
+            if index == len(blocks) - 1:
+                if count > self.block_records:
+                    return False
+            elif count != self.block_records:
+                return False
+        return True
+
+    # ------------------------------------------------------------------ #
     # Recovery
     # ------------------------------------------------------------------ #
     def recover(self, path: Path, entry) -> bool:
@@ -188,13 +287,7 @@ class BlockLogBackend(StorageBackend):
             self._extend_index(entry, indexed * size, tail_times)
             indexed = on_disk
             changed = True
-        total = sum(block[1] for block in entry.blocks)
-        first = entry.blocks[0][2] if entry.blocks else None
-        last = entry.blocks[-1][3] if entry.blocks else None
-        if (entry.recordings, entry.first_time, entry.last_time) != (total, first, last):
-            entry.recordings = total
-            entry.first_time = first
-            entry.last_time = last
+        if entry.refresh_from_blocks():
             changed = True
         return changed
 

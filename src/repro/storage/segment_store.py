@@ -28,6 +28,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -107,24 +108,59 @@ class StoredStream:
             blocks=[list(block) for block in payload.get("blocks", [])],
         )
 
+    def refresh_from_blocks(self) -> bool:
+        """Re-derive ``recordings``/``first_time``/``last_time`` from the
+        block index (the authority after truncation, compaction or
+        recovery).  Returns whether anything changed."""
+        recordings = sum(block[1] for block in self.blocks)
+        first = self.blocks[0][2] if self.blocks else None
+        last = self.blocks[-1][3] if self.blocks else None
+        if (self.recordings, self.first_time, self.last_time) == (recordings, first, last):
+            return False
+        self.recordings = recordings
+        self.first_time = first
+        self.last_time = last
+        return True
+
 
 def _sanitize(name: str) -> str:
     return "".join(ch if ch.isalnum() or ch in "-_." else "_" for ch in name)
 
 
-def _stream_filename(name: str) -> str:
-    """Collision-safe log filename: sanitized name plus a hash of the raw name.
+def collision_safe_filename(name: str, suffix: str) -> str:
+    """Filesystem-safe filename for ``name``: sanitized plus a short hash.
 
-    The hash suffix keeps streams like ``"a/b"`` and ``"a_b"`` (identical
-    after sanitization) in distinct files.
+    The hash keeps names like ``"a/b"`` and ``"a_b"`` (identical after
+    sanitization) in distinct files.  Shared by the stream logs and the
+    ingestion checkpoints so one naming scheme governs both.
     """
     digest = hashlib.blake2b(name.encode("utf-8"), digest_size=4).hexdigest()
-    return f"{_sanitize(name)}-{digest}.seg"
+    return f"{_sanitize(name)}-{digest}{suffix}"
+
+
+def _stream_filename(name: str) -> str:
+    """Collision-safe log filename of one stream."""
+    return collision_safe_filename(name, ".seg")
 
 
 def _legacy_filename(name: str) -> str:
     """Filename used by seed-era catalogs (no collision protection)."""
     return f"{_sanitize(name)}.seg"
+
+
+def read_streams_job(
+    directory: str,
+    names: Sequence[str],
+    start: Optional[float],
+    end: Optional[float],
+    backend: Optional[str] = None,
+) -> List[Tuple[str, List[Recording]]]:
+    """Open the store at ``directory`` and range-read ``names`` (top level so
+    it is picklable — the unit of work of the process-executor read path).
+    ``backend`` carries the parent store's backend name so a store built on
+    a non-default registered backend decodes correctly in the worker."""
+    store = SegmentStore(directory, autoflush=False, backend=backend)
+    return [(name, store.read(name, start, end)) for name in names]
 
 
 class SegmentStore:
@@ -405,9 +441,101 @@ class SegmentStore:
         recordings = self.read(name, start, end)
         return reconstruct(recordings)
 
+    def read_many(
+        self,
+        names: Iterable[str],
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        executor: str = "thread",
+        max_workers: Optional[int] = None,
+    ) -> Dict[str, List[Recording]]:
+        """Range-read several streams at once.
+
+        Mirrors :meth:`ShardedStore.read_many` so multi-stream consumers need
+        not branch on the store type.  ``executor="thread"`` (default) reads
+        the streams concurrently in a thread pool — the file I/O releases the
+        GIL; ``executor="process"`` fans the names out to worker processes
+        that reopen the store read-only, so decode-heavy reads (large values
+        dimensionality, wide ranges) escape the GIL entirely.
+
+        Raises:
+            ValueError: For an unknown ``executor``.
+            KeyError: If any requested stream does not exist.
+        """
+        names = list(names)
+        for name in names:
+            self.describe(name)  # fail fast, before any worker spins up
+        if executor not in ("thread", "process"):
+            raise ValueError(f"executor must be 'thread' or 'process', got {executor!r}")
+        if len(names) <= 1:
+            return {name: self.read(name, start, end) for name in names}
+        if executor == "thread":
+            workers = max_workers or min(len(names), os.cpu_count() or 1)
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                batches = pool.map(lambda name: (name, self.read(name, start, end)), names)
+                return dict(batches)
+        self.flush()  # worker processes reopen the store from disk
+        workers = max_workers or min(len(names), os.cpu_count() or 1)
+        groups = [names[index::workers] for index in range(workers) if names[index::workers]]
+        directory = str(self._directory)
+        results: Dict[str, List[Recording]] = {}
+        with ProcessPoolExecutor(max_workers=len(groups)) as pool:
+            futures = [
+                pool.submit(
+                    read_streams_job, directory, group, start, end, self._backend.name
+                )
+                for group in groups
+            ]
+            for future in futures:
+                results.update(future.result())
+        return results
+
     # ------------------------------------------------------------------ #
     # Maintenance
     # ------------------------------------------------------------------ #
+    def truncate_stream(self, name: str, keep_records: int) -> StoredStream:
+        """Roll a stream back to its first ``keep_records`` recordings.
+
+        Used by checkpoint resume: recordings appended after the last
+        checkpoint are dropped so re-ingesting from the checkpoint cannot
+        duplicate them.  Truncating beyond the current length is a no-op.
+
+        Raises:
+            KeyError: If the stream does not exist.
+            ValueError: If ``keep_records`` is negative.
+        """
+        if keep_records < 0:
+            raise ValueError(f"keep_records must be non-negative, got {keep_records}")
+        entry = self.describe(name)
+        if keep_records >= entry.recordings:
+            return entry
+        self._backend.truncate(self._entry_path(entry), entry, keep_records)
+        entry.refresh_from_blocks()
+        self._mark_dirty()
+        return entry
+
+    def compact(self, name: Optional[str] = None) -> Dict[str, Tuple[int, int]]:
+        """Merge undersized index blocks (see ``StorageBackend.compact``).
+
+        Compacts one stream, or every stream when ``name`` is ``None``.
+        Returns ``{stream: (blocks_before, blocks_after)}`` for each stream
+        whose index was rebuilt.
+
+        Raises:
+            KeyError: If ``name`` is given but does not exist.
+        """
+        entries = [self.describe(name)] if name is not None else self.streams()
+        rebuilt: Dict[str, Tuple[int, int]] = {}
+        for entry in entries:
+            before = len(entry.blocks)
+            if self._backend.compact(self._entry_path(entry), entry):
+                # The rebuilt index is authoritative (a corrupt-index repair
+                # may have changed the record count).
+                entry.refresh_from_blocks()
+                rebuilt[entry.name] = (before, len(entry.blocks))
+                self._mark_dirty()
+        return rebuilt
+
     def delete(self, name: str) -> None:
         """Remove a stream and its log file.
 
@@ -446,6 +574,31 @@ class SegmentStore:
         staging.write_text(json.dumps(payload, indent=2, sort_keys=True))
         os.replace(staging, self._catalog_path)
         self._dirty = False
+
+    def sync(self, name: Optional[str] = None) -> None:
+        """Flush, then ``fsync`` log and catalog bytes to stable storage.
+
+        :meth:`flush` makes the catalog consistent with the logs but both
+        may still sit in the page cache; callers recording durable facts
+        about store contents (checkpoints) call this so a power loss cannot
+        roll the store back behind what they recorded.  Syncs one stream's
+        log or every log when ``name`` is ``None``.
+        """
+        self.flush()
+        entries = [self.describe(name)] if name is not None else self.streams()
+        for entry in entries:
+            self._fsync_path(self._entry_path(entry))
+        self._fsync_path(self._catalog_path)
+
+    @staticmethod
+    def _fsync_path(path: Path) -> None:
+        if not path.exists():
+            return
+        descriptor = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(descriptor)
+        finally:
+            os.close(descriptor)
 
     def close(self) -> None:
         """Flush pending catalog changes."""

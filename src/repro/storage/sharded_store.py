@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -26,7 +26,7 @@ import numpy as np
 from repro.approximation.piecewise import Approximation
 from repro.core.types import Recording
 from repro.storage.backends.base import StorageBackend
-from repro.storage.segment_store import SegmentStore, StoredStream
+from repro.storage.segment_store import SegmentStore, StoredStream, read_streams_job
 
 __all__ = ["ShardedStore", "DEFAULT_SHARDS", "shard_index"]
 
@@ -198,27 +198,59 @@ class ShardedStore:
         names: Iterable[str],
         start: Optional[float] = None,
         end: Optional[float] = None,
+        executor: str = "thread",
+        max_workers: Optional[int] = None,
     ) -> Dict[str, List[Recording]]:
         """Range-read several streams, fanning out across shards in parallel.
 
         Returns a dict mapping each requested name to its recordings.  Reads
-        of streams on different shards run concurrently (one worker per
-        involved shard); a single-shard request degrades to a serial loop.
+        of streams on different shards run concurrently, one worker per
+        involved shard.  With ``executor="thread"`` (default) the workers are
+        threads sharing this process's shard stores; ``executor="process"``
+        dispatches each shard's reads to a worker process that reopens the
+        shard read-only, so decode-heavy reads escape the GIL.  A
+        single-shard request on the thread path degrades to a serial loop.
+
+        Raises:
+            ValueError: For an unknown ``executor``.
+            KeyError: If any requested stream does not exist.
         """
+        if executor not in ("thread", "process"):
+            raise ValueError(f"executor must be 'thread' or 'process', got {executor!r}")
         by_shard: Dict[int, List[str]] = {}
         for name in names:
+            self.describe(name)  # fail fast, before any worker spins up
             by_shard.setdefault(shard_index(name, self._shard_count), []).append(name)
+
+        results: Dict[str, List[Recording]] = {}
+        if executor == "process" and by_shard:
+            self.flush()  # worker processes reopen the shards from disk
+            with ProcessPoolExecutor(max_workers=min(len(by_shard), max_workers or len(by_shard))) as pool:
+                futures = [
+                    pool.submit(
+                        read_streams_job,
+                        str(self._shards[index].directory),
+                        shard_names,
+                        start,
+                        end,
+                        self._shards[index].backend.name,
+                    )
+                    for index, shard_names in by_shard.items()
+                ]
+                for future in futures:
+                    results.update(future.result())
+            return results
 
         def read_shard(index: int) -> List[Tuple[str, List[Recording]]]:
             shard = self._shards[index]
             return [(name, shard.read(name, start, end)) for name in by_shard[index]]
 
-        results: Dict[str, List[Recording]] = {}
         if len(by_shard) <= 1:
             batches = [read_shard(index) for index in by_shard]
         else:
-            with ThreadPoolExecutor(max_workers=len(by_shard)) as executor:
-                batches = list(executor.map(read_shard, by_shard))
+            workers = min(len(by_shard), max_workers or len(by_shard))
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                batches = list(pool.map(read_shard, by_shard))
         for batch in batches:
             results.update(batch)
         return results
@@ -226,6 +258,23 @@ class ShardedStore:
     # ------------------------------------------------------------------ #
     # Maintenance
     # ------------------------------------------------------------------ #
+    def truncate_stream(self, name: str, keep_records: int) -> StoredStream:
+        """Roll one stream back (see ``SegmentStore.truncate_stream``)."""
+        return self.shard_for(name).truncate_stream(name, keep_records)
+
+    def compact(self, name: Optional[str] = None) -> Dict[str, Tuple[int, int]]:
+        """Compact one stream — or every stream on every shard.
+
+        Returns ``{stream: (blocks_before, blocks_after)}`` for the streams
+        whose index was rebuilt (see ``SegmentStore.compact``).
+        """
+        if name is not None:
+            return self.shard_for(name).compact(name)
+        rebuilt: Dict[str, Tuple[int, int]] = {}
+        for shard in self._shards:
+            rebuilt.update(shard.compact())
+        return rebuilt
+
     def delete(self, name: str) -> None:
         """Remove a stream (raises ``KeyError`` when unknown)."""
         self.shard_for(name).delete(name)
@@ -238,6 +287,14 @@ class ShardedStore:
         """Persist pending catalog changes on every shard."""
         for shard in self._shards:
             shard.flush()
+
+    def sync(self, name: Optional[str] = None) -> None:
+        """Fsync one stream's shard — or every shard (see ``SegmentStore.sync``)."""
+        if name is not None:
+            self.shard_for(name).sync(name)
+        else:
+            for shard in self._shards:
+                shard.sync()
 
     def close(self) -> None:
         """Flush every shard."""

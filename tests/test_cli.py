@@ -186,3 +186,113 @@ class TestIngestSharded:
                  "0.5", "--store", str(store_dir), "--shards", "0"]
             )
         assert not store_dir.exists()
+
+
+class TestIngestRuntime:
+    def test_checkpointed_ingest_and_resume(self, capsys, csv_workload, tmp_path):
+        from repro.runtime import CheckpointManager
+        from repro.storage import open_store
+
+        path, times, values = csv_workload
+        store_dir, ckpt_dir = tmp_path / "archive", tmp_path / "ckpt"
+        base = ["ingest", "--input", str(path), "--filter", "swing", "--epsilon",
+                "0.5", "--store", str(store_dir), "--name", "s",
+                "--chunk-size", "64", "--checkpoint", str(ckpt_dir)]
+        assert main(base) == 0
+        checkpoint = CheckpointManager(ckpt_dir).load("s")
+        assert checkpoint is not None and checkpoint.complete
+        before = open_store(store_dir).describe("s").recordings
+        # Resuming a completed run must not duplicate anything.
+        assert main(base + ["--resume"]) == 0
+        output = capsys.readouterr().out
+        assert "data points       : 0" in output
+        assert open_store(store_dir).describe("s").recordings == before
+
+    def test_resume_requires_checkpoint(self, csv_workload, tmp_path):
+        path, _, _ = csv_workload
+        with pytest.raises(SystemExit, match="resume requires"):
+            main(["ingest", "--input", str(path), "--filter", "swing",
+                  "--epsilon", "0.5", "--store", str(tmp_path / "a"), "--resume"])
+
+    def test_split_dimensions_with_workers(self, capsys, tmp_path):
+        from repro.storage import ShardedStore, open_store
+
+        store_dir = tmp_path / "archive"
+        code = main(["ingest", "--dataset", "correlated-5d", "--filter", "swing",
+                     "--epsilon", "0.5", "--store", str(store_dir),
+                     "--split-dimensions", "--workers", "2", "--shards", "2"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "workers           : 2" in output
+        store = open_store(store_dir)
+        assert isinstance(store, ShardedStore)
+        assert store.shard_count == 2
+        assert store.stream_names() == [f"correlated-5d/d{i}" for i in range(5)]
+
+    def test_split_dimensions_layout_is_worker_independent(self, tmp_path):
+        from repro.storage import open_store
+
+        for workers, label in (("1", "a"), ("2", "b")):
+            assert main(["ingest", "--dataset", "correlated-5d", "--filter", "swing",
+                         "--epsilon", "0.5", "--store", str(tmp_path / label),
+                         "--split-dimensions", "--workers", workers]) == 0
+        serial, parallel = open_store(tmp_path / "a"), open_store(tmp_path / "b")
+        assert serial.stream_names() == parallel.stream_names()
+        assert serial.shard_count == parallel.shard_count
+        for name in serial.stream_names():
+            assert serial.describe(name).recordings == parallel.describe(name).recordings
+
+    def test_workers_require_split_dimensions(self, csv_workload, tmp_path):
+        path, _, _ = csv_workload
+        with pytest.raises(SystemExit, match="split-dimensions"):
+            main(["ingest", "--input", str(path), "--filter", "swing",
+                  "--epsilon", "0.5", "--store", str(tmp_path / "a"),
+                  "--workers", "4"])
+        assert not (tmp_path / "a").exists()
+
+    def test_invalid_worker_count(self, csv_workload, tmp_path):
+        path, _, _ = csv_workload
+        with pytest.raises(SystemExit, match="workers"):
+            main(["ingest", "--input", str(path), "--filter", "swing",
+                  "--epsilon", "0.5", "--store", str(tmp_path / "a"),
+                  "--workers", "0"])
+
+
+class TestCompactCommand:
+    def test_compact_store(self, capsys, csv_workload, tmp_path):
+        from repro.storage import SegmentStore
+
+        path, _, _ = csv_workload
+        store_dir = tmp_path / "archive"
+        small = SegmentStore(store_dir, block_records=4)
+        times = np.arange(100, dtype=float)
+        small.append_arrays("s", times, np.zeros(100))
+        small.close()
+        assert main(["compact", "--store", str(store_dir)]) == 0
+        output = capsys.readouterr().out
+        assert "compacted 1 stream(s)" in output
+        assert "blocks before" in output
+
+    def test_compact_unknown_stream_fails_cleanly(self, tmp_path):
+        from repro.storage import SegmentStore
+
+        store = SegmentStore(tmp_path / "a")
+        store.append_arrays("s", [0.0], [0.0])
+        store.close()
+        with pytest.raises(SystemExit, match="compact failed"):
+            main(["compact", "--store", str(tmp_path / "a"), "--stream", "ghost"])
+
+    def test_compact_noop_store(self, capsys, tmp_path):
+        from repro.storage import SegmentStore
+
+        store = SegmentStore(tmp_path / "a")
+        store.append_arrays("s", [0.0], [0.0])
+        store.close()
+        assert main(["compact", "--store", str(tmp_path / "a")]) == 0
+        assert "compacted 0 stream(s)" in capsys.readouterr().out
+
+    def test_compact_refuses_to_create_a_store(self, tmp_path):
+        missing = tmp_path / "no-such-store"
+        with pytest.raises(SystemExit, match="no segment store"):
+            main(["compact", "--store", str(missing)])
+        assert not missing.exists()

@@ -178,3 +178,72 @@ class TestOpenStore:
 
     def test_default_shard_count(self, tmp_path):
         assert ShardedStore(tmp_path / "sh").shard_count == DEFAULT_SHARDS
+
+
+class TestReadManyExecutors:
+    def test_process_executor_matches_thread(self, tmp_path, fleet):
+        store = ShardedStore(tmp_path / "sh", 4)
+        for name, (_, _, recordings) in fleet.items():
+            store.append(name, recordings)
+        names = sorted(fleet)
+        thread = store.read_many(names)
+        process = store.read_many(names, executor="process")
+        assert sorted(process) == names
+        for name in names:
+            assert_identical(thread[name], process[name])
+
+    def test_process_executor_range_read(self, tmp_path, fleet):
+        store = ShardedStore(tmp_path / "sh", 3)
+        for name, (_, _, recordings) in fleet.items():
+            store.append(name, recordings)
+        names = sorted(fleet)
+        lo, hi = 100.0, 250.0
+        process = store.read_many(names, lo, hi, executor="process")
+        for name in names:
+            assert_identical(process[name], store.read(name, lo, hi))
+
+    def test_rejects_unknown_executor(self, tmp_path, fleet):
+        store = ShardedStore(tmp_path / "sh", 2)
+        with pytest.raises(ValueError, match="executor"):
+            store.read_many([], executor="coroutine")
+
+    def test_fails_fast_on_unknown_stream(self, tmp_path):
+        store = ShardedStore(tmp_path / "sh", 2)
+        with pytest.raises(KeyError):
+            store.read_many(["ghost"], executor="process")
+
+
+class TestShardedMaintenance:
+    def test_truncate_stream_routes_to_owning_shard(self, tmp_path, fleet):
+        store = ShardedStore(tmp_path / "sh", 4)
+        for name, (_, _, recordings) in fleet.items():
+            store.append(name, recordings)
+        victim = sorted(fleet)[0]
+        total = store.describe(victim).recordings
+        store.truncate_stream(victim, total - 5)
+        assert store.describe(victim).recordings == total - 5
+        # The other streams are untouched.
+        for name, (_, _, recordings) in fleet.items():
+            if name != victim:
+                assert store.describe(name).recordings == len(recordings)
+
+    def test_compact_all_shards(self, tmp_path, fleet):
+        small = ShardedStore(tmp_path / "sh", 2, block_records=4)
+        for name, (_, _, recordings) in fleet.items():
+            small.append(name, recordings)
+        small.close()
+        store = ShardedStore(tmp_path / "sh")
+        rebuilt = store.compact()
+        assert sorted(rebuilt) == sorted(fleet)
+        for name, (_, _, recordings) in fleet.items():
+            assert_identical(store.read(name), list(recordings))
+
+    def test_compact_one_stream(self, tmp_path, fleet):
+        small = ShardedStore(tmp_path / "sh", 2, block_records=4)
+        for name, (_, _, recordings) in fleet.items():
+            small.append(name, recordings)
+        small.close()
+        store = ShardedStore(tmp_path / "sh")
+        target = sorted(fleet)[0]
+        rebuilt = store.compact(target)
+        assert list(rebuilt) == [target]

@@ -289,3 +289,197 @@ class TestBackendRegistry:
     def test_store_rejects_unknown_backend(self, tmp_path):
         with pytest.raises(KeyError):
             SegmentStore(tmp_path / "s", backend="no-such-backend")
+
+
+class TestTruncateStream:
+    def test_truncate_drops_records_and_index(self, tmp_path):
+        store = SegmentStore(tmp_path / "s", block_records=8)
+        store.append("stream", make_recordings(50))
+        entry = store.truncate_stream("stream", 20)
+        assert entry.recordings == 20
+        assert entry.last_time == 19.0
+        assert sum(block[1] for block in entry.blocks) == 20
+        assert times_of(store.read("stream")) == [float(t) for t in range(20)]
+
+    def test_truncate_beyond_length_is_noop(self, tmp_path):
+        store = SegmentStore(tmp_path / "s")
+        store.append("stream", make_recordings(10))
+        store.truncate_stream("stream", 99)
+        assert store.describe("stream").recordings == 10
+
+    def test_truncate_to_zero(self, tmp_path):
+        store = SegmentStore(tmp_path / "s")
+        store.append("stream", make_recordings(10))
+        entry = store.truncate_stream("stream", 0)
+        assert entry.recordings == 0
+        assert entry.first_time is None and entry.last_time is None
+        assert store.read("stream") == []
+
+    def test_appends_continue_after_truncate(self, tmp_path):
+        store = SegmentStore(tmp_path / "s", block_records=8)
+        store.append("stream", make_recordings(30))
+        store.truncate_stream("stream", 12)
+        store.append("stream", make_recordings(10, start_time=12.0))
+        assert store.describe("stream").recordings == 22
+        assert times_of(store.read("stream")) == [float(t) for t in range(22)]
+
+    def test_truncate_persists_across_reopen(self, tmp_path):
+        store = SegmentStore(tmp_path / "s")
+        store.append("stream", make_recordings(40))
+        store.truncate_stream("stream", 15)
+        store.close()
+        reopened = SegmentStore(tmp_path / "s")
+        assert reopened.describe("stream").recordings == 15
+
+    def test_truncate_with_corrupt_index_respects_indexed_ranges(self, tmp_path):
+        """With a hole in the index the byte cutoff must come from the kept
+        index, not keep_records * size (which would land inside the gap)."""
+        store = SegmentStore(tmp_path / "s", block_records=10)
+        store.append("stream", make_recordings(30))
+        entry = store.describe("stream")
+        del entry.blocks[1]  # simulate index corruption: a hole in the log
+        entry.recordings = 20
+        entry = store.truncate_stream("stream", 15)
+        # The cut lands at the end of the last kept indexed range (25 * size,
+        # not 15 * size, which would be inside the second block's data).
+        assert entry.recordings == 15
+        assert entry.blocks == [[0, 10, 0.0, 9.0], [20 * record_size(1), 5, 20.0, 24.0]]
+        assert store._log_path("stream").stat().st_size == 25 * record_size(1)
+        # Compaction then repairs the hole; the indexed records survive.
+        store.compact("stream")
+        assert times_of(store.read("stream")) == [float(t) for t in range(10)] + [
+            float(t) for t in range(20, 25)
+        ]
+
+    def test_truncate_validates_arguments(self, tmp_path):
+        store = SegmentStore(tmp_path / "s")
+        store.append("stream", make_recordings(5))
+        with pytest.raises(ValueError, match="non-negative"):
+            store.truncate_stream("stream", -1)
+        with pytest.raises(KeyError):
+            store.truncate_stream("ghost", 0)
+
+
+class TestCompaction:
+    def test_compact_merges_small_blocks(self, tmp_path):
+        small = SegmentStore(tmp_path / "s", block_records=8)
+        small.append("stream", make_recordings(100))
+        small.close()
+        store = SegmentStore(tmp_path / "s")  # default (larger) block size
+        before = store.read("stream")
+        assert len(store.describe("stream").blocks) > 1
+        rebuilt = store.compact("stream")
+        assert rebuilt["stream"][0] > rebuilt["stream"][1]
+        assert len(store.describe("stream").blocks) == 1
+        assert_identical(store.read("stream"), before)
+
+    def test_compact_of_packed_log_rebuilds_index_without_rewriting(self, tmp_path):
+        """The log bytes of a fragmented-index stream are already packed;
+        compaction must fix the index without touching the file."""
+        small = SegmentStore(tmp_path / "s", block_records=8)
+        small.append("stream", make_recordings(100))
+        small.close()
+        store = SegmentStore(tmp_path / "s")
+        log_path = store._log_path("stream")
+        stat_before = log_path.stat()
+        assert store.compact("stream")
+        stat_after = log_path.stat()
+        assert stat_after.st_ino == stat_before.st_ino
+        assert stat_after.st_mtime_ns == stat_before.st_mtime_ns
+
+    def test_compact_is_idempotent(self, tmp_path):
+        store = SegmentStore(tmp_path / "s")
+        store.append("stream", make_recordings(100))
+        assert store.compact() == {}
+
+    def test_compact_all_streams(self, tmp_path):
+        small = SegmentStore(tmp_path / "s", block_records=4)
+        for name in ("a", "b"):
+            small.append(name, make_recordings(40))
+        small.close()
+        store = SegmentStore(tmp_path / "s")
+        rebuilt = store.compact()
+        assert sorted(rebuilt) == ["a", "b"]
+
+    def test_compact_preserves_range_reads(self, tmp_path):
+        small = SegmentStore(tmp_path / "s", block_records=4)
+        small.append("stream", make_recordings(200))
+        small.close()
+        store = SegmentStore(tmp_path / "s")
+        expected = store.read("stream", 50.5, 120.5)
+        store.compact()
+        assert_identical(store.read("stream", 50.5, 120.5), expected)
+        assert store.read("stream", 50.5, 120.5)[0].time <= 50.5
+
+    def test_compact_splits_oversized_blocks(self, tmp_path):
+        big = SegmentStore(tmp_path / "s", block_records=4096)
+        big.append("stream", make_recordings(1000))
+        big.close()
+        store = SegmentStore(tmp_path / "s", block_records=100)
+        rebuilt = store.compact()
+        assert rebuilt["stream"] == (1, 10)
+
+    def test_compact_repairs_corrupt_index_without_resurrecting_gaps(self, tmp_path):
+        """A non-packed index (hole in the middle) is repaired by copying
+        exactly the indexed byte ranges — the gap bytes must not come back
+        as records, and the catalog must match the rebuilt index."""
+        store = SegmentStore(tmp_path / "s", block_records=10)
+        store.append("stream", make_recordings(30))
+        entry = store.describe("stream")
+        assert len(entry.blocks) == 3
+        del entry.blocks[1]  # simulate index corruption: a hole in the log
+        entry.recordings = 20
+        rebuilt = store.compact("stream")
+        assert "stream" in rebuilt
+        entry = store.describe("stream")
+        assert entry.recordings == 20
+        recordings = store.read("stream")
+        assert len(recordings) == 20
+        assert times_of(recordings) == [float(t) for t in range(10)] + [
+            float(t) for t in range(20, 30)
+        ]
+        # The rewritten log holds exactly the indexed records.
+        assert store._log_path("stream").stat().st_size == 20 * record_size(1)
+
+    def test_compact_persists_across_reopen(self, tmp_path):
+        small = SegmentStore(tmp_path / "s", block_records=4)
+        small.append("stream", make_recordings(64))
+        small.close()
+        store = SegmentStore(tmp_path / "s")
+        store.compact()
+        store.close()
+        reopened = SegmentStore(tmp_path / "s")
+        assert len(reopened.describe("stream").blocks) == 1
+        assert_identical(reopened.read("stream"), make_recordings(64))
+
+
+class TestSegmentStoreReadMany:
+    def test_read_many_matches_single_reads(self, tmp_path):
+        store = SegmentStore(tmp_path / "s")
+        for name in ("a", "b", "c"):
+            store.append(name, make_recordings(30))
+        results = store.read_many(["a", "b", "c"], 5.5, 20.5)
+        assert sorted(results) == ["a", "b", "c"]
+        for name in results:
+            assert_identical(results[name], store.read(name, 5.5, 20.5))
+
+    def test_read_many_process_executor(self, tmp_path):
+        store = SegmentStore(tmp_path / "s")
+        for name in ("a", "b", "c", "d"):
+            store.append(name, make_recordings(40, dimensions=2))
+        thread = store.read_many(["a", "b", "c", "d"])
+        process = store.read_many(["a", "b", "c", "d"], executor="process")
+        for name in thread:
+            assert_identical(thread[name], process[name])
+
+    def test_read_many_rejects_unknown_executor(self, tmp_path):
+        store = SegmentStore(tmp_path / "s")
+        store.append("a", make_recordings(3))
+        with pytest.raises(ValueError, match="executor"):
+            store.read_many(["a"], executor="fiber")
+
+    def test_read_many_fails_fast_on_unknown_stream(self, tmp_path):
+        store = SegmentStore(tmp_path / "s")
+        store.append("a", make_recordings(3))
+        with pytest.raises(KeyError):
+            store.read_many(["a", "ghost"])
