@@ -38,6 +38,8 @@ import numpy as np
 from repro.runtime import ParallelIngestor, StreamTask
 from repro.storage import open_store
 
+from bench_utils import write_bench_json
+
 #: Default worker count of the parallel run.
 DEFAULT_WORKERS = 4
 
@@ -155,6 +157,20 @@ def main(argv=None) -> int:
 
         speedup = serial_elapsed / parallel_elapsed if parallel_elapsed > 0 else 0.0
         print(f"speedup              : {speedup:.2f}x (floor {args.floor:.1f}x)")
+        path = write_bench_json(
+            "parallel_ingest",
+            {
+                "streams": args.streams,
+                "points_per_stream": args.points,
+                "workers": args.workers,
+                "cores": cores,
+                "serial_seconds": serial_elapsed,
+                "parallel_seconds": parallel_elapsed,
+                "speedup": speedup,
+                "recordings": serial_report.recordings,
+            },
+        )
+        print(f"results written to {path}")
         if args.no_assert:
             return 0
         if cores is not None and cores < args.workers:

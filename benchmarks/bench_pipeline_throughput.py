@@ -35,6 +35,8 @@ from repro.core.registry import PAPER_FILTERS, create_filter
 from repro.data.random_walk import RandomWalkConfig, random_walk
 from repro.pipeline import BatchIngestor, NullSink
 
+from bench_utils import write_bench_json
+
 #: Precision width as % of the signal range (a mid-range setting of the
 #: paper's 1–10 % evaluation sweep).
 PRECISION_PERCENT = 5.0
@@ -109,6 +111,7 @@ def main(argv=None) -> int:
 
     print(f"\n{'filter':<8} {'per-point pts/s':>16} {'batch pts/s':>14} {'speedup':>8} {'recordings':>11}")
     speedups = {}
+    metrics = {"points": args.points, "chunk_size": args.chunk_size, "filters": {}}
     for name in PAPER_FILTERS:
         per_point_elapsed, per_point_recordings = run_per_point(name, times, values, epsilon)
         batch_elapsed, batch_recordings = run_batched(
@@ -118,12 +121,19 @@ def main(argv=None) -> int:
         per_point_rate = args.points / per_point_elapsed
         batch_rate = args.points / batch_elapsed
         speedups[name] = per_point_elapsed / batch_elapsed
+        metrics["filters"][name] = {
+            "per_point_points_per_second": per_point_rate,
+            "batch_points_per_second": batch_rate,
+            "speedup": speedups[name],
+            "recordings": batch_recordings,
+        }
         print(
             f"{name:<8} {per_point_rate:>16,.0f} {batch_rate:>14,.0f} "
             f"{speedups[name]:>7.1f}x {batch_recordings:>11,}"
         )
 
     print(f"\nheadline (swing): {speedups['swing']:.1f}x")
+    print(f"results written to {write_bench_json('pipeline_throughput', metrics)}")
     if not args.no_assert and args.points >= 100_000 and speedups["swing"] < 5.0:
         print("FAIL: swing batch ingestion is below the 5x throughput target")
         return 1

@@ -38,6 +38,8 @@ from repro.core.types import Recording, RecordingKind
 from repro.storage import SegmentStore, ShardedStore, open_store
 from repro.storage.backends.base import KIND_BY_CODE
 
+from bench_utils import write_bench_json
+
 #: Points per bulk-append batch while building the store.
 BUILD_BATCH = 8192
 
@@ -267,6 +269,23 @@ def main(argv=None) -> int:
             f"  batched (flush once)  : {batched * 1e3:7.1f} ms "
             f"({write_through / batched:.1f}x)"
         )
+
+        path = write_bench_json(
+            "store",
+            {
+                "streams": args.streams,
+                "recordings_per_stream": args.recordings,
+                "reads": args.reads,
+                "build_seconds": build_elapsed,
+                "seed_read_seconds": seed_elapsed,
+                "engine_read_seconds": engine_elapsed,
+                "read_speedup": speedup,
+                "append_write_through_seconds": write_through,
+                "append_batched_seconds": batched,
+                "append_speedup": write_through / batched if batched else None,
+            },
+        )
+        print(f"results written to {path}")
 
         if not args.no_assert and speedup < 5.0:
             print("FAIL: block-indexed range reads are below the 5x speedup target")

@@ -2,6 +2,12 @@
 
 from __future__ import annotations
 
+import json
+import os
+import platform
+import time
+from typing import Any, Dict, Optional
+
 
 def run_once(benchmark, function, *args, **kwargs):
     """Execute ``function`` exactly once under pytest-benchmark timing."""
@@ -11,3 +17,39 @@ def run_once(benchmark, function, *args, **kwargs):
 def scaled(length: int, scale: float, minimum: int = 500) -> int:
     """Scale a workload length, keeping a sensible minimum."""
     return max(int(length * scale), minimum)
+
+
+def write_bench_json(
+    name: str, metrics: Dict[str, Any], directory: Optional[str] = None
+) -> str:
+    """Write a machine-readable ``BENCH_<name>.json`` result file.
+
+    Every benchmark run leaves one behind so the perf trajectory of the repo
+    is recorded (CI archives them as artifacts).  The payload wraps the
+    caller's ``metrics`` dict with enough environment metadata to compare
+    runs across machines.
+
+    Args:
+        name: Benchmark identifier; the file is ``BENCH_<name>.json``.
+        metrics: JSON-serializable measurement results.
+        directory: Output directory; defaults to ``$BENCH_OUTPUT_DIR`` or the
+            current working directory.
+
+    Returns:
+        The path of the written file.
+    """
+    directory = directory or os.environ.get("BENCH_OUTPUT_DIR", ".")
+    os.makedirs(directory, exist_ok=True)
+    payload = {
+        "name": name,
+        "created_unix": time.time(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count(),
+        "metrics": metrics,
+    }
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -314,6 +314,7 @@ class StreamFilter(abc.ABC):
             setattr(self, name, copy.deepcopy(state.payload[name]))
         self._recordings = []
         self._pending = []
+        self._state_restored()
         return self
 
     def _config_payload(self) -> Dict[str, Any]:
@@ -329,6 +330,14 @@ class StreamFilter(abc.ABC):
         """Adopt a snapshot's constructor configuration."""
         self._epsilon_spec = copy.deepcopy(config["epsilon"])
         self.max_lag = config["max_lag"]
+
+    def _state_restored(self) -> None:
+        """Hook invoked after :meth:`restore` has replaced every state field.
+
+        Subclasses that maintain derived caches outside ``_STATE_FIELDS``
+        (e.g. the slide filter's bound-coefficient arrays) drop or rebuild
+        them here; the default does nothing.
+        """
 
     # ------------------------------------------------------------------ #
     # Hooks for subclasses

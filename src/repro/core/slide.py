@@ -31,11 +31,17 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.base import StreamFilter
 from repro.core.types import DataPoint, RecordingKind
 from repro.geometry.hull import IncrementalConvexHull
 from repro.geometry.lines import Line
-from repro.geometry.tangents import max_slope_lower_line, min_slope_upper_line
+from repro.geometry.tangents import (
+    max_slope_lower_line,
+    max_slope_lower_tangent,
+    min_slope_upper_line,
+    min_slope_upper_tangent,
+)
 
 __all__ = ["SlideFilter"]
 
@@ -47,9 +53,19 @@ _VALIDATION_SLACK = 1e-9
 _INITIAL_WINDOW = 64
 
 #: Consecutive zero-lookahead events before the batch scan drops to scalar
-#: stepping, and consecutive silent points before it resumes probing.
+#: stepping, and consecutive silent points before it resumes probing (the
+#: generic multi-dimensional path).
 _SCALAR_ENTER_EVENTS = 2
 _SCALAR_EXIT_STREAK = 8
+
+#: 1-D fast path: a probe that finds its event within this many points drops
+#: to the float-native scalar core, and the core returns to vectorized
+#: probing after this many consecutive silent points.  A probe costs ~10
+#: numpy dispatches regardless of the run length, so short runs are cheaper
+#: to walk in scalar code; silent stretches beyond the break-even length
+#: amortize the probe and are bulk-absorbed.
+_SCALAR_ENTER_RUN = 16
+_PROBE_ENTER_STREAK = 16
 
 
 def _safe_line(t1: float, x1: float, t2: float, x2: float) -> Optional[Line]:
@@ -95,8 +111,8 @@ class _PreviousSegment:
     start_time: float
     end_time: float
     min_connection_time: float
-    #: Buffered interval points as ``(time, value-vector)`` pairs.
-    points: Optional[List[Tuple[float, np.ndarray]]]
+    #: Buffered interval points as a ``(times (n,), values (n, d))`` pair.
+    points: Optional[Tuple[np.ndarray, np.ndarray]]
 
 
 class SlideFilter(StreamFilter):
@@ -125,7 +141,10 @@ class SlideFilter(StreamFilter):
 
     name = "slide"
     family = "linear"
-    state_version = 1
+    #: v2: array-backed hull chains and split ``_raw_times`` / ``_raw_values``
+    #: interval buffers (v1 snapshots stored tuple-list hulls and a single
+    #: ``_raw_points`` pair list).
+    state_version = 2
     _STATE_FIELDS = (
         "_first_point",
         "_last_point",
@@ -133,7 +152,8 @@ class SlideFilter(StreamFilter):
         "_upper",
         "_lower",
         "_hulls",
-        "_raw_points",
+        "_raw_times",
+        "_raw_values",
         "_n",
         "_sum_t",
         "_sum_tt",
@@ -167,9 +187,14 @@ class SlideFilter(StreamFilter):
         self._upper: Optional[List[Line]] = None
         self._lower: Optional[List[Line]] = None
         self._hulls: Optional[List[IncrementalConvexHull]] = None
-        #: Buffered interval points as ``(time, value-vector)`` pairs (only
-        #: kept when connection validation or the non-hull variant needs them).
-        self._raw_points: Optional[List[Tuple[float, np.ndarray]]] = None
+        #: Buffered interval points as parallel time / value-vector lists
+        #: (only kept when connection validation or the non-hull variant
+        #: needs them).
+        self._raw_times: Optional[List[float]] = None
+        self._raw_values: Optional[List[np.ndarray]] = None
+        #: Per-interval cache of the bounding lines' slope/intercept arrays
+        #: (derived from ``_upper``/``_lower``; dropped on any bound change).
+        self._bound_cache: Optional[Tuple[np.ndarray, ...]] = None
         # Raw moments for the MSE-optimal slope through an arbitrary pivot.
         self._n = 0
         self._sum_t = 0.0
@@ -202,6 +227,11 @@ class SlideFilter(StreamFilter):
         self.connect_segments = config["connect_segments"]
         self.validate_connections = config["validate_connections"]
 
+    def _state_restored(self) -> None:
+        # The slope/intercept cache is derived from ``_upper``/``_lower``,
+        # which a restore just replaced wholesale.
+        self._bound_cache = None
+
     # ------------------------------------------------------------------ #
     # StreamFilter hooks
     # ------------------------------------------------------------------ #
@@ -233,21 +263,26 @@ class SlideFilter(StreamFilter):
         Per-point Python work only happens at *events*: points that violate a
         bound or force a bound to slide onto a new support point.  All points
         in between ("silent" points) are detected with one vectorized scan of
-        the remaining chunk against the current bounding lines and absorbed in
-        bulk: their hull insertions run in one tight loop per dimension (the
-        hull state only depends on the insertion order, which is preserved)
-        and the MSE moments are accumulated with sequential ``np.cumsum``
-        scans matching the per-point addition order bit for bit.
+        the remaining chunk against the current bounding lines (coefficients
+        cached per interval, kernels shared with the swing filter) and
+        absorbed in bulk: their hull insertions run as one vectorized
+        :meth:`IncrementalConvexHull.add_many` per dimension (the hull state
+        only depends on the insertion order, which is preserved) and the MSE
+        moments are accumulated with strict left folds matching the per-point
+        addition order bit for bit.
 
         Bound updates are sequential by nature (each one moves the lines the
         next acceptance test uses), so stretches where almost every point is
         an event would pay for a vectorized probe and then discard it.  The
         loop therefore runs in two modes: *probing* mode scans a
         geometrically growing lookahead window for the next event and absorbs
-        the silent points in bulk; after consecutive immediate events it
-        drops into *scalar* mode, which steps point by point exactly like
-        :meth:`_feed_point` and returns to probing once a few silent points
-        in a row suggest the event cluster has ended.
+        the silent points in bulk; when probes keep finding their event after
+        only a few points it drops into *scalar* mode.  For 1-D hull-mode
+        streams scalar mode is the float-native :meth:`_scalar_run_1d` core
+        (per-point semantics at a fraction of the per-point cost); other
+        configurations step through :meth:`_feed_point`'s logic directly.
+        Scalar mode returns to probing once a long silent streak suggests
+        bulk absorption will win again.
         """
         if self.max_lag is not None or self._locked_lines is not None:
             # Bounded-lag bookkeeping is inherently sequential.
@@ -257,9 +292,11 @@ class SlideFilter(StreamFilter):
         total = times.shape[0]
         position = 0
         window = _INITIAL_WINDOW
-        scalar_mode = False
+        fast_1d = values.shape[1] == 1 and self.use_convex_hull
+        scalar_mode = fast_1d
         immediate_events = 0
         silent_streak = 0
+        time_list = value_list = None
         while position < total:
             if self._first_point is None:
                 self._begin_interval(DataPoint(float(times[position]), values[position]))
@@ -272,6 +309,17 @@ class SlideFilter(StreamFilter):
                 position += 1
                 continue
             if scalar_mode:
+                if fast_1d:
+                    if time_list is None:
+                        time_list = times.tolist()
+                        value_list = values[:, 0].tolist()
+                    position, probe = self._scalar_run_1d(
+                        values, time_list, value_list, position
+                    )
+                    if probe:
+                        scalar_mode = False
+                        window = _INITIAL_WINDOW
+                    continue
                 point = DataPoint(float(times[position]), values[position])
                 if self._accepts(point):
                     changed = self._update_bounds(point)
@@ -292,21 +340,26 @@ class SlideFilter(StreamFilter):
             stop = min(position + window, total)
             ts = times[position:stop]
             xs = values[position:stop]
-            upper_slopes = np.array([line.slope for line in self._upper])
-            upper_intercepts = np.array([line.intercept for line in self._upper])
-            lower_slopes = np.array([line.slope for line in self._lower])
-            lower_intercepts = np.array([line.intercept for line in self._lower])
-            # Same arithmetic as Line.value_at (slope * t + intercept).
-            upper_values = ts[:, None] * upper_slopes + upper_intercepts
-            lower_values = ts[:, None] * lower_slopes + lower_intercepts
-            violates = np.any(xs > upper_values + epsilon, axis=1) | np.any(
-                xs < lower_values - epsilon, axis=1
+            upper_slopes, upper_intercepts, lower_slopes, lower_intercepts = (
+                self._bound_coefficients()
             )
-            needs_update = np.any(xs > lower_values + epsilon, axis=1) | np.any(
-                xs < upper_values - epsilon, axis=1
-            )
+            if fast_1d:
+                # 1-D slices and scalar coefficients: same elementwise IEEE
+                # arithmetic as the generic kernels, ~4x fewer dispatches.
+                xs1 = xs[:, 0]
+                upper_values = ts * upper_slopes[0] + upper_intercepts[0]
+                lower_values = ts * lower_slopes[0] + lower_intercepts[0]
+                violates, needs_update = kernels.slide_event_masks_1d(
+                    xs1, upper_values, lower_values, epsilon[0]
+                )
+            else:
+                upper_values = kernels.evaluate_lines(ts, upper_slopes, upper_intercepts)
+                lower_values = kernels.evaluate_lines(ts, lower_slopes, lower_intercepts)
+                violates, needs_update = kernels.slide_event_masks(
+                    xs, upper_values, lower_values, epsilon
+                )
             event = violates | needs_update
-            run = int(np.argmax(event)) if bool(event.any()) else len(ts)
+            run = kernels.first_true(event)
             if run > 0:
                 self._absorb_run(ts[:run], xs[:run])
             if run == len(ts):
@@ -324,7 +377,10 @@ class SlideFilter(StreamFilter):
                 self._absorb(point)
             position += run + 1
             window = _INITIAL_WINDOW
-            if run == 0:
+            if fast_1d:
+                if run < _SCALAR_ENTER_RUN:
+                    scalar_mode = True
+            elif run == 0:
                 immediate_events += 1
                 if immediate_events >= _SCALAR_ENTER_EVENTS:
                     scalar_mode = True
@@ -333,27 +389,143 @@ class SlideFilter(StreamFilter):
             else:
                 immediate_events = 0
 
+    def _scalar_run_1d(
+        self,
+        values: np.ndarray,
+        time_list: List[float],
+        value_list: List[float],
+        start: int,
+    ) -> Tuple[int, bool]:
+        """Float-native event loop for 1-D hull-mode streams.
+
+        Mirrors the per-point path expression for expression — the acceptance
+        test of :meth:`_accepts`, the hull insertion and tangent updates of
+        :meth:`_update_bounds`, the moment accumulation of :meth:`_absorb` —
+        but on plain Python floats with the bounding lines unpacked into
+        slope/intercept scalars, so an event-dense stretch costs interpreter
+        arithmetic instead of the full ``DataPoint``/numpy-scalar machinery.
+        Python floats and numpy float64 are the same IEEE-754 doubles and
+        every expression keeps the reference operand order, so the recordings
+        stay bit-identical.
+
+        Requires open bounds, hull mode, one dimension and no bounded-lag
+        state.  Violations finalize and restart the interval inline (the
+        caller's bootstrap branch then re-opens the bounds).  Returns
+        ``(next_position, switch_to_probing)``.
+        """
+        eps = float(self._epsilon_array()[0])
+        upper_line = self._upper[0]
+        lower_line = self._lower[0]
+        upper_slope = float(upper_line.slope)
+        upper_intercept = float(upper_line.intercept)
+        lower_slope = float(lower_line.slope)
+        lower_intercept = float(lower_line.intercept)
+        hull = self._hulls[0]
+        hull_add = hull.add
+        raw_times = self._raw_times
+        time_append = raw_times.append if raw_times is not None else None
+        value_append = self._raw_values.append if raw_times is not None else None
+        sum_t = self._sum_t
+        sum_tt = self._sum_tt
+        sum_x = float(self._sum_x[0])
+        sum_xt = float(self._sum_xt[0])
+        n = self._n
+        interval_points = self._interval_points
+        total = len(time_list)
+        position = start
+        last_index = -1
+        silent_streak = 0
+        switch = False
+        violation_at = -1
+        while position < total:
+            t = time_list[position]
+            x = value_list[position]
+            upper_value = upper_slope * t + upper_intercept
+            lower_value = lower_slope * t + lower_intercept
+            if x > upper_value + eps or x < lower_value - eps:
+                violation_at = position
+                break
+            hull_add(t, x)
+            updated = False
+            if x > lower_value + eps:
+                chain_t, chain_x = hull.lower_chain()
+                lower_line = max_slope_lower_tangent(
+                    chain_t, chain_x, t, x, eps, current=lower_line
+                )
+                lower_slope = float(lower_line.slope)
+                lower_intercept = float(lower_line.intercept)
+                updated = True
+            if x < upper_value - eps:
+                chain_t, chain_x = hull.upper_chain()
+                upper_line = min_slope_upper_tangent(
+                    chain_t, chain_x, t, x, eps, current=upper_line
+                )
+                upper_slope = float(upper_line.slope)
+                upper_intercept = float(upper_line.intercept)
+                updated = True
+            n += 1
+            interval_points += 1
+            sum_t += t
+            sum_tt += t * t
+            sum_x += x
+            sum_xt += x * t
+            if time_append is not None:
+                time_append(t)
+                value_append(x)
+            last_index = position
+            position += 1
+            if updated:
+                silent_streak = 0
+            else:
+                silent_streak += 1
+                if silent_streak >= _PROBE_ENTER_STREAK and position < total:
+                    switch = True
+                    break
+        # Write the scalars back into the filter state before anything that
+        # reads it (finalize below, or the caller's next action).
+        self._upper[0] = upper_line
+        self._lower[0] = lower_line
+        self._bound_cache = None
+        self._sum_t = sum_t
+        self._sum_tt = sum_tt
+        self._sum_x = np.array([sum_x])
+        self._sum_xt = np.array([sum_xt])
+        self._n = n
+        self._interval_points = interval_points
+        if last_index >= 0:
+            self._last_point = DataPoint(time_list[last_index], values[last_index])
+        if violation_at >= 0:
+            point = DataPoint(time_list[violation_at], values[violation_at])
+            self._finalize_interval(connect=self.connect_segments)
+            self._begin_interval(point)
+            return violation_at + 1, False
+        return position, switch
+
     def _absorb_run(self, ts: np.ndarray, xs: np.ndarray) -> None:
-        """Bulk equivalent of :meth:`_absorb` for a run of silent points."""
+        """Bulk equivalent of :meth:`_absorb` for a run of silent points.
+
+        Moments are folded left in per-point order (bit-identical, bounded
+        temporaries) and the hull insertions run as one vectorized
+        :meth:`IncrementalConvexHull.add_many` per dimension.
+        """
         count = ts.shape[0]
-        time_list = ts.tolist()
-        self._last_point = DataPoint(time_list[-1], xs[-1])
+        self._last_point = DataPoint(float(ts[-1]), xs[-1])
         self._interval_points += count
         self._n += count
-        self._sum_t = float(np.cumsum(np.concatenate(([self._sum_t], ts)))[-1])
-        self._sum_tt = float(np.cumsum(np.concatenate(([self._sum_tt], ts * ts)))[-1])
-        # .copy(): keep the (d,) rows, not views pinning the whole scan temps.
-        self._sum_x = np.cumsum(np.vstack([self._sum_x[None, :], xs]), axis=0)[-1].copy()
-        self._sum_xt = np.cumsum(
-            np.vstack([self._sum_xt[None, :], xs * ts[:, None]]), axis=0
-        )[-1].copy()
-        if self._raw_points is not None:
-            self._raw_points.extend(zip(time_list, xs))
+        self._sum_t, self._sum_tt, self._sum_x, self._sum_xt = (
+            kernels.fold_left_moment_sums(
+                self._sum_t, self._sum_tt, self._sum_x, self._sum_xt, ts, xs
+            )
+        )
+        if self._raw_times is not None:
+            self._raw_times.extend(ts.tolist())
+            if xs.shape[1] == 1:
+                self._raw_values.extend(xs[:, 0].tolist())
+            else:
+                self._raw_values.extend(xs)
         if self._hulls is not None:
             for dimension, hull in enumerate(self._hulls):
-                column = xs[:, dimension].tolist()
-                for index in range(count):
-                    hull.add(time_list[index], column[index])
+                hull.add_many(ts, xs[:, dimension])
 
     def _finish_stream(self) -> None:
         if self._locked_lines is not None:
@@ -383,11 +555,17 @@ class SlideFilter(StreamFilter):
         self._upper = None
         self._lower = None
         self._hulls = None
-        self._raw_points = (
-            [(point.time, point.value)]
-            if (self.validate_connections or not self.use_convex_hull)
-            else None
-        )
+        self._bound_cache = None
+        if self.validate_connections or not self.use_convex_hull:
+            # 1-D streams buffer plain floats (cheap appends in the batch hot
+            # path); multi-dimensional streams buffer the value vectors.
+            self._raw_times = [point.time]
+            self._raw_values = [
+                point.value[0] if point.value.shape[0] == 1 else point.value
+            ]
+        else:
+            self._raw_times = None
+            self._raw_values = None
         self._n = 1
         self._sum_t = point.time
         self._sum_tt = point.time * point.time
@@ -418,6 +596,7 @@ class SlideFilter(StreamFilter):
                 self._hulls[i].add(second.time, second.component(i))
         else:
             self._hulls = None
+        self._bound_cache = None
 
     def _absorb(self, point: DataPoint) -> None:
         """Account for an accepted point (moments, buffers, lag bookkeeping)."""
@@ -428,8 +607,11 @@ class SlideFilter(StreamFilter):
         self._sum_tt += point.time * point.time
         self._sum_x = self._sum_x + point.value
         self._sum_xt = self._sum_xt + point.value * point.time
-        if self._raw_points is not None:
-            self._raw_points.append((point.time, point.value))
+        if self._raw_times is not None:
+            self._raw_times.append(point.time)
+            self._raw_values.append(
+                point.value[0] if point.value.shape[0] == 1 else point.value
+            )
         if self.max_lag is not None and self._interval_points >= self.max_lag:
             self._lock_segment()
 
@@ -446,6 +628,10 @@ class SlideFilter(StreamFilter):
     def _update_bounds(self, point: DataPoint) -> bool:
         """Slide the bounds so they stay extremal after accepting ``point``.
 
+        With the hull optimization the replacement bound is found by an
+        O(log m_H) tangent binary search over the relevant hull chain; the
+        non-optimized variant scans every buffered interval point.
+
         Returns whether any bounding line actually moved (used by the batch
         path to decide when a dense stretch of update events has ended).
         """
@@ -454,7 +640,23 @@ class SlideFilter(StreamFilter):
         for i in range(point.dimensions):
             value = point.component(i)
             if self.use_convex_hull:
-                self._hulls[i].add(point.time, value)
+                hull = self._hulls[i]
+                hull.add(point.time, value)
+                if value > self._lower[i].value_at(point.time) + epsilon[i]:
+                    chain_t, chain_x = hull.lower_chain()
+                    self._lower[i] = max_slope_lower_tangent(
+                        chain_t, chain_x, point.time, value, epsilon[i],
+                        current=self._lower[i],
+                    )
+                    changed = True
+                if value < self._upper[i].value_at(point.time) - epsilon[i]:
+                    chain_t, chain_x = hull.upper_chain()
+                    self._upper[i] = min_slope_upper_tangent(
+                        chain_t, chain_x, point.time, value, epsilon[i],
+                        current=self._upper[i],
+                    )
+                    changed = True
+                continue
             support = self._support_points(i)
             if value > self._lower[i].value_at(point.time) + epsilon[i]:
                 self._lower[i] = max_slope_lower_line(
@@ -466,12 +668,37 @@ class SlideFilter(StreamFilter):
                     support, point.time, value, epsilon[i], current=self._upper[i]
                 )
                 changed = True
+        if changed:
+            self._bound_cache = None
         return changed
+
+    def _bound_coefficients(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Slope/intercept arrays of the current bounds, cached per interval."""
+        if self._bound_cache is None:
+            self._bound_cache = (
+                np.array([line.slope for line in self._upper]),
+                np.array([line.intercept for line in self._upper]),
+                np.array([line.slope for line in self._lower]),
+                np.array([line.intercept for line in self._lower]),
+            )
+        return self._bound_cache
+
+    def _raw_value_matrix(self) -> np.ndarray:
+        """Buffered interval values as an ``(n, d)`` array."""
+        values = np.asarray(self._raw_values)
+        if values.ndim == 1:
+            return values.reshape(-1, 1)
+        return values
 
     def _support_points(self, dimension: int) -> Sequence[Tuple[float, float]]:
         if self.use_convex_hull:
             return self._hulls[dimension].vertices()
-        return [(t, float(v[dimension])) for t, v in self._raw_points]
+        if self._dimensions == 1:
+            return list(zip(self._raw_times, self._raw_values))
+        return [
+            (t, float(v[dimension]))
+            for t, v in zip(self._raw_times, self._raw_values)
+        ]
 
     # ------------------------------------------------------------------ #
     # Recording mechanism
@@ -505,7 +732,11 @@ class SlideFilter(StreamFilter):
             start_time=segment_start,
             end_time=self._last_point.time,
             min_connection_time=max(segment_start, self._previous_interval_end),
-            points=list(self._raw_points) if self._raw_points is not None else None,
+            points=(
+                (np.asarray(self._raw_times), self._raw_value_matrix())
+                if self._raw_times is not None
+                else None
+            ),
         )
         self._previous_interval_end = self._last_point.time
         return lines, connected
@@ -773,19 +1004,26 @@ class SlideFilter(StreamFilter):
 
         Only active when ``validate_connections`` is set.  The joined segment
         ``gᵏ`` takes over the tail of interval k-1 (points later than the
-        connection time) and all of interval k, so both sets are re-checked.
+        connection time) and all of interval k, so both sets are re-checked —
+        in one vectorized kernel sweep instead of a per-point loop.
         """
-        if not self.validate_connections or prev.points is None or self._raw_points is None:
+        if not self.validate_connections or prev.points is None or self._raw_times is None:
             return True
         epsilon = self._epsilon_array()
-        tail = [entry for entry in prev.points if entry[0] > connection_time]
-        for time, value in tail + self._raw_points:
-            for i in range(self._dimensions):
-                component = float(value[i])
-                slack = _VALIDATION_SLACK * (1.0 + abs(component) + epsilon[i])
-                if abs(lines[i].value_at(time) - component) > epsilon[i] + slack:
-                    return False
-        return True
+        prev_times, prev_values = prev.points
+        tail = prev_times > connection_time
+        times = np.concatenate([prev_times[tail], np.asarray(self._raw_times)])
+        if times.size == 0:
+            return True
+        values = np.concatenate(
+            [prev_values[tail], self._raw_value_matrix()], axis=0
+        )
+        slopes = np.array([line.slope for line in lines])
+        intercepts = np.array([line.intercept for line in lines])
+        within = kernels.within_epsilon_mask(
+            times, values, slopes, intercepts, epsilon, _VALIDATION_SLACK
+        )
+        return bool(within.all())
 
     def _flush_previous_segment(self) -> None:
         """Emit the pending end recording of ``gᵏ⁻¹`` (disconnected case)."""
@@ -816,6 +1054,7 @@ class SlideFilter(StreamFilter):
         self._first_point = None
         self._upper = None
         self._lower = None
+        self._bound_cache = None
 
     def _feed_locked(self, point: DataPoint) -> None:
         epsilon = self._epsilon_array()

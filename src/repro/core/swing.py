@@ -20,6 +20,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.base import StreamFilter
 from repro.core.types import DataPoint, RecordingKind
 
@@ -136,8 +137,9 @@ class SwingFilter(StreamFilter):
         position are prefix min/max scans over those candidates, so the first
         violating point of each filtering interval is found without a Python
         loop.  The Python loop below runs once per *recording*, not once per
-        point.  The MSE sums are accumulated with ``np.cumsum`` (a sequential
-        scan), matching the per-point addition order bit for bit.
+        point.  The arithmetic lives in :mod:`repro.core.kernels` (shared
+        with the slide filter); the MSE sums are accumulated with strict
+        left folds matching the per-point addition order bit for bit.
 
         The scan advances through the chunk in a geometrically growing
         lookahead window (reset at every violation): candidate slopes are only
@@ -164,9 +166,9 @@ class SwingFilter(StreamFilter):
             stop = min(position + window, total)
             ts = times[position:stop]
             xs = values[position:stop]
-            dt = ts - self._anchor_time
-            upper_candidates = (xs + epsilon - self._anchor_value) / dt[:, None]
-            lower_candidates = (xs - epsilon - self._anchor_value) / dt[:, None]
+            dt, upper_candidates, lower_candidates = kernels.swing_candidate_slopes(
+                ts, xs, self._anchor_time, self._anchor_value, epsilon
+            )
             dims = upper_candidates.shape[1]
             carried_upper = (
                 self._upper_slope if self._upper_slope is not None else np.full(dims, np.inf)
@@ -179,31 +181,22 @@ class SwingFilter(StreamFilter):
             # open bounds the +/-inf seeds make the first point uncheckable —
             # exactly the always-accepted bounds-opening point of the
             # per-point path.
-            bound_upper = np.minimum.accumulate(
-                np.vstack([carried_upper[None, :], upper_candidates]), axis=0
-            )[:-1]
-            bound_lower = np.maximum.accumulate(
-                np.vstack([carried_lower[None, :], lower_candidates]), axis=0
-            )[:-1]
-            accepted = np.all(lower_candidates <= bound_upper, axis=1) & np.all(
-                upper_candidates >= bound_lower, axis=1
+            bound_upper, bound_lower = kernels.swing_running_bounds(
+                carried_upper, carried_lower, upper_candidates, lower_candidates
             )
-            run = len(accepted) if bool(accepted.all()) else int(np.argmin(accepted))
+            run = kernels.swing_first_rejection(
+                upper_candidates, lower_candidates, bound_upper, bound_lower
+            )
             if run > 0:
                 self._upper_slope = np.minimum(bound_upper[run - 1], upper_candidates[run - 1])
                 self._lower_slope = np.maximum(bound_lower[run - 1], lower_candidates[run - 1])
                 contributions = (xs[:run] - self._anchor_value) * dt[:run, None]
                 initial = self._sum_xt if self._sum_xt is not None else np.zeros(dims)
-                # .copy(): keep the (d,) row, not a view pinning the whole scan temp.
-                self._sum_xt = np.cumsum(
-                    np.vstack([initial[None, :], contributions]), axis=0
-                )[-1].copy()
-                self._sum_tt = float(
-                    np.cumsum(np.concatenate(([self._sum_tt], dt[:run] * dt[:run])))[-1]
-                )
+                self._sum_xt = kernels.fold_left_sum_rows(initial, contributions)
+                self._sum_tt = kernels.fold_left_sum(self._sum_tt, dt[:run] * dt[:run])
                 self._interval_points += run
                 self._last_point = DataPoint(float(ts[run - 1]), xs[run - 1])
-            if run == len(accepted):
+            if run == ts.shape[0]:
                 # No violation inside the window: widen the lookahead.
                 position = stop
                 window *= 2

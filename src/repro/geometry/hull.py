@@ -8,17 +8,40 @@ monotone-chain ("Andrew") incremental update: the new point is appended to
 both the upper and the lower chain and previously inserted vertices that no
 longer form a convex turn are popped from the tail.
 
-Amortised cost is O(1) per point; each point is pushed and popped at most once
-per chain.
+The chains are stored as preallocated numpy arrays (``t`` and ``x`` columns
+per chain), not Python tuple lists: the slide filter's batch path inserts
+whole runs of points at once through :meth:`IncrementalConvexHull.add_many`,
+whose monotone-chain pops are computed with *array* cross-products — each
+pass removes every vertex whose tail triple makes the wrong turn in one
+vectorized sweep, so a silent run costs no per-point Python dispatch.  The
+array layout also lets the tangent searches in :mod:`repro.geometry.tangents`
+binary-search the chains directly (O(log m_H) per bound update).
+
+Amortised cost is O(1) per point either way; each point is pushed and popped
+at most once per chain.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, List, Sequence, Tuple
 
+import numpy as np
+
 __all__ = ["IncrementalConvexHull", "cross_product"]
 
 Point = Tuple[float, float]
+
+#: Initial capacity of a chain's coordinate arrays.
+_INITIAL_CAPACITY = 16
+
+#: Pending flushes up to this many points walk a Python-list monotone chain
+#: (cheap pops/appends, one array store at the end); the vectorized
+#: cross-product merge only wins beyond it.
+_SCALAR_MERGE_LIMIT = 128
+
+#: Deferred bulk appends are merged eagerly once this many points are
+#: pending, bounding the staging memory of quiet stretches.
+_PENDING_FLUSH_LIMIT = 8192
 
 
 def cross_product(o: Point, a: Point, b: Point) -> float:
@@ -28,6 +51,36 @@ def cross_product(o: Point, a: Point, b: Point) -> float:
     negative values a clockwise turn, and zero that they are collinear.
     """
     return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+
+def _merge_chain(
+    times: np.ndarray, values: np.ndarray, keep_turn: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Reduce a time-sorted point sequence to its convex chain, vectorized.
+
+    Repeatedly removes every interior point whose triple
+    ``(p[i-1], p[i], p[i+1])`` does not make a strictly convex turn
+    (``cross * keep_turn > 0``), all at once per pass.  Removing such a point
+    is always safe — it lies on the wrong side of the segment joining two
+    other points of the set, so it cannot be a strict hull vertex — and when
+    no removable point remains the sequence *is* the convex chain, so the
+    fixed point equals the sequential monotone-chain result.  Each pass is one
+    array cross-product sweep; real signals converge in a handful of passes.
+    """
+    while times.shape[0] >= 3:
+        # cross(p[i-1], p[i], p[i+1]) for every interior index i, with the
+        # exact cross_product() expression.
+        cross = (times[1:-1] - times[:-2]) * (values[2:] - values[:-2]) - (
+            values[1:-1] - values[:-2]
+        ) * (times[2:] - times[:-2])
+        bad = keep_turn * cross <= 0.0
+        if not bad.any():
+            break
+        keep = np.ones(times.shape[0], dtype=bool)
+        keep[1:-1] = ~bad
+        times = times[keep]
+        values = values[keep]
+    return times, values
 
 
 class IncrementalConvexHull:
@@ -41,13 +94,30 @@ class IncrementalConvexHull:
       below.
 
     The interface is intentionally small: :meth:`add` to append the next point
-    in time order, plus read-only views of the chains used by the slide
-    filter's tangent searches.
+    in time order, :meth:`add_many` for a bulk append of a time-sorted run,
+    plus read-only views of the chains used by the slide filter's tangent
+    searches.
     """
 
     def __init__(self, points: Iterable[Point] = ()) -> None:
-        self._upper: List[Point] = []
-        self._lower: List[Point] = []
+        self._upper_t = np.empty(_INITIAL_CAPACITY)
+        self._upper_x = np.empty(_INITIAL_CAPACITY)
+        self._upper_len = 0
+        self._lower_t = np.empty(_INITIAL_CAPACITY)
+        self._lower_x = np.empty(_INITIAL_CAPACITY)
+        self._lower_len = 0
+        #: Bulk appends accepted but not yet merged into the chains (lists of
+        #: time/value arrays).  Merging costs one vectorized sweep regardless
+        #: of how many runs accumulated, so it is deferred until a chain is
+        #: actually read — consecutive silent runs then share one merge.
+        self._pending_t: List[np.ndarray] = []
+        self._pending_x: List[np.ndarray] = []
+        self._pending_count = 0
+        #: Cached last two vertices of each chain as plain floats
+        #: ``[t_-2, x_-2, t_-1, x_-1]`` (``None`` when stale or < 2 vertices):
+        #: the no-pop turn test in :meth:`add` then needs no array reads.
+        self._upper_tail: List[float] | None = None
+        self._lower_tail: List[float] | None = None
         self._count = 0
         self._last_time: float | None = None
         for t, x in points:
@@ -68,35 +138,245 @@ class IncrementalConvexHull:
                 f"hull points must have strictly increasing time; got {t!r} "
                 f"after {self._last_time!r}"
             )
-        self._last_time = t
-        point = (t, x)
-        self._append(self._upper, point, keep_turn=-1)
-        self._append(self._lower, point, keep_turn=+1)
+        if self._pending_t:
+            self._flush()
+        self._last_time = t = float(t)
+        x = float(x)
+        # Both chains inline: the classic monotone-chain update — pop the
+        # tail while the triple (chain[-2], chain[-1], new) does not make a
+        # strictly convex turn — on plain Python floats.  The cached tail
+        # makes the common no-pop append array-read free (this is the slide
+        # filter's per-point hot path).
+        times = self._upper_t
+        values = self._upper_x
+        length = self._upper_len
+        tail = self._upper_tail
+        if length >= 2:
+            if tail is None:
+                item_t = times.item
+                item_x = values.item
+                tail = [
+                    item_t(length - 2), item_x(length - 2),
+                    item_t(length - 1), item_x(length - 1),
+                ]
+            o_t, o_x, a_t, a_x = tail
+            # Keep clockwise turns: cross(chain[-2], chain[-1], new) < 0.
+            if (a_t - o_t) * (x - o_x) - (a_x - o_x) * (t - o_t) < 0.0:
+                tail[0] = a_t
+                tail[1] = a_x
+                tail[2] = t
+                tail[3] = x
+                self._upper_tail = tail
+            else:
+                length -= 1
+                a_t, a_x = o_t, o_x
+                item_t = times.item
+                item_x = values.item
+                while length >= 2:
+                    o_t = item_t(length - 2)
+                    o_x = item_x(length - 2)
+                    if (a_t - o_t) * (x - o_x) - (a_x - o_x) * (t - o_t) < 0.0:
+                        break
+                    length -= 1
+                    a_t, a_x = o_t, o_x
+                self._upper_tail = [a_t, a_x, t, x] if length >= 1 else None
+        else:
+            self._upper_tail = (
+                [times.item(0), values.item(0), t, x] if length == 1 else None
+            )
+        if length == times.shape[0]:
+            times, values = self._grow("_upper", 2 * length)
+        times[length] = t
+        values[length] = x
+        self._upper_len = length + 1
+        times = self._lower_t
+        values = self._lower_x
+        length = self._lower_len
+        tail = self._lower_tail
+        if length >= 2:
+            if tail is None:
+                item_t = times.item
+                item_x = values.item
+                tail = [
+                    item_t(length - 2), item_x(length - 2),
+                    item_t(length - 1), item_x(length - 1),
+                ]
+            o_t, o_x, a_t, a_x = tail
+            # Keep counter-clockwise turns: cross(...) > 0.
+            if (a_t - o_t) * (x - o_x) - (a_x - o_x) * (t - o_t) > 0.0:
+                tail[0] = a_t
+                tail[1] = a_x
+                tail[2] = t
+                tail[3] = x
+                self._lower_tail = tail
+            else:
+                length -= 1
+                a_t, a_x = o_t, o_x
+                item_t = times.item
+                item_x = values.item
+                while length >= 2:
+                    o_t = item_t(length - 2)
+                    o_x = item_x(length - 2)
+                    if (a_t - o_t) * (x - o_x) - (a_x - o_x) * (t - o_t) > 0.0:
+                        break
+                    length -= 1
+                    a_t, a_x = o_t, o_x
+                self._lower_tail = [a_t, a_x, t, x] if length >= 1 else None
+        else:
+            self._lower_tail = (
+                [times.item(0), values.item(0), t, x] if length == 1 else None
+            )
+        if length == times.shape[0]:
+            times, values = self._grow("_lower", 2 * length)
+        times[length] = t
+        values[length] = x
+        self._lower_len = length + 1
         self._count += 1
 
-    @staticmethod
-    def _append(chain: List[Point], point: Point, keep_turn: int) -> None:
-        """Append ``point`` to ``chain`` keeping only convex turns.
+    def _merge_small(
+        self, prefix: str, keep_turn: float, time_list: List[float], value_list: List[float]
+    ) -> None:
+        """Walk a short pending batch into one chain on Python lists.
 
-        Args:
-            chain: The upper or lower chain, ordered by time.
-            point: The new point (later than everything in ``chain``).
-            keep_turn: ``-1`` to keep clockwise turns (upper chain), ``+1`` to
-                keep counter-clockwise turns (lower chain).
+        The classic monotone-chain stack on list floats (pops and appends are
+        a few tens of nanoseconds each), stored back into the chain arrays
+        with two slice writes at the end.
         """
-        chain.append(point)
-        while len(chain) >= 3:
-            turn = cross_product(chain[-3], chain[-2], chain[-1])
-            if turn * keep_turn > 0.0:
-                break
-            # The middle vertex is no longer on the hull (wrong turn or
-            # collinear); drop it and re-examine the new tail triple.
-            del chain[-2]
+        length = getattr(self, prefix + "_len")
+        chain_times = getattr(self, prefix + "_t")
+        chain_values = getattr(self, prefix + "_x")
+        stack_t = chain_times[:length].tolist()
+        stack_x = chain_values[:length].tolist()
+        pop_t = stack_t.pop
+        pop_x = stack_x.pop
+        push_t = stack_t.append
+        push_x = stack_x.append
+        for t, x in zip(time_list, value_list):
+            size = len(stack_t)
+            while size >= 2:
+                o_t = stack_t[size - 2]
+                o_x = stack_x[size - 2]
+                turn = (stack_t[size - 1] - o_t) * (x - o_x) - (
+                    stack_x[size - 1] - o_x
+                ) * (t - o_t)
+                if turn * keep_turn > 0.0:
+                    break
+                pop_t()
+                pop_x()
+                size -= 1
+            push_t(t)
+            push_x(x)
+        size = len(stack_t)
+        if size > chain_times.shape[0]:
+            chain_times, chain_values = self._grow(prefix, 2 * size)
+        chain_times[:size] = stack_t
+        chain_values[:size] = stack_x
+        setattr(self, prefix + "_len", size)
+
+    def _grow(self, prefix: str, capacity: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Grow one chain's coordinate arrays to ``capacity`` slots."""
+        times = np.empty(capacity)
+        values = np.empty(capacity)
+        old_t = getattr(self, prefix + "_t")
+        old_x = getattr(self, prefix + "_x")
+        copy = min(old_t.shape[0], capacity)
+        times[:copy] = old_t[:copy]
+        values[:copy] = old_x[:copy]
+        setattr(self, prefix + "_t", times)
+        setattr(self, prefix + "_x", values)
+        return times, values
+
+    def add_many(self, times, values) -> None:
+        """Bulk-append a run of points with strictly increasing times.
+
+        Equivalent to ``for t, x in zip(times, values): hull.add(t, x)`` —
+        both reduce to the strictly convex chain over the same point sequence
+        — but the monotone-chain pops run as array cross-product sweeps
+        (:func:`_merge_chain`), so the amortized cost per point carries no
+        Python dispatch.  The merge itself is deferred until a chain is read:
+        consecutive bulk appends share one sweep.
+
+        Raises:
+            ValueError: If the times are not strictly increasing or do not
+                all exceed the previously added point's time.
+        """
+        # np.array (not asarray): the caller's arrays are typically views of
+        # a whole ingestion chunk, and a retained view would pin the chunk in
+        # memory until the next chain read.
+        times = np.array(times, dtype=float)
+        values = np.array(values, dtype=float)
+        if times.ndim != 1 or values.shape != times.shape:
+            raise ValueError("add_many expects matching 1-D time/value arrays")
+        count = times.shape[0]
+        if count == 0:
+            return
+        if self._last_time is not None and times[0] <= self._last_time:
+            raise ValueError(
+                f"hull points must have strictly increasing time; got "
+                f"{float(times[0])!r} after {self._last_time!r}"
+            )
+        if count > 1 and not bool(np.all(times[1:] > times[:-1])):
+            raise ValueError("hull points must have strictly increasing time")
+        self._pending_t.append(times)
+        self._pending_x.append(values)
+        self._pending_count += count
+        self._count += count
+        self._last_time = float(times[-1])
+        if self._pending_count >= _PENDING_FLUSH_LIMIT:
+            # Keep the deferred buffer bounded: without this, a long quiet
+            # filtering interval would retain O(interval) points where the
+            # hull's contract is O(m_H) vertices plus a bounded staging area.
+            self._flush()
+
+    def _flush(self) -> None:
+        """Merge the pending bulk appends into the chain arrays.
+
+        Short pendings walk the scalar monotone-chain append (the vectorized
+        sweeps cost ~10 numpy dispatches per pass regardless of size); long
+        ones run the array cross-product merge.
+        """
+        pending_t = self._pending_t
+        if not pending_t:
+            return
+        pending_x = self._pending_x
+        times = pending_t[0] if len(pending_t) == 1 else np.concatenate(pending_t)
+        values = pending_x[0] if len(pending_x) == 1 else np.concatenate(pending_x)
+        self._pending_t = []
+        self._pending_x = []
+        self._pending_count = 0
+        self._upper_tail = None
+        self._lower_tail = None
+        if times.shape[0] <= _SCALAR_MERGE_LIMIT:
+            time_list = times.tolist()
+            value_list = values.tolist()
+            self._merge_small("_upper", -1.0, time_list, value_list)
+            self._merge_small("_lower", +1.0, time_list, value_list)
+            return
+        for prefix, length, keep_turn in (
+            ("_upper", self._upper_len, -1.0),
+            ("_lower", self._lower_len, +1.0),
+        ):
+            chain_t = getattr(self, prefix + "_t")
+            chain_x = getattr(self, prefix + "_x")
+            merged_t = np.concatenate([chain_t[:length], times])
+            merged_x = np.concatenate([chain_x[:length], values])
+            merged_t, merged_x = _merge_chain(merged_t, merged_x, keep_turn)
+            size = merged_t.shape[0]
+            if size > chain_t.shape[0]:
+                chain_t, chain_x = self._grow(prefix, max(2 * size, _INITIAL_CAPACITY))
+            chain_t[:size] = merged_t
+            chain_x[:size] = merged_x
+            setattr(self, prefix + "_len", size)
 
     def clear(self) -> None:
         """Forget all points (start of a new filtering interval)."""
-        self._upper.clear()
-        self._lower.clear()
+        self._upper_len = 0
+        self._lower_len = 0
+        self._pending_t = []
+        self._pending_x = []
+        self._pending_count = 0
+        self._upper_tail = None
+        self._lower_tail = None
         self._count = 0
         self._last_time = None
 
@@ -106,12 +386,42 @@ class IncrementalConvexHull:
     @property
     def upper(self) -> Sequence[Point]:
         """Vertices of the upper chain, ordered by time."""
-        return tuple(self._upper)
+        if self._pending_t:
+            self._flush()
+        return tuple(
+            zip(
+                self._upper_t[: self._upper_len].tolist(),
+                self._upper_x[: self._upper_len].tolist(),
+            )
+        )
 
     @property
     def lower(self) -> Sequence[Point]:
         """Vertices of the lower chain, ordered by time."""
-        return tuple(self._lower)
+        if self._pending_t:
+            self._flush()
+        return tuple(
+            zip(
+                self._lower_t[: self._lower_len].tolist(),
+                self._lower_x[: self._lower_len].tolist(),
+            )
+        )
+
+    def upper_chain(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Upper-chain coordinate arrays ``(times, values)``, ordered by time.
+
+        Read-only views into the hull's buffers, valid until the next
+        mutation; used by the array tangent searches.
+        """
+        if self._pending_t:
+            self._flush()
+        return self._upper_t[: self._upper_len], self._upper_x[: self._upper_len]
+
+    def lower_chain(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Lower-chain coordinate arrays ``(times, values)``, ordered by time."""
+        if self._pending_t:
+            self._flush()
+        return self._lower_t[: self._lower_len], self._lower_x[: self._lower_len]
 
     @property
     def size(self) -> int:
@@ -131,20 +441,26 @@ class IncrementalConvexHull:
 
     def vertices(self) -> List[Point]:
         """Return all distinct hull vertices ordered by time."""
-        if not self._upper:
+        if self._pending_t:
+            self._flush()
+        if not self._upper_len:
             return []
-        merged = dict.fromkeys(self._upper)
-        merged.update(dict.fromkeys(self._lower))
+        merged = dict.fromkeys(self.upper)
+        merged.update(dict.fromkeys(self.lower))
         return sorted(merged, key=lambda p: p[0])
 
     def contains_time(self, t: float) -> bool:
         """Return ``True`` when ``t`` falls inside the hull's time span."""
-        if not self._upper:
+        if not self._count:
             return False
-        return self._upper[0][0] <= t <= self._upper[-1][0]
+        if self._pending_t:
+            self._flush()
+        return self._upper_t[0] <= t <= self._upper_t[self._upper_len - 1]
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
+        if self._pending_t:
+            self._flush()
         return (
             f"IncrementalConvexHull(points={self._count}, "
-            f"upper={len(self._upper)}, lower={len(self._lower)})"
+            f"upper={self._upper_len}, lower={self._lower_len})"
         )
