@@ -2,7 +2,9 @@
 
 Builds a multi-stream workload (8 streams by default, generated *inside* the
 workers via loaders, so no arrays cross the process boundary), then ingests
-it twice through the same :class:`repro.runtime.ParallelIngestor` code path:
+it twice through ``StreamDB.ingest_many`` — the session façade over the
+shard-aligned :class:`repro.runtime.ParallelIngestor` — on the same code
+path:
 
 * **serial** — ``workers=1``: every shard ingested inline in this process;
 * **parallel** — ``workers=N`` (default 4): one process per group of shards,
@@ -35,7 +37,8 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.runtime import ParallelIngestor, StreamTask
+import repro
+from repro.runtime import StreamTask
 from repro.storage import open_store
 
 from bench_utils import write_bench_json
@@ -88,11 +91,11 @@ def make_tasks(streams: int, points: int, seed: int, shards: int):
 # Measurement
 # --------------------------------------------------------------------------- #
 def run_ingest(directory, tasks, workers: int, shards: int, epsilon: float):
-    ingestor = ParallelIngestor(
-        directory, "swing", epsilon, workers=workers, shards=shards
-    )
     started = time.perf_counter()
-    report = ingestor.run(tasks)
+    with repro.open(
+        directory, shards=shards, filter=repro.FilterSpec("swing", epsilon=epsilon)
+    ) as db:
+        report = db.ingest_many(tasks, workers=workers)
     elapsed = time.perf_counter() - started
     assert report.streams == len(tasks)
     return elapsed, report

@@ -1,12 +1,14 @@
-"""Throughput benchmark: batch ingestion pipeline vs. the per-point loop.
+"""Throughput benchmark: the StreamDB batch path vs. the per-point loop.
 
 Runs every paper filter over a random-walk workload twice — once feeding one
 :class:`DataPoint` at a time (the seed implementation's only mode) and once
-through :class:`repro.pipeline.BatchIngestor`'s vectorized
-``process_batch`` fast path — and reports points/second plus the speedup.
-Both paths produce bit-identical recordings (enforced by
+through the :class:`repro.api.session.StreamDB` session façade, whose
+``ingest`` drives the vectorized ``process_batch`` fast path and archives
+the recordings into a (temporary) store — and reports points/second plus
+the speedup.  Both paths produce bit-identical recordings (enforced by
 ``tests/test_batch_equivalence.py``; re-checked here on a prefix of the
-workload), so the comparison is purely about driver overhead.
+workload), so the comparison is driver overhead plus the real archival
+cost the façade pays.
 
 Usage::
 
@@ -26,14 +28,16 @@ from __future__ import annotations
 
 import argparse
 import sys
+import tempfile
 import time
+from pathlib import Path
 
 import numpy as np
 
+import repro
 from repro.core.epsilon import epsilon_from_percent
 from repro.core.registry import PAPER_FILTERS, create_filter
 from repro.data.random_walk import RandomWalkConfig, random_walk
-from repro.pipeline import BatchIngestor, NullSink
 
 from bench_utils import write_bench_json
 
@@ -60,8 +64,12 @@ def run_per_point(name: str, times, values, epsilon) -> tuple:
 
 
 def run_batched(name: str, times, values, epsilon, chunk_size: int) -> tuple:
-    ingestor = BatchIngestor(name, epsilon, chunk_size=chunk_size, sink=NullSink())
-    report = ingestor.run(times, values)
+    with tempfile.TemporaryDirectory(prefix="bench-pipeline-") as workdir:
+        with repro.open(
+            Path(workdir) / "store",
+            filter=repro.FilterSpec(name, epsilon=epsilon),
+        ) as db:
+            report = db.ingest("bench", times, values, chunk_size=chunk_size)
     return report.elapsed_seconds, report.recordings
 
 

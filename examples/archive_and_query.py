@@ -1,15 +1,17 @@
-"""Archive-and-query scenario: store compressed streams, query them later.
+"""Archive-and-query scenario through the ``StreamDB`` session façade.
 
 The paper's introduction motivates storing the *recordings* (not the raw
 points) in a repository for later offline analysis.  This example runs the
-full loop with the library's storage and query subsystems:
+full loop through one ``repro.open(...)`` session:
 
-1. a fleet of monitored streams is compressed online with the slide filter
-   and archived into a file-backed :class:`SegmentStore`;
-2. the store is re-opened (as an analyst would later) and the compressed
-   series are queried directly — daily aggregates, threshold crossings and a
-   resampled export — without ever materializing the raw points again;
-3. an adaptive aggregate monitor (related work [21]) watches the SUM of the
+1. two buoys' temperature series are bulk-ingested with the slide filter;
+2. a third buoy streams in **live** — and is queried *mid-flight*: the
+   session merges the archived recordings with the filter's in-flight
+   segment, so the answer is exactly what a flush-then-read would give;
+3. the store is re-opened (as an analyst would later) and the compressed
+   series are queried directly — daily aggregates, threshold crossings and
+   a resampled export — without ever materializing the raw points again;
+4. an adaptive aggregate monitor (related work [21]) watches the SUM of the
    same streams under a single precision budget.
 
 Run with::
@@ -24,62 +26,80 @@ from pathlib import Path
 
 import numpy as np
 
+import repro
 from repro.core.epsilon import epsilon_from_percent
 from repro.data.sst import sea_surface_temperature
 from repro.extensions.adaptive import AdaptiveAggregateMonitor
-from repro.queries.aggregates import range_aggregate, threshold_crossings, window_aggregates
-from repro.storage.segment_store import SegmentStore
-from repro.streams.multiplex import StreamSet
 
 
 def build_archive(directory: Path) -> tuple:
     """Compress three buoys' temperature series into the archive."""
-    store = SegmentStore(directory)
     signals = {}
     for buoy in range(3):
         times, values = sea_surface_temperature(seed=2009 + buoy)
         signals[f"buoy-{buoy}"] = (times, values)
     epsilon = epsilon_from_percent(1.0, signals["buoy-0"][1])
 
-    fleet = StreamSet("slide", epsilon=epsilon, store=store)
-    for name, (times, values) in signals.items():
-        for t, v in zip(times, values):
-            fleet.observe(name, t, v)
-    report = fleet.close()
+    with repro.open(directory, filter=repro.FilterSpec("slide", epsilon=epsilon)) as db:
+        # Bulk ingestion for the first two buoys.
+        for name in ("buoy-0", "buoy-1"):
+            times, values = signals[name]
+            db.ingest(name, times, values)
 
-    print("Archived fleet:")
-    print(f"  streams            : {report.streams}")
-    print(f"  observations       : {report.points}")
-    print(f"  recordings stored  : {report.recordings}")
-    print(f"  compression ratio  : {report.compression_ratio:.2f}")
-    print(f"  archive size       : {store.total_bytes()} bytes on disk")
-    print()
+        # The third buoy is still transmitting: feed half of it live...
+        times, values = signals["buoy-2"]
+        half = len(times) // 2
+        db.append("buoy-2", times[:half], values[:half])
+
+        # ...and query it mid-flight.  The session merges the archived
+        # recordings with the live filter's in-flight segment.
+        live = db.aggregate("buoy-2", float(times[0]), float(times[half - 1]))
+        print("Querying buoy-2 while it is still being compressed:")
+        print(f"  mean so far        : {live.mean:.2f} degC (within epsilon of the signal)")
+        print(f"  live streams       : {db.live_streams()}")
+
+        # The rest of the stream arrives; leaving the session seals it.
+        db.append("buoy-2", times[half:], values[half:])
+
+        points = sum(len(s[0]) for s in signals.values())
+        recordings = sum(len(db.read(name)) for name in db.streams())
+        print("Archived fleet:")
+        print(f"  streams            : {len(db.streams())}")
+        print(f"  observations       : {points}")
+        print(f"  recordings         : {recordings} (live in-flight included)")
+        print(f"  compression ratio  : {points / recordings:.2f}")
+        print(f"  archive size       : {db.store.total_bytes()} bytes on disk")
+        print()
     return signals, epsilon
 
 
 def analyse_archive(directory: Path, signals, epsilon: float) -> None:
     """Re-open the archive and answer questions from the compressed data."""
-    store = SegmentStore(directory)
-    print(f"Catalog: {', '.join(store.stream_names())}")
-    approximation = store.reconstruct("buoy-0")
+    with repro.open(directory, create=False) as db:
+        print(f"Catalog: {', '.join(db.streams())}")
 
-    day = 24 * 60.0
-    times, values = signals["buoy-0"]
-    daily = window_aggregates(approximation, float(times[0]), float(times[-1]), day)
-    print("Daily mean temperature (buoy-0), computed from the compressed segments:")
-    for index, window in enumerate(daily[:5]):
-        print(f"  day {index + 1}: mean={window.mean:.2f} degC  "
-              f"min={window.minimum:.2f}  max={window.maximum:.2f}")
+        day = 24 * 60.0
+        times, values = signals["buoy-0"]
+        daily = db.aggregate("buoy-0", window=day)
+        print("Daily mean temperature (buoy-0), computed from the compressed segments:")
+        for index, window in enumerate(daily[:5]):
+            print(f"  day {index + 1}: mean={window.mean:.2f} degC  "
+                  f"min={window.minimum:.2f}  max={window.maximum:.2f}")
 
-    threshold = float(np.percentile(values, 90))
-    crossings = threshold_crossings(approximation, threshold)
-    print(f"Crossings of the 90th-percentile temperature ({threshold:.2f} degC): {len(crossings)}")
+        threshold = float(np.percentile(values, 90))
+        crossings = db.crossings("buoy-0", threshold)
+        print(f"Crossings of the 90th-percentile temperature "
+              f"({threshold:.2f} degC): {len(crossings)}")
 
-    overall = range_aggregate(approximation, float(times[0]), float(times[-1]))
-    true_mean = float(values.mean())
-    print(f"Overall mean from segments: {overall.mean:.3f} degC "
-          f"(true mean {true_mean:.3f}, epsilon {epsilon:.3f})")
-    print()
+        overall = db.aggregate("buoy-0")
+        true_mean = float(values.mean())
+        print(f"Overall mean from segments: {overall.mean:.3f} degC "
+              f"(true mean {true_mean:.3f}, epsilon {epsilon:.3f})")
+
+        grid_times, grid_values = db.resample("buoy-0", step=60.0)
+        print(f"Hourly resampled export: {len(grid_times)} samples, "
+              f"first={grid_values[0, 0]:.2f} degC")
+        print()
 
 
 def monitor_aggregate(signals) -> None:

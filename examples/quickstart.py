@@ -1,22 +1,49 @@
-"""Quickstart: compress a stream with every filter and compare the results.
+"""Quickstart: the StreamDB session, then the filter layer underneath.
 
 Run with::
 
     python examples/quickstart.py
 
-The script generates a small random-walk signal, compresses it with the four
-filters compared in the paper (cache, linear, swing, slide), reconstructs the
-receiver-side approximation and prints the compression ratio and error of
-each filter.  It ends by demonstrating the incremental (point-by-point) API.
+The script first runs the paper's whole flow — compress, archive, query —
+through one ``repro.open(...)`` session.  It then drops down a layer:
+compresses a small random-walk signal with the four filters compared in the
+paper (cache, linear, swing, slide), reconstructs the receiver-side
+approximation and prints the compression ratio and error of each filter,
+ending with the incremental (point-by-point) API.
 """
 
 from __future__ import annotations
 
+import tempfile
+from pathlib import Path
+
 import numpy as np
 
+import repro
 from repro import PAPER_FILTERS, SlideFilter, create_filter, reconstruct
 from repro.data.random_walk import RandomWalkConfig, random_walk
 from repro.metrics.error import error_profile
+
+
+def session_demo() -> None:
+    """Compress, archive and query one stream through the session façade."""
+    times, values = random_walk(
+        RandomWalkConfig(length=5_000, decrease_probability=0.5, max_delta=0.5, seed=3)
+    )
+    with tempfile.TemporaryDirectory() as workdir:
+        with repro.open(
+            Path(workdir) / "archive",
+            filter=repro.FilterSpec("slide", epsilon_percent=2),
+        ) as db:
+            report = db.ingest("walk", times, values)
+            aggregate = db.aggregate("walk", float(times[500]), float(times[-500]))
+            print("StreamDB session demo (slide filter, epsilon = 2% of range):")
+            print(f"  points ingested    : {report.points}")
+            print(f"  recordings stored  : {report.recordings}")
+            print(f"  compression ratio  : {report.compression_ratio:.2f}")
+            print(f"  range mean/min/max : {aggregate.mean:.3f} / "
+                  f"{aggregate.minimum:.3f} / {aggregate.maximum:.3f}")
+    print()
 
 
 def batch_demo() -> None:
@@ -71,5 +98,6 @@ def streaming_demo() -> None:
 
 
 if __name__ == "__main__":
+    session_demo()
     batch_demo()
     streaming_demo()

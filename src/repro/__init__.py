@@ -18,21 +18,33 @@ The package provides:
   snapshot/restorable filter state (:mod:`repro.runtime`),
 * compression / error / timing metrics (:mod:`repro.metrics`),
 * the experiment harness regenerating every figure of the paper's evaluation
-  (:mod:`repro.evaluation`), and
-* related-work baselines used for ablations (:mod:`repro.extensions`).
+  (:mod:`repro.evaluation`),
+* related-work baselines used for ablations (:mod:`repro.extensions`), and
+* **the session façade tying it all together** (:mod:`repro.api`):
+  :func:`repro.open` returns a :class:`StreamDB` that ingests, archives and
+  queries streams through one object.
 
 Quick start::
 
     import numpy as np
-    from repro import SwingFilter, SlideFilter, reconstruct
+    import repro
 
-    times = np.arange(100.0)
-    values = np.sin(times / 5.0)
+    times = np.arange(10_000.0)
+    values = np.sin(times / 50.0)
+    with repro.open("./archive", filter=repro.FilterSpec("slide", epsilon=0.05)) as db:
+        db.ingest("sensor", times, values)
+        agg = db.aggregate("sensor", 100.0, 5_000.0)
+        print(agg.mean, agg.minimum, agg.maximum)
+
+The filters remain directly usable for library-style workflows::
+
+    from repro import SlideFilter, reconstruct
+
     result = SlideFilter(epsilon=0.05).process(zip(times, values))
     approx = reconstruct(result)
-    print(result.compression_ratio, approx.max_absolute_error(zip(times, values)))
 """
 
+from repro.api import FilterSpec, IngestSpec, StorageSpec, StreamDB, open
 from repro.approximation import (
     PiecewiseConstantApproximation,
     PiecewiseLinearApproximation,
@@ -45,6 +57,7 @@ from repro.core import (
     DisconnectedLinearFilter,
     ErrorBound,
     FilterResult,
+    FilterState,
     LinearFilter,
     MeanCacheFilter,
     MidrangeCacheFilter,
@@ -59,13 +72,30 @@ from repro.core import (
     epsilon_from_percent,
     paper_filters,
     register_filter,
+    restore_filter,
 )
 from repro.pipeline import BatchIngestor, IngestReport, ListSink, StoreSink
+from repro.runtime import CheckpointManager, IngestCheckpoint, ParallelIngestor, StreamTask
+from repro.storage import (
+    DEFAULT_SHARDS,
+    SegmentStore,
+    ShardedStore,
+    StoreLike,
+    open_store,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    # Session façade (repro.api).  `repro.open` is the documented entry
+    # point but is deliberately NOT in __all__: a star import must never
+    # shadow the builtin open() with a function that creates directories.
+    "StreamDB",
+    "FilterSpec",
+    "StorageSpec",
+    "IngestSpec",
+    # Filters (repro.core)
     "StreamFilter",
     "CacheFilter",
     "MidrangeCacheFilter",
@@ -81,16 +111,30 @@ __all__ = [
     "RecordingKind",
     "Segment",
     "FilterResult",
-    "PiecewiseLinearApproximation",
-    "PiecewiseConstantApproximation",
-    "reconstruct",
+    "FilterState",
     "available_filters",
     "create_filter",
     "register_filter",
+    "restore_filter",
     "paper_filters",
     "PAPER_FILTERS",
+    # Reconstruction (repro.approximation)
+    "PiecewiseLinearApproximation",
+    "PiecewiseConstantApproximation",
+    "reconstruct",
+    # Ingestion engines (repro.pipeline / repro.runtime)
     "BatchIngestor",
     "IngestReport",
     "ListSink",
     "StoreSink",
+    "ParallelIngestor",
+    "StreamTask",
+    "CheckpointManager",
+    "IngestCheckpoint",
+    # Storage (repro.storage)
+    "open_store",
+    "SegmentStore",
+    "ShardedStore",
+    "StoreLike",
+    "DEFAULT_SHARDS",
 ]

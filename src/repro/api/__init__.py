@@ -1,0 +1,22 @@
+"""Public session API: one façade over filters, ingestion, storage, queries.
+
+:func:`repro.open` returns a :class:`~repro.api.session.StreamDB` session —
+the one public way to run the paper's end-to-end flow (ε-bounded filtering,
+archival, precision-guaranteed querying).  Configuration travels as typed
+specs (:class:`~repro.api.specs.FilterSpec`,
+:class:`~repro.api.specs.StorageSpec`, :class:`~repro.api.specs.IngestSpec`)
+validated before anything touches disk.
+"""
+
+from repro.api.session import DEFAULT_ARCHIVE_BATCH, StreamDB, open
+from repro.api.specs import FilterSpec, IngestSpec, StorageSpec
+
+# `open` is importable but deliberately NOT in __all__ — a star import
+# must never shadow the builtin open().
+__all__ = [
+    "StreamDB",
+    "FilterSpec",
+    "StorageSpec",
+    "IngestSpec",
+    "DEFAULT_ARCHIVE_BATCH",
+]

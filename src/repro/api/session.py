@@ -1,0 +1,885 @@
+"""The :class:`StreamDB` session — one façade over the whole pipeline.
+
+The paper's value proposition is end-to-end: ε-bounded filtering at the
+transmitter, archival of the recordings, and precision-guaranteed querying
+at the receiver.  :class:`StreamDB` is the one public way to run that flow.
+A session owns an open store and routes every operation to the right
+engine:
+
+* :meth:`ingest` — complete workloads, dispatched to the vectorized
+  :class:`~repro.pipeline.ingest.BatchIngestor`, the checkpointed
+  :func:`~repro.runtime.ingest.ingest_stream_checkpointed` runner, the
+  async chunk bridge, or (via :meth:`ingest_many`) the shard-aligned
+  multi-process :class:`~repro.runtime.parallel.ParallelIngestor` —
+  depending only on the validated :class:`~repro.api.specs.IngestSpec`;
+* :meth:`append` / :meth:`seal` — live, incremental writing with buffered
+  archiving;
+* :meth:`query` / :meth:`aggregate` / :meth:`crossings` /
+  :meth:`resample` — answered uniformly over the stored recordings *plus*
+  any live filter's in-flight state: the live filter is snapshot-read
+  (:meth:`~repro.core.base.StreamFilter.snapshot` into a restored clone
+  whose ``finish()`` yields the recordings a flush would produce), so the
+  merged answer is bit-identical to a flush-then-read without disturbing
+  the ongoing compression;
+* :meth:`snapshot` / :meth:`restore` / :meth:`compact` — lifecycle.
+
+Open a session with :func:`repro.open`::
+
+    import repro
+
+    with repro.open("./archive", shards=4,
+                    filter=repro.FilterSpec("slide", epsilon=0.5)) as db:
+        db.ingest("buoy-0", times, values)
+        db.append("buoy-1", live_times, live_values)   # still compressing
+        agg = db.aggregate("buoy-1", t0, t1)           # stored + in-flight
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.api.specs import UNSET, FilterSpec, IngestSpec, StorageSpec
+from repro.approximation.piecewise import Approximation
+from repro.approximation.reconstruct import reconstruct
+from repro.core.base import StreamFilter
+from repro.core.registry import restore_filter
+from repro.core.state import FilterState
+from repro.core.types import Recording
+from repro.pipeline.ingest import BatchIngestor, IngestReport
+from repro.pipeline.sinks import StoreSink
+from repro.queries.aggregates import (
+    RangeAggregate,
+    range_aggregate,
+    resample as _resample,
+    threshold_crossings,
+    window_aggregates,
+)
+from repro.runtime.checkpoint import CheckpointManager, IngestCheckpoint
+from repro.runtime.ingest import ingest_stream_checkpointed
+from repro.runtime.parallel import ParallelIngestReport, ParallelIngestor, StreamTask
+from repro.storage import SegmentStore, ShardedStore, StoreLike
+from repro.storage.backends.base import range_indices
+from repro.storage.segment_store import StoredStream
+
+__all__ = ["StreamDB", "open", "DEFAULT_ARCHIVE_BATCH"]
+
+#: Recordings buffered per live stream before they are archived.
+DEFAULT_ARCHIVE_BATCH = 256
+
+
+def open(
+    path: Union[str, Path],
+    *,
+    shards: Optional[int] = None,
+    filter: Optional[FilterSpec] = None,
+    storage: Optional[StorageSpec] = None,
+    ingest: Optional[IngestSpec] = None,
+    archive_batch: int = DEFAULT_ARCHIVE_BATCH,
+    create: bool = True,
+) -> "StreamDB":
+    """Open a :class:`StreamDB` session on the store at ``path``.
+
+    Args:
+        path: Store directory (created when missing, unless ``create`` is
+            ``False``).
+        shards: Shorthand for ``storage=StorageSpec(shards=...)``.
+        filter: Default :class:`FilterSpec` for writes that do not bring
+            their own.
+        storage: Full storage layout spec (mutually exclusive with
+            ``shards``).
+        ingest: Default :class:`IngestSpec`; per-call overrides apply on
+            top of it.
+        archive_batch: Recordings buffered per live stream before they are
+            archived.
+        create: When ``False``, refuse to create a store at a directory
+            that does not already hold one.
+
+    Raises:
+        ValueError: If both ``shards`` and ``storage`` are given.
+        FileNotFoundError: If ``create`` is ``False`` and no store exists.
+    """
+    if storage is not None and shards is not None:
+        raise ValueError("give shards either directly or via storage=, not both")
+    if storage is None:
+        storage = StorageSpec(shards=shards)
+    return StreamDB(
+        path,
+        filter=filter,
+        storage=storage,
+        ingest=ingest,
+        archive_batch=archive_batch,
+        create=create,
+    )
+
+
+@dataclass
+class _LiveStream:
+    """One live (still compressing) stream of a session."""
+
+    filter: StreamFilter
+    sink: StoreSink
+
+
+class StreamDB:
+    """A session over one store: ingestion, live writes, queries, lifecycle.
+
+    Prefer :func:`repro.open` over constructing directly; the arguments are
+    the same.  The session is a context manager — leaving it seals every
+    live stream and flushes the store.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        filter: Optional[FilterSpec] = None,
+        storage: Optional[StorageSpec] = None,
+        ingest: Optional[IngestSpec] = None,
+        archive_batch: int = DEFAULT_ARCHIVE_BATCH,
+        create: bool = True,
+    ) -> None:
+        if archive_batch < 1:
+            raise ValueError(f"archive_batch must be positive, got {archive_batch}")
+        self._path = Path(path)
+        self._filter_spec = filter
+        self._storage_spec = storage if storage is not None else StorageSpec()
+        self._ingest_spec = ingest if ingest is not None else IngestSpec()
+        self._archive_batch = archive_batch
+        if not create and not self._store_exists(self._path):
+            raise FileNotFoundError(f"no stream store at {str(self._path)!r}")
+        self._store: StoreLike = self._storage_spec.open(self._path)
+        self._live: Dict[str, _LiveStream] = {}
+        self._closed = False
+
+    @staticmethod
+    def _store_exists(path: Path) -> bool:
+        return (path / ShardedStore.META_NAME).exists() or (
+            path / SegmentStore.CATALOG_NAME
+        ).exists()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def path(self) -> Path:
+        """The store directory."""
+        return self._path
+
+    @property
+    def store(self) -> StoreLike:
+        """The underlying store (an escape hatch to the storage layer)."""
+        return self._store
+
+    @property
+    def filter_spec(self) -> Optional[FilterSpec]:
+        """The session's default filter spec (``None`` when not set)."""
+        return self._filter_spec
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed
+
+    def streams(self) -> List[str]:
+        """All stream names — stored and live — sorted."""
+        self._check_open()
+        return sorted(set(self._store.stream_names()) | set(self._live))
+
+    def live_streams(self) -> List[str]:
+        """Names of the streams with a live (unsealed) filter, sorted."""
+        self._check_open()
+        return sorted(self._live)
+
+    def describe(self, stream: str) -> StoredStream:
+        """The store's catalog entry for ``stream``.
+
+        Raises:
+            KeyError: If the stream has no archived recordings yet (a live
+                stream appears here once its first buffer is archived).
+        """
+        self._check_open()
+        return self._store.describe(stream)
+
+    def __contains__(self, stream: str) -> bool:
+        return stream in self._live or stream in self._store
+
+    def __len__(self) -> int:
+        return len(self.streams())
+
+    # ------------------------------------------------------------------ #
+    # Bulk ingestion
+    # ------------------------------------------------------------------ #
+    def ingest(
+        self,
+        stream: str,
+        times=None,
+        values=None,
+        *,
+        source=None,
+        filter: Optional[FilterSpec] = None,
+        chunk_size: int = UNSET,
+        workers: int = UNSET,
+        split_dimensions: bool = UNSET,
+        checkpoint: Optional[Union[str, Path]] = UNSET,
+        checkpoint_every: int = UNSET,
+        resume: bool = UNSET,
+    ) -> Union[IngestReport, ParallelIngestReport]:
+        """Ingest one complete workload into ``stream``.
+
+        The workload is either monolithic arrays (``times`` + ``values``)
+        or a ``source`` — an iterable (or *async* iterable) of
+        ``(times, values)`` chunk pairs.  Keyword overrides apply on top of
+        the session's :class:`IngestSpec`; the engine is chosen from the
+        effective spec:
+
+        * ``split_dimensions`` (or ``workers > 1``) — the workload is
+          stored as per-dimension streams through the shard-aligned
+          :class:`ParallelIngestor` (requires a sharded store; the layout
+          is independent of the worker count),
+        * ``checkpoint`` — the checkpointed, resumable runner,
+        * an async ``source`` — the async chunk bridge (run to completion
+          on a fresh event loop; call :meth:`aingest` from inside one),
+        * otherwise — the plain vectorized batch engine.
+
+        Returns:
+            An :class:`IngestReport` (or a :class:`ParallelIngestReport`
+            for the split-dimension path).
+
+        Raises:
+            ValueError: On conflicting workload arguments, a live writer on
+                ``stream``, ``workers > 1`` without ``split_dimensions``,
+                or a split ingest into an unsharded store.
+        """
+        self._check_open()
+        spec = self._ingest_spec.merged(
+            chunk_size=chunk_size,
+            workers=workers,
+            split_dimensions=split_dimensions,
+            checkpoint=checkpoint,
+            checkpoint_every=checkpoint_every,
+            resume=resume,
+        )
+        fspec = filter if filter is not None else self._require_filter_spec()
+        if stream in self._live:
+            raise ValueError(
+                f"stream {stream!r} has a live writer; seal it before bulk ingestion"
+            )
+        if spec.workers > 1 and not spec.split_dimensions:
+            raise ValueError(
+                "workers above 1 requires split_dimensions: a single stream "
+                "cannot be partitioned across workers"
+            )
+        if source is not None:
+            if times is not None or values is not None:
+                raise ValueError("give either times+values or source, not both")
+            if spec.split_dimensions:
+                raise ValueError("chunk sources cannot be split across dimensions")
+            if hasattr(source, "__aiter__"):
+                if spec.checkpoint is not None:
+                    raise ValueError(
+                        "checkpointing is not supported for async sources; "
+                        "drain the source into arrays or a sync chunk iterable"
+                    )
+                return asyncio.run(
+                    self.aingest(stream, source, filter=fspec, chunk_size=spec.chunk_size)
+                )
+            if spec.checkpoint is not None:
+                report = ingest_stream_checkpointed(
+                    self._store,
+                    stream,
+                    fspec.name,
+                    fspec.resolve(None),
+                    chunks=source,
+                    chunk_size=spec.chunk_size,
+                    checkpoint=spec.checkpoint,
+                    checkpoint_every=spec.checkpoint_every,
+                    resume=spec.resume,
+                    **fspec.filter_kwargs(),
+                )
+                self._store.flush()
+                return report
+            ingestor = self._batch_ingestor(stream, fspec, spec.chunk_size, values=None)
+            ingestor.ingest_stream(source)
+            return ingestor.close()
+        if times is None or values is None:
+            raise ValueError("times and values must be given together")
+        times = np.asarray(times, dtype=float)
+        values = np.asarray(values, dtype=float)
+        if spec.split_dimensions:
+            return self._ingest_split(stream, times, values, fspec, spec)
+        if spec.checkpoint is not None:
+            report = ingest_stream_checkpointed(
+                self._store,
+                stream,
+                fspec.name,
+                fspec.resolve(values),
+                times,
+                values,
+                chunk_size=spec.chunk_size,
+                checkpoint=spec.checkpoint,
+                checkpoint_every=spec.checkpoint_every,
+                resume=spec.resume,
+                **fspec.filter_kwargs(),
+            )
+            self._store.flush()
+            return report
+        ingestor = self._batch_ingestor(stream, fspec, spec.chunk_size, values=values)
+        return ingestor.run(times, values)
+
+    async def aingest(
+        self,
+        stream: str,
+        source,
+        *,
+        filter: Optional[FilterSpec] = None,
+        chunk_size: int = UNSET,
+    ) -> IngestReport:
+        """Ingest an async iterable of ``(times, values)`` chunk pairs.
+
+        The coroutine-producing source is awaited between chunks while each
+        chunk runs through the same vectorized batch engine as
+        :meth:`ingest`.
+        """
+        self._check_open()
+        spec = self._ingest_spec.merged(chunk_size=chunk_size)
+        fspec = filter if filter is not None else self._require_filter_spec()
+        if stream in self._live:
+            raise ValueError(
+                f"stream {stream!r} has a live writer; seal it before bulk ingestion"
+            )
+        ingestor = self._batch_ingestor(stream, fspec, spec.chunk_size, values=None)
+        await ingestor.aingest_stream(source)
+        return ingestor.close()
+
+    def ingest_many(
+        self,
+        tasks: Sequence[StreamTask],
+        *,
+        filter: Optional[FilterSpec] = None,
+        workers: int = UNSET,
+        chunk_size: int = UNSET,
+        checkpoint: Optional[Union[str, Path]] = UNSET,
+        checkpoint_every: int = UNSET,
+        resume: bool = UNSET,
+    ) -> ParallelIngestReport:
+        """Ingest a multi-stream workload across shard-owning workers.
+
+        Each :class:`~repro.runtime.parallel.StreamTask` carries one
+        stream's arrays (or a deferred loader).  The store must be sharded;
+        the workers exclusively own their shards' segment stores, so the
+        result is bit-identical to a single-process run.  The session's
+        store handle is reopened afterwards to pick up the workers' writes.
+
+        Raises:
+            ValueError: If the store is not sharded, or the filter's
+                precision is an unresolvable ``epsilon_percent`` for a
+                deferred-loader task.
+        """
+        self._check_open()
+        spec = self._ingest_spec.merged(
+            workers=workers,
+            chunk_size=chunk_size,
+            checkpoint=checkpoint,
+            checkpoint_every=checkpoint_every,
+            resume=resume,
+        )
+        fspec = filter if filter is not None else self._require_filter_spec()
+        if not isinstance(self._store, ShardedStore):
+            raise ValueError(
+                "parallel multi-stream ingestion requires a sharded store; "
+                "open the session with shards=N"
+            )
+        conflicting = [task.name for task in tasks if task.name in self._live]
+        if conflicting:
+            raise ValueError(
+                f"stream(s) {', '.join(sorted(conflicting))} have live writers; "
+                "seal them before bulk ingestion"
+            )
+        if fspec.epsilon is None:
+            # Resolve the percentage per task while the arrays are at hand;
+            # deferred loaders never materialize here, so they cannot carry
+            # a percentage (FilterSpec.resolve raises with the remedy).
+            tasks = [
+                task
+                if task.epsilon is not None
+                else replace(task, epsilon=fspec.resolve(task.values))
+                for task in tasks
+            ]
+        shard_count = self._store.shard_count
+        # The workers own the shard stores exclusively while they run; this
+        # session's handle is closed around the fan-out and reopened to see
+        # the merged catalogs.  Live buffers are archived first and every
+        # live sink is rebound to the fresh handle afterwards — a sink left
+        # on the closed handle would archive into a stale catalog whose
+        # flush could clobber the workers' writes.
+        for live_stream in self._live.values():
+            live_stream.sink.flush_records()
+        self._store.close()
+        try:
+            ingestor = ParallelIngestor(
+                self._path,
+                fspec.name,
+                fspec.epsilon,
+                workers=spec.workers,
+                shards=shard_count,
+                chunk_size=spec.chunk_size,
+                checkpoint=spec.checkpoint,
+                checkpoint_every=spec.checkpoint_every,
+                resume=spec.resume,
+                backend=self._storage_spec.backend,
+                block_records=self._storage_spec.block_records,
+                **fspec.filter_kwargs(),
+            )
+            return ingestor.run(tasks)
+        finally:
+            self._store = self._storage_spec.open(self._path)
+            for live_stream in self._live.values():
+                live_stream.sink.store = self._store
+
+    def _ingest_split(
+        self,
+        stream: str,
+        times: np.ndarray,
+        values: np.ndarray,
+        fspec: FilterSpec,
+        spec: IngestSpec,
+    ) -> ParallelIngestReport:
+        """Store a d-dimensional workload as per-dimension streams.
+
+        The layout (stream names, shard count) depends only on the workload
+        and the store — never on the worker count — so runs with different
+        ``workers`` write, and resume, the same store.
+        """
+        if values.ndim == 1:
+            values = values.reshape(-1, 1)
+        resolved = fspec.resolve(values)
+        widths = np.atleast_1d(
+            np.asarray(getattr(resolved, "epsilons", resolved), dtype=float)
+        )
+        if widths.shape[0] not in (1, values.shape[1]):
+            raise ValueError(
+                f"epsilon has {widths.shape[0]} widths for a "
+                f"{values.shape[1]}-dimensional workload"
+            )
+        tasks = [
+            StreamTask(
+                name=f"{stream}/d{index}",
+                times=times,
+                values=values[:, index],
+                epsilon=float(widths[index % widths.shape[0]]),
+            )
+            for index in range(values.shape[1])
+        ]
+        return self.ingest_many(
+            tasks,
+            filter=fspec,
+            workers=spec.workers,
+            chunk_size=spec.chunk_size,
+            checkpoint=spec.checkpoint,
+            checkpoint_every=spec.checkpoint_every,
+            resume=spec.resume,
+        )
+
+    def _batch_ingestor(
+        self, stream: str, fspec: FilterSpec, chunk_size: int, values
+    ) -> BatchIngestor:
+        stream_filter = fspec.create(values)  # raises when ε is unresolvable
+        sink = StoreSink(self._store, stream, epsilon=fspec.epsilon_list(values))
+        return BatchIngestor(stream_filter, chunk_size=chunk_size, sink=sink)
+
+    # ------------------------------------------------------------------ #
+    # Live writing
+    # ------------------------------------------------------------------ #
+    def append(self, stream: str, times, values) -> int:
+        """Feed one chunk of measurements into ``stream``'s live filter.
+
+        The filter is created from the session's :class:`FilterSpec` on the
+        first append (an ``epsilon_percent`` resolves against this first
+        chunk's value range).  Emitted recordings are buffered and archived
+        in ``archive_batch``-sized appends; :meth:`query` sees them — and
+        the filter's unemitted in-flight state — immediately.
+
+        Returns:
+            The number of recordings this chunk triggered.
+        """
+        self._check_open()
+        live = self._live.get(stream)
+        if live is None:
+            fspec = self._require_filter_spec()
+            live = _LiveStream(
+                filter=fspec.create(values),
+                sink=StoreSink(
+                    self._store,
+                    stream,
+                    epsilon=fspec.epsilon_list(values),
+                    archive_batch=self._archive_batch,
+                ),
+            )
+            self._live[stream] = live
+        recordings = live.filter.process_batch(times, values)
+        live.sink.write(recordings)
+        return len(recordings)
+
+    def observe(self, stream: str, time: float, value) -> int:
+        """Feed one measurement (convenience wrapper around :meth:`append`)."""
+        return self.append(stream, [time], np.atleast_2d(np.asarray(value, dtype=float)))
+
+    def detach(self, stream: str) -> FilterState:
+        """Hand off a live stream without finishing it (worker migration).
+
+        Buffered recordings are archived, the live filter is snapshotted and
+        dropped from this session — *without* emitting its end-of-stream
+        recordings, so the store is left exactly at the snapshot.  Another
+        session (or process) passes the returned state to :meth:`restore`
+        and continues bit-identically to an uninterrupted run.
+
+        Raises:
+            KeyError: If the stream has no live filter.
+        """
+        self._check_open()
+        try:
+            live = self._live[stream]
+        except KeyError:
+            raise KeyError(f"stream {stream!r} has no live writer") from None
+        live.sink.flush()
+        state = live.filter.snapshot()
+        del self._live[stream]
+        return state
+
+    def seal(self, stream: str) -> Optional[StoredStream]:
+        """Finish ``stream``'s live filter and archive everything it held.
+
+        Returns:
+            The stream's catalog entry, or ``None`` when the stream never
+            produced a recording.
+
+        Raises:
+            KeyError: If the stream has no live filter.
+        """
+        self._check_open()
+        try:
+            live = self._live.pop(stream)
+        except KeyError:
+            raise KeyError(f"stream {stream!r} has no live writer") from None
+        live.sink.write(live.filter.finish())
+        live.sink.flush()
+        return self._store.describe(stream) if stream in self._store else None
+
+    def flush(self) -> None:
+        """Archive every live buffer and persist the store catalog.
+
+        Does *not* finish the live filters — their in-flight segments stay
+        open (that is :meth:`seal`).  Idempotent: recordings are archived
+        exactly once however often this is called.
+        """
+        self._check_open()
+        for live in self._live.values():
+            live.sink.flush_records()
+        self._store.flush()
+
+    # ------------------------------------------------------------------ #
+    # Queries (stored + live, uniformly)
+    # ------------------------------------------------------------------ #
+    def read(
+        self,
+        stream: str,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> List[Recording]:
+        """Recordings of ``stream`` over ``[start, end]`` — stored and live.
+
+        Follows the store's range semantics (the last recording before
+        ``start`` and the first after ``end`` are kept so the approximation
+        covers the whole range).  For a live stream the result additionally
+        includes the buffered recordings and the filter's in-flight segment
+        (read from a snapshot; the live filter is not disturbed) — exactly
+        the recordings a seal-then-read would return.
+
+        Raises:
+            KeyError: If the stream is neither stored nor live.
+        """
+        self._check_open()
+        live = self._live.get(stream)
+        stored = self._store.read(stream, start, end) if stream in self._store else []
+        if live is None:
+            if stream not in self._store:
+                raise KeyError(f"unknown stream {stream!r}")
+            return stored
+        tail = list(live.sink.pending) + self._in_flight(live)
+        if not tail:
+            return stored
+        merged = stored + tail
+        times = np.fromiter((r.time for r in merged), dtype=float, count=len(merged))
+        return [merged[index] for index in range_indices(times, start, end)]
+
+    def query(
+        self,
+        stream: str,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> Approximation:
+        """The stream's approximation over ``[start, end]``, live included.
+
+        Every original data point is within ε of the returned
+        approximation — the paper's precision guarantee survives storage,
+        range pruning and the live merge.
+        """
+        return reconstruct(self._read_for_query(stream, start, end))
+
+    def aggregate(
+        self,
+        stream: str,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        *,
+        window: Optional[float] = None,
+        dimension: int = 0,
+    ) -> Union[RangeAggregate, List[RangeAggregate]]:
+        """Min / max / time-weighted mean / integral over ``[start, end]``.
+
+        Bounds default to the stream's span (live tail included).  With
+        ``window`` given, returns tumbling-window aggregates covering the
+        range instead of one aggregate.
+        """
+        recordings = self._read_for_query(stream, start, end)
+        lo, hi = self._bounds(recordings, start, end)
+        approximation = reconstruct(recordings)
+        if window is not None:
+            return window_aggregates(approximation, lo, hi, window, dimension=dimension)
+        return range_aggregate(approximation, lo, hi, dimension=dimension)
+
+    def crossings(
+        self,
+        stream: str,
+        threshold: float,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        *,
+        dimension: int = 0,
+    ) -> List[float]:
+        """Times at which the stream's approximation crosses ``threshold``."""
+        approximation = reconstruct(self._read_for_query(stream, start, end))
+        return threshold_crossings(
+            approximation, threshold, start=start, end=end, dimension=dimension
+        )
+
+    def resample(
+        self,
+        stream: str,
+        step: float,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sample the stream's approximation on a regular ``step`` grid."""
+        recordings = self._read_for_query(stream, start, end)
+        lo, hi = self._bounds(recordings, start, end)
+        return _resample(reconstruct(recordings), lo, hi, step)
+
+    def _read_for_query(
+        self, stream: str, start: Optional[float], end: Optional[float]
+    ) -> List[Recording]:
+        recordings = self.read(stream, start, end)
+        if not recordings:
+            raise ValueError(f"stream {stream!r} has no recordings to query")
+        return recordings
+
+    @staticmethod
+    def _bounds(
+        recordings: Sequence[Recording], start: Optional[float], end: Optional[float]
+    ) -> Tuple[float, float]:
+        lo = float(recordings[0].time) if start is None else float(start)
+        hi = float(recordings[-1].time) if end is None else float(end)
+        return lo, hi
+
+    @staticmethod
+    def _in_flight(live: _LiveStream) -> List[Recording]:
+        """The recordings the live filter would emit if sealed right now.
+
+        Snapshot-read: the filter's :class:`~repro.core.state.FilterState`
+        is restored into a throwaway clone whose ``finish()`` produces the
+        end-of-stream recordings; the live filter keeps running untouched.
+        """
+        if live.filter.points_processed == 0 or live.filter.finished:
+            return []
+        clone = restore_filter(live.filter.snapshot())
+        return clone.finish()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def snapshot(
+        self, directory: Optional[Union[str, Path, CheckpointManager]] = None
+    ) -> Dict[str, FilterState]:
+        """Freeze every live stream's filter state.
+
+        Buffered recordings are archived first (so the store holds exactly
+        the recordings emitted before the snapshot), then each live filter
+        is snapshotted.  With ``directory`` given, each snapshot is also
+        persisted as an atomic :class:`IngestCheckpoint` (the store synced
+        first) that :meth:`restore` — or a fresh session — can resume from.
+
+        Returns:
+            ``{stream: FilterState}`` for every live stream.
+        """
+        self._check_open()
+        self.flush()
+        manager: Optional[CheckpointManager] = None
+        if directory is not None:
+            manager = (
+                directory
+                if isinstance(directory, CheckpointManager)
+                else CheckpointManager(directory)
+            )
+        states: Dict[str, FilterState] = {}
+        for name in sorted(self._live):
+            live = self._live[name]
+            states[name] = live.filter.snapshot()
+            if manager is not None:
+                if name in self._store:
+                    self._store.sync(name)
+                stored = (
+                    self._store.describe(name).recordings if name in self._store else 0
+                )
+                manager.save(
+                    IngestCheckpoint(
+                        stream=name,
+                        filter_state=states[name],
+                        points_ingested=live.filter.points_processed,
+                        recordings_stored=stored,
+                        chunk_size=self._ingest_spec.chunk_size,
+                        complete=False,
+                    )
+                )
+        return states
+
+    def restore(
+        self,
+        source: Union[Mapping[str, FilterState], str, Path, CheckpointManager],
+        streams: Optional[Iterable[str]] = None,
+    ) -> List[str]:
+        """Reinstate live filters from a :meth:`snapshot`.
+
+        ``source`` is either the mapping :meth:`snapshot` returned (an
+        in-memory handoff; the store is not touched) or a checkpoint
+        directory / :class:`CheckpointManager` — there each stream is also
+        rolled back to its checkpointed recording count, so recordings
+        archived after the snapshot are never duplicated.  Restored filters
+        continue bit-identically to the uninterrupted run.
+
+        Args:
+            source: Snapshot mapping or checkpoint directory.
+            streams: Restrict a directory restore to these streams
+                (default: every checkpoint in the directory; completed
+                ones are skipped).
+
+        Returns:
+            The names of the streams now live, sorted.
+
+        Raises:
+            ValueError: If a stream already has a live writer.
+            KeyError: If a requested stream has no checkpoint.
+        """
+        self._check_open()
+        if isinstance(source, Mapping):
+            if streams is not None:
+                source = {name: source[name] for name in streams}
+            self._check_not_live(source)
+            for name in sorted(source):
+                self._install_live(name, restore_filter(source[name]))
+            return sorted(source)
+        manager = (
+            source if isinstance(source, CheckpointManager) else CheckpointManager(source)
+        )
+        if streams is None:
+            checkpoints = manager.list()
+        else:
+            checkpoints = []
+            for name in streams:
+                checkpoint = manager.load(name)
+                if checkpoint is None:
+                    raise KeyError(f"no checkpoint for stream {name!r}")
+                checkpoints.append(checkpoint)
+        checkpoints = [
+            checkpoint
+            for checkpoint in checkpoints
+            if not checkpoint.complete and checkpoint.filter_state is not None
+        ]
+        # Validate everything BEFORE the first store mutation: a conflict
+        # discovered halfway through would otherwise leave streams already
+        # truncated back to their checkpoints — destroyed recordings — with
+        # the restore failed.
+        self._check_not_live(checkpoint.stream for checkpoint in checkpoints)
+        for checkpoint in checkpoints:
+            if checkpoint.stream not in self._store and checkpoint.recordings_stored > 0:
+                raise ValueError(
+                    f"checkpoint for {checkpoint.stream!r} expects "
+                    f"{checkpoint.recordings_stored} stored recordings but the "
+                    "store does not know the stream"
+                )
+        restored: List[str] = []
+        for checkpoint in checkpoints:
+            name = checkpoint.stream
+            if name in self._store:
+                self._store.truncate_stream(name, checkpoint.recordings_stored)
+            self._install_live(name, restore_filter(checkpoint.filter_state))
+            restored.append(name)
+        self._store.flush()
+        return sorted(restored)
+
+    def _check_not_live(self, names: Iterable[str]) -> None:
+        conflicting = sorted(name for name in names if name in self._live)
+        if conflicting:
+            raise ValueError(
+                f"stream(s) {', '.join(conflicting)} already have a live writer"
+            )
+
+    def _install_live(self, stream: str, stream_filter: StreamFilter) -> None:
+        if stream in self._live:
+            raise ValueError(f"stream {stream!r} already has a live writer")
+        epsilon = stream_filter.epsilon
+        self._live[stream] = _LiveStream(
+            filter=stream_filter,
+            sink=StoreSink(
+                self._store,
+                stream,
+                epsilon=None if epsilon is None else epsilon.epsilons,
+                archive_batch=self._archive_batch,
+            ),
+        )
+
+    def compact(self, stream: Optional[str] = None) -> Dict[str, Tuple[int, int]]:
+        """Merge undersized index blocks (one stream, or every stream)."""
+        self._check_open()
+        return self._store.compact(stream)
+
+    def close(self) -> None:
+        """Seal every live stream and flush the store.  Idempotent."""
+        if self._closed:
+            return
+        for name in list(self._live):
+            self.seal(name)
+        self._store.close()
+        self._closed = True
+
+    def __enter__(self) -> "StreamDB":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _require_filter_spec(self) -> FilterSpec:
+        if self._filter_spec is None:
+            raise ValueError(
+                "no filter configured: open the session with filter=FilterSpec(...) "
+                "or pass filter= to this call"
+            )
+        return self._filter_spec
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("the session has been closed")

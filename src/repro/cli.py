@@ -6,7 +6,9 @@ The ``repro`` command exposes the library's everyday operations:
 * ``repro compress`` — compress a CSV file (or built-in dataset) with one
   filter and write the recordings to a CSV file,
 * ``repro ingest`` — batch-ingest a workload into a durable segment store
-  through the vectorized pipeline,
+  through the :class:`~repro.api.session.StreamDB` session façade,
+* ``repro query`` — answer aggregates / crossings / resampling over a
+  stored stream through the same façade,
 * ``repro evaluate`` — compare several filters on one workload,
 * ``repro experiment`` — run one of the paper's figure experiments and print
   its table.
@@ -22,6 +24,9 @@ Examples::
         --split-dimensions --workers 4
     repro ingest --dataset sst --filter slide --precision-percent 1 --store ./archive \
         --checkpoint ./archive.ckpt --resume
+    repro query --store ./archive --stream sst --start 1000 --end 5000
+    repro query --store ./archive --stream sst --threshold 21.5
+    repro query --store ./archive --stream sst --step 60 -o samples.csv
     repro compact --store ./archive
     repro evaluate --dataset random-walk --epsilon 0.5
     repro experiment figure9
@@ -33,17 +38,19 @@ import argparse
 import csv
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+import repro
 from repro import __version__
+from repro.api import FilterSpec, IngestSpec, StorageSpec, StreamDB
 from repro.approximation.reconstruct import reconstruct
 from repro.core.epsilon import epsilon_from_percent
 from repro.core.errors import ReproError
 from repro.core.registry import PAPER_FILTERS, available_filters, create_filter
-from repro.data.datasets import available_datasets, dataset_entries, load_dataset
-from repro.pipeline import DEFAULT_CHUNK_SIZE, BatchIngestor, StoreSink
+from repro.data.datasets import dataset_entries, load_dataset
+from repro.pipeline import DEFAULT_CHUNK_SIZE
 from repro.evaluation import (
     compression_vs_correlation,
     compression_vs_delta,
@@ -57,13 +64,15 @@ from repro.evaluation import (
 from repro.evaluation.experiments import run_filters
 from repro.evaluation.report import render_table
 from repro.metrics.error import error_profile
-from repro.runtime import (
-    DEFAULT_CHECKPOINT_EVERY,
-    ParallelIngestor,
-    StreamTask,
-    run_ingest,
+from repro.queries.aggregates import (
+    range_aggregate,
+    resample,
+    threshold_crossings,
+    window_aggregates,
 )
-from repro.storage import DEFAULT_SHARDS, open_store
+from repro.runtime import DEFAULT_CHECKPOINT_EVERY
+from repro.runtime.parallel import ParallelIngestReport
+from repro.storage import DEFAULT_SHARDS
 from repro.streams.source import CsvSource
 
 __all__ = ["main", "build_parser"]
@@ -159,6 +168,28 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="resume from the last checkpoint in --checkpoint (fresh run when "
         "there is none); never reprocesses or duplicates recordings",
+    )
+
+    query = subparsers.add_parser(
+        "query", help="query one stored stream (aggregates, crossings, resampling)"
+    )
+    query.add_argument("--store", required=True, help="segment store directory")
+    query.add_argument("--stream", required=True, help="stream name in the store")
+    query.add_argument("--start", type=float, default=None, help="range start (default: stream start)")
+    query.add_argument("--end", type=float, default=None, help="range end (default: stream end)")
+    query_mode = query.add_mutually_exclusive_group()
+    query_mode.add_argument(
+        "--window", type=float, default=None, help="tumbling-window length (prints one row per window)"
+    )
+    query_mode.add_argument(
+        "--threshold", type=float, default=None, help="print the threshold's crossing times instead"
+    )
+    query.add_argument(
+        "--step", type=float, default=None, help="also resample on this regular grid"
+    )
+    query.add_argument("--dimension", type=int, default=0, help="signal dimension (default 0)")
+    query.add_argument(
+        "-o", "--output", default=None, help="write the resampled grid to this CSV file"
     )
 
     compact = subparsers.add_parser(
@@ -279,50 +310,49 @@ def _command_ingest(args: argparse.Namespace) -> int:
         stream_name = args.dataset
     else:
         stream_name = Path(args.input).stem
-    kwargs = {"max_lag": args.max_lag} if args.max_lag is not None else {}
     try:
-        # Build the filter before touching the store so a bad filter name,
-        # filter option or chunk size does not create the store directory as
-        # a side effect.
-        if args.shards is not None and args.shards < 1:
-            raise ValueError(f"shards must be positive, got {args.shards}")
-        if args.workers < 1:
-            raise ValueError(f"workers must be positive, got {args.workers}")
+        # Build and validate every spec before opening the session so a bad
+        # filter name, shard count or worker count does not create the store
+        # directory as a side effect.
         if args.resume and args.checkpoint is None:
             raise ValueError("--resume requires --checkpoint")
-        stream_filter = create_filter(args.filter, epsilon, **kwargs)
         if args.workers > 1 and not args.split_dimensions:
             raise ValueError(
                 "--workers above 1 requires --split-dimensions: a single "
                 "stream cannot be partitioned across workers"
             )
-        if args.split_dimensions:
-            return _ingest_parallel(args, times, values, epsilon, stream_name, kwargs)
-        if args.checkpoint is not None:
-            report = run_ingest(
-                args.store,
-                stream_name,
-                args.filter,
-                epsilon,
-                times,
-                values,
-                shards=args.shards,
-                chunk_size=args.chunk_size,
-                checkpoint=args.checkpoint,
-                checkpoint_every=args.checkpoint_every,
-                resume=args.resume,
-                **kwargs,
-            )
-        else:
-            ingestor = BatchIngestor(stream_filter, chunk_size=args.chunk_size)
-            ingestor.sink = StoreSink(
-                args.store, stream_name, epsilon=[epsilon], shards=args.shards
-            )
-            report = ingestor.run(times, values)
+        filter_spec = FilterSpec(args.filter, epsilon=epsilon, max_lag=args.max_lag)
+        shards = args.shards
+        if args.split_dimensions and shards is None:
+            shards = DEFAULT_SHARDS
+        storage_spec = StorageSpec(shards=shards)
+        ingest_spec = IngestSpec(
+            chunk_size=args.chunk_size,
+            workers=args.workers,
+            split_dimensions=args.split_dimensions,
+            checkpoint=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            resume=args.resume,
+        )
+        with repro.open(
+            args.store, filter=filter_spec, storage=storage_spec, ingest=ingest_spec
+        ) as db:
+            report = db.ingest(stream_name, times, values)
     except (KeyError, ValueError, ReproError) as error:
         message = error.args[0] if error.args else error
         raise SystemExit(f"ingest failed: {message}") from error
 
+    if isinstance(report, ParallelIngestReport):
+        ratio = report.points / report.recordings if report.recordings else 0.0
+        print(f"filter            : {args.filter}")
+        print(f"precision width   : {epsilon:.6g}")
+        print(f"streams           : {report.streams} -> {args.store} ({report.shards} shards)")
+        print(f"workers           : {report.workers}")
+        print(f"data points       : {report.points}")
+        print(f"recordings        : {report.recordings}")
+        print(f"compression ratio : {ratio:.3f}")
+        print(f"throughput        : {report.points_per_second:,.0f} points/s")
+        return 0
     store_label = args.store if args.shards is None else f"{args.store} ({args.shards} shards)"
     print(f"filter            : {report.filter_name}")
     print(f"precision width   : {epsilon:.6g}")
@@ -335,73 +365,94 @@ def _command_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
-def _ingest_parallel(
-    args: argparse.Namespace,
-    times: np.ndarray,
-    values: np.ndarray,
-    epsilon: float,
-    stream_name: str,
-    filter_kwargs: dict,
-) -> int:
-    """Store a workload as per-dimension streams, partitioned across workers.
-
-    The stored layout (stream names, shard count) depends only on the
-    workload and ``--shards`` — never on ``--workers`` — so runs with
-    different worker counts write, and resume, the same store.
-    """
-    if values.ndim == 1:
-        values = values.reshape(-1, 1)
-    tasks = [
-        StreamTask(name=f"{stream_name}/d{index}", times=times, values=values[:, index])
-        for index in range(values.shape[1])
-    ]
-    shards = args.shards if args.shards is not None else DEFAULT_SHARDS
-    ingestor = ParallelIngestor(
-        args.store,
-        args.filter,
-        epsilon,
-        workers=args.workers,
-        shards=shards,
-        chunk_size=args.chunk_size,
-        checkpoint=args.checkpoint,
-        checkpoint_every=args.checkpoint_every,
-        resume=args.resume,
-        **filter_kwargs,
-    )
-    report = ingestor.run(tasks)
-    ratio = report.points / report.recordings if report.recordings else 0.0
-    print(f"filter            : {args.filter}")
-    print(f"precision width   : {epsilon:.6g}")
-    print(f"streams           : {report.streams} -> {args.store} ({report.shards} shards)")
-    print(f"workers           : {report.workers}")
-    print(f"data points       : {report.points}")
-    print(f"recordings        : {report.recordings}")
-    print(f"compression ratio : {ratio:.3f}")
-    print(f"throughput        : {report.points_per_second:,.0f} points/s")
+def _command_query(args: argparse.Namespace) -> int:
+    if args.output is not None and args.step is None:
+        raise SystemExit("query failed: --output requires --step (it holds the resampled grid)")
+    try:
+        db = repro.open(args.store, create=False)
+    except FileNotFoundError:
+        raise SystemExit(f"query failed: no segment store at {args.store!r}") from None
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"query failed: {error}") from error
+    try:
+        entry = db.describe(args.stream)
+        print(f"stream            : {args.stream}")
+        print(f"recordings        : {entry.recordings}")
+        # One read, one reconstruction — every output below shares it; the
+        # range defaulting and empty check are the session's own semantics.
+        recordings = db.read(args.stream, args.start, args.end)
+        if not recordings:
+            raise ValueError(f"stream {args.stream!r} has no recordings to query")
+        approximation = reconstruct(recordings)
+        lo, hi = StreamDB._bounds(recordings, args.start, args.end)
+        if args.threshold is not None:
+            crossings = threshold_crossings(
+                approximation, args.threshold, args.start, args.end, dimension=args.dimension
+            )
+            print(f"crossings         : {len(crossings)}")
+            for time in crossings:
+                print(f"  {time:.12g}")
+        elif args.window is not None:
+            windows = window_aggregates(
+                approximation, lo, hi, args.window, dimension=args.dimension
+            )
+            rows = [["start", "end", "min", "max", "mean"]]
+            for window in windows:
+                rows.append(
+                    [
+                        f"{window.start:.6g}",
+                        f"{window.end:.6g}",
+                        f"{window.minimum:.6g}",
+                        f"{window.maximum:.6g}",
+                        f"{window.mean:.6g}",
+                    ]
+                )
+            print(render_table(rows))
+        else:
+            aggregate = range_aggregate(approximation, lo, hi, dimension=args.dimension)
+            print(f"range             : {aggregate.start:.12g} .. {aggregate.end:.12g}")
+            print(f"minimum           : {aggregate.minimum:.12g}")
+            print(f"maximum           : {aggregate.maximum:.12g}")
+            print(f"mean              : {aggregate.mean:.12g}")
+            print(f"integral          : {aggregate.integral:.12g}")
+        if args.step is not None:
+            grid_times, grid_values = resample(approximation, lo, hi, args.step)
+            if args.output:
+                with open(args.output, "w", newline="") as handle:
+                    writer = csv.writer(handle)
+                    writer.writerow(
+                        ["time"] + [f"x{i + 1}" for i in range(grid_values.shape[1])]
+                    )
+                    for time, row in zip(grid_times, grid_values):
+                        writer.writerow([f"{time:.12g}"] + [f"{v:.12g}" for v in row])
+                print(f"samples written to {args.output}")
+            else:
+                for time, row in zip(grid_times, grid_values):
+                    print(f"  {time:.12g}  " + "  ".join(f"{v:.12g}" for v in row))
+    except (KeyError, ValueError) as error:
+        message = error.args[0] if error.args else error
+        raise SystemExit(f"query failed: {message}") from error
+    finally:
+        db.close()
     return 0
 
 
 def _command_compact(args: argparse.Namespace) -> int:
-    from repro.storage import SegmentStore, ShardedStore
-
-    root = Path(args.store)
-    # open_store would create an empty store at a mistyped path; compaction
-    # is maintenance of an *existing* store, so demand one.
-    if not (root / ShardedStore.META_NAME).exists() and not (
-        root / SegmentStore.CATALOG_NAME
-    ).exists():
-        raise SystemExit(f"compact failed: no segment store at {args.store!r}")
+    # Opening a session would create an empty store at a mistyped path;
+    # compaction is maintenance of an *existing* store, so demand one.
     try:
-        store = open_store(args.store)
+        db = repro.open(args.store, create=False)
+    except FileNotFoundError:
+        raise SystemExit(f"compact failed: no segment store at {args.store!r}") from None
     except (OSError, ValueError) as error:
         raise SystemExit(f"compact failed: {error}") from error
     try:
-        rebuilt = store.compact(args.stream)
+        rebuilt = db.compact(args.stream)
     except KeyError as error:
         message = error.args[0] if error.args else error
         raise SystemExit(f"compact failed: {message}") from error
     finally:
-        store.close()
+        db.close()
     rows = [["stream", "blocks before", "blocks after"]]
     for name in sorted(rebuilt):
         before, after = rebuilt[name]
@@ -442,20 +493,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "filters":
-        return _command_filters()
-    if args.command == "datasets":
-        return _command_datasets()
-    if args.command == "compress":
-        return _command_compress(args)
-    if args.command == "ingest":
-        return _command_ingest(args)
-    if args.command == "compact":
-        return _command_compact(args)
-    if args.command == "evaluate":
-        return _command_evaluate(args)
-    if args.command == "experiment":
-        return _command_experiment(args.name)
+    try:
+        if args.command == "filters":
+            return _command_filters()
+        if args.command == "datasets":
+            return _command_datasets()
+        if args.command == "compress":
+            return _command_compress(args)
+        if args.command == "ingest":
+            return _command_ingest(args)
+        if args.command == "query":
+            return _command_query(args)
+        if args.command == "compact":
+            return _command_compact(args)
+        if args.command == "evaluate":
+            return _command_evaluate(args)
+        if args.command == "experiment":
+            return _command_experiment(args.name)
+    except BrokenPipeError:
+        # The consumer (e.g. `repro query ... | head`) closed the pipe;
+        # redirect stdout into the void so the interpreter's shutdown flush
+        # does not print a spurious traceback.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
     parser.error(f"unknown command {args.command!r}")
     return 2
 

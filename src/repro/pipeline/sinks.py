@@ -24,6 +24,7 @@ __all__ = [
     "NullSink",
     "CallbackSink",
     "StoreSink",
+    "flush_buffered",
 ]
 
 
@@ -34,8 +35,11 @@ class RecordingSink(abc.ABC):
     def write(self, recordings: Sequence[Recording]) -> None:
         """Accept one batch of recordings (possibly empty)."""
 
+    def flush(self) -> None:
+        """Persist anything buffered (default: no-op).  Idempotent."""
+
     def close(self) -> None:
-        """Flush and release any resources (default: no-op)."""
+        """Flush and release any resources (default: no-op).  Idempotent."""
 
 
 class ListSink(RecordingSink):
@@ -82,9 +86,14 @@ class StoreSink(RecordingSink):
             entry.
         shards: When ``store`` is a path of a new store, create it sharded
             with this many shards (must match for an existing sharded store).
+        archive_batch: Buffer this many recordings before appending to the
+            store (the default ``1`` appends on every :meth:`write`, the
+            historical behaviour).  Buffered recordings are visible through
+            :attr:`pending` and persisted by :meth:`flush`/:meth:`close`.
 
     Raises:
-        ValueError: If ``shards`` is combined with a store instance.
+        ValueError: If ``shards`` is combined with a store instance, or
+            ``archive_batch`` is not positive.
     """
 
     def __init__(
@@ -93,20 +102,68 @@ class StoreSink(RecordingSink):
         name: str,
         epsilon: Optional[Sequence[float]] = None,
         shards: Optional[int] = None,
+        archive_batch: int = 1,
     ) -> None:
         if not isinstance(store, (SegmentStore, ShardedStore)):
             store = open_store(store, shards=shards, autoflush=False)
         elif shards is not None:
             raise ValueError("shards applies only when the store is given as a path")
+        if archive_batch < 1:
+            raise ValueError(f"archive_batch must be positive, got {archive_batch}")
         self.store = store
         self.name = name
         self._epsilon = (
             [float(v) for v in np.atleast_1d(epsilon)] if epsilon is not None else None
         )
+        self._archive_batch = archive_batch
+        self._buffer: List[Recording] = []
+
+    @property
+    def pending(self) -> Sequence[Recording]:
+        """Recordings buffered but not yet appended to the store."""
+        return tuple(self._buffer)
 
     def write(self, recordings: Sequence[Recording]) -> None:
-        if recordings:
-            self.store.append(self.name, recordings, epsilon=self._epsilon)
+        if not recordings:
+            return
+        self._buffer.extend(recordings)
+        if len(self._buffer) >= self._archive_batch:
+            flush_buffered(self.store, self.name, self._buffer, self._epsilon)
+
+    def flush_records(self) -> None:
+        """Append any buffered recordings, leaving the catalog flush to the
+        caller (for sessions flushing many sinks against one store)."""
+        flush_buffered(self.store, self.name, self._buffer, self._epsilon)
+
+    def flush(self) -> None:
+        """Append any buffered recordings and persist the store catalog."""
+        self.flush_records()
+        self.store.flush()
 
     def close(self) -> None:
-        self.store.flush()
+        self.flush()
+
+
+def flush_buffered(store, name: str, buffer: List[Recording], epsilon) -> None:
+    """Append ``buffer``'s recordings to ``store`` exactly once, then empty it.
+
+    The buffer is handed off *before* the append so a failure can never
+    leave already-persisted recordings queued for a second append: if the
+    append raises, the records are put back only when the store's catalog
+    entry proves it did not take them (an append can fail *after* the log
+    write — e.g. the catalog flush of an autoflushing store hits a full
+    disk — and retrying it would double-archive, or wedge the stream on the
+    time-order check).  Safe to call repeatedly; an empty buffer is a no-op.
+    """
+    if not buffer:
+        return
+    records = list(buffer)
+    del buffer[:]
+    before = store.describe(name).recordings if name in store else 0
+    try:
+        store.append(name, records, epsilon=epsilon)
+    except BaseException:
+        after = store.describe(name).recordings if name in store else 0
+        if after == before:
+            buffer[:0] = records
+        raise

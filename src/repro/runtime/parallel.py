@@ -133,7 +133,10 @@ def ingest_shard_job(
     )
     reports: List[StreamReport] = []
     with SegmentStore(
-        shard_directory, autoflush=False, backend=config.get("backend")
+        shard_directory,
+        autoflush=False,
+        backend=config.get("backend"),
+        block_records=config.get("block_records"),
     ) as store:
         for task in tasks:
             times, values = task.materialize()
@@ -196,6 +199,7 @@ class ParallelIngestor:
         checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
         resume: bool = False,
         backend: Optional[str] = None,
+        block_records: Optional[int] = None,
         **filter_kwargs,
     ) -> None:
         if workers < 1:
@@ -216,6 +220,7 @@ class ParallelIngestor:
         self.checkpoint_every = checkpoint_every
         self.resume = resume
         self.backend = backend
+        self.block_records = block_records
         self.filter_kwargs = filter_kwargs
 
     def run(self, tasks: Sequence[StreamTask]) -> ParallelIngestReport:
@@ -235,7 +240,11 @@ class ParallelIngestor:
         # the shard paths from the store itself so the layout has a single
         # source of truth.
         root = open_store(
-            self.store_directory, shards=shard_count, autoflush=False, backend=self.backend
+            self.store_directory,
+            shards=shard_count,
+            autoflush=False,
+            backend=self.backend,
+            block_records=self.block_records,
         )
         shard_directories = [str(shard.directory) for shard in root.shards]
         root.close()
@@ -258,6 +267,7 @@ class ParallelIngestor:
             "checkpoint_every": self.checkpoint_every,
             "resume": self.resume,
             "backend": self.backend,
+            "block_records": self.block_records,
             "filter_kwargs": self.filter_kwargs,
         }
         jobs = [

@@ -16,6 +16,7 @@ arrays through the filters' vectorized ``process_batch`` fast path.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
@@ -25,6 +26,7 @@ from repro.approximation.piecewise import Approximation
 from repro.core.base import StreamFilter
 from repro.core.registry import create_filter
 from repro.pipeline.chunking import DEFAULT_CHUNK_SIZE, iter_chunks
+from repro.pipeline.sinks import flush_buffered
 from repro.storage import StoreLike
 from repro.streams.transport import Transmitter
 
@@ -132,7 +134,20 @@ class StreamSet:
         arrival order of a live fleet — and each chunk goes through
         :meth:`observe_batch`.  With ``close=True`` (default) the set is
         closed afterwards, flushing every filter and the archive buffers.
+
+        .. deprecated::
+            Use the :class:`~repro.api.session.StreamDB` session instead —
+            ``with repro.open(path, filter=...) as db`` and one
+            :meth:`~repro.api.session.StreamDB.append` per stream chunk (or
+            :meth:`~repro.api.session.StreamDB.ingest` per whole stream).
         """
+        warnings.warn(
+            "StreamSet.run_arrays is deprecated and will be removed in the next "
+            "release; use the StreamDB session instead: "
+            "`with repro.open(path, filter=FilterSpec(...)) as db: db.append(name, times, values)`",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         iterators = {
             name: iter_chunks(times, values, chunk_size)
             for name, (times, values) in data.items()
@@ -231,8 +246,7 @@ class StreamSet:
     def _flush_stream(self, stream: str) -> None:
         buffer = self._pending.get(stream)
         if buffer:
-            self._store.append(stream, buffer, epsilon=self._epsilon_list())
-            buffer.clear()
+            flush_buffered(self._store, stream, buffer, self._epsilon_list())
 
     def _epsilon_list(self) -> Optional[List[float]]:
         if self._epsilon is None:

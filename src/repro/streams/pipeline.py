@@ -9,6 +9,7 @@ traffic.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Iterable, Optional, Union
 
@@ -96,7 +97,20 @@ class MonitoringPipeline:
         and traffic), but driven chunk-by-chunk through
         :meth:`~repro.streams.transport.Transmitter.observe_batch`; the
         reported ``max_lag`` is measured at chunk granularity.
+
+        .. deprecated::
+            Use the :class:`~repro.api.session.StreamDB` session instead —
+            ``repro.open(path, filter=...).ingest(name, times, values)``
+            drives the same vectorized batch path and archives the
+            recordings for querying.
         """
+        warnings.warn(
+            "MonitoringPipeline.run_arrays is deprecated and will be removed in "
+            "the next release; use the StreamDB session instead: "
+            "`repro.open(path, filter=FilterSpec(...)).ingest(name, times, values)`",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         times, values = normalize_chunk(times, values)
         for chunk_times, chunk_values in iter_chunks(times, values, chunk_size):
             self.transmitter.observe_batch(chunk_times, chunk_values)

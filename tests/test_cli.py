@@ -296,3 +296,106 @@ class TestCompactCommand:
         with pytest.raises(SystemExit, match="no segment store"):
             main(["compact", "--store", str(missing)])
         assert not missing.exists()
+
+
+class TestQueryCommand:
+    def ingest(self, csv_workload, tmp_path, *extra):
+        path, times, values = csv_workload
+        store_dir = tmp_path / "archive"
+        code = main(
+            ["ingest", "--input", str(path), "--filter", "slide", "--epsilon",
+             "0.5", "--store", str(store_dir), "--name", "s", *extra]
+        )
+        assert code == 0
+        return store_dir, times, values
+
+    def test_round_trip_matches_session_query(self, capsys, csv_workload, tmp_path):
+        """End-to-end through the façade: `repro ingest --shards 2 --workers 1`
+        then `repro query`, asserting the printed values match `db.query`."""
+        import repro
+
+        store_dir, times, values = self.ingest(
+            csv_workload, tmp_path, "--shards", "2", "--workers", "1"
+        )
+        capsys.readouterr()
+        start, end = float(times[50]), float(times[-50])
+        assert main(
+            ["query", "--store", str(store_dir), "--stream", "s",
+             "--start", str(start), "--end", str(end)]
+        ) == 0
+        output = capsys.readouterr().out
+        printed = {}
+        for line in output.splitlines():
+            key, _, value = line.partition(":")
+            printed[key.strip()] = value.strip()
+        with repro.open(store_dir, create=False) as db:
+            aggregate = db.aggregate("s", start, end)
+            approx = db.query("s", start, end)
+        assert float(printed["minimum"]) == pytest.approx(aggregate.minimum, rel=1e-10)
+        assert float(printed["maximum"]) == pytest.approx(aggregate.maximum, rel=1e-10)
+        assert float(printed["mean"]) == pytest.approx(aggregate.mean, rel=1e-10)
+        assert int(printed["recordings"]) == db.store.describe("s").recordings
+        # The stored approximation reproduces the raw signal within epsilon.
+        inside = (times >= start) & (times <= end)
+        deviations = np.abs(
+            approx.values_at(times[inside])[:, 0] - np.asarray(values)[inside]
+        )
+        assert float(deviations.max()) <= 0.5 + 1e-8
+
+    def test_query_threshold_crossings(self, capsys, csv_workload, tmp_path):
+        import repro
+
+        store_dir, times, values = self.ingest(csv_workload, tmp_path)
+        capsys.readouterr()
+        threshold = float(np.median(values))
+        assert main(
+            ["query", "--store", str(store_dir), "--stream", "s",
+             "--threshold", str(threshold)]
+        ) == 0
+        output = capsys.readouterr().out
+        with repro.open(store_dir, create=False) as db:
+            crossings = db.crossings("s", threshold)
+        assert f"crossings         : {len(crossings)}" in output
+
+    def test_query_resample_to_csv(self, capsys, csv_workload, tmp_path):
+        store_dir, times, _ = self.ingest(csv_workload, tmp_path)
+        out = tmp_path / "samples.csv"
+        assert main(
+            ["query", "--store", str(store_dir), "--stream", "s",
+             "--step", "10", "-o", str(out)]
+        ) == 0
+        rows = list(csv.reader(open(out)))
+        assert rows[0] == ["time", "x1"]
+        assert len(rows) > 2
+
+    def test_query_window_table(self, capsys, csv_workload, tmp_path):
+        store_dir, times, _ = self.ingest(csv_workload, tmp_path)
+        capsys.readouterr()
+        assert main(
+            ["query", "--store", str(store_dir), "--stream", "s", "--window", "50"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "mean" in output and "start" in output
+
+    def test_query_unknown_stream_fails_cleanly(self, csv_workload, tmp_path):
+        store_dir, _, _ = self.ingest(csv_workload, tmp_path)
+        with pytest.raises(SystemExit, match="query failed"):
+            main(["query", "--store", str(store_dir), "--stream", "ghost"])
+
+    def test_query_missing_store_fails_cleanly(self, tmp_path):
+        missing = tmp_path / "nope"
+        with pytest.raises(SystemExit, match="no segment store"):
+            main(["query", "--store", str(missing), "--stream", "s"])
+        assert not missing.exists()
+
+    def test_query_output_requires_step(self, csv_workload, tmp_path):
+        store_dir, _, _ = self.ingest(csv_workload, tmp_path)
+        with pytest.raises(SystemExit, match="--output requires --step"):
+            main(["query", "--store", str(store_dir), "--stream", "s",
+                  "-o", str(tmp_path / "out.csv")])
+
+    def test_query_window_conflicts_with_threshold(self, csv_workload, tmp_path):
+        store_dir, _, _ = self.ingest(csv_workload, tmp_path)
+        with pytest.raises(SystemExit):
+            main(["query", "--store", str(store_dir), "--stream", "s",
+                  "--window", "50", "--threshold", "0"])

@@ -196,3 +196,78 @@ class TestBatchIngestion:
         streams.close()
         with pytest.raises(RuntimeError):
             streams.observe_batch("a", [1.0], [2.0])
+
+
+class FlakyFlushStore(SegmentStore):
+    """A store whose next catalog flush raises *after* the log append.
+
+    Models a transient persistence failure (full disk, yanked volume) in an
+    autoflushing store: the recordings land in the log and the in-memory
+    catalog, then the catalog write blows up.
+    """
+
+    def __init__(self, *args, **kwargs):
+        self.fail_next_flush = False
+        super().__init__(*args, **kwargs)
+
+    def flush(self):
+        if getattr(self, "fail_next_flush", False):
+            self.fail_next_flush = False
+            raise OSError("disk full")
+        super().flush()
+
+
+class TestArchiveFlushIdempotency:
+    """`flush()` before `close()` archives every recording exactly once —
+    even when a flush attempt fails after the append already persisted."""
+
+    def test_flush_then_close_archives_once(self, tmp_path):
+        store = SegmentStore(tmp_path / "archive", autoflush=False)
+        streams = StreamSet("slide", epsilon=0.5, store=store, archive_batch=1000)
+        times, values = walk(5)
+        streams.observe_batch("s", times, values)
+        streams.flush()
+        streams.flush()  # idempotent: nothing left to archive
+        report = streams.close()
+        assert store.describe("s").recordings == report.recordings
+
+    def test_failed_flush_does_not_double_archive(self, tmp_path):
+        store = FlakyFlushStore(tmp_path / "archive")  # autoflush=True
+        streams = StreamSet("slide", epsilon=0.5, store=store, archive_batch=1000)
+        times, values = walk(6)
+        half = len(times) // 2
+        streams.observe_batch("s", times[:half], values[:half])
+        streams.flush()  # registers the stream, archives the first half
+        streams.observe_batch("s", times[half:], values[half:])
+        store.fail_next_flush = True
+        # The append persists the buffered recordings, then the catalog
+        # flush fails: the error propagates, but the recordings must not
+        # stay queued for a second append.
+        with pytest.raises(OSError, match="disk full"):
+            streams.flush()
+        report = streams.close()  # pre-fix: duplicated or wedged on time order
+        assert store.describe("s").recordings == report.recordings
+        times_stored = [r.time for r in store.read("s")]
+        assert times_stored == sorted(set(times_stored))
+
+    def test_failed_append_keeps_recordings_buffered(self, tmp_path):
+        """When the append provably did NOT land, the buffer is retained so
+        a later flush still archives the recordings."""
+        store = SegmentStore(tmp_path / "archive", autoflush=False)
+        streams = StreamSet("slide", epsilon=0.5, store=store, archive_batch=1000)
+        times, values = walk(7)
+        streams.observe_batch("s", times, values)
+        original_append = store.append
+        calls = {"n": 0}
+
+        def failing_append(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise OSError("transient")
+            return original_append(*args, **kwargs)
+
+        store.append = failing_append
+        with pytest.raises(OSError, match="transient"):
+            streams.flush()
+        report = streams.close()  # retry succeeds, nothing lost or doubled
+        assert store.describe("s").recordings == report.recordings

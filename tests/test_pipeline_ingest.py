@@ -332,3 +332,80 @@ class TestStoreSinkSharded:
         sink.close()  # flushes the deferred catalogs
         reopened = ShardedStore(tmp_path / "archive")
         assert reopened.describe("demo").recordings == 4
+
+
+# --------------------------------------------------------------------------- #
+# StoreSink buffered archiving
+# --------------------------------------------------------------------------- #
+def _recordings_at(start, count):
+    return [
+        Recording(float(start + i), np.array([float(start + i)]), RecordingKind.HOLD)
+        for i in range(count)
+    ]
+
+
+class TestStoreSinkBuffering:
+    def test_write_through_by_default(self, tmp_path):
+        sink = StoreSink(tmp_path / "archive", "s")
+        sink.write(_recordings_at(0, 2))
+        assert sink.store.describe("s").recordings == 2
+        assert sink.pending == ()
+
+    def test_buffers_until_archive_batch(self, tmp_path):
+        sink = StoreSink(tmp_path / "archive", "s", archive_batch=5)
+        sink.write(_recordings_at(0, 3))
+        assert "s" not in sink.store
+        assert len(sink.pending) == 3
+        sink.write(_recordings_at(3, 3))  # crosses the threshold
+        assert sink.store.describe("s").recordings == 6
+        assert sink.pending == ()
+
+    def test_flush_before_close_is_idempotent(self, tmp_path):
+        sink = StoreSink(tmp_path / "archive", "s", archive_batch=100)
+        sink.write(_recordings_at(0, 4))
+        sink.flush()
+        assert sink.store.describe("s").recordings == 4
+        sink.flush()
+        sink.close()
+        sink.close()
+        assert sink.store.describe("s").recordings == 4
+
+    def test_buffered_equals_write_through(self, tmp_path):
+        buffered = StoreSink(tmp_path / "a", "s", archive_batch=7)
+        direct = StoreSink(tmp_path / "b", "s")
+        for start in range(0, 30, 3):
+            chunk = _recordings_at(start, 3)
+            buffered.write(chunk)
+            direct.write(chunk)
+        buffered.close()
+        direct.close()
+        left = SegmentStore(tmp_path / "a").read("s")
+        right = SegmentStore(tmp_path / "b").read("s")
+        assert [(r.time, r.kind) for r in left] == [(r.time, r.kind) for r in right]
+
+    def test_invalid_archive_batch(self, tmp_path):
+        with pytest.raises(ValueError, match="archive_batch"):
+            StoreSink(tmp_path / "archive", "s", archive_batch=0)
+
+    def test_failed_append_after_persist_does_not_double_archive(self, tmp_path):
+        store = SegmentStore(tmp_path / "archive", autoflush=False)
+        sink = StoreSink(store, "s", archive_batch=100)
+        sink.write(_recordings_at(0, 3))
+        sink.flush()  # registers the stream and archives the first batch
+        sink.write(_recordings_at(3, 3))
+        original_flush = store.flush
+        state = {"fail": True}
+
+        def flaky_flush():
+            if state["fail"]:
+                state["fail"] = False
+                raise OSError("disk full")
+            original_flush()
+
+        store.flush = flaky_flush
+        with pytest.raises(OSError, match="disk full"):
+            sink.flush()  # append landed; catalog flush failed
+        store.flush = original_flush
+        sink.close()  # must not re-append the already-persisted batch
+        assert store.describe("s").recordings == 6
+        assert [r.time for r in store.read("s")] == [float(i) for i in range(6)]
