@@ -1,0 +1,210 @@
+"""Query engine benchmark: block-summary planner vs decode-path aggregates.
+
+Builds one slide-compressed stream stored across >= 100 index blocks, then
+answers the same aggregate queries two ways:
+
+* **decode** — the reference path: ``store.read`` over the range, rebuild
+  ``Recording`` objects, ``reconstruct`` the approximation, aggregate its
+  pieces;
+* **planner** — :func:`repro.queries.planner.plan_range_aggregate` /
+  ``plan_window_aggregates``: compose the pre-aggregated per-block summaries
+  for fully-covered blocks and decode only the (at most two) blocks each
+  range boundary straddles.
+
+Every answer is checked to match the decode path within the planner's
+documented :data:`~repro.queries.planner.TOLERANCE`; the headline number is
+the aggregate-query speedup, asserted to be at least 10x unless
+``--no-assert`` is given.
+
+Usage::
+
+    python benchmarks/bench_query_engine.py                  # full workload
+    python benchmarks/bench_query_engine.py --points 20000 --queries 15
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.approximation.reconstruct import reconstruct
+from repro.core.registry import create_filter
+from repro.queries.aggregates import range_aggregate, window_aggregates
+from repro.queries.planner import (
+    TOLERANCE,
+    plan_range_aggregate,
+    plan_window_aggregates,
+)
+from repro.storage import SegmentStore
+
+from bench_utils import write_bench_json
+
+#: Index blocks the built store must at least have — the scale the asserted
+#: speedup floor is calibrated against.
+MIN_BLOCKS = 100
+
+_FIELDS = ("minimum", "maximum", "mean", "integral")
+
+
+# --------------------------------------------------------------------------- #
+# Workload
+# --------------------------------------------------------------------------- #
+def build_store(directory: Path, points: int, epsilon: float, seed: int) -> SegmentStore:
+    """Slide-compress a random walk and store it across >= MIN_BLOCKS blocks."""
+    rng = np.random.default_rng(seed)
+    times = np.cumsum(rng.uniform(0.2, 1.5, points))
+    values = np.cumsum(rng.normal(0.0, 1.0, points)).reshape(-1, 1)
+    filt = create_filter("slide", epsilon)
+    recordings = filt.process_batch(times, values) + filt.finish()
+    block_records = max(8, len(recordings) // 150)
+    store = SegmentStore(directory, block_records=block_records)
+    store.append("s", recordings)
+    store.flush()
+    return store
+
+
+def random_ranges(store: SegmentStore, queries: int, seed: int) -> List[Tuple[float, float]]:
+    entry = store.describe("s")
+    lo, hi = entry.first_time, entry.last_time
+    rng = np.random.default_rng(seed * 13 + 5)
+    ranges = []
+    for _ in range(queries):
+        width = (hi - lo) * float(rng.uniform(0.4, 0.7))
+        start = float(rng.uniform(lo, hi - width))
+        ranges.append((start, start + width))
+    return ranges
+
+
+def matches(got, ref) -> bool:
+    return all(
+        abs(getattr(got, field) - getattr(ref, field))
+        <= max(abs(getattr(got, field)), abs(getattr(ref, field))) * TOLERANCE + TOLERANCE
+        for field in _FIELDS
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Measurements
+# --------------------------------------------------------------------------- #
+def bench_ranges(store: SegmentStore, ranges) -> Tuple[float, float]:
+    """Time the decode path vs the planner over the same range queries."""
+    started = time.perf_counter()
+    decode_results = [
+        range_aggregate(reconstruct(store.read("s", a, b)), a, b) for a, b in ranges
+    ]
+    decode_elapsed = time.perf_counter() - started
+
+    started = time.perf_counter()
+    planner_results = [plan_range_aggregate(store, "s", a, b) for a, b in ranges]
+    planner_elapsed = time.perf_counter() - started
+
+    for got, ref, query in zip(planner_results, decode_results, ranges):
+        assert matches(got, ref), (query, got, ref)
+    return decode_elapsed, planner_elapsed
+
+
+def bench_windows(store: SegmentStore, windows: int) -> Tuple[float, float]:
+    """Time one tumbling-window sweep over the full stream span, both ways."""
+    entry = store.describe("s")
+    lo, hi = entry.first_time, entry.last_time
+    window = (hi - lo) / windows
+
+    started = time.perf_counter()
+    decode_results = window_aggregates(reconstruct(store.read("s", lo, hi)), lo, hi, window)
+    decode_elapsed = time.perf_counter() - started
+
+    started = time.perf_counter()
+    planner_results = plan_window_aggregates(store, "s", window, lo, hi)
+    planner_elapsed = time.perf_counter() - started
+
+    assert len(planner_results) == len(decode_results)
+    for index, (got, ref) in enumerate(zip(planner_results, decode_results)):
+        assert matches(got, ref), (index, got, ref)
+    return decode_elapsed, planner_elapsed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--points", type=int, default=80_000, help="raw points to compress")
+    parser.add_argument("--epsilon", type=float, default=0.4, help="filter precision width")
+    parser.add_argument("--queries", type=int, default=30, help="random range queries to time")
+    parser.add_argument("--windows", type=int, default=200, help="windows in the sweep")
+    parser.add_argument("--seed", type=int, default=42, help="workload seed")
+    parser.add_argument(
+        "--floor", type=float, default=10.0, help="asserted range-query speedup floor"
+    )
+    parser.add_argument(
+        "--no-assert", action="store_true", help="report only; do not enforce the floor"
+    )
+    args = parser.parse_args(argv)
+
+    root = Path(tempfile.mkdtemp(prefix="bench-query-engine-"))
+    try:
+        store = build_store(root / "store", args.points, args.epsilon, args.seed)
+        entry = store.describe("s")
+        blocks = len(entry.blocks)
+        assert blocks >= MIN_BLOCKS, f"workload too small: {blocks} blocks < {MIN_BLOCKS}"
+        print(
+            f"stream: {args.points:,} points -> {entry.recordings:,} recordings "
+            f"across {blocks} index blocks"
+        )
+
+        ranges = random_ranges(store, args.queries, args.seed)
+        decode_r, planner_r = bench_ranges(store, ranges)
+        range_speedup = decode_r / planner_r if planner_r else float("inf")
+        print(
+            f"\n{args.queries} range aggregates (40-70% of span each):\n"
+            f"  decode path : {decode_r * 1e3:9.1f} ms "
+            f"({decode_r / args.queries * 1e3:7.2f} ms/query)\n"
+            f"  planner     : {planner_r * 1e3:9.1f} ms "
+            f"({planner_r / args.queries * 1e3:7.2f} ms/query)\n"
+            f"  speedup     : {range_speedup:9.1f}x  (answers match within {TOLERANCE:g})"
+        )
+
+        decode_w, planner_w = bench_windows(store, args.windows)
+        window_speedup = decode_w / planner_w if planner_w else float("inf")
+        print(
+            f"\n{args.windows}-window sweep over the full span:\n"
+            f"  decode path : {decode_w * 1e3:9.1f} ms\n"
+            f"  planner     : {planner_w * 1e3:9.1f} ms\n"
+            f"  speedup     : {window_speedup:9.1f}x"
+        )
+
+        path = write_bench_json(
+            "query_engine",
+            {
+                "points": args.points,
+                "recordings": entry.recordings,
+                "blocks": blocks,
+                "range_queries": args.queries,
+                "decode_range_seconds": decode_r,
+                "planner_range_seconds": planner_r,
+                "range_speedup": range_speedup,
+                "windows": args.windows,
+                "decode_window_seconds": decode_w,
+                "planner_window_seconds": planner_w,
+                "window_speedup": window_speedup,
+                "asserted_floor": None if args.no_assert else args.floor,
+            },
+        )
+        print(f"results written to {path}")
+
+        if not args.no_assert and range_speedup < args.floor:
+            print(
+                f"FAIL: planner range aggregates are below the {args.floor:g}x speedup floor"
+            )
+            return 1
+        return 0
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

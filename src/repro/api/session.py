@@ -59,6 +59,11 @@ from repro.queries.aggregates import (
     threshold_crossings,
     window_aggregates,
 )
+from repro.queries.planner import (
+    plan_range_aggregate,
+    plan_resample,
+    plan_window_aggregates,
+)
 from repro.runtime.checkpoint import CheckpointManager, IngestCheckpoint
 from repro.runtime.ingest import ingest_stream_checkpointed
 from repro.runtime.parallel import ParallelIngestReport, ParallelIngestor, StreamTask
@@ -645,7 +650,24 @@ class StreamDB:
         Bounds default to the stream's span (live tail included).  With
         ``window`` given, returns tumbling-window aggregates covering the
         range instead of one aggregate.
+
+        Stored streams are answered through the block-summary planner
+        (:mod:`repro.queries.planner`): whole blocks inside the range
+        contribute their pre-aggregated summary and only boundary blocks are
+        decoded.  The live tail (buffered recordings plus the snapshot-read
+        in-flight segment) joins the plan as a virtual trailing block, so
+        live and sealed streams answer identically.
         """
+        self._check_open()
+        if stream in self._store:
+            tail = self._query_tail(stream)
+            if window is not None:
+                return plan_window_aggregates(
+                    self._store, stream, window, start, end, dimension, tail=tail
+                )
+            return plan_range_aggregate(
+                self._store, stream, start, end, dimension, tail=tail
+            )
         recordings = self._read_for_query(stream, start, end)
         lo, hi = self._bounds(recordings, start, end)
         approximation = reconstruct(recordings)
@@ -676,9 +698,21 @@ class StreamDB:
         end: Optional[float] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Sample the stream's approximation on a regular ``step`` grid."""
+        self._check_open()
+        if stream in self._store:
+            return plan_resample(
+                self._store, stream, step, start, end, tail=self._query_tail(stream)
+            )
         recordings = self._read_for_query(stream, start, end)
         lo, hi = self._bounds(recordings, start, end)
         return _resample(reconstruct(recordings), lo, hi, step)
+
+    def _query_tail(self, stream: str) -> List[Recording]:
+        """The live recordings a query must merge after the stored log."""
+        live = self._live.get(stream)
+        if live is None:
+            return []
+        return list(live.sink.pending) + self._in_flight(live)
 
     def _read_for_query(
         self, stream: str, start: Optional[float], end: Optional[float]

@@ -97,6 +97,7 @@ class PiecewiseLinearApproximation(Approximation):
             if later.start_time < earlier.start_time:
                 raise ValueError("segments must be ordered by start time")
         self._end_times = [segment.end_time for segment in self._segments]
+        self._endpoint_cache = None
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -141,6 +142,33 @@ class PiecewiseLinearApproximation(Approximation):
 
     def value_at(self, time: float) -> np.ndarray:
         return self.segment_at(time).value_at(time)
+
+    def _endpoints(self):
+        """``(t0, x0, t1, x1)`` endpoint arrays, built once per instance."""
+        if self._endpoint_cache is None:
+            t0 = np.array([s.start_time for s in self._segments])
+            t1 = np.asarray(self._end_times, dtype=float)
+            x0 = np.vstack([s.start_value for s in self._segments])
+            x1 = np.vstack([s.end_value for s in self._segments])
+            self._endpoint_cache = (t0, x0, t1, x1)
+        return self._endpoint_cache
+
+    def values_at(self, times: Iterable[float]) -> np.ndarray:
+        """Vectorized evaluation; same segment choice as :meth:`value_at`."""
+        time_array = np.asarray(
+            times if isinstance(times, np.ndarray) else list(times), dtype=float
+        )
+        if time_array.size == 0:
+            return np.empty((0, self.dimensions))
+        t0, x0, t1, x1 = self._endpoints()
+        indices = np.searchsorted(t1, time_array, side="left")
+        indices = np.minimum(indices, len(self._segments) - 1)
+        seg_t0, seg_t1 = t0[indices], t1[indices]
+        duration = seg_t1 - seg_t0
+        # Zero-duration segments hold their start value; avoid the 0/0.
+        safe = np.where(duration > 0.0, duration, 1.0)
+        fraction = np.where(duration > 0.0, (time_array - seg_t0) / safe, 0.0)
+        return x0[indices] + fraction[:, None] * (x1[indices] - x0[indices])
 
 
 class PiecewiseConstantApproximation(Approximation):

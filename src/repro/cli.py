@@ -44,7 +44,7 @@ import numpy as np
 
 import repro
 from repro import __version__
-from repro.api import FilterSpec, IngestSpec, StorageSpec, StreamDB
+from repro.api import FilterSpec, IngestSpec, StorageSpec
 from repro.approximation.reconstruct import reconstruct
 from repro.core.epsilon import epsilon_from_percent
 from repro.core.errors import ReproError
@@ -64,12 +64,6 @@ from repro.evaluation import (
 from repro.evaluation.experiments import run_filters
 from repro.evaluation.report import render_table
 from repro.metrics.error import error_profile
-from repro.queries.aggregates import (
-    range_aggregate,
-    resample,
-    threshold_crossings,
-    window_aggregates,
-)
 from repro.runtime import DEFAULT_CHECKPOINT_EVERY
 from repro.runtime.parallel import ParallelIngestReport
 from repro.storage import DEFAULT_SHARDS
@@ -378,23 +372,28 @@ def _command_query(args: argparse.Namespace) -> int:
         entry = db.describe(args.stream)
         print(f"stream            : {args.stream}")
         print(f"recordings        : {entry.recordings}")
-        # One read, one reconstruction — every output below shares it; the
-        # range defaulting and empty check are the session's own semantics.
-        recordings = db.read(args.stream, args.start, args.end)
-        if not recordings:
-            raise ValueError(f"stream {args.stream!r} has no recordings to query")
-        approximation = reconstruct(recordings)
-        lo, hi = StreamDB._bounds(recordings, args.start, args.end)
+        # Aggregates and resampling go through the session facade, which
+        # routes stored streams to the block-summary query planner — whole
+        # blocks inside the range are answered from their summaries and only
+        # boundary blocks are decoded.
         if args.threshold is not None:
-            crossings = threshold_crossings(
-                approximation, args.threshold, args.start, args.end, dimension=args.dimension
+            crossings = db.crossings(
+                args.stream,
+                args.threshold,
+                args.start,
+                args.end,
+                dimension=args.dimension,
             )
             print(f"crossings         : {len(crossings)}")
             for time in crossings:
                 print(f"  {time:.12g}")
         elif args.window is not None:
-            windows = window_aggregates(
-                approximation, lo, hi, args.window, dimension=args.dimension
+            windows = db.aggregate(
+                args.stream,
+                args.start,
+                args.end,
+                window=args.window,
+                dimension=args.dimension,
             )
             rows = [["start", "end", "min", "max", "mean"]]
             for window in windows:
@@ -409,14 +408,18 @@ def _command_query(args: argparse.Namespace) -> int:
                 )
             print(render_table(rows))
         else:
-            aggregate = range_aggregate(approximation, lo, hi, dimension=args.dimension)
+            aggregate = db.aggregate(
+                args.stream, args.start, args.end, dimension=args.dimension
+            )
             print(f"range             : {aggregate.start:.12g} .. {aggregate.end:.12g}")
             print(f"minimum           : {aggregate.minimum:.12g}")
             print(f"maximum           : {aggregate.maximum:.12g}")
             print(f"mean              : {aggregate.mean:.12g}")
             print(f"integral          : {aggregate.integral:.12g}")
         if args.step is not None:
-            grid_times, grid_values = resample(approximation, lo, hi, args.step)
+            grid_times, grid_values = db.resample(
+                args.stream, args.step, args.start, args.end
+            )
             if args.output:
                 with open(args.output, "w", newline="") as handle:
                     writer = csv.writer(handle)

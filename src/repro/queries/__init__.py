@@ -20,6 +20,13 @@ from repro.queries.aggregates import (
     threshold_crossings,
     window_aggregates,
 )
+from repro.queries.planner import (
+    TOLERANCE,
+    StreamQueryPlan,
+    plan_range_aggregate,
+    plan_resample,
+    plan_window_aggregates,
+)
 from repro.queries.stored import (
     stored_range_aggregate,
     stored_resample,
@@ -33,6 +40,11 @@ __all__ = [
     "integral",
     "threshold_crossings",
     "resample",
+    "TOLERANCE",
+    "StreamQueryPlan",
+    "plan_range_aggregate",
+    "plan_window_aggregates",
+    "plan_resample",
     "stored_range_aggregate",
     "stored_window_aggregates",
     "stored_threshold_crossings",

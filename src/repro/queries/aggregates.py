@@ -37,7 +37,16 @@ __all__ = [
     "integral",
     "threshold_crossings",
     "resample",
+    "clip_aggregate",
+    "line_aggregate",
+    "window_edges",
+    "resample_grid",
 ]
+
+#: Tolerance absorbing float round-off when sizing window/resample grids
+#: from a count: ``(end - start) / width`` within this of an integer is
+#: treated as exact.
+_GRID_SLACK = 1e-9
 
 
 @dataclass(frozen=True)
@@ -92,14 +101,80 @@ def _segments_of(
     raise TypeError(f"unsupported approximation type: {type(approximation)!r}")
 
 
+def clip_aggregate(
+    t0: np.ndarray,
+    x0: np.ndarray,
+    t1: np.ndarray,
+    x1: np.ndarray,
+    start: float,
+    end: float,
+) -> Tuple[float, float, float, float]:
+    """``(minimum, maximum, integral, covered)`` of pieces clipped to a range.
+
+    The vectorized clip arithmetic shared by the in-memory aggregates and the
+    stored-stream query planner: each piece described by the 1-dimensional
+    endpoint arrays contributes the part of itself inside ``[start, end]``
+    (zero-duration pieces contribute to the extrema when they lie inside).
+    ``minimum``/``maximum`` are ``±inf`` when no piece overlaps.
+    """
+    lo = np.maximum(t0, start)
+    hi = np.minimum(t1, end)
+    overlap = hi >= lo
+    if not overlap.any():
+        return float("inf"), float("-inf"), 0.0, 0.0
+    t0c, x0c, t1c, x1c = t0[overlap], x0[overlap], t1[overlap], x1[overlap]
+    loc, hic = lo[overlap], hi[overlap]
+    duration = t1c - t0c
+    # Zero-duration pieces hold their start value; avoid the 0/0.
+    safe = np.where(duration > 0.0, duration, 1.0)
+    value_lo = np.where(duration > 0.0, x0c + (x1c - x0c) * (loc - t0c) / safe, x0c)
+    value_hi = np.where(duration > 0.0, x0c + (x1c - x0c) * (hic - t0c) / safe, x0c)
+    minimum = float(np.minimum(value_lo, value_hi).min())
+    maximum = float(np.maximum(value_lo, value_hi).max())
+    spans = hic - loc
+    total_area = float((0.5 * (value_lo + value_hi) * spans).sum())
+    covered = float(spans.sum())
+    return minimum, maximum, total_area, covered
+
+
+def line_aggregate(
+    piece: Tuple[float, float, float, float], lo: float, hi: float
+) -> Tuple[float, float, float, float]:
+    """``(minimum, maximum, integral, covered)`` of a piece's extended line.
+
+    Evaluates the line through ``piece = (t0, x0, t1, x1)`` over ``[lo, hi]``
+    *without* clipping to the piece — this is the boundary-extension
+    arithmetic for query ranges sticking out of an approximation's span
+    (zero-duration pieces extend as their constant value, consistent with
+    :meth:`~repro.core.types.Segment.value_at`).
+    """
+    t0, x0, t1, x1 = piece
+    slope = (x1 - x0) / (t1 - t0) if t1 > t0 else 0.0
+    value_lo = x0 + slope * (lo - t0)
+    value_hi = x0 + slope * (hi - t0)
+    width = hi - lo
+    return (
+        min(value_lo, value_hi),
+        max(value_lo, value_hi),
+        0.5 * (value_lo + value_hi) * width,
+        width,
+    )
+
+
 def range_aggregate(
     approximation: Approximation, start: float, end: float, dimension: int = 0
 ) -> RangeAggregate:
     """Min / max / mean / integral of one dimension over ``[start, end]``.
 
-    The query range is clipped to the approximation's span; times outside it
-    are evaluated by extending the first/last piece (consistent with
-    :meth:`Approximation.value_at`).
+    Clipping/extension semantics (shared with the stored-stream planner in
+    :mod:`repro.queries.planner`): all four aggregates are computed over the
+    *covered* portion of the range — the pieces clipped to ``[start, end]``,
+    plus the first/last piece extended linearly over the part of the range
+    outside the approximation's span (consistent with how
+    :meth:`Approximation.value_at` extrapolates there).  Time spent in
+    interior gaps between disconnected pieces contributes nothing; a range
+    falling entirely inside one gap degrades to the trapezoid between the
+    extrapolated boundary values.
 
     Raises:
         ValueError: If ``end < start``.
@@ -116,7 +191,14 @@ def _aggregate_over(
     end: float,
     dimension: int,
 ) -> RangeAggregate:
-    """Aggregate pre-flattened endpoint arrays over one ``[start, end]`` range."""
+    """Aggregate pre-flattened endpoint arrays over one ``[start, end]`` range.
+
+    Implements the covered-portion semantics documented on
+    :func:`range_aggregate`: min/max/mean/integral all see the clipped pieces
+    plus the out-of-span extensions, so the four aggregates are mutually
+    consistent (the seed implementation let min/max see extrapolated boundary
+    values that mean/integral ignored).
+    """
     if end < start:
         raise ValueError("end must not precede start")
     if end == start:
@@ -124,43 +206,59 @@ def _aggregate_over(
         return RangeAggregate(start, end, value, value, value, 0.0)
 
     t0, x0, t1, x1 = pieces
-    lo = np.maximum(t0, start)
-    hi = np.minimum(t1, end)
-    overlap = hi >= lo
-    minimum = float("inf")
-    maximum = float("-inf")
-    total_area = 0.0
-    covered = 0.0
-    if overlap.any():
-        t0c, x0c, t1c, x1c = t0[overlap], x0[overlap], t1[overlap], x1[overlap]
-        loc, hic = lo[overlap], hi[overlap]
-        duration = t1c - t0c
-        # Zero-duration pieces hold their start value; avoid the 0/0.
-        safe = np.where(duration > 0.0, duration, 1.0)
-        value_lo = np.where(duration > 0.0, x0c + (x1c - x0c) * (loc - t0c) / safe, x0c)
-        value_hi = np.where(duration > 0.0, x0c + (x1c - x0c) * (hic - t0c) / safe, x0c)
-        minimum = float(np.minimum(value_lo, value_hi).min())
-        maximum = float(np.maximum(value_lo, value_hi).max())
-        spans = hic - loc
-        total_area = float((0.5 * (value_lo + value_hi) * spans).sum())
-        covered = float(spans.sum())
-
-    # Handle query ranges sticking out of the approximation's span: evaluate
-    # the boundary values so min/max/mean stay defined.
-    for boundary in (start, end):
-        value = float(approximation.value_at(boundary)[dimension])
-        minimum = min(minimum, value)
-        maximum = max(maximum, value)
+    minimum, maximum, total_area, covered = clip_aggregate(t0, x0, t1, x1, start, end)
+    if t0.shape[0]:
+        span_start = float(t0[0])
+        span_end = float(t1.max())
+        if start < span_start:
+            piece = (float(t0[0]), float(x0[0]), float(t1[0]), float(x1[0]))
+            extension = line_aggregate(piece, start, min(span_start, end))
+            minimum, maximum, total_area, covered = _merge_aggregates(
+                (minimum, maximum, total_area, covered), extension
+            )
+        if end > span_end:
+            piece = (float(t0[-1]), float(x0[-1]), float(t1[-1]), float(x1[-1]))
+            extension = line_aggregate(piece, max(span_end, start), end)
+            minimum, maximum, total_area, covered = _merge_aggregates(
+                (minimum, maximum, total_area, covered), extension
+            )
     if covered <= 0.0:
-        # Entirely outside the span: treat as the boundary evaluation held
-        # over the range.
+        # Entirely inside an interior gap: degrade to the trapezoid between
+        # the extrapolated boundary evaluations.
         value_start = float(approximation.value_at(start)[dimension])
         value_end = float(approximation.value_at(end)[dimension])
+        minimum = min(value_start, value_end)
+        maximum = max(value_start, value_end)
         total_area = 0.5 * (value_start + value_end) * (end - start)
         covered = end - start
 
     mean = total_area / covered
     return RangeAggregate(start, end, minimum, maximum, mean, total_area)
+
+
+def _merge_aggregates(
+    a: Tuple[float, float, float, float], b: Tuple[float, float, float, float]
+) -> Tuple[float, float, float, float]:
+    """Combine two ``(minimum, maximum, integral, covered)`` tuples."""
+    return (min(a[0], b[0]), max(a[1], b[1]), a[2] + b[2], a[3] + b[3])
+
+
+def window_edges(start: float, end: float, window: float) -> np.ndarray:
+    """Tumbling-window edge times over ``[start, end]``.
+
+    Returns ``n + 1`` edges where ``n = ceil((end - start) / window)`` (within
+    :data:`_GRID_SLACK` of exact division counts as exact).  Each edge is
+    computed as ``start + index * window`` — not by accumulating a float
+    cursor — so window boundaries are identical no matter how the range is
+    split, and the final edge is pinned to ``end`` exactly (the last window
+    may be shorter).  Returns an empty array when ``end <= start``.
+    """
+    if end <= start:
+        return np.empty(0)
+    count = max(int(np.ceil((end - start) / window - _GRID_SLACK)), 1)
+    edges = start + np.arange(count + 1) * window
+    edges[-1] = end
+    return edges
 
 
 def window_aggregates(
@@ -171,6 +269,10 @@ def window_aggregates(
     dimension: int = 0,
 ) -> List[RangeAggregate]:
     """Tumbling-window aggregates covering ``[start, end]``.
+
+    Window boundaries come from :func:`window_edges` (index arithmetic, not a
+    running float cursor), so they match the stored-stream planner bit for
+    bit and never drift over long ranges.
 
     Args:
         approximation: The compressed signal.
@@ -186,13 +288,11 @@ def window_aggregates(
     # The endpoint arrays are shared across all windows — flattening the
     # approximation once instead of once per window.
     pieces = _segments_of(approximation, dimension)
-    results = []
-    cursor = start
-    while cursor < end:
-        upper = min(cursor + window, end)
-        results.append(_aggregate_over(approximation, pieces, cursor, upper, dimension))
-        cursor = upper
-    return results
+    edges = window_edges(start, end, window)
+    return [
+        _aggregate_over(approximation, pieces, float(edges[i]), float(edges[i + 1]), dimension)
+        for i in range(len(edges) - 1)
+    ]
 
 
 def integral(approximation: Approximation, start: float, end: float, dimension: int = 0) -> float:
@@ -234,6 +334,19 @@ def threshold_crossings(
     return sorted(float(crossing) for crossing in crossings)
 
 
+def resample_grid(start: float, end: float, step: float) -> np.ndarray:
+    """Regular sample grid over ``[start, end]``, clipped to the range.
+
+    Returns ``n + 1`` times where ``n = floor((end - start) / step)`` (within
+    :data:`_GRID_SLACK` of the next integer counts as reaching it).  The grid
+    never emits a time past ``end``: each point is ``start + index * step``
+    clamped to ``end``, so when the range divides evenly the final point is
+    ``end`` exactly instead of a round-off overshoot.
+    """
+    count = int(np.floor((end - start) / step + _GRID_SLACK))
+    return np.minimum(start + np.arange(count + 1) * step, end)
+
+
 def resample(
     approximation: Approximation,
     start: float,
@@ -241,6 +354,11 @@ def resample(
     step: float,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Sample the approximation on a regular grid (all dimensions).
+
+    The grid comes from :func:`resample_grid`: sized by integer count rather
+    than ``np.arange(start, end + step / 2, step)``, which overshot ``end``
+    when float round-off nudged the last accumulated time below the cut-off
+    (e.g. a step of 0.07 over ``[0, 0.7]`` used to emit 0.7000000000000001).
 
     Returns:
         ``(times, values)`` with ``values`` of shape ``(n, d)``.
@@ -252,5 +370,5 @@ def resample(
         raise ValueError("step must be positive")
     if end < start:
         raise ValueError("end must not precede start")
-    times = np.arange(start, end + step / 2.0, step)
+    times = resample_grid(start, end, step)
     return times, approximation.values_at(times)

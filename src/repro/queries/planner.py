@@ -1,0 +1,632 @@
+"""Segment-native query planner over the block-summary index.
+
+The stored read path answers an aggregate query by decoding every record in
+the range, materialising :class:`~repro.core.types.Recording` objects,
+reconstructing an approximation and only then aggregating.  For wide ranges
+that decode dominates the query time even though the aggregate of a block
+whose pieces lie fully inside the range is already known — the storage layer
+maintains a per-block summary (:mod:`repro.storage.summaries`) holding the
+block's piece integral, extrema, covered duration and boundary records.
+
+:class:`StreamQueryPlan` composes those summaries directly:
+
+* blocks whose piece span lies fully inside the query range contribute their
+  pre-aggregated summary — no decode;
+* the (at most two) blocks a range boundary straddles are decoded and their
+  pieces clipped, exactly as the in-memory path clips;
+* *bridge* pieces between adjacent blocks are rebuilt from the summaries'
+  boundary records, so block granularity never changes the answer;
+* live in-flight recordings are treated as one virtual trailing block.
+
+The composed result matches the decode path (``store.read`` →
+``reconstruct`` → :func:`~repro.queries.aggregates.range_aggregate`) exactly
+up to float summation order — :data:`TOLERANCE` documents the relative slack
+tests assert under.  Query shapes the fast path cannot prove equivalent
+(streams without summaries — e.g. seed-format catalogs on read-only stores or
+non-block backends — degenerate record patterns, point queries) raise
+:class:`PlannerFallback` internally and are transparently answered by the
+reference decode path, so every store keeps answering correctly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.approximation.reconstruct import reconstruct
+from repro.core.types import Recording
+from repro.queries.aggregates import (
+    RangeAggregate,
+    clip_aggregate,
+    line_aggregate,
+    range_aggregate,
+    resample,
+    window_aggregates,
+    window_edges,
+)
+from repro.storage.backends.base import RECORD_KINDS, range_indices
+from repro.storage.summaries import (
+    END_CODE,
+    HOLD_CODE,
+    START_CODE,
+    block_summary,
+    pair_pieces,
+    summarize_block,
+)
+
+__all__ = [
+    "TOLERANCE",
+    "PlannerFallback",
+    "StreamQueryPlan",
+    "plan_range_aggregate",
+    "plan_window_aggregates",
+    "plan_resample",
+]
+
+#: Relative tolerance within which summary-composed aggregates match the
+#: decode path.  The two paths evaluate identical piece arithmetic; they can
+#: differ only in float summation order (per-block partial sums vs one global
+#: sum), which stays far inside this bound for realistic block counts.
+TOLERANCE = 1e-9
+
+#: Streams with fewer blocks than this answer through the decode path — the
+#: planner's bookkeeping only pays off once summaries let it skip real work.
+MIN_PLANNER_BLOCKS = 4
+
+
+class PlannerFallback(Exception):
+    """Internal signal: answer this query via the reference decode path."""
+
+
+def _tail_arrays(
+    tail: Sequence[Recording], dimensions: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    kinds = np.array([RECORD_KINDS[r.kind] for r in tail], dtype=np.uint8)
+    times = np.array([r.time for r in tail], dtype=float)
+    values = np.vstack([np.atleast_1d(np.asarray(r.value, dtype=float)) for r in tail])
+    if values.shape[1] != dimensions:
+        raise PlannerFallback("tail dimensionality mismatch")
+    return kinds, times, values
+
+
+class StreamQueryPlan:
+    """Aggregate-query plan for one stored stream (plus optional live tail).
+
+    Holds the stream's block-summary index, a per-block decode cache shared
+    by every query answered through the plan (one plan serves a whole
+    tumbling-window sweep), and the per-dimension composed arrays the
+    fast path clips against.
+
+    Raises:
+        PlannerFallback: When the stream has no usable summary index (seed
+            catalogs before backfill, non-summarising backends, empty
+            streams) — callers answer via the decode path instead.
+        KeyError: If the stream does not exist.
+    """
+
+    def __init__(
+        self,
+        store,
+        name: str,
+        tail: Optional[Sequence[Recording]] = None,
+    ) -> None:
+        entry = store.describe(name)
+        self._store = store
+        self._name = name
+        self._dimensions = entry.dimensions
+        try:
+            blocks = store.summary_range(name)
+        except (AttributeError, NotImplementedError) as error:
+            raise PlannerFallback(str(error)) from None
+        self._summaries: List[dict] = []
+        starts: List[float] = []
+        ends: List[float] = []
+        counts: List[int] = []
+        for block in blocks:
+            summary = block_summary(block)
+            if summary is None:
+                raise PlannerFallback("stream has blocks without summaries")
+            self._summaries.append(summary)
+            starts.append(float(block[2]))
+            ends.append(float(block[3]))
+            counts.append(int(block[1]))
+        self._real_blocks = len(blocks)
+        #: block index -> decoded ``(kinds, times, values)``
+        self._decoded: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        if tail:
+            kinds, times, values = _tail_arrays(tail, self._dimensions)
+            if np.any(np.diff(times) <= 0.0) or (ends and times[0] <= ends[-1]):
+                raise PlannerFallback("live tail is not strictly after the stored log")
+            self._decoded[len(counts)] = (kinds, times, values)
+            self._summaries.append(summarize_block(kinds, times, values))
+            starts.append(float(times[0]))
+            ends.append(float(times[-1]))
+            counts.append(len(times))
+        if not counts:
+            raise PlannerFallback("stream has no records")
+        boundary_kinds = {int(s["first"][0]) for s in self._summaries}
+        boundary_kinds |= {int(s["last"][0]) for s in self._summaries}
+        if HOLD_CODE in boundary_kinds and len(boundary_kinds) > 1:
+            # Mixed HOLD/segment records cannot reconstruct; let the decode
+            # path raise the reference ValueError.
+            raise PlannerFallback("stream mixes HOLD and segment records")
+        self._hold_stream = boundary_kinds == {HOLD_CODE}
+        self._starts = np.asarray(starts)
+        self._ends = np.asarray(ends)
+        self._offsets = np.concatenate([[0], np.cumsum(counts)])
+        self._record_count = int(self._offsets[-1])
+        self._compose_cache: Dict[int, dict] = {}
+
+    # ------------------------------------------------------------------ #
+    # Stream geometry
+    # ------------------------------------------------------------------ #
+    @property
+    def dimensions(self) -> int:
+        """Signal dimensions of the planned stream."""
+        return self._dimensions
+
+    def time_bounds(self) -> Tuple[float, float]:
+        """First and last record time (live tail included)."""
+        return float(self._starts[0]), float(self._ends[-1])
+
+    # ------------------------------------------------------------------ #
+    # Record access (block decode cache)
+    # ------------------------------------------------------------------ #
+    def _decode(self, index: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        cached = self._decoded.get(index)
+        if cached is not None:
+            return cached
+        try:
+            decoded = self._store.read_block_arrays(self._name, index, index + 1)
+        except (AttributeError, NotImplementedError) as error:
+            raise PlannerFallback(str(error)) from None
+        values = decoded[2].reshape(len(decoded[1]), self._dimensions)
+        decoded = (decoded[0], decoded[1], values)
+        self._decoded[index] = decoded
+        return decoded
+
+    def _record(self, index: int) -> Tuple[int, float, np.ndarray]:
+        block = int(np.searchsorted(self._offsets, index, side="right")) - 1
+        kinds, times, values = self._decode(block)
+        local = index - int(self._offsets[block])
+        return int(kinds[local]), float(times[local]), values[local]
+
+    def _first_at_or_after(self, time: float) -> int:
+        """Global index of the first record with ``time >= t`` (count if none)."""
+        block = int(np.searchsorted(self._ends, time, side="left"))
+        if block >= len(self._ends):
+            return self._record_count
+        if time <= self._starts[block]:
+            return int(self._offsets[block])
+        times = self._decode(block)[1]
+        return int(self._offsets[block]) + int(np.searchsorted(times, time, side="left"))
+
+    def _first_after(self, time: float) -> Optional[int]:
+        """Global index of the first record with ``time > t`` (None if none)."""
+        block = int(np.searchsorted(self._ends, time, side="right"))
+        if block >= len(self._ends):
+            return None
+        if time < self._starts[block]:
+            return int(self._offsets[block])
+        times = self._decode(block)[1]
+        return int(self._offsets[block]) + int(np.searchsorted(times, time, side="right"))
+
+    # ------------------------------------------------------------------ #
+    # Piece resolution at the subset boundaries
+    # ------------------------------------------------------------------ #
+    def _first_piece(
+        self, head: int, after: Optional[int], dimension: int
+    ) -> Tuple[float, float, float, float]:
+        """First piece of the records a ``[start, end]`` read would return.
+
+        Mirrors :func:`~repro.approximation.reconstruct.reconstruct` over the
+        record subset ``[head, after]``: the first pair forming a piece wins;
+        a subset ending in an unmatched ``START``/``HOLD`` contributes a
+        trailing zero-length piece.  At most two pairs need inspection (two
+        consecutive gap pairs are impossible).
+        """
+        last_index = after if after is not None else self._record_count - 1
+        index = head
+        for _ in range(3):
+            if index + 1 > last_index:
+                kind, time, value = self._record(last_index)
+                if kind == END_CODE:
+                    raise PlannerFallback("subset has no pieces")
+                return time, float(value[dimension]), time, float(value[dimension])
+            k0, t0, v0 = self._record(index)
+            k1, t1, v1 = self._record(index + 1)
+            if k1 == END_CODE and k0 != HOLD_CODE:
+                return t0, float(v0[dimension]), t1, float(v1[dimension])
+            if k0 == START_CODE and k1 == START_CODE:
+                return t0, float(v0[dimension]), t0, float(v0[dimension])
+            if k0 == HOLD_CODE and k1 == HOLD_CODE:
+                return t0, float(v0[dimension]), t1, float(v0[dimension])
+            index += 1  # gap pair — the next pair cannot be another gap
+        raise PlannerFallback("could not resolve the subset's first piece")
+
+    def _last_piece(self, dimension: int) -> Tuple[float, float, float, float]:
+        """The stream's final piece (for extending past the stream end)."""
+        kind, time, value = self._record(self._record_count - 1)
+        if kind in (START_CODE, HOLD_CODE):
+            return time, float(value[dimension]), time, float(value[dimension])
+        if self._record_count < 2:
+            raise PlannerFallback("single-record stream ends in SEGMENT_END")
+        k0, t0, v0 = self._record(self._record_count - 2)
+        if k0 == HOLD_CODE:
+            raise PlannerFallback("mixed HOLD/segment records at the stream end")
+        kind, time, value = self._record(self._record_count - 1)
+        return t0, float(v0[dimension]), time, float(value[dimension])
+
+    # ------------------------------------------------------------------ #
+    # Per-dimension composed arrays
+    # ------------------------------------------------------------------ #
+    def _compose(self, dimension: int) -> dict:
+        cached = self._compose_cache.get(dimension)
+        if cached is not None:
+            return cached
+        if not 0 <= dimension < self._dimensions:
+            raise PlannerFallback(f"dimension {dimension} out of range")
+        span0, span1, covered, integrals, minima, maxima, indices = [], [], [], [], [], [], []
+        for index, summary in enumerate(self._summaries):
+            span = summary.get("span")
+            if span is None:
+                continue
+            span0.append(float(span[0]))
+            span1.append(float(span[1]))
+            covered.append(float(summary["covered"]))
+            integrals.append(float(summary["integral"][dimension]))
+            minima.append(float(summary["min"][dimension]))
+            maxima.append(float(summary["max"][dimension]))
+            indices.append(index)
+        # Bridge pieces between adjacent blocks, from boundary records only.
+        bt0, bx0, bt1, bx1 = [], [], [], []
+        for index in range(len(self._summaries) - 1):
+            left, right = self._summaries[index]["last"], self._summaries[index + 1]["first"]
+            lk, rk = int(left[0]), int(right[0])
+            lt, rt = float(self._ends[index]), float(self._starts[index + 1])
+            lx, rx = float(left[1 + dimension]), float(right[1 + dimension])
+            if rk == END_CODE and lk != HOLD_CODE:
+                piece = (lt, lx, rt, rx)
+            elif lk == START_CODE and rk == START_CODE:
+                piece = (lt, lx, lt, lx)
+            elif lk == HOLD_CODE and rk == HOLD_CODE:
+                piece = (lt, lx, rt, lx)
+            else:
+                continue  # SEGMENT_END → SEGMENT_START: a gap
+            bt0.append(piece[0])
+            bx0.append(piece[1])
+            bt1.append(piece[2])
+            bx1.append(piece[3])
+        # The stream-final unmatched START/HOLD record is a zero-length piece.
+        final = self._summaries[-1]["last"]
+        if int(final[0]) in (START_CODE, HOLD_CODE):
+            bt0.append(float(self._ends[-1]))
+            bx0.append(float(final[1 + dimension]))
+            bt1.append(float(self._ends[-1]))
+            bx1.append(float(final[1 + dimension]))
+        composed = {
+            "span0": np.asarray(span0),
+            "span1": np.asarray(span1),
+            "covered": np.asarray(covered),
+            "integral": np.asarray(integrals),
+            "min": np.asarray(minima),
+            "max": np.asarray(maxima),
+            "index": np.asarray(indices, dtype=np.intp),
+            "bridges": (
+                np.asarray(bt0),
+                np.asarray(bx0),
+                np.asarray(bt1),
+                np.asarray(bx1),
+            ),
+        }
+        self._compose_cache[dimension] = composed
+        return composed
+
+    # ------------------------------------------------------------------ #
+    # Subset evaluation
+    # ------------------------------------------------------------------ #
+    def _subset_bounds(self, start: float, end: float) -> Tuple[int, Optional[int]]:
+        """Record-index bounds of the subset ``store.read(start, end)`` keeps.
+
+        ``head`` is the record just before the first record at-or-after
+        ``start``; ``after`` the first record past ``end`` (None at the
+        stream end).  These mirror the storage layer's ``range_indices``.
+        """
+        head_index = self._first_at_or_after(start)
+        head = head_index - 1 if head_index > 0 else 0
+        after = self._first_after(end)
+        return head, after
+
+    def _value_at(
+        self, time: float, head: int, after: Optional[int], dimension: int
+    ) -> float:
+        """``Approximation.value_at`` over the record subset ``[head, after]``.
+
+        For piece-wise linear streams this is the first subset piece (in
+        order) whose end is at-or-after ``time``, clamped to the last piece
+        past the stream end; for piece-wise constant streams the last step
+        at-or-before ``time``.  Both evaluate exactly as the reconstructed
+        subset approximation would.
+        """
+        last_index = after if after is not None else self._record_count - 1
+        if self._hold_stream:
+            past = self._first_after(time)
+            index = (past if past is not None else self._record_count) - 1
+            index = min(max(index, head), last_index)
+            return float(self._record(index)[2][dimension])
+        anchor = self._first_at_or_after(time)
+        for index in (anchor - 1, anchor, anchor + 1):
+            if index < head:
+                continue
+            if index + 1 > last_index:
+                break
+            k0, t0, v0 = self._record(index)
+            k1, t1, v1 = self._record(index + 1)
+            if k1 == END_CODE and k0 != HOLD_CODE:
+                if t1 >= time:
+                    x0, x1 = float(v0[dimension]), float(v1[dimension])
+                    if t1 > t0:
+                        return x0 + (x1 - x0) * (time - t0) / (t1 - t0)
+                    return x0
+            elif k0 == START_CODE and k1 == START_CODE:
+                if t0 >= time:
+                    return float(v0[dimension])
+        # Past every subset piece: clamp to the last piece and extrapolate.
+        kind, _, value = self._record(last_index)
+        if kind != END_CODE:
+            return float(value[dimension])  # trailing zero-length piece
+        if last_index - 1 < head:
+            raise PlannerFallback("subset has no pieces")
+        k0, t0, v0 = self._record(last_index - 1)
+        _, t1, v1 = self._record(last_index)
+        if k0 == HOLD_CODE:
+            raise PlannerFallback("mixed HOLD/segment records in the subset")
+        x0, x1 = float(v0[dimension]), float(v1[dimension])
+        if t1 > t0:
+            return x0 + (x1 - x0) * (time - t0) / (t1 - t0)
+        return x0
+
+    def _clipped(
+        self, start: float, end: float, dimension: int
+    ) -> Tuple[float, float, float, float]:
+        """``(min, max, integral, covered)`` of the stream's pieces ∩ range.
+
+        Fully-contained blocks contribute their pre-aggregated summary;
+        straddled blocks are decoded and clipped; bridge pieces come from
+        the summaries' boundary records.
+        """
+        composed = self._compose(dimension)
+        minimum, maximum, area, covered = float("inf"), float("-inf"), 0.0, 0.0
+        overlap = (composed["span1"] >= start) & (composed["span0"] <= end)
+        contained = overlap & (composed["span0"] >= start) & (composed["span1"] <= end)
+        if contained.any():
+            minimum = min(minimum, float(composed["min"][contained].min()))
+            maximum = max(maximum, float(composed["max"][contained].max()))
+            area += float(composed["integral"][contained].sum())
+            covered += float(composed["covered"][contained].sum())
+        for block in composed["index"][overlap & ~contained]:
+            kinds, times, values = self._decode(int(block))
+            t0, x0, t1, x1 = pair_pieces(kinds, times, values)
+            part = clip_aggregate(t0, x0[:, dimension], t1, x1[:, dimension], start, end)
+            minimum, maximum, area, covered = _merge(
+                (minimum, maximum, area, covered), part
+            )
+        bridges = composed["bridges"]
+        if bridges[0].size:
+            part = clip_aggregate(*bridges, start, end)
+            minimum, maximum, area, covered = _merge(
+                (minimum, maximum, area, covered), part
+            )
+        return minimum, maximum, area, covered
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+    def _aggregate(
+        self,
+        start: float,
+        end: float,
+        dimension: int,
+        head: int,
+        after: Optional[int],
+        first_piece: Tuple[float, float, float, float],
+    ) -> RangeAggregate:
+        """Aggregate ``[start, end]`` against the record subset ``[head, after]``.
+
+        The subset (and its resolved first piece) is the one the enclosing
+        query's bounds select — for a tumbling-window sweep that is the
+        *outer* range's subset shared by every window, matching how the
+        decode path reconstructs once and aggregates each window against
+        that single approximation.
+        """
+        if end == start:
+            value = self._value_at(start, head, after, dimension)
+            return RangeAggregate(start, end, value, value, value, 0.0)
+        minimum, maximum, area, covered = self._clipped(start, end, dimension)
+        if start < first_piece[0]:
+            extension = line_aggregate(first_piece, start, min(first_piece[0], end))
+            minimum, maximum, area, covered = _merge(
+                (minimum, maximum, area, covered), extension
+            )
+        span_end = float(self._ends[-1])
+        if after is None and end > span_end:
+            extension = line_aggregate(self._last_piece(dimension), max(span_end, start), end)
+            minimum, maximum, area, covered = _merge(
+                (minimum, maximum, area, covered), extension
+            )
+        if covered <= 0.0:
+            # Entirely inside an interior gap: the trapezoid between the
+            # subset-extrapolated boundary values, as the decode path does.
+            value_start = self._value_at(start, head, after, dimension)
+            value_end = self._value_at(end, head, after, dimension)
+            minimum = min(value_start, value_end)
+            maximum = max(value_start, value_end)
+            area = 0.5 * (value_start + value_end) * (end - start)
+            covered = end - start
+        return RangeAggregate(start, end, minimum, maximum, area / covered, area)
+
+    def range_aggregate(self, start: float, end: float, dimension: int = 0) -> RangeAggregate:
+        """``RangeAggregate`` over ``[start, end]``, matching the decode path.
+
+        The clipping/extension semantics are those documented on
+        :func:`~repro.queries.aggregates.range_aggregate`, applied to the
+        record subset a ``store.read(name, start, end)`` would return.
+        """
+        if end < start:
+            raise ValueError("end must not precede start")
+        head, after = self._subset_bounds(start, end)
+        first_piece = self._first_piece(head, after, dimension)
+        return self._aggregate(start, end, dimension, head, after, first_piece)
+
+    def window_aggregates(
+        self, start: float, end: float, window: float, dimension: int = 0
+    ) -> List[RangeAggregate]:
+        """Tumbling-window aggregates; one shared plan/decode cache.
+
+        Every window aggregates against the *outer* range's record subset —
+        head/tail extensions belong to the outer boundaries only, and a
+        window inside an interior gap degrades to the boundary trapezoid —
+        mirroring the decode path, which reads ``[start, end]`` once and
+        windows over that single approximation.
+        """
+        if window <= 0.0:
+            raise ValueError("window must be positive")
+        if end < start:
+            raise ValueError("end must not precede start")
+        edges = window_edges(start, end, window)
+        if not len(edges):
+            return []
+        head, after = self._subset_bounds(start, end)
+        first_piece = self._first_piece(head, after, dimension)
+        return [
+            self._aggregate(
+                float(edges[i]), float(edges[i + 1]), dimension, head, after, first_piece
+            )
+            for i in range(len(edges) - 1)
+        ]
+
+
+def _merge(
+    a: Tuple[float, float, float, float], b: Tuple[float, float, float, float]
+) -> Tuple[float, float, float, float]:
+    return min(a[0], b[0]), max(a[1], b[1]), a[2] + b[2], a[3] + b[3]
+
+
+# ---------------------------------------------------------------------- #
+# Reference decode path (fallback + resample)
+# ---------------------------------------------------------------------- #
+def _reference_recordings(
+    store,
+    name: str,
+    start: Optional[float],
+    end: Optional[float],
+    tail: Optional[Sequence[Recording]],
+) -> List[Recording]:
+    """The record subset the planner models, via a real decode.
+
+    Mirrors ``StreamDB.read``: the stored range read merged with the live
+    tail, re-subset with the store's range semantics.
+    """
+    stored = store.read(name, start, end)
+    if not tail:
+        return stored
+    merged = stored + list(tail)
+    times = np.fromiter((r.time for r in merged), dtype=float, count=len(merged))
+    return [merged[index] for index in range_indices(times, start, end)]
+
+
+def _reference_bounds(
+    recordings: Sequence[Recording], start: Optional[float], end: Optional[float]
+) -> Tuple[float, float]:
+    lo = float(recordings[0].time) if start is None else float(start)
+    hi = float(recordings[-1].time) if end is None else float(end)
+    return lo, hi
+
+
+def _build_plan(
+    store,
+    name: str,
+    tail: Optional[Sequence[Recording]],
+    min_blocks: int,
+) -> StreamQueryPlan:
+    plan = StreamQueryPlan(store, name, tail)
+    if plan._real_blocks < min_blocks:
+        raise PlannerFallback("stream too small for summary composition")
+    return plan
+
+
+def plan_range_aggregate(
+    store,
+    name: str,
+    start: Optional[float] = None,
+    end: Optional[float] = None,
+    dimension: int = 0,
+    *,
+    tail: Optional[Sequence[Recording]] = None,
+    min_blocks: int = MIN_PLANNER_BLOCKS,
+) -> RangeAggregate:
+    """Range aggregate of a stored stream via the block-summary planner.
+
+    Bounds default to the stream's span (tail included).  Falls back to the
+    decode path whenever the summary index cannot answer provably — the
+    result is the same either way, within :data:`TOLERANCE`.
+    """
+    try:
+        plan = _build_plan(store, name, tail, min_blocks)
+        lo, hi = plan.time_bounds()
+        return plan.range_aggregate(
+            lo if start is None else start, hi if end is None else end, dimension
+        )
+    except PlannerFallback:
+        recordings = _reference_recordings(store, name, start, end, tail)
+        approximation = reconstruct(recordings)
+        lo, hi = _reference_bounds(recordings, start, end)
+        return range_aggregate(approximation, lo, hi, dimension=dimension)
+
+
+def plan_window_aggregates(
+    store,
+    name: str,
+    window: float,
+    start: Optional[float] = None,
+    end: Optional[float] = None,
+    dimension: int = 0,
+    *,
+    tail: Optional[Sequence[Recording]] = None,
+    min_blocks: int = MIN_PLANNER_BLOCKS,
+) -> List[RangeAggregate]:
+    """Tumbling-window aggregates via the planner (decode-path fallback)."""
+    try:
+        plan = _build_plan(store, name, tail, min_blocks)
+        lo, hi = plan.time_bounds()
+        return plan.window_aggregates(
+            lo if start is None else start, hi if end is None else end, window, dimension
+        )
+    except PlannerFallback:
+        recordings = _reference_recordings(store, name, start, end, tail)
+        approximation = reconstruct(recordings)
+        lo, hi = _reference_bounds(recordings, start, end)
+        return window_aggregates(approximation, lo, hi, window, dimension=dimension)
+
+
+def plan_resample(
+    store,
+    name: str,
+    step: float,
+    start: Optional[float] = None,
+    end: Optional[float] = None,
+    *,
+    tail: Optional[Sequence[Recording]] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Resample a stored stream onto a regular grid.
+
+    Resampling needs concrete values at every grid point, so unlike the
+    aggregates there is no decode to skip — the block index already prunes
+    the read to the overlapping blocks.  This helper exists so every stored
+    query flows through one module (and shares the live-tail merge).
+    """
+    recordings = _reference_recordings(store, name, start, end, tail)
+    approximation = reconstruct(recordings)
+    lo, hi = _reference_bounds(recordings, start, end)
+    return resample(approximation, lo, hi, step)

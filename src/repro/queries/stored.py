@@ -2,12 +2,15 @@
 
 These helpers close the loop of the paper's architecture: the batch pipeline
 (:mod:`repro.pipeline`) compresses a stream into recordings and appends them
-to a store; the functions here reconstruct the stored approximation for the
-requested time range only (the store's block index prunes the read to the
-overlapping blocks, keeping one recording before the range so the covering
-segments are complete) and delegate to the analytic query toolkit in
-:mod:`repro.queries.aggregates`.  Every helper accepts a plain
-:class:`SegmentStore` or a :class:`~repro.storage.ShardedStore`.
+to a store; the functions here answer analytic queries over the stored
+approximation.  Aggregates route through the block-summary planner
+(:mod:`repro.queries.planner`), which composes pre-aggregated block summaries
+and decodes only the blocks a range boundary straddles — stores without
+summaries (seed catalogs, non-summarising backends) transparently fall back
+to decoding the range and aggregating in memory, so results are identical
+either way (within :data:`~repro.queries.planner.TOLERANCE`).  Every helper
+accepts a plain :class:`SegmentStore` or a
+:class:`~repro.storage.ShardedStore`.
 """
 
 from __future__ import annotations
@@ -16,12 +19,11 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.queries.aggregates import (
-    RangeAggregate,
-    range_aggregate,
-    resample,
-    threshold_crossings,
-    window_aggregates,
+from repro.queries.aggregates import RangeAggregate, threshold_crossings
+from repro.queries.planner import (
+    plan_range_aggregate,
+    plan_resample,
+    plan_window_aggregates,
 )
 from repro.storage import StoreLike
 
@@ -41,8 +43,7 @@ def stored_range_aggregate(
     dimension: int = 0,
 ) -> RangeAggregate:
     """Aggregate one stored stream over ``[start, end]``."""
-    approximation = store.reconstruct(name, start, end)
-    return range_aggregate(approximation, start, end, dimension=dimension)
+    return plan_range_aggregate(store, name, start, end, dimension)
 
 
 def stored_window_aggregates(
@@ -54,11 +55,7 @@ def stored_window_aggregates(
     dimension: int = 0,
 ) -> List[RangeAggregate]:
     """Tumbling-window aggregates of one stored stream."""
-    entry = store.describe(name)
-    start = entry.first_time if start is None else start
-    end = entry.last_time if end is None else end
-    approximation = store.reconstruct(name, start, end)
-    return window_aggregates(approximation, start, end, window, dimension=dimension)
+    return plan_window_aggregates(store, name, window, start, end, dimension)
 
 
 def stored_threshold_crossings(
@@ -82,8 +79,4 @@ def stored_resample(
     end: Optional[float] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Resample one stored stream onto a regular time grid."""
-    entry = store.describe(name)
-    start = entry.first_time if start is None else start
-    end = entry.last_time if end is None else end
-    approximation = store.reconstruct(name, start, end)
-    return resample(approximation, start, end, step)
+    return plan_resample(store, name, step, start, end)

@@ -129,6 +129,25 @@ class StorageBackend(abc.ABC):
         """
         raise NotImplementedError(f"backend {self.name!r} does not support compaction")
 
+    def read_blocks(
+        self, path: Path, entry, lo: int, hi: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Decode index blocks ``[lo, hi)`` verbatim (no range filtering).
+
+        Used by the query planner to decode exactly the blocks a query
+        boundary straddles.  Backends without a block index may leave this
+        unimplemented — the planner then falls back to a full range decode.
+        """
+        raise NotImplementedError(f"backend {self.name!r} does not support block reads")
+
+    def ensure_summaries(self, path: Path, entry) -> bool:
+        """Backfill missing per-block summaries on the entry's index.
+
+        Returns ``True`` when any block was summarized (the catalog should
+        then be re-persisted).  The default backend has nothing to build.
+        """
+        return False
+
     @abc.abstractmethod
     def recover(self, path: Path, entry) -> bool:
         """Reconcile the catalog entry with the log actually on disk.

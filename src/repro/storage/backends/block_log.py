@@ -2,15 +2,23 @@
 
 The log keeps the seed's packed record format but the catalog additionally
 holds a *block index* per stream: a list of ``[byte_offset, record_count,
-min_time, max_time]`` entries, one per block of at most ``block_records``
-consecutive records.  Because recordings are appended in time order, blocks
-partition the log into non-overlapping time spans, so a range read can
+min_time, max_time, summary]`` entries, one per block of at most
+``block_records`` consecutive records.  Because recordings are appended in
+time order, blocks partition the log into non-overlapping time spans, so a
+range read can
 
 * binary-search the block bounds to find the overlapping blocks,
 * read exactly that contiguous byte span from the file, and
 * decode it in one shot with :func:`np.frombuffer` and a structured dtype
 
 instead of decoding the whole log with a per-record ``struct.unpack`` loop.
+
+The ``summary`` element pre-aggregates the pieces spanned by the block's
+records (see :mod:`repro.storage.summaries`) so aggregate queries compose
+fully-covered blocks without decoding them; it is maintained incrementally
+on append/compact/truncate and backfilled lazily (``ensure_summaries``) for
+indexes written by earlier versions, whose blocks load with ``None`` in its
+place.
 
 The backend also repairs the index on open: seed-era logs with no block
 index are scanned once and indexed, appends whose catalog update was lost
@@ -33,6 +41,7 @@ from repro.storage.backends.base import (
     record_size,
     register_backend,
 )
+from repro.storage.summaries import block_summary, extend_summary, summarize_block
 
 __all__ = ["BlockLogBackend", "DEFAULT_BLOCK_RECORDS"]
 
@@ -78,9 +87,16 @@ class BlockLogBackend(StorageBackend):
         offset = path.stat().st_size if path.exists() else 0
         with open(path, "ab") as log:
             log.write(records.tobytes())
-        self._extend_index(entry, offset, times)
+        self._extend_index(entry, offset, kinds, times, values.reshape(count, entry.dimensions))
 
-    def _extend_index(self, entry, offset: int, times: np.ndarray) -> None:
+    def _extend_index(
+        self,
+        entry,
+        offset: int,
+        kinds: np.ndarray,
+        times: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
         """Grow the block index by ``times.shape[0]`` records at ``offset``."""
         size = record_size(entry.dimensions)
         blocks: List[list] = entry.blocks
@@ -92,16 +108,24 @@ class BlockLogBackend(StorageBackend):
             # contiguous with it (they always are unless the index is stale).
             if last[1] < self.block_records and last[0] + last[1] * size == offset:
                 taken = min(total, self.block_records - last[1])
+                summary = block_summary(last)
+                if summary is not None:
+                    # The stored `last` record supplies the left neighbour of
+                    # the first new pair; a legacy block without a summary
+                    # stays unsummarized until ensure_summaries backfills it.
+                    extend_summary(summary, last[3], kinds[:taken], times[:taken], values[:taken])
                 last[1] += taken
                 last[3] = float(times[taken - 1])
         while taken < total:
             span = min(self.block_records, total - taken)
+            stop = taken + span
             blocks.append(
                 [
                     offset + taken * size,
                     span,
                     float(times[taken]),
-                    float(times[taken + span - 1]),
+                    float(times[stop - 1]),
+                    summarize_block(kinds[taken:stop], times[taken:stop], values[taken:stop]),
                 ]
             )
             taken += span
@@ -163,6 +187,49 @@ class BlockLogBackend(StorageBackend):
             hi = min(count, max(last + 2, first_candidate + 1, lo + 1))
         return lo, hi
 
+    def read_blocks(
+        self, path: Path, entry, lo: int, hi: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Decode index blocks ``[lo, hi)`` verbatim (no range filtering)."""
+        dtype = record_dtype(entry.dimensions)
+        blocks = entry.blocks[max(lo, 0) : hi]
+        if not blocks:
+            return (
+                np.empty(0, dtype=np.uint8),
+                np.empty(0, dtype=float),
+                np.empty((0, entry.dimensions), dtype=float),
+            )
+        payloads = []
+        with open(path, "rb") as log:
+            position = None
+            for block in blocks:
+                if position != block[0]:
+                    log.seek(block[0])
+                payloads.append(log.read(block[1] * dtype.itemsize))
+                position = block[0] + len(payloads[-1])
+        payload = b"".join(payloads)
+        records = np.frombuffer(payload, dtype=dtype, count=len(payload) // dtype.itemsize)
+        return (
+            np.array(records["kind"]),
+            np.array(records["time"], dtype=float),
+            np.array(records["values"], dtype=float).reshape(-1, entry.dimensions),
+        )
+
+    def ensure_summaries(self, path: Path, entry) -> bool:
+        """Backfill summaries on blocks loaded from a pre-summary catalog."""
+        changed = False
+        for block in entry.blocks:
+            if block_summary(block) is not None:
+                continue
+            kinds, times, values = self._read_records(path, entry, block[0], block[1])
+            summary = summarize_block(kinds, times, values)
+            if len(block) > 4:
+                block[4] = summary
+            else:
+                block.append(summary)
+            changed = True
+        return changed
+
     # ------------------------------------------------------------------ #
     # Maintenance
     # ------------------------------------------------------------------ #
@@ -212,7 +279,11 @@ class BlockLogBackend(StorageBackend):
                     self._extend_index(
                         entry,
                         position * dtype.itemsize,
+                        np.array(records["kind"]),
                         np.array(records["time"], dtype=float),
+                        np.array(records["values"], dtype=float).reshape(
+                            -1, entry.dimensions
+                        ),
                     )
                     position += count
             return True
@@ -220,44 +291,49 @@ class BlockLogBackend(StorageBackend):
         # survive compaction): the index is authoritative, so copy exactly
         # the byte ranges it names — block by block, never the unindexed
         # gaps between them — into a packed log and replace the file
-        # atomically.  Only the times (8 bytes per record) are retained for
-        # the reindex, not the record payloads.
+        # atomically.  The decoded records are retained per block for the
+        # reindex (which rebuilds the summaries too).
         staging = path.with_name(path.name + ".compact")
-        block_times: List[np.ndarray] = []
+        retained: List[np.ndarray] = []
         with open(path, "rb") as log, open(staging, "wb") as out:
-            for byte_offset, count, _, _ in blocks:
-                log.seek(byte_offset)
-                payload = log.read(count * dtype.itemsize)
+            for block in blocks:
+                log.seek(block[0])
+                payload = log.read(block[1] * dtype.itemsize)
                 out.write(payload)
-                records = np.frombuffer(
-                    payload, dtype=dtype, count=len(payload) // dtype.itemsize
+                retained.append(
+                    np.frombuffer(payload, dtype=dtype, count=len(payload) // dtype.itemsize)
                 )
-                block_times.append(np.array(records["time"], dtype=float))
         os.replace(staging, path)
         entry.blocks = []
         offset = 0
-        for times in block_times:
-            self._extend_index(entry, offset, times)
-            offset += times.shape[0] * dtype.itemsize
+        for records in retained:
+            self._extend_index(
+                entry,
+                offset,
+                np.array(records["kind"]),
+                np.array(records["time"], dtype=float),
+                np.array(records["values"], dtype=float).reshape(-1, entry.dimensions),
+            )
+            offset += records.shape[0] * dtype.itemsize
         return True
 
     def _is_packed(self, blocks: List[list], dimensions: int) -> bool:
         """Whether the indexed bytes form one contiguous run from offset 0."""
         size = record_size(dimensions)
         offset = 0
-        for byte_offset, count, _, _ in blocks:
-            if byte_offset != offset:
+        for block in blocks:
+            if block[0] != offset:
                 return False
-            offset += count * size
+            offset += block[1] * size
         return True
 
     def _blocks_sized(self, blocks: List[list]) -> bool:
         """Whether every block is full (the trailing one may be partial)."""
-        for index, (_, count, _, _) in enumerate(blocks):
+        for index, block in enumerate(blocks):
             if index == len(blocks) - 1:
-                if count > self.block_records:
+                if block[1] > self.block_records:
                     return False
-            elif count != self.block_records:
+            elif block[1] != self.block_records:
                 return False
         return True
 
@@ -283,8 +359,8 @@ class BlockLogBackend(StorageBackend):
         if on_disk > indexed:
             # Catalog older than the log (lost flush, or a seed-era catalog
             # with no block index): index the unindexed tail.
-            tail_times = self._read_times(path, entry, indexed * size, on_disk - indexed)
-            self._extend_index(entry, indexed * size, tail_times)
+            tail = self._read_records(path, entry, indexed * size, on_disk - indexed)
+            self._extend_index(entry, indexed * size, *tail)
             indexed = on_disk
             changed = True
         if entry.refresh_from_blocks():
@@ -295,22 +371,38 @@ class BlockLogBackend(StorageBackend):
         """Clamp the index to the first ``keep_records`` complete records."""
         blocks: List[list] = []
         remaining = keep_records
-        for offset, count, min_time, max_time in entry.blocks:
+        for block in entry.blocks:
             if remaining <= 0:
                 break
-            if count <= remaining:
-                blocks.append([offset, count, min_time, max_time])
-                remaining -= count
+            if block[1] <= remaining:
+                blocks.append(list(block))
+                remaining -= block[1]
             else:
-                partial_times = self._read_times(path, entry, offset, remaining)
-                blocks.append([offset, remaining, min_time, float(partial_times[-1])])
+                # The partial block's summary is rebuilt from the records it
+                # actually keeps (pairs of dropped records must not linger).
+                kinds, times, values = self._read_records(path, entry, block[0], remaining)
+                blocks.append(
+                    [
+                        block[0],
+                        remaining,
+                        block[2],
+                        float(times[-1]),
+                        summarize_block(kinds, times, values),
+                    ]
+                )
                 remaining = 0
         entry.blocks = blocks
 
-    def _read_times(self, path: Path, entry, byte_offset: int, count: int) -> np.ndarray:
+    def _read_records(
+        self, path: Path, entry, byte_offset: int, count: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         dtype = record_dtype(entry.dimensions)
         with open(path, "rb") as log:
             log.seek(byte_offset)
             payload = log.read(count * dtype.itemsize)
         records = np.frombuffer(payload, dtype=dtype, count=len(payload) // dtype.itemsize)
-        return np.array(records["time"], dtype=float)
+        return (
+            np.array(records["kind"]),
+            np.array(records["time"], dtype=float),
+            np.array(records["values"], dtype=float).reshape(-1, entry.dimensions),
+        )

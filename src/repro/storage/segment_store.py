@@ -53,8 +53,14 @@ _RECORD_KINDS = RECORD_KINDS
 _KIND_BY_CODE = KIND_BY_CODE
 
 #: Catalog schema version written by this release.  Version 1 (the seed) had
-#: no ``filename``/``blocks`` fields; both are recovered on open.
-_CATALOG_VERSION = 2
+#: no ``filename``/``blocks`` fields; both are recovered on open.  Version 3
+#: adds the per-block summary as the fifth block element; blocks from older
+#: catalogs load with ``None`` there and are backfilled lazily on the first
+#: summary query (see :meth:`SegmentStore.summary_range`).
+_CATALOG_VERSION = 3
+
+#: Elements per catalog block entry (offset, count, min/max time, summary).
+_BLOCK_WIDTH = 5
 
 
 @dataclass
@@ -71,7 +77,10 @@ class StoredStream:
             informational).
         filename: Collision-safe log filename inside the store directory.
         blocks: Block index: ``[byte_offset, record_count, min_time,
-            max_time]`` per block, maintained by the storage backend.
+            max_time, summary]`` per block, maintained by the storage
+            backend.  ``summary`` is the pre-aggregated block summary (see
+            :mod:`repro.storage.summaries`), or ``None`` for blocks loaded
+            from a pre-summary catalog and not yet backfilled.
     """
 
     name: str
@@ -105,7 +114,10 @@ class StoredStream:
             last_time=payload.get("last_time"),
             epsilon=payload.get("epsilon"),
             filename=payload.get("filename"),
-            blocks=[list(block) for block in payload.get("blocks", [])],
+            blocks=[
+                list(block) + [None] * (_BLOCK_WIDTH - len(block))
+                for block in payload.get("blocks", [])
+            ],
         )
 
     def refresh_from_blocks(self) -> bool:
@@ -440,6 +452,51 @@ class SegmentStore:
         """Rebuild the stored approximation (optionally over a time range)."""
         recordings = self.read(name, start, end)
         return reconstruct(recordings)
+
+    def summary_range(
+        self,
+        name: str,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> List[list]:
+        """The stream's block-summary index over ``[start, end]``.
+
+        Ensures every returned block carries its pre-aggregated summary,
+        lazily backfilling indexes written before the summary format (one
+        streaming pass over the log; the upgraded catalog is persisted).
+        With no bounds the full index is returned (block position equals
+        block number — what :meth:`read_block_arrays` addresses); with
+        bounds, the entries whose time span overlaps the range.
+
+        Raises:
+            KeyError: If the stream does not exist.
+        """
+        entry = self.describe(name)
+        if entry.blocks and self._backend.ensure_summaries(self._entry_path(entry), entry):
+            self._mark_dirty()
+        if start is None and end is None:
+            return entry.blocks
+        return [
+            block
+            for block in entry.blocks
+            if (start is None or block[3] >= start) and (end is None or block[2] <= end)
+        ]
+
+    def read_block_arrays(
+        self, name: str, lo: int, hi: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Decode index blocks ``[lo, hi)`` of ``name`` verbatim.
+
+        Returns ``(kinds, times, values)`` arrays — no range filtering and
+        no context records, exactly the blocks' records.  The query planner
+        uses this to decode only the blocks a query boundary straddles.
+
+        Raises:
+            KeyError: If the stream does not exist.
+            NotImplementedError: If the backend keeps no block index.
+        """
+        entry = self.describe(name)
+        return self._backend.read_blocks(self._entry_path(entry), entry, lo, hi)
 
     def read_many(
         self,

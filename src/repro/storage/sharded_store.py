@@ -193,6 +193,21 @@ class ShardedStore:
         """Rebuild one stored approximation (see ``SegmentStore.reconstruct``)."""
         return self.shard_for(name).reconstruct(name, start, end)
 
+    def summary_range(
+        self,
+        name: str,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> List[list]:
+        """Block-summary index of one stream (see ``SegmentStore.summary_range``)."""
+        return self.shard_for(name).summary_range(name, start, end)
+
+    def read_block_arrays(
+        self, name: str, lo: int, hi: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Decode index blocks verbatim (see ``SegmentStore.read_block_arrays``)."""
+        return self.shard_for(name).read_block_arrays(name, lo, hi)
+
     def read_many(
         self,
         names: Iterable[str],

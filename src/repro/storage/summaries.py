@@ -1,0 +1,162 @@
+"""Per-block pre-aggregated summaries of the record log.
+
+The block index already lets a range read prune the *decode* to the
+overlapping blocks; the summaries defined here let aggregate queries skip
+the decode entirely for blocks fully inside the query range.  Each summary
+pre-aggregates the *pieces* spanned by consecutive records within one block
+(never the bridge piece crossing into the neighbouring block — the stored
+endpoint records let the query planner form those at query time):
+
+* ``(SEGMENT_START | SEGMENT_END, SEGMENT_END)`` — a linear piece between
+  the two recordings (the swing/slide segment, connected or not);
+* ``(SEGMENT_END, SEGMENT_START)`` — a gap, no piece;
+* ``(SEGMENT_START, SEGMENT_START)`` — a zero-length piece at the earlier
+  recording (a single transmitted point);
+* ``(HOLD, HOLD)`` — a constant piece holding the earlier value.
+
+This mirrors :func:`repro.approximation.reconstruct.segments_from_recordings`
+exactly, so integrals/extrema composed from summaries agree with the decode
+path up to float summation order.
+
+A summary is a JSON-safe dict stored as the fifth element of the block's
+catalog entry::
+
+    {"covered": float,          # total piece duration inside the block
+     "integral": [d floats],    # per-dimension trapezoid integral
+     "min": [d floats] | None,  # per-dimension piece minima (None: no pieces)
+     "max": [d floats] | None,
+     "span": [t0, t1] | None,   # first piece start / last piece end
+     "first": [kind, v...],     # the block's first record (time = min_time)
+     "last": [kind, v...]}      # the block's last record (time = max_time)
+
+``first``/``last`` carry the boundary records so bridge pieces between any
+two adjacent blocks are computable without touching the log.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "START_CODE",
+    "END_CODE",
+    "HOLD_CODE",
+    "pair_pieces",
+    "summarize_block",
+    "extend_summary",
+    "block_summary",
+]
+
+#: Wire codes (see ``repro.storage.backends.base.RECORD_KINDS``).
+START_CODE, END_CODE, HOLD_CODE = 0, 1, 2
+
+Pieces = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+
+
+def pair_pieces(kinds: np.ndarray, times: np.ndarray, values: np.ndarray) -> Pieces:
+    """Material pieces between consecutive records, in record order.
+
+    Returns ``(t0, x0, t1, x1)`` endpoint arrays with ``x0``/``x1`` of shape
+    ``(pieces, d)``.  Gap pairs (``END`` followed by ``START``) contribute
+    nothing; the stream-final zero-length piece of a trailing ``START`` /
+    ``HOLD`` is the caller's concern (it depends on records not yet seen).
+    """
+    count = times.shape[0]
+    d = values.shape[1] if values.ndim == 2 else 1
+    if count < 2:
+        return (
+            np.empty(0),
+            np.empty((0, d)),
+            np.empty(0),
+            np.empty((0, d)),
+        )
+    values = values.reshape(count, d)
+    k0, k1 = kinds[:-1], kinds[1:]
+    linear = (k1 == END_CODE) & (k0 != HOLD_CODE)
+    zero = (k0 == START_CODE) & (k1 == START_CODE)
+    hold = (k0 == HOLD_CODE) & (k1 == HOLD_CODE)
+    keep = linear | zero | hold
+    t0 = times[:-1][keep]
+    t1 = np.where(zero, times[:-1], times[1:])[keep]
+    x0 = values[:-1][keep]
+    x1 = np.where(linear[:, None], values[1:], values[:-1])[keep]
+    return t0, x0, t1, x1
+
+
+def _record_field(kinds: np.ndarray, values: np.ndarray, index: int) -> List[float]:
+    return [int(kinds[index])] + [float(v) for v in np.atleast_1d(values[index])]
+
+
+def _accumulate(summary: dict, pieces: Pieces) -> None:
+    """Fold piece aggregates into ``summary`` in place."""
+    t0, x0, t1, x1 = pieces
+    if t0.shape[0] == 0:
+        return
+    widths = t1 - t0
+    integral = (0.5 * (x0 + x1) * widths[:, None]).sum(axis=0)
+    minimum = np.minimum(x0, x1).min(axis=0)
+    maximum = np.maximum(x0, x1).max(axis=0)
+    summary["covered"] = float(summary["covered"] + widths.sum())
+    summary["integral"] = [
+        float(a + b) for a, b in zip(summary["integral"], integral)
+    ]
+    if summary["min"] is None:
+        summary["min"] = [float(v) for v in minimum]
+        summary["max"] = [float(v) for v in maximum]
+        summary["span"] = [float(t0[0]), float(t1[-1])]
+    else:
+        summary["min"] = [float(min(a, b)) for a, b in zip(summary["min"], minimum)]
+        summary["max"] = [float(max(a, b)) for a, b in zip(summary["max"], maximum)]
+        summary["span"] = [summary["span"][0], float(t1[-1])]
+
+
+def summarize_block(kinds: np.ndarray, times: np.ndarray, values: np.ndarray) -> dict:
+    """Build the summary of one block from its decoded records."""
+    count = times.shape[0]
+    d = values.shape[1] if values.ndim == 2 else 1
+    values = np.asarray(values, dtype=float).reshape(count, d)
+    summary = {
+        "covered": 0.0,
+        "integral": [0.0] * d,
+        "min": None,
+        "max": None,
+        "span": None,
+        "first": _record_field(kinds, values, 0),
+        "last": _record_field(kinds, values, count - 1),
+    }
+    _accumulate(summary, pair_pieces(kinds, times, values))
+    return summary
+
+
+def extend_summary(
+    summary: dict,
+    previous_time: float,
+    kinds: np.ndarray,
+    times: np.ndarray,
+    values: np.ndarray,
+) -> None:
+    """Extend a block's summary with records appended to that block.
+
+    ``previous_time`` is the block's ``max_time`` before the append; the
+    stored ``last`` record supplies the left neighbour of the first new
+    pair, so incremental maintenance sees every intra-block pair exactly
+    once.
+    """
+    count = times.shape[0]
+    if count == 0:
+        return
+    d = len(summary["integral"])
+    values = np.asarray(values, dtype=float).reshape(count, d)
+    last = summary["last"]
+    joined_kinds = np.concatenate([[int(last[0])], np.asarray(kinds, dtype=int)])
+    joined_times = np.concatenate([[float(previous_time)], times])
+    joined_values = np.vstack([np.asarray(last[1:], dtype=float), values])
+    _accumulate(summary, pair_pieces(joined_kinds, joined_times, joined_values))
+    summary["last"] = _record_field(kinds, values, count - 1)
+
+
+def block_summary(block: list) -> Optional[dict]:
+    """The summary of a catalog block entry (``None`` when not built yet)."""
+    return block[4] if len(block) > 4 else None

@@ -102,6 +102,49 @@ class TestWindowAggregates:
             window_aggregates(simple_pla(), 10.0, 0.0, window=1.0)
 
 
+class TestAggregateSemanticsFixes:
+    """Regression tests for the aggregate-semantics bugfixes."""
+
+    def test_out_of_span_extension_feeds_all_four_aggregates(self):
+        # The ramp extrapolates to -5 over [-5, 0]; the seed let min/max see
+        # the extension while mean/integral silently ignored it.
+        aggregate = range_aggregate(simple_pla(), -5.0, 5.0)
+        assert aggregate.minimum == pytest.approx(-5.0)
+        assert aggregate.maximum == pytest.approx(5.0)
+        assert aggregate.integral == pytest.approx(0.0, abs=1e-12)
+        assert aggregate.mean == pytest.approx(0.0, abs=1e-12)
+
+    def test_range_inside_interior_gap_degrades_to_trapezoid(self):
+        approx = PiecewiseLinearApproximation(
+            [
+                Segment(0.0, [0.0], 10.0, [10.0]),
+                Segment(20.0, [0.0], 30.0, [10.0]),
+            ]
+        )
+        aggregate = range_aggregate(approx, 12.0, 18.0)
+        # value_at extrapolates the next piece's line backwards: -8 and -2.
+        assert aggregate.minimum == pytest.approx(-8.0)
+        assert aggregate.maximum == pytest.approx(-2.0)
+        assert aggregate.mean == pytest.approx(-5.0)
+        assert aggregate.integral == pytest.approx(-30.0)
+
+    def test_window_count_is_not_inflated_by_float_drift(self):
+        # 0.7 / 0.07 is 9.999999999999998 in floats: a naive accumulating
+        # cursor (or un-slacked ceil) would emit an 11th sliver window.
+        windows = window_aggregates(simple_pla(), 0.0, 0.7, window=0.07)
+        assert len(windows) == 10
+        assert windows[-1].end == 0.7
+        # Edges come from index arithmetic, not a running cursor.
+        assert windows[3].start == 3 * 0.07
+
+    def test_resample_grid_never_overshoots_end(self):
+        times, values = resample(simple_pla(), 0.0, 0.7, 0.07)
+        assert len(times) == 11
+        assert times[-1] == 0.7  # 10 * 0.07 rounds to 0.7000000000000001
+        assert np.all(times <= 0.7)
+        assert values.shape == (11, 1)
+
+
 class TestIntegralAndCrossings:
     def test_integral_helper(self):
         assert integral(simple_pla(), 0.0, 10.0) == pytest.approx(50.0)

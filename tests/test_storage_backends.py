@@ -94,9 +94,10 @@ class TestBlockIndex:
         # Blocks tile the file contiguously.
         size = record_size(1)
         expected_offset = 0
-        for offset, count, min_time, max_time in entry.blocks:
+        for offset, count, min_time, max_time, summary in entry.blocks:
             assert offset == expected_offset
             assert min_time <= max_time
+            assert summary is not None and summary["first"] and summary["last"]
             expected_offset += count * size
 
     def test_small_appends_coalesce_into_blocks(self, tmp_path):
@@ -207,7 +208,7 @@ class TestDurabilityAndRecovery:
         assert entry.blocks and sum(block[1] for block in entry.blocks) == 40
         assert times_of(store.read("old/stream", 10.5, 12.5)) == [10.0, 11.0, 12.0, 13.0]
         upgraded = json.loads((directory / "catalog.json").read_text())
-        assert upgraded["version"] == 2
+        assert upgraded["version"] == 3
         assert upgraded["streams"][0]["blocks"]
 
     def test_roundtrip_bit_identical_after_reopen(self, tmp_path):
@@ -343,7 +344,10 @@ class TestTruncateStream:
         # The cut lands at the end of the last kept indexed range (25 * size,
         # not 15 * size, which would be inside the second block's data).
         assert entry.recordings == 15
-        assert entry.blocks == [[0, 10, 0.0, 9.0], [20 * record_size(1), 5, 20.0, 24.0]]
+        assert [block[:4] for block in entry.blocks] == [
+            [0, 10, 0.0, 9.0],
+            [20 * record_size(1), 5, 20.0, 24.0],
+        ]
         assert store._log_path("stream").stat().st_size == 25 * record_size(1)
         # Compaction then repairs the hole; the indexed records survive.
         store.compact("stream")
