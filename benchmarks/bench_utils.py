@@ -53,3 +53,47 @@ def write_bench_json(
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return path
+
+
+def append_trajectory(
+    name: str,
+    metrics: Dict[str, Any],
+    label: str,
+    directory: Optional[str] = None,
+) -> str:
+    """Append one per-PR entry to the committed perf trajectory.
+
+    The trajectory lives in ``benchmarks/results/TRAJECTORY.jsonl`` — one
+    JSON object per line, appended (never rewritten) so the file's history
+    mirrors the repo's performance history.  Each PR that moves a benchmark
+    commits its fresh ``BENCH_*.json`` under ``benchmarks/results/`` *and*
+    appends a trajectory entry here; CI replays the benchmarks and
+    ``benchmarks/check_trajectory.py`` diffs the fresh numbers against the
+    committed floors.
+
+    Args:
+        name: Benchmark identifier (matches the ``BENCH_<name>.json`` file).
+        metrics: The run's headline metrics (JSON-serializable).
+        label: Which change the entry records, e.g. ``"PR7"``.
+        directory: Trajectory directory; defaults to ``benchmarks/results``
+            next to this file.
+
+    Returns:
+        The path of the trajectory file.
+    """
+    if directory is None:
+        directory = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+    os.makedirs(directory, exist_ok=True)
+    record = {
+        "label": label,
+        "name": name,
+        "created_unix": time.time(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count(),
+        "metrics": metrics,
+    }
+    path = os.path.join(directory, "TRAJECTORY.jsonl")
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return path

@@ -64,6 +64,12 @@ from repro.queries.planner import (
     plan_resample,
     plan_window_aggregates,
 )
+from repro.queries.pyramid import (
+    DEFAULT_MAX_POINTS,
+    ZoomCell,
+    plan_zoom,
+    zoom_cells,
+)
 from repro.runtime.checkpoint import CheckpointManager, IngestCheckpoint
 from repro.runtime.ingest import ingest_stream_checkpointed
 from repro.runtime.parallel import ParallelIngestReport, ParallelIngestor, StreamTask
@@ -643,27 +649,38 @@ class StreamDB:
         end: Optional[float] = None,
         *,
         window: Optional[float] = None,
+        step: Optional[float] = None,
         dimension: int = 0,
     ) -> Union[RangeAggregate, List[RangeAggregate]]:
         """Min / max / time-weighted mean / integral over ``[start, end]``.
 
         Bounds default to the stream's span (live tail included).  With
         ``window`` given, returns tumbling-window aggregates covering the
-        range instead of one aggregate.
+        range instead of one aggregate; add ``step`` for rolling windows
+        that advance by ``step`` (overlapping when ``step < window``,
+        sampled hops when ``step > window``).
 
         Stored streams are answered through the block-summary planner
         (:mod:`repro.queries.planner`): whole blocks inside the range
         contribute their pre-aggregated summary and only boundary blocks are
-        decoded.  The live tail (buffered recordings plus the snapshot-read
-        in-flight segment) joins the plan as a virtual trailing block, so
-        live and sealed streams answer identically.
+        decoded — rolling windows slide over those summaries incrementally
+        instead of re-aggregating each window.  The live tail (buffered
+        recordings plus the snapshot-read in-flight segment) joins the plan
+        as a virtual trailing block, so live and sealed streams answer
+        identically.
+
+        Raises:
+            ValueError: If ``step`` is given without ``window``.
         """
         self._check_open()
+        if step is not None and window is None:
+            raise ValueError("step requires window")
         if stream in self._store:
             tail = self._query_tail(stream)
             if window is not None:
                 return plan_window_aggregates(
-                    self._store, stream, window, start, end, dimension, tail=tail
+                    self._store, stream, window, start, end, dimension,
+                    step=step, tail=tail,
                 )
             return plan_range_aggregate(
                 self._store, stream, start, end, dimension, tail=tail
@@ -672,8 +689,42 @@ class StreamDB:
         lo, hi = self._bounds(recordings, start, end)
         approximation = reconstruct(recordings)
         if window is not None:
-            return window_aggregates(approximation, lo, hi, window, dimension=dimension)
+            return window_aggregates(
+                approximation, lo, hi, window, dimension=dimension, step=step
+            )
         return range_aggregate(approximation, lo, hi, dimension=dimension)
+
+    def zoom(
+        self,
+        stream: str,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        *,
+        max_points: int = DEFAULT_MAX_POINTS,
+        dimension: int = 0,
+    ) -> List[ZoomCell]:
+        """A budget-bounded overview of ``[start, end]`` — live included.
+
+        Returns at most ``max_points`` :class:`~repro.queries.pyramid.ZoomCell`
+        (min / max / mean / integral / covered duration each) in time order.
+        Stored streams answer from the persisted zoom pyramid
+        (:mod:`repro.queries.pyramid`): the finest level whose cell count
+        fits the budget is read and only the viewport's edge cells descend
+        to finer levels, so panning and zooming a dashboard never decodes
+        more than the two blocks the viewport cuts.  Live-only streams (and
+        stores without summaries) fall back to uniform bins over the decoded
+        approximation.
+        """
+        self._check_open()
+        if stream in self._store:
+            return plan_zoom(
+                self._store, stream, start, end,
+                max_points=max_points, dimension=dimension,
+                tail=self._query_tail(stream),
+            )
+        recordings = self._read_for_query(stream, start, end)
+        lo, hi = self._bounds(recordings, start, end)
+        return zoom_cells(reconstruct(recordings), lo, hi, max_points, dimension)
 
     def crossings(
         self,

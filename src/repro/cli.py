@@ -178,6 +178,14 @@ def build_parser() -> argparse.ArgumentParser:
     query_mode.add_argument(
         "--threshold", type=float, default=None, help="print the threshold's crossing times instead"
     )
+    query_mode.add_argument(
+        "--zoom", type=int, default=None, metavar="N",
+        help="print a zoomed overview of at most N cells (reads the summary pyramid)",
+    )
+    query.add_argument(
+        "--every", type=float, default=None,
+        help="with --window: roll the window forward by this step instead of tumbling",
+    )
     query.add_argument(
         "--step", type=float, default=None, help="also resample on this regular grid"
     )
@@ -362,6 +370,8 @@ def _command_ingest(args: argparse.Namespace) -> int:
 def _command_query(args: argparse.Namespace) -> int:
     if args.output is not None and args.step is None:
         raise SystemExit("query failed: --output requires --step (it holds the resampled grid)")
+    if args.every is not None and args.window is None:
+        raise SystemExit("query failed: --every requires --window (it is the rolling step)")
     try:
         db = repro.open(args.store, create=False)
     except FileNotFoundError:
@@ -393,6 +403,7 @@ def _command_query(args: argparse.Namespace) -> int:
                 args.start,
                 args.end,
                 window=args.window,
+                step=args.every,
                 dimension=args.dimension,
             )
             rows = [["start", "end", "min", "max", "mean"]]
@@ -404,6 +415,27 @@ def _command_query(args: argparse.Namespace) -> int:
                         f"{window.minimum:.6g}",
                         f"{window.maximum:.6g}",
                         f"{window.mean:.6g}",
+                    ]
+                )
+            print(render_table(rows))
+        elif args.zoom is not None:
+            cells = db.zoom(
+                args.stream,
+                args.start,
+                args.end,
+                max_points=args.zoom,
+                dimension=args.dimension,
+            )
+            rows = [["start", "end", "min", "max", "mean", "level"]]
+            for cell in cells:
+                rows.append(
+                    [
+                        f"{cell.start:.6g}",
+                        f"{cell.end:.6g}",
+                        f"{cell.minimum:.6g}",
+                        f"{cell.maximum:.6g}",
+                        f"{cell.mean:.6g}",
+                        str(cell.level),
                     ]
                 )
             print(render_table(rows))

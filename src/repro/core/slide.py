@@ -38,9 +38,9 @@ from repro.geometry.hull import IncrementalConvexHull
 from repro.geometry.lines import Line
 from repro.geometry.tangents import (
     max_slope_lower_line,
-    max_slope_lower_tangent,
+    max_slope_lower_tangent_search,
     min_slope_upper_line,
-    min_slope_upper_tangent,
+    min_slope_upper_tangent_search,
 )
 
 __all__ = ["SlideFilter"]
@@ -187,6 +187,13 @@ class SlideFilter(StreamFilter):
         self._upper: Optional[List[Line]] = None
         self._lower: Optional[List[Line]] = None
         self._hulls: Optional[List[IncrementalConvexHull]] = None
+        #: Per-dimension warm-start hints for the tangent binary searches —
+        #: the support index that won the previous bound update.  Pure
+        #: accelerator state: a stale (or missing) hint only changes how the
+        #: search narrows, never its result, so the hints are not part of
+        #: the serialized filter state.
+        self._upper_hints: Optional[List[int]] = None
+        self._lower_hints: Optional[List[int]] = None
         #: Buffered interval points as parallel time / value-vector lists
         #: (only kept when connection validation or the non-hull variant
         #: needs them).
@@ -422,6 +429,8 @@ class SlideFilter(StreamFilter):
         lower_intercept = float(lower_line.intercept)
         hull = self._hulls[0]
         hull_add = hull.add
+        upper_hint = self._upper_hints[0] if self._upper_hints is not None else 0
+        lower_hint = self._lower_hints[0] if self._lower_hints is not None else 0
         raw_times = self._raw_times
         time_append = raw_times.append if raw_times is not None else None
         value_append = self._raw_values.append if raw_times is not None else None
@@ -449,16 +458,16 @@ class SlideFilter(StreamFilter):
             updated = False
             if x > lower_value + eps:
                 chain_t, chain_x = hull.lower_chain()
-                lower_line = max_slope_lower_tangent(
-                    chain_t, chain_x, t, x, eps, current=lower_line
+                lower_line, lower_hint = max_slope_lower_tangent_search(
+                    chain_t, chain_x, t, x, eps, current=lower_line, hint=lower_hint
                 )
                 lower_slope = float(lower_line.slope)
                 lower_intercept = float(lower_line.intercept)
                 updated = True
             if x < upper_value - eps:
                 chain_t, chain_x = hull.upper_chain()
-                upper_line = min_slope_upper_tangent(
-                    chain_t, chain_x, t, x, eps, current=upper_line
+                upper_line, upper_hint = min_slope_upper_tangent_search(
+                    chain_t, chain_x, t, x, eps, current=upper_line, hint=upper_hint
                 )
                 upper_slope = float(upper_line.slope)
                 upper_intercept = float(upper_line.intercept)
@@ -485,6 +494,8 @@ class SlideFilter(StreamFilter):
         # reads it (finalize below, or the caller's next action).
         self._upper[0] = upper_line
         self._lower[0] = lower_line
+        self._upper_hints = [upper_hint]
+        self._lower_hints = [lower_hint]
         self._bound_cache = None
         self._sum_t = sum_t
         self._sum_tt = sum_tt
@@ -555,6 +566,8 @@ class SlideFilter(StreamFilter):
         self._upper = None
         self._lower = None
         self._hulls = None
+        self._upper_hints = None
+        self._lower_hints = None
         self._bound_cache = None
         if self.validate_connections or not self.use_convex_hull:
             # 1-D streams buffer plain floats (cheap appends in the batch hot
@@ -594,8 +607,12 @@ class SlideFilter(StreamFilter):
             for i in range(dimensions):
                 self._hulls[i].add(first.time, first.component(i))
                 self._hulls[i].add(second.time, second.component(i))
+            self._upper_hints = [0] * dimensions
+            self._lower_hints = [0] * dimensions
         else:
             self._hulls = None
+            self._upper_hints = None
+            self._lower_hints = None
         self._bound_cache = None
 
     def _absorb(self, point: DataPoint) -> None:
@@ -637,6 +654,10 @@ class SlideFilter(StreamFilter):
         """
         epsilon = self._epsilon_array()
         changed = False
+        if self.use_convex_hull and self._upper_hints is None:
+            # Restored snapshots predate the hint lists; rebuild them cold.
+            self._upper_hints = [0] * point.dimensions
+            self._lower_hints = [0] * point.dimensions
         for i in range(point.dimensions):
             value = point.component(i)
             if self.use_convex_hull:
@@ -644,16 +665,16 @@ class SlideFilter(StreamFilter):
                 hull.add(point.time, value)
                 if value > self._lower[i].value_at(point.time) + epsilon[i]:
                     chain_t, chain_x = hull.lower_chain()
-                    self._lower[i] = max_slope_lower_tangent(
+                    self._lower[i], self._lower_hints[i] = max_slope_lower_tangent_search(
                         chain_t, chain_x, point.time, value, epsilon[i],
-                        current=self._lower[i],
+                        current=self._lower[i], hint=self._lower_hints[i],
                     )
                     changed = True
                 if value < self._upper[i].value_at(point.time) - epsilon[i]:
                     chain_t, chain_x = hull.upper_chain()
-                    self._upper[i] = min_slope_upper_tangent(
+                    self._upper[i], self._upper_hints[i] = min_slope_upper_tangent_search(
                         chain_t, chain_x, point.time, value, epsilon[i],
-                        current=self._upper[i],
+                        current=self._upper[i], hint=self._upper_hints[i],
                     )
                     changed = True
                 continue

@@ -23,7 +23,10 @@ points need to be considered.  Two families of helpers implement the search:
   chain, the extremal support vertex is found with a binary search over the
   chain's coordinate arrays — O(log m_H) per bound update, beating the
   paper's O(m_H) bound.  The optimized slide filter feeds these the chains
-  of :class:`repro.geometry.hull.IncrementalConvexHull` directly.
+  of :class:`repro.geometry.hull.IncrementalConvexHull` directly.  The
+  ``*_search`` variants additionally return the winning support index so
+  consecutive updates can warm-start each other: the extremal vertex is
+  usually unchanged between calls, collapsing the search to O(1).
 """
 
 from __future__ import annotations
@@ -39,6 +42,8 @@ __all__ = [
     "max_slope_lower_line",
     "min_slope_upper_tangent",
     "max_slope_lower_tangent",
+    "min_slope_upper_tangent_search",
+    "max_slope_lower_tangent_search",
     "candidate_upper_lines",
     "candidate_lower_lines",
 ]
@@ -135,15 +140,25 @@ def max_slope_lower_line(
 # --------------------------------------------------------------------------- #
 # O(log m) tangent searches over a convex chain
 # --------------------------------------------------------------------------- #
-def min_slope_upper_tangent(
+def min_slope_upper_tangent_search(
     chain_t: np.ndarray,
     chain_x: np.ndarray,
     t_new: float,
     x_new: float,
     epsilon: float,
     current: Optional[Line] = None,
-) -> Line:
-    """Array variant of :func:`min_slope_upper_line` over a convex upper chain.
+    hint: Optional[int] = None,
+) -> Tuple[Line, int]:
+    """Hinted variant of :func:`min_slope_upper_tangent`.
+
+    Returns ``(line, support_index)`` where ``support_index`` is the chain
+    index of the extremal support vertex (``-1`` when the chain held no
+    usable support and ``current`` was returned).  Passing the previous
+    call's ``support_index`` back as ``hint`` warm-starts the binary search:
+    the extremal vertex rarely moves between consecutive bound updates, so a
+    correct hint resolves in O(1) candidate-slope evaluations instead of
+    O(log m_H) — and a stale hint merely narrows the search range, never
+    changes the result.
 
     Args:
         chain_t: Upper-chain vertex times, sorted ascending (usually from
@@ -157,6 +172,8 @@ def min_slope_upper_tangent(
         current: The existing upper bound; competes with the tangent
             candidate exactly as in :func:`min_slope_upper_line` (kept only
             when *strictly* smaller in slope).
+        hint: Support index returned by the previous call, or ``None`` for a
+            cold search.
 
     Raises:
         ValueError: If there is no support vertex and no ``current`` line.
@@ -170,20 +187,34 @@ def min_slope_upper_tangent(
     if count == 0:
         if current is None:
             raise ValueError("no support points available to build an upper bound")
-        return current
+        return current, -1
     epsilon = float(epsilon)
     shifted_new = float(x_new) + epsilon
     low = 0
     high = count - 1
+
+    # f(i) — the candidate slope through (chain[i] - eps) and the shifted
+    # new point — is strictly unimodal along the convex chain, so the
+    # predicate g(i) = f(i) <= f(i+1) is monotone false->true and the
+    # extremal support is the leftmost index where g holds.
+    def slope_at(index: int) -> float:
+        return (shifted_new - (value_at(index) - epsilon)) / (t_new - time_at(index))
+
+    if hint is not None and low < high:
+        pivot = hint if hint < high else high
+        if pivot < low:
+            pivot = low
+        # g(high) is vacuously true — the valley is never right of high.
+        if pivot == high or slope_at(pivot) <= slope_at(pivot + 1):
+            if pivot == low or slope_at(pivot - 1) > slope_at(pivot):
+                low = high = pivot  # hint hit: still the leftmost valley
+            else:
+                high = pivot - 1  # valley strictly left of the hint
+        else:
+            low = pivot + 1  # valley strictly right of the hint
     while low < high:
-        # f(i) — the candidate slope through (chain[i] - eps) and the shifted
-        # new point — is strictly unimodal; find its leftmost valley.
         mid = (low + high) >> 1
-        f_mid = (shifted_new - (value_at(mid) - epsilon)) / (t_new - time_at(mid))
-        f_next = (shifted_new - (value_at(mid + 1) - epsilon)) / (
-            t_new - time_at(mid + 1)
-        )
-        if f_mid <= f_next:
+        if slope_at(mid) <= slope_at(mid + 1):
             high = mid
         else:
             low = mid + 1
@@ -193,8 +224,85 @@ def min_slope_upper_tangent(
     x_support = value_at(low) - epsilon
     slope = (shifted_new - x_support) / (t_new - t_support)
     if current is not None and current.slope < slope:
-        return current
-    return Line(slope, x_support - slope * t_support)
+        return current, low
+    return Line(slope, x_support - slope * t_support), low
+
+
+def max_slope_lower_tangent_search(
+    chain_t: np.ndarray,
+    chain_x: np.ndarray,
+    t_new: float,
+    x_new: float,
+    epsilon: float,
+    current: Optional[Line] = None,
+    hint: Optional[int] = None,
+) -> Tuple[Line, int]:
+    """Hinted variant of :func:`max_slope_lower_tangent`.
+
+    Mirror image of :func:`min_slope_upper_tangent_search`; see that
+    function for the parameter description and the warm-start contract.
+    """
+    time_at = chain_t.item
+    value_at = chain_x.item
+    count = chain_t.shape[0]
+    t_new = float(t_new)
+    while count > 0 and time_at(count - 1) >= t_new:
+        count -= 1
+    if count == 0:
+        if current is None:
+            raise ValueError("no support points available to build a lower bound")
+        return current, -1
+    epsilon = float(epsilon)
+    shifted_new = float(x_new) - epsilon
+    low = 0
+    high = count - 1
+
+    def slope_at(index: int) -> float:
+        return (shifted_new - (value_at(index) + epsilon)) / (t_new - time_at(index))
+
+    if hint is not None and low < high:
+        pivot = hint if hint < high else high
+        if pivot < low:
+            pivot = low
+        if pivot == high or slope_at(pivot) >= slope_at(pivot + 1):
+            if pivot == low or slope_at(pivot - 1) < slope_at(pivot):
+                low = high = pivot
+            else:
+                high = pivot - 1
+        else:
+            low = pivot + 1
+    while low < high:
+        mid = (low + high) >> 1
+        if slope_at(mid) >= slope_at(mid + 1):
+            high = mid
+        else:
+            low = mid + 1
+    t_support = time_at(low)
+    x_support = value_at(low) + epsilon
+    slope = (shifted_new - x_support) / (t_new - t_support)
+    if current is not None and current.slope > slope:
+        return current, low
+    return Line(slope, x_support - slope * t_support), low
+
+
+def min_slope_upper_tangent(
+    chain_t: np.ndarray,
+    chain_x: np.ndarray,
+    t_new: float,
+    x_new: float,
+    epsilon: float,
+    current: Optional[Line] = None,
+) -> Line:
+    """Array variant of :func:`min_slope_upper_line` over a convex upper chain.
+
+    Cold-search convenience wrapper around
+    :func:`min_slope_upper_tangent_search` (which also returns the support
+    index for warm-starting the next search).
+    """
+    line, _ = min_slope_upper_tangent_search(
+        chain_t, chain_x, t_new, x_new, epsilon, current=current
+    )
+    return line
 
 
 def max_slope_lower_tangent(
@@ -207,36 +315,10 @@ def max_slope_lower_tangent(
 ) -> Line:
     """Array variant of :func:`max_slope_lower_line` over a convex lower chain.
 
-    Mirror image of :func:`min_slope_upper_tangent`; see that function for
-    the parameter description.
+    Cold-search convenience wrapper around
+    :func:`max_slope_lower_tangent_search`.
     """
-    time_at = chain_t.item
-    value_at = chain_x.item
-    count = chain_t.shape[0]
-    t_new = float(t_new)
-    while count > 0 and time_at(count - 1) >= t_new:
-        count -= 1
-    if count == 0:
-        if current is None:
-            raise ValueError("no support points available to build a lower bound")
-        return current
-    epsilon = float(epsilon)
-    shifted_new = float(x_new) - epsilon
-    low = 0
-    high = count - 1
-    while low < high:
-        mid = (low + high) >> 1
-        f_mid = (shifted_new - (value_at(mid) + epsilon)) / (t_new - time_at(mid))
-        f_next = (shifted_new - (value_at(mid + 1) + epsilon)) / (
-            t_new - time_at(mid + 1)
-        )
-        if f_mid >= f_next:
-            high = mid
-        else:
-            low = mid + 1
-    t_support = time_at(low)
-    x_support = value_at(low) + epsilon
-    slope = (shifted_new - x_support) / (t_new - t_support)
-    if current is not None and current.slope > slope:
-        return current
-    return Line(slope, x_support - slope * t_support)
+    line, _ = max_slope_lower_tangent_search(
+        chain_t, chain_x, t_new, x_new, epsilon, current=current
+    )
+    return line

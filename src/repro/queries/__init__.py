@@ -17,6 +17,7 @@ from repro.queries.aggregates import (
     integral,
     range_aggregate,
     resample,
+    rolling_edges,
     threshold_crossings,
     window_aggregates,
 )
@@ -27,16 +28,19 @@ from repro.queries.planner import (
     plan_resample,
     plan_window_aggregates,
 )
+from repro.queries.pyramid import ZoomCell, plan_zoom, zoom_cells
 from repro.queries.stored import (
     stored_range_aggregate,
     stored_resample,
     stored_threshold_crossings,
     stored_window_aggregates,
+    stored_zoom,
 )
 
 __all__ = [
     "range_aggregate",
     "window_aggregates",
+    "rolling_edges",
     "integral",
     "threshold_crossings",
     "resample",
@@ -45,8 +49,12 @@ __all__ = [
     "plan_range_aggregate",
     "plan_window_aggregates",
     "plan_resample",
+    "ZoomCell",
+    "plan_zoom",
+    "zoom_cells",
     "stored_range_aggregate",
     "stored_window_aggregates",
     "stored_threshold_crossings",
     "stored_resample",
+    "stored_zoom",
 ]

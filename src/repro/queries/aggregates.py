@@ -40,6 +40,7 @@ __all__ = [
     "clip_aggregate",
     "line_aggregate",
     "window_edges",
+    "rolling_edges",
     "resample_grid",
 ]
 
@@ -261,18 +262,40 @@ def window_edges(start: float, end: float, window: float) -> np.ndarray:
     return edges
 
 
+def rolling_edges(
+    start: float, end: float, window: float, step: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(starts, ends)`` of the rolling windows over ``[start, end]``.
+
+    Window ``i`` is ``[start + i * step, min(start + i * step + window, end)]``
+    — index arithmetic like :func:`window_edges`, so boundaries never drift.
+    Enough windows are emitted for the last one to reach ``end`` (its start is
+    always strictly before ``end``); with ``step == window`` the windows are
+    exactly the tumbling windows of :func:`window_edges`.  A hop larger than
+    the window is allowed and leaves gaps between windows.  Returns empty
+    arrays when ``end <= start``.
+    """
+    if end <= start:
+        return np.empty(0), np.empty(0)
+    count = 1 + max(int(np.ceil((end - start - window) / step - _GRID_SLACK)), 0)
+    starts = start + np.arange(count) * step
+    starts = starts[starts < end]
+    return starts, np.minimum(starts + window, end)
+
+
 def window_aggregates(
     approximation: Approximation,
     start: float,
     end: float,
     window: float,
     dimension: int = 0,
+    step: Optional[float] = None,
 ) -> List[RangeAggregate]:
-    """Tumbling-window aggregates covering ``[start, end]``.
+    """Tumbling or rolling window aggregates covering ``[start, end]``.
 
-    Window boundaries come from :func:`window_edges` (index arithmetic, not a
-    running float cursor), so they match the stored-stream planner bit for
-    bit and never drift over long ranges.
+    Window boundaries come from :func:`window_edges` / :func:`rolling_edges`
+    (index arithmetic, not a running float cursor), so they match the
+    stored-stream planner bit for bit and never drift over long ranges.
 
     Args:
         approximation: The compressed signal.
@@ -280,18 +303,28 @@ def window_aggregates(
         end: End of the query range (the last window may be shorter).
         window: Window length (must be positive).
         dimension: Signal dimension to aggregate.
+        step: Hop between consecutive window starts; ``None`` (the default)
+            means tumbling windows (``step == window``).  A step smaller than
+            the window yields overlapping (rolling) windows.
     """
     if window <= 0.0:
         raise ValueError("window must be positive")
     if end < start:
         raise ValueError("end must not precede start")
+    if step is not None and step <= 0.0:
+        raise ValueError("step must be positive")
     # The endpoint arrays are shared across all windows — flattening the
     # approximation once instead of once per window.
     pieces = _segments_of(approximation, dimension)
-    edges = window_edges(start, end, window)
+    if step is None:
+        edges = window_edges(start, end, window)
+        bounds = zip(edges[:-1], edges[1:])
+    else:
+        starts, ends = rolling_edges(start, end, window, step)
+        bounds = zip(starts, ends)
     return [
-        _aggregate_over(approximation, pieces, float(edges[i]), float(edges[i + 1]), dimension)
-        for i in range(len(edges) - 1)
+        _aggregate_over(approximation, pieces, float(lo), float(hi), dimension)
+        for lo, hi in bounds
     ]
 
 

@@ -30,6 +30,7 @@ reference decode path, so every store keeps answering correctly.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -42,6 +43,8 @@ from repro.queries.aggregates import (
     line_aggregate,
     range_aggregate,
     resample,
+    resample_grid,
+    rolling_edges,
     window_aggregates,
     window_edges,
 )
@@ -157,6 +160,9 @@ class StreamQueryPlan:
         self._offsets = np.concatenate([[0], np.cumsum(counts)])
         self._record_count = int(self._offsets[-1])
         self._compose_cache: Dict[int, dict] = {}
+        #: block index -> paired piece endpoint arrays of the decoded block
+        self._pieces_cache: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = {}
+        self._atoms_cache: Dict[int, dict] = {}
 
     # ------------------------------------------------------------------ #
     # Stream geometry
@@ -341,20 +347,26 @@ class StreamQueryPlan:
     def _value_at(
         self, time: float, head: int, after: Optional[int], dimension: int
     ) -> float:
+        """One dimension of :meth:`_value_row_at` (the aggregates' gap probe)."""
+        return float(self._value_row_at(time, head, after)[dimension])
+
+    def _value_row_at(
+        self, time: float, head: int, after: Optional[int]
+    ) -> np.ndarray:
         """``Approximation.value_at`` over the record subset ``[head, after]``.
 
         For piece-wise linear streams this is the first subset piece (in
         order) whose end is at-or-after ``time``, clamped to the last piece
         past the stream end; for piece-wise constant streams the last step
         at-or-before ``time``.  Both evaluate exactly as the reconstructed
-        subset approximation would.
+        subset approximation would; all dimensions are returned at once.
         """
         last_index = after if after is not None else self._record_count - 1
         if self._hold_stream:
             past = self._first_after(time)
             index = (past if past is not None else self._record_count) - 1
             index = min(max(index, head), last_index)
-            return float(self._record(index)[2][dimension])
+            return np.asarray(self._record(index)[2], dtype=float)
         anchor = self._first_at_or_after(time)
         for index in (anchor - 1, anchor, anchor + 1):
             if index < head:
@@ -365,27 +377,25 @@ class StreamQueryPlan:
             k1, t1, v1 = self._record(index + 1)
             if k1 == END_CODE and k0 != HOLD_CODE:
                 if t1 >= time:
-                    x0, x1 = float(v0[dimension]), float(v1[dimension])
                     if t1 > t0:
-                        return x0 + (x1 - x0) * (time - t0) / (t1 - t0)
-                    return x0
+                        return v0 + (v1 - v0) * (time - t0) / (t1 - t0)
+                    return np.asarray(v0, dtype=float)
             elif k0 == START_CODE and k1 == START_CODE:
                 if t0 >= time:
-                    return float(v0[dimension])
+                    return np.asarray(v0, dtype=float)
         # Past every subset piece: clamp to the last piece and extrapolate.
         kind, _, value = self._record(last_index)
         if kind != END_CODE:
-            return float(value[dimension])  # trailing zero-length piece
+            return np.asarray(value, dtype=float)  # trailing zero-length piece
         if last_index - 1 < head:
             raise PlannerFallback("subset has no pieces")
         k0, t0, v0 = self._record(last_index - 1)
         _, t1, v1 = self._record(last_index)
         if k0 == HOLD_CODE:
             raise PlannerFallback("mixed HOLD/segment records in the subset")
-        x0, x1 = float(v0[dimension]), float(v1[dimension])
         if t1 > t0:
-            return x0 + (x1 - x0) * (time - t0) / (t1 - t0)
-        return x0
+            return v0 + (v1 - v0) * (time - t0) / (t1 - t0)
+        return np.asarray(v0, dtype=float)
 
     def _clipped(
         self, start: float, end: float, dimension: int
@@ -419,6 +429,98 @@ class StreamQueryPlan:
                 (minimum, maximum, area, covered), part
             )
         return minimum, maximum, area, covered
+
+    def _block_pieces(
+        self, index: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The paired piece endpoint arrays of one block, decoded and cached."""
+        cached = self._pieces_cache.get(index)
+        if cached is None:
+            cached = pair_pieces(*self._decode(index))
+            self._pieces_cache[index] = cached
+        return cached
+
+    def _clip_block(
+        self, index: int, start: float, end: float, dimension: int
+    ) -> Tuple[float, float, float, float]:
+        """``(min, max, integral, covered)`` of one block's pieces ∩ range.
+
+        The piece arrays are binary-search restricted to the overlapping run
+        before clipping, so a rolling sweep's per-window cost stays
+        proportional to the pieces a window edge actually cuts.
+        """
+        t0, x0, t1, x1 = self._block_pieces(index)
+        lo = int(np.searchsorted(t1, start, side="left"))
+        hi = int(np.searchsorted(t0, end, side="right"))
+        if hi <= lo:
+            return float("inf"), float("-inf"), 0.0, 0.0
+        return clip_aggregate(
+            t0[lo:hi], x0[lo:hi, dimension], t1[lo:hi], x1[lo:hi, dimension], start, end
+        )
+
+    # ------------------------------------------------------------------ #
+    # Atom track (rolling-window composer)
+    # ------------------------------------------------------------------ #
+    def _atoms(self, dimension: int) -> dict:
+        """The stream's material extent as sorted non-overlapping *atoms*.
+
+        An atom is either a block's summarised piece span or one bridge
+        piece between adjacent blocks — together they partition exactly the
+        pieces :meth:`_clipped` aggregates.  Atoms are sorted by ``(start,
+        end)``; since their interiors are disjoint both endpoint arrays end
+        up non-decreasing, which is what lets the rolling composer advance
+        four monotone pointers instead of rescanning.  Prefix sums over
+        integral/covered give any contained run in O(1).
+        """
+        cached = self._atoms_cache.get(dimension)
+        if cached is not None:
+            return cached
+        composed = self._compose(dimension)
+        bt0, bx0, bt1, bx1 = composed["bridges"]
+        blocks = composed["index"].shape[0]
+        a0 = np.concatenate([composed["span0"], bt0])
+        a1 = np.concatenate([composed["span1"], bt1])
+        integral = np.concatenate([composed["integral"], 0.5 * (bx0 + bx1) * (bt1 - bt0)])
+        covered = np.concatenate([composed["covered"], bt1 - bt0])
+        minima = np.concatenate([composed["min"], np.minimum(bx0, bx1)])
+        maxima = np.concatenate([composed["max"], np.maximum(bx0, bx1)])
+        # Block index of summary atoms; -1 marks a bridge atom, whose own
+        # endpoint values ride along for partial-overlap clipping.
+        block = np.concatenate(
+            [composed["index"], np.full(bt0.shape[0], -1, dtype=np.intp)]
+        )
+        x0 = np.concatenate([np.zeros(blocks), bx0])
+        x1 = np.concatenate([np.zeros(blocks), bx1])
+        order = np.lexsort((a1, a0))
+        cached = {
+            "a0": a0[order],
+            "a1": a1[order],
+            "min": minima[order],
+            "max": maxima[order],
+            "block": block[order],
+            "x0": x0[order],
+            "x1": x1[order],
+            "prefix_integral": np.concatenate([[0.0], np.cumsum(integral[order])]),
+            "prefix_covered": np.concatenate([[0.0], np.cumsum(covered[order])]),
+        }
+        self._atoms_cache[dimension] = cached
+        return cached
+
+    def _clip_atom(
+        self, atoms: dict, index: int, start: float, end: float, dimension: int
+    ) -> Tuple[float, float, float, float]:
+        """Clip one atom to ``[start, end]`` (decoding only summary atoms)."""
+        block = int(atoms["block"][index])
+        if block >= 0:
+            return self._clip_block(block, start, end, dimension)
+        return clip_aggregate(
+            np.array([float(atoms["a0"][index])]),
+            np.array([float(atoms["x0"][index])]),
+            np.array([float(atoms["a1"][index])]),
+            np.array([float(atoms["x1"][index])]),
+            start,
+            end,
+        )
 
     # ------------------------------------------------------------------ #
     # Aggregates
@@ -480,16 +582,25 @@ class StreamQueryPlan:
         return self._aggregate(start, end, dimension, head, after, first_piece)
 
     def window_aggregates(
-        self, start: float, end: float, window: float, dimension: int = 0
+        self,
+        start: float,
+        end: float,
+        window: float,
+        dimension: int = 0,
+        step: Optional[float] = None,
     ) -> List[RangeAggregate]:
-        """Tumbling-window aggregates; one shared plan/decode cache.
+        """Tumbling or rolling window aggregates; one shared plan/decode cache.
 
         Every window aggregates against the *outer* range's record subset —
         head/tail extensions belong to the outer boundaries only, and a
         window inside an interior gap degrades to the boundary trapezoid —
         mirroring the decode path, which reads ``[start, end]`` once and
-        windows over that single approximation.
+        windows over that single approximation.  With a ``step`` the windows
+        overlap (or hop) and are answered by the incremental
+        :meth:`rolling_aggregates` composer.
         """
+        if step is not None:
+            return self.rolling_aggregates(start, end, window, step, dimension)
         if window <= 0.0:
             raise ValueError("window must be positive")
         if end < start:
@@ -505,6 +616,172 @@ class StreamQueryPlan:
             )
             for i in range(len(edges) - 1)
         ]
+
+    def rolling_aggregates(
+        self, start: float, end: float, window: float, step: float, dimension: int = 0
+    ) -> List[RangeAggregate]:
+        """Rolling-window aggregates via the incremental sliding composer.
+
+        Windows come from :func:`~repro.queries.aggregates.rolling_edges`.
+        Instead of re-clipping the whole composed extent per window (the
+        tumbling path's O(windows × blocks)), the sweep maintains:
+
+        * four monotone pointers into the sorted atom track
+          (:meth:`_atoms`) — the contained run ``[i, j)`` and the overlap
+          run ``[p, q)`` only ever advance as the window slides right;
+        * prefix sums of atom integral/covered — any contained run composes
+          in O(1) (add-on-the-right / subtract-on-the-left in closed form);
+        * monotonic deques over atom extrema — sliding min/max in O(1)
+          amortised per window.
+
+        Only the ≤ 2 atoms a window edge cuts are clipped for real, and a
+        cut summary atom decodes its block once into the shared cache, so a
+        whole sweep costs O(blocks + windows).  Semantics (outer-subset
+        extensions, gap trapezoids, closed-interval extrema) match
+        :meth:`_aggregate` window for window.
+        """
+        if window <= 0.0:
+            raise ValueError("window must be positive")
+        if step <= 0.0:
+            raise ValueError("step must be positive")
+        if end < start:
+            raise ValueError("end must not precede start")
+        lows, highs = rolling_edges(start, end, window, step)
+        count = lows.shape[0]
+        if not count:
+            return []
+        head, after = self._subset_bounds(start, end)
+        first_piece = self._first_piece(head, after, dimension)
+        atoms = self._atoms(dimension)
+        a0, a1 = atoms["a0"], atoms["a1"]
+        minima, maxima = atoms["min"], atoms["max"]
+        prefix_area, prefix_covered = atoms["prefix_integral"], atoms["prefix_covered"]
+        total = a0.shape[0]
+        span_end = float(self._ends[-1])
+        first_start = first_piece[0]
+        # Pointer targets for every window at once (same search the pointers
+        # replay incrementally; computing them vectorised keeps the python
+        # loop to deque upkeep and boundary clips).
+        i_all = np.searchsorted(a0, lows, side="left")
+        p_all = np.searchsorted(a1, lows, side="left")
+        j_all = np.searchsorted(a1, highs, side="right")
+        q_all = np.searchsorted(a0, highs, side="right")
+        min_track: deque = deque()
+        max_track: deque = deque()
+        pushed = 0
+        results: List[RangeAggregate] = []
+        for w in range(count):
+            w_lo, w_hi = float(lows[w]), float(highs[w])
+            if w_hi == w_lo:
+                value = self._value_at(w_lo, head, after, dimension)
+                results.append(RangeAggregate(w_lo, w_hi, value, value, value, 0.0))
+                continue
+            i, j = int(i_all[w]), int(j_all[w])
+            p, q = int(p_all[w]), int(q_all[w])
+            while pushed < j:  # add-on-the-right
+                while min_track and minima[min_track[-1]] >= minima[pushed]:
+                    min_track.pop()
+                min_track.append(pushed)
+                while max_track and maxima[max_track[-1]] <= maxima[pushed]:
+                    max_track.pop()
+                max_track.append(pushed)
+                pushed += 1
+            while min_track and min_track[0] < i:  # subtract-on-the-left
+                min_track.popleft()
+            while max_track and max_track[0] < i:
+                max_track.popleft()
+            minimum, maximum, area, covered = float("inf"), float("-inf"), 0.0, 0.0
+            if j > i:  # the fully-contained run, in O(1) from the prefixes
+                minimum = float(minima[min_track[0]])
+                maximum = float(maxima[max_track[0]])
+                area = float(prefix_area[j] - prefix_area[i])
+                covered = float(prefix_covered[j] - prefix_covered[i])
+            # Edge atoms the window cuts: [p, i) on the left and, skipping
+            # anything already counted, [max(i, j), q) on the right.
+            for index in range(p, i):
+                part = self._clip_atom(atoms, index, w_lo, w_hi, dimension)
+                minimum, maximum, area, covered = _merge(
+                    (minimum, maximum, area, covered), part
+                )
+            for index in range(max(i, j), q):
+                part = self._clip_atom(atoms, index, w_lo, w_hi, dimension)
+                minimum, maximum, area, covered = _merge(
+                    (minimum, maximum, area, covered), part
+                )
+            if w_lo < first_start:
+                extension = line_aggregate(first_piece, w_lo, min(first_start, w_hi))
+                minimum, maximum, area, covered = _merge(
+                    (minimum, maximum, area, covered), extension
+                )
+            if after is None and w_hi > span_end:
+                extension = line_aggregate(
+                    self._last_piece(dimension), max(span_end, w_lo), w_hi
+                )
+                minimum, maximum, area, covered = _merge(
+                    (minimum, maximum, area, covered), extension
+                )
+            if covered <= 0.0:
+                value_start = self._value_at(w_lo, head, after, dimension)
+                value_end = self._value_at(w_hi, head, after, dimension)
+                minimum = min(value_start, value_end)
+                maximum = max(value_start, value_end)
+                area = 0.5 * (value_start + value_end) * (w_hi - w_lo)
+                covered = w_hi - w_lo
+            results.append(
+                RangeAggregate(w_lo, w_hi, minimum, maximum, area / covered, area)
+            )
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Resample
+    # ------------------------------------------------------------------ #
+    def resample(
+        self, start: float, end: float, step: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sample the stream on a regular grid, decoding only touched blocks.
+
+        Each grid value resolves through the block index: a point falling
+        between two blocks interpolates straight from the summaries'
+        boundary records (no decode at all), a point inside a block decodes
+        that block once into the shared cache.  Blocks no grid point lands
+        in are never read — the win over the decode path, which reads every
+        block in the range regardless of the grid.  Grids at least as dense
+        as the records fall back (the vectorised decode path is faster
+        there and the planner could not skip any block anyway).
+        """
+        if step <= 0.0:
+            raise ValueError("step must be positive")
+        if end < start:
+            raise ValueError("end must not precede start")
+        times = resample_grid(start, end, step)
+        head, after = self._subset_bounds(start, end)
+        last = after if after is not None else self._record_count - 1
+        if times.shape[0] >= max(last - head + 1, 1):
+            raise PlannerFallback("grid at least as dense as the stored records")
+        values = np.empty((times.shape[0], self._dimensions))
+        for position in range(times.shape[0]):
+            values[position] = self._grid_row(float(times[position]), head, after)
+        return times, values
+
+    def _grid_row(self, time: float, head: int, after: Optional[int]) -> np.ndarray:
+        """One grid value; summary boundary records answer inter-block times."""
+        block = int(np.searchsorted(self._ends, time, side="left"))
+        if 0 < block < len(self._summaries):
+            left_time = float(self._ends[block - 1])
+            right_time = float(self._starts[block])
+            if left_time < time < right_time:
+                left = self._summaries[block - 1]["last"]
+                right = self._summaries[block]["first"]
+                left_kind, right_kind = int(left[0]), int(right[0])
+                if right_kind == END_CODE and left_kind != HOLD_CODE:
+                    x0 = np.asarray(left[1:], dtype=float)
+                    x1 = np.asarray(right[1:], dtype=float)
+                    return x0 + (x1 - x0) * (time - left_time) / (right_time - left_time)
+                if left_kind == HOLD_CODE and right_kind == HOLD_CODE:
+                    return np.asarray(left[1:], dtype=float)
+                # A gap (or zero-length) bridge: the next piece answers —
+                # resolve through the record path below.
+        return self._value_row_at(time, head, after)
 
 
 def _merge(
@@ -593,21 +870,33 @@ def plan_window_aggregates(
     end: Optional[float] = None,
     dimension: int = 0,
     *,
+    step: Optional[float] = None,
     tail: Optional[Sequence[Recording]] = None,
     min_blocks: int = MIN_PLANNER_BLOCKS,
 ) -> List[RangeAggregate]:
-    """Tumbling-window aggregates via the planner (decode-path fallback)."""
+    """Window aggregates via the planner (decode-path fallback).
+
+    ``step=None`` gives tumbling windows; with a ``step`` the windows start
+    every ``step`` time units (overlapping when ``step < window``) and are
+    answered by the incremental rolling composer.
+    """
     try:
         plan = _build_plan(store, name, tail, min_blocks)
         lo, hi = plan.time_bounds()
         return plan.window_aggregates(
-            lo if start is None else start, hi if end is None else end, window, dimension
+            lo if start is None else start,
+            hi if end is None else end,
+            window,
+            dimension,
+            step=step,
         )
     except PlannerFallback:
         recordings = _reference_recordings(store, name, start, end, tail)
         approximation = reconstruct(recordings)
         lo, hi = _reference_bounds(recordings, start, end)
-        return window_aggregates(approximation, lo, hi, window, dimension=dimension)
+        return window_aggregates(
+            approximation, lo, hi, window, dimension=dimension, step=step
+        )
 
 
 def plan_resample(
@@ -618,15 +907,29 @@ def plan_resample(
     end: Optional[float] = None,
     *,
     tail: Optional[Sequence[Recording]] = None,
+    min_blocks: int = MIN_PLANNER_BLOCKS,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Resample a stored stream onto a regular grid.
 
-    Resampling needs concrete values at every grid point, so unlike the
-    aggregates there is no decode to skip — the block index already prunes
-    the read to the overlapping blocks.  This helper exists so every stored
-    query flows through one module (and shares the live-tail merge).
+    Sparse grids (fewer points than stored records) resolve each value
+    through the block-summary index — inter-block points interpolate from
+    boundary records, in-block points decode just their block (see
+    :meth:`StreamQueryPlan.resample`).  Dense grids, and streams the
+    planner cannot prove equivalent, fall back to the reference decode
+    path; the values match within :data:`TOLERANCE` either way.
     """
-    recordings = _reference_recordings(store, name, start, end, tail)
-    approximation = reconstruct(recordings)
-    lo, hi = _reference_bounds(recordings, start, end)
-    return resample(approximation, lo, hi, step)
+    if step <= 0.0:
+        raise ValueError("step must be positive")
+    try:
+        plan = _build_plan(store, name, tail, min_blocks)
+        lo, hi = plan.time_bounds()
+        return plan.resample(
+            lo if start is None else float(start),
+            hi if end is None else float(end),
+            step,
+        )
+    except PlannerFallback:
+        recordings = _reference_recordings(store, name, start, end, tail)
+        approximation = reconstruct(recordings)
+        lo, hi = _reference_bounds(recordings, start, end)
+        return resample(approximation, lo, hi, step)

@@ -25,6 +25,7 @@ from repro.queries.planner import (
     plan_resample,
     plan_window_aggregates,
 )
+from repro.queries.pyramid import DEFAULT_MAX_POINTS, ZoomCell, plan_zoom
 from repro.storage import StoreLike
 
 __all__ = [
@@ -32,6 +33,7 @@ __all__ = [
     "stored_window_aggregates",
     "stored_threshold_crossings",
     "stored_resample",
+    "stored_zoom",
 ]
 
 
@@ -53,9 +55,29 @@ def stored_window_aggregates(
     start: Optional[float] = None,
     end: Optional[float] = None,
     dimension: int = 0,
+    *,
+    step: Optional[float] = None,
 ) -> List[RangeAggregate]:
-    """Tumbling-window aggregates of one stored stream."""
-    return plan_window_aggregates(store, name, window, start, end, dimension)
+    """Windowed aggregates of one stored stream.
+
+    Tumbling windows by default; pass ``step`` for rolling windows that
+    advance by ``step`` (overlapping when ``step < window``, sampled hops
+    when ``step > window``).
+    """
+    return plan_window_aggregates(store, name, window, start, end, dimension, step=step)
+
+
+def stored_zoom(
+    store: StoreLike,
+    name: str,
+    start: Optional[float] = None,
+    end: Optional[float] = None,
+    *,
+    max_points: int = DEFAULT_MAX_POINTS,
+    dimension: int = 0,
+) -> List[ZoomCell]:
+    """Budget-bounded zoom view of one stored stream (see :func:`plan_zoom`)."""
+    return plan_zoom(store, name, start, end, max_points=max_points, dimension=dimension)
 
 
 def stored_threshold_crossings(

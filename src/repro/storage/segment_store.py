@@ -44,6 +44,12 @@ from repro.storage.backends.base import (
     StorageBackend,
     get_backend,
 )
+from repro.storage.summaries import (
+    block_cells,
+    blocks_summarized,
+    build_pyramid,
+    update_pyramid,
+)
 
 __all__ = ["SegmentStore", "StoredStream"]
 
@@ -56,8 +62,11 @@ _KIND_BY_CODE = KIND_BY_CODE
 #: no ``filename``/``blocks`` fields; both are recovered on open.  Version 3
 #: adds the per-block summary as the fifth block element; blocks from older
 #: catalogs load with ``None`` there and are backfilled lazily on the first
-#: summary query (see :meth:`SegmentStore.summary_range`).
-_CATALOG_VERSION = 3
+#: summary query (see :meth:`SegmentStore.summary_range`).  Version 4 adds
+#: the optional per-stream zoom ``pyramid`` (multi-resolution folds of the
+#: block summaries), built lazily on the first zoom query and maintained
+#: incrementally afterwards; older catalogs load with ``None`` there.
+_CATALOG_VERSION = 4
 
 #: Elements per catalog block entry (offset, count, min/max time, summary).
 _BLOCK_WIDTH = 5
@@ -81,6 +90,10 @@ class StoredStream:
             backend.  ``summary`` is the pre-aggregated block summary (see
             :mod:`repro.storage.summaries`), or ``None`` for blocks loaded
             from a pre-summary catalog and not yet backfilled.
+        pyramid: Multi-resolution zoom pyramid over the block summaries
+            (levels of ``[min_time, max_time, summary]`` cells, finest
+            first — see :func:`repro.storage.summaries.build_pyramid`), or
+            ``None`` while no zoom query has asked for it yet.
     """
 
     name: str
@@ -91,6 +104,7 @@ class StoredStream:
     epsilon: Optional[List[float]] = None
     filename: Optional[str] = None
     blocks: List[list] = field(default_factory=list)
+    pyramid: Optional[List[List[list]]] = None
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -102,6 +116,7 @@ class StoredStream:
             "epsilon": self.epsilon,
             "filename": self.filename,
             "blocks": [list(block) for block in self.blocks],
+            "pyramid": self.pyramid,
         }
 
     @classmethod
@@ -118,6 +133,7 @@ class StoredStream:
                 list(block) + [None] * (_BLOCK_WIDTH - len(block))
                 for block in payload.get("blocks", [])
             ],
+            pyramid=payload.get("pyramid"),
         )
 
     def refresh_from_blocks(self) -> bool:
@@ -226,6 +242,9 @@ class SegmentStore:
     def _recover(self) -> None:
         for entry in self._catalog.values():
             if self._backend.recover(self._entry_path(entry), entry):
+                # The block index changed under the pyramid; drop it and let
+                # the next zoom query rebuild from the repaired summaries.
+                entry.pyramid = None
                 self._dirty = True
         if self._dirty and self._autoflush:
             self.flush()
@@ -373,7 +392,17 @@ class SegmentStore:
         self._check_time_order(times, None if entry is None else entry.last_time)
         if entry is None:
             entry = self._register(name, dimensions, epsilon)
+        blocks_before = len(entry.blocks)
         self._backend.append(self._entry_path(entry), entry, kinds, times, values)
+        if entry.pyramid is not None:
+            # An append only touches the (possibly topped-up) trailing block
+            # and beyond — refresh exactly the pyramid cells above them.
+            if blocks_summarized(entry.blocks):
+                update_pyramid(
+                    entry.pyramid, block_cells(entry.blocks), max(blocks_before - 1, 0)
+                )
+            else:
+                entry.pyramid = None
         entry.recordings += times.shape[0]
         if entry.first_time is None:
             entry.first_time = float(times[0])
@@ -498,6 +527,43 @@ class SegmentStore:
         entry = self.describe(name)
         return self._backend.read_blocks(self._entry_path(entry), entry, lo, hi)
 
+    def pyramid_levels(self, name: str) -> List[List[list]]:
+        """The stream's zoom pyramid, building it lazily on first use.
+
+        Levels are lists of ``[min_time, max_time, summary]`` cells, finest
+        first; level ``0`` is the block index itself (not returned here — use
+        :meth:`summary_range`), and cell ``c`` of each level folds children
+        ``[c * base, (c + 1) * base)`` of the level below (see
+        :mod:`repro.storage.summaries`).  Like the summaries the pyramid is
+        persisted with the catalog exactly once and maintained incrementally
+        on later appends, truncations and compactions.
+
+        Raises:
+            KeyError: If the stream does not exist.
+            NotImplementedError: If the backend keeps no block summaries to
+                fold (the zoom planner then falls back to the decode path).
+        """
+        entry = self.describe(name)
+        if entry.blocks and self._backend.ensure_summaries(self._entry_path(entry), entry):
+            self._mark_dirty()
+        if entry.blocks and not blocks_summarized(entry.blocks):
+            raise NotImplementedError(
+                f"backend {self._backend.name!r} keeps no block summaries"
+            )
+        if entry.pyramid is None:
+            entry.pyramid = build_pyramid(block_cells(entry.blocks))
+            self._mark_dirty()
+        return entry.pyramid
+
+    def _refresh_pyramid(self, entry: StoredStream) -> None:
+        """Cold-rebuild an entry's pyramid after wholesale index changes."""
+        if entry.pyramid is None:
+            return
+        if blocks_summarized(entry.blocks):
+            entry.pyramid = build_pyramid(block_cells(entry.blocks))
+        else:
+            entry.pyramid = None
+
     def read_many(
         self,
         names: Iterable[str],
@@ -568,6 +634,7 @@ class SegmentStore:
             return entry
         self._backend.truncate(self._entry_path(entry), entry, keep_records)
         entry.refresh_from_blocks()
+        self._refresh_pyramid(entry)
         self._mark_dirty()
         return entry
 
@@ -589,6 +656,7 @@ class SegmentStore:
                 # The rebuilt index is authoritative (a corrupt-index repair
                 # may have changed the record count).
                 entry.refresh_from_blocks()
+                self._refresh_pyramid(entry)
                 rebuilt[entry.name] = (before, len(entry.blocks))
                 self._mark_dirty()
         return rebuilt

@@ -208,6 +208,10 @@ class ShardedStore:
         """Decode index blocks verbatim (see ``SegmentStore.read_block_arrays``)."""
         return self.shard_for(name).read_block_arrays(name, lo, hi)
 
+    def pyramid_levels(self, name: str) -> List[List[list]]:
+        """Zoom pyramid of one stream (see ``SegmentStore.pyramid_levels``)."""
+        return self.shard_for(name).pyramid_levels(name)
+
     def read_many(
         self,
         names: Iterable[str],

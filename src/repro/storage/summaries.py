@@ -43,10 +43,17 @@ __all__ = [
     "START_CODE",
     "END_CODE",
     "HOLD_CODE",
+    "PYRAMID_BASE",
     "pair_pieces",
     "summarize_block",
     "extend_summary",
     "block_summary",
+    "bridge_piece",
+    "block_cells",
+    "blocks_summarized",
+    "merge_cells",
+    "build_pyramid",
+    "update_pyramid",
 ]
 
 #: Wire codes (see ``repro.storage.backends.base.RECORD_KINDS``).
@@ -160,3 +167,172 @@ def extend_summary(
 def block_summary(block: list) -> Optional[dict]:
     """The summary of a catalog block entry (``None`` when not built yet)."""
     return block[4] if len(block) > 4 else None
+
+
+# --------------------------------------------------------------------------- #
+# Multi-resolution zoom pyramid
+# --------------------------------------------------------------------------- #
+# A pyramid cell is ``[min_time, max_time, summary]`` — the same summary dict
+# as a block's, covering a contiguous run of children.  Level 0 is the block
+# index itself; each higher level folds :data:`PYRAMID_BASE` consecutive cells
+# of the level below (cell ``c`` covers children ``[c * base, (c + 1) * base)``
+# — pure index arithmetic, so no child range needs to be stored).  Unlike the
+# per-block summaries, a parent cell folds the *bridge pieces between its
+# children* too, so its aggregates are exact over its whole span and a zoom
+# query can answer from one cell without touching the children.
+
+#: Fan-out between consecutive pyramid levels.
+PYRAMID_BASE = 8
+
+
+def bridge_piece(
+    left_record: List[float],
+    left_time: float,
+    right_record: List[float],
+    right_time: float,
+) -> Optional[Tuple[float, np.ndarray, float, np.ndarray]]:
+    """The material piece between two adjacent boundary records, if any.
+
+    ``left_record``/``right_record`` are summary ``last``/``first`` fields
+    (``[kind, v...]``).  The pairing rules mirror :func:`pair_pieces` (and the
+    planner's bridge composition): ``*→END`` is the linear segment piece,
+    ``START→START`` a zero-length piece at the left record, ``HOLD→HOLD`` the
+    held constant, anything else a gap (``None``).
+    """
+    left_kind, right_kind = int(left_record[0]), int(right_record[0])
+    left_values = np.asarray(left_record[1:], dtype=float)
+    if right_kind == END_CODE and left_kind != HOLD_CODE:
+        return (
+            float(left_time),
+            left_values,
+            float(right_time),
+            np.asarray(right_record[1:], dtype=float),
+        )
+    if left_kind == START_CODE and right_kind == START_CODE:
+        return float(left_time), left_values, float(left_time), left_values
+    if left_kind == HOLD_CODE and right_kind == HOLD_CODE:
+        return float(left_time), left_values, float(right_time), left_values
+    return None
+
+
+def _fold_summary(merged: dict, summary: dict) -> None:
+    """Fold a child summary's pre-aggregated values into ``merged`` in place."""
+    merged["covered"] = float(merged["covered"] + summary["covered"])
+    merged["integral"] = [
+        float(a + b) for a, b in zip(merged["integral"], summary["integral"])
+    ]
+    if summary["span"] is None:
+        return
+    if merged["min"] is None:
+        merged["min"] = list(summary["min"])
+        merged["max"] = list(summary["max"])
+        merged["span"] = list(summary["span"])
+    else:
+        merged["min"] = [float(min(a, b)) for a, b in zip(merged["min"], summary["min"])]
+        merged["max"] = [float(max(a, b)) for a, b in zip(merged["max"], summary["max"])]
+        merged["span"] = [merged["span"][0], float(summary["span"][1])]
+
+
+def merge_cells(cells: List[list]) -> list:
+    """Fold consecutive child cells into one parent cell.
+
+    Children are folded left to right, with the bridge piece between each
+    consecutive pair accumulated in between — a deterministic order, so an
+    incrementally maintained pyramid is bit-identical to a cold rebuild.
+    """
+    if not cells:
+        raise ValueError("cannot merge zero cells")
+    d = len(cells[0][2]["integral"])
+    merged = {
+        "covered": 0.0,
+        "integral": [0.0] * d,
+        "min": None,
+        "max": None,
+        "span": None,
+        "first": list(cells[0][2]["first"]),
+        "last": list(cells[-1][2]["last"]),
+    }
+    previous: Optional[list] = None
+    for cell in cells:
+        t_lo, t_hi, summary = cell[0], cell[1], cell[2]
+        if previous is not None:
+            piece = bridge_piece(previous[2]["last"], previous[1], summary["first"], t_lo)
+            if piece is not None:
+                t0, x0, t1, x1 = piece
+                _accumulate(
+                    merged,
+                    (
+                        np.array([t0]),
+                        x0.reshape(1, d),
+                        np.array([t1]),
+                        x1.reshape(1, d),
+                    ),
+                )
+        _fold_summary(merged, summary)
+        previous = cell
+    return [float(cells[0][0]), float(cells[-1][1]), merged]
+
+
+def block_cells(blocks: List[list]) -> List[list]:
+    """Level-0 pyramid cells (``[min_time, max_time, summary]``) of an index."""
+    return [[block[2], block[3], block[4]] for block in blocks]
+
+
+def blocks_summarized(blocks: List[list]) -> bool:
+    """Whether every block of an index carries a summary."""
+    return all(block_summary(block) is not None for block in blocks)
+
+
+def build_pyramid(cells: List[list], base: int = PYRAMID_BASE) -> List[List[list]]:
+    """Build all pyramid levels above the given level-0 cells.
+
+    Levels are emitted finest first; each has ``ceil(previous / base)`` cells.
+    Building stops once a level has a single cell (an empty or single-cell
+    level 0 yields no levels at all).
+    """
+    if base < 2:
+        raise ValueError("pyramid base must be at least 2")
+    levels: List[List[list]] = []
+    previous = cells
+    while len(previous) > 1:
+        level = [
+            merge_cells(previous[lo : lo + base]) for lo in range(0, len(previous), base)
+        ]
+        levels.append(level)
+        previous = level
+    return levels
+
+
+def update_pyramid(
+    levels: List[List[list]],
+    cells: List[list],
+    first_changed: int,
+    base: int = PYRAMID_BASE,
+) -> List[List[list]]:
+    """Refresh a pyramid in place after level-0 cells changed.
+
+    Every cell whose child range reaches index ``first_changed`` or beyond is
+    recomputed from its children from scratch (same fold as
+    :func:`build_pyramid`, so the result is bit-identical to a cold rebuild);
+    cells strictly before it are left untouched.  Handles growth and
+    shrinkage of the underlying cell list alike.
+    """
+    if base < 2:
+        raise ValueError("pyramid base must be at least 2")
+    previous = cells
+    changed = max(int(first_changed), 0)
+    depth = 0
+    while len(previous) > 1:
+        changed //= base
+        if depth == len(levels):
+            levels.append([])
+        level = levels[depth]
+        # A stale (shorter) level just gets more of itself recomputed.
+        changed = min(changed, len(level))
+        del level[changed:]
+        for lo in range(changed * base, len(previous), base):
+            level.append(merge_cells(previous[lo : lo + base]))
+        previous = level
+        depth += 1
+    del levels[depth:]
+    return levels

@@ -10,7 +10,7 @@ import pytest
 from repro.core.types import Recording, RecordingKind
 from repro.storage import SegmentStore, available_backends, get_backend
 from repro.storage.backends.base import range_indices, record_dtype, record_size
-from repro.storage.segment_store import _legacy_filename
+from repro.storage.segment_store import _CATALOG_VERSION, _legacy_filename
 
 
 def make_recordings(count, dimensions=1, start_time=0.0):
@@ -208,7 +208,7 @@ class TestDurabilityAndRecovery:
         assert entry.blocks and sum(block[1] for block in entry.blocks) == 40
         assert times_of(store.read("old/stream", 10.5, 12.5)) == [10.0, 11.0, 12.0, 13.0]
         upgraded = json.loads((directory / "catalog.json").read_text())
-        assert upgraded["version"] == 3
+        assert upgraded["version"] == _CATALOG_VERSION
         assert upgraded["streams"][0]["blocks"]
 
     def test_roundtrip_bit_identical_after_reopen(self, tmp_path):
