@@ -36,6 +36,9 @@ HEADLINE = {
     "tangent_hints": ("upper_speedup", "lower_speedup"),
     "query_engine": ("range_speedup",),
     "parallel_ingest": ("speedup",),
+    # Normalized columnar-backend margin: min(read speedup / 3x floor,
+    # scan-aggregate speedup / 2x floor); at floor the margin is 1.0.
+    "store": ("columnar_floor_margin",),
 }
 
 

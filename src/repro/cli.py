@@ -9,6 +9,8 @@ The ``repro`` command exposes the library's everyday operations:
   through the :class:`~repro.api.session.StreamDB` session façade,
 * ``repro query`` — answer aggregates / crossings / resampling over a
   stored stream through the same façade,
+* ``repro migrate`` — atomically rewrite a store into another storage
+  backend (verifying bit-identical reads before the swap),
 * ``repro evaluate`` — compare several filters on one workload,
 * ``repro experiment`` — run one of the paper's figure experiments and print
   its table.
@@ -28,6 +30,7 @@ Examples::
     repro query --store ./archive --stream sst --threshold 21.5
     repro query --store ./archive --stream sst --step 60 -o samples.csv
     repro compact --store ./archive
+    repro migrate --store ./archive --to columnar
     repro evaluate --dataset random-walk --epsilon 0.5
     repro experiment figure9
 """
@@ -66,7 +69,7 @@ from repro.evaluation.report import render_table
 from repro.metrics.error import error_profile
 from repro.runtime import DEFAULT_CHECKPOINT_EVERY
 from repro.runtime.parallel import ParallelIngestReport
-from repro.storage import DEFAULT_SHARDS
+from repro.storage import DEFAULT_SHARDS, available_backends, migrate_store
 from repro.streams.source import CsvSource
 
 __all__ = ["main", "build_parser"]
@@ -123,6 +126,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="create/open the store sharded across this many shard stores "
         "(default: an unsharded store; must match an existing sharded store)",
+    )
+    ingest.add_argument(
+        "--backend",
+        default=None,
+        choices=available_backends(),
+        help="storage backend for a new store (default: block-log; must match "
+        "an existing store's backend)",
     )
     ingest.add_argument(
         "--name",
@@ -200,6 +210,29 @@ def build_parser() -> argparse.ArgumentParser:
     compact.add_argument("--store", required=True, help="segment store directory")
     compact.add_argument(
         "--stream", default=None, help="compact only this stream (default: all)"
+    )
+
+    migrate = subparsers.add_parser(
+        "migrate", help="rewrite a segment store into another storage backend"
+    )
+    migrate.add_argument("--store", required=True, help="segment store directory")
+    migrate.add_argument(
+        "--to",
+        required=True,
+        choices=available_backends(),
+        help="target storage backend",
+    )
+    migrate.add_argument(
+        "--block-records",
+        type=int,
+        default=None,
+        help="records per index block in the rewritten store "
+        "(default: the target backend's default)",
+    )
+    migrate.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the per-stream bit-identical read check before the swap",
     )
 
     evaluate = subparsers.add_parser("evaluate", help="compare filters on one workload")
@@ -327,7 +360,7 @@ def _command_ingest(args: argparse.Namespace) -> int:
         shards = args.shards
         if args.split_dimensions and shards is None:
             shards = DEFAULT_SHARDS
-        storage_spec = StorageSpec(shards=shards)
+        storage_spec = StorageSpec(shards=shards, backend=args.backend)
         ingest_spec = IngestSpec(
             chunk_size=args.chunk_size,
             workers=args.workers,
@@ -498,6 +531,34 @@ def _command_compact(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_migrate(args: argparse.Namespace) -> int:
+    try:
+        report = migrate_store(
+            args.store,
+            args.to,
+            block_records=args.block_records,
+            verify=not args.no_verify,
+        )
+    except FileNotFoundError:
+        raise SystemExit(f"migrate failed: no segment store at {args.store!r}") from None
+    except (KeyError, ValueError, RuntimeError, OSError) as error:
+        message = error.args[0] if error.args else error
+        raise SystemExit(f"migrate failed: {message}") from error
+    if not report.changed:
+        print(
+            f"store {args.store} already uses the {report.target!r} backend "
+            f"({report.streams} stream(s)); nothing to do"
+        )
+        return 0
+    print(f"store             : {args.store}")
+    print(f"backend           : {report.source} -> {report.target}")
+    print(f"streams           : {report.streams}")
+    print(f"recordings        : {report.recordings}")
+    verified = f"{len(report.verified)} stream(s) read back bit-identically"
+    print(f"verified          : {verified if report.verified else 'skipped'}")
+    return 0
+
+
 def _command_evaluate(args: argparse.Namespace) -> int:
     times, values = _load_workload(args)
     epsilon = _resolve_epsilon(args, values)
@@ -541,6 +602,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_query(args)
         if args.command == "compact":
             return _command_compact(args)
+        if args.command == "migrate":
+            return _command_migrate(args)
         if args.command == "evaluate":
             return _command_evaluate(args)
         if args.command == "experiment":

@@ -135,8 +135,12 @@ class StreamQueryPlan:
             ends.append(float(block[3]))
             counts.append(int(block[1]))
         self._real_blocks = len(blocks)
-        #: block index -> decoded ``(kinds, times, values)``
+        #: block index -> decoded ``(kinds, times, values)`` (all columns)
         self._decoded: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        #: block index -> ``(kinds, times)`` only (column-pruned fetch)
+        self._kt_cache: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        #: ``(block index, dimension)`` -> one value column
+        self._col_cache: Dict[Tuple[int, int], np.ndarray] = {}
         if tail:
             kinds, times, values = _tail_arrays(tail, self._dimensions)
             if np.any(np.diff(times) <= 0.0) or (ends and times[0] <= ends[-1]):
@@ -160,8 +164,11 @@ class StreamQueryPlan:
         self._offsets = np.concatenate([[0], np.cumsum(counts)])
         self._record_count = int(self._offsets[-1])
         self._compose_cache: Dict[int, dict] = {}
-        #: block index -> paired piece endpoint arrays of the decoded block
-        self._pieces_cache: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = {}
+        #: ``(block index, dimension)`` -> paired piece endpoint arrays
+        #: (``t0, x0, t1, x1``, the x's one column) of the decoded block
+        self._pieces_cache: Dict[
+            Tuple[int, int], Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+        ] = {}
         self._atoms_cache: Dict[int, dict] = {}
 
     # ------------------------------------------------------------------ #
@@ -183,20 +190,87 @@ class StreamQueryPlan:
         cached = self._decoded.get(index)
         if cached is not None:
             return cached
-        try:
-            decoded = self._store.read_block_arrays(self._name, index, index + 1)
-        except (AttributeError, NotImplementedError) as error:
-            raise PlannerFallback(str(error)) from None
+        decoded = self._fetch(index, None)
         values = decoded[2].reshape(len(decoded[1]), self._dimensions)
         decoded = (decoded[0], decoded[1], values)
         self._decoded[index] = decoded
         return decoded
+
+    def _fetch(
+        self, index: int, dims: Optional[Tuple[int, ...]]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One block from the store, column-projected when ``dims`` is given.
+
+        Duck-typed stores whose ``read_block_arrays`` predates the ``dims``
+        parameter get a full fetch plus an in-memory slice instead.
+        """
+        try:
+            if dims is None:
+                return self._store.read_block_arrays(self._name, index, index + 1)
+            try:
+                return self._store.read_block_arrays(
+                    self._name, index, index + 1, dims=dims
+                )
+            except TypeError:
+                kinds, times, values = self._store.read_block_arrays(
+                    self._name, index, index + 1
+                )
+                values = values.reshape(len(times), self._dimensions)[:, list(dims)]
+                return kinds, times, values
+        except (AttributeError, NotImplementedError) as error:
+            raise PlannerFallback(str(error)) from None
+
+    def _kt(self, index: int) -> Tuple[np.ndarray, np.ndarray]:
+        """One block's ``(kinds, times)`` without touching its value columns.
+
+        1-dimensional streams go through the full decode cache — pruning a
+        single column saves nothing and the full block serves later value
+        probes.
+        """
+        cached = self._decoded.get(index)
+        if cached is not None:
+            return cached[0], cached[1]
+        if self._dimensions == 1:
+            decoded = self._decode(index)
+            return decoded[0], decoded[1]
+        kt = self._kt_cache.get(index)
+        if kt is None:
+            kinds, times, _ = self._fetch(index, ())
+            kt = (kinds, times)
+            self._kt_cache[index] = kt
+        return kt
+
+    def _column(self, index: int, dimension: int) -> np.ndarray:
+        """One block's single value column (pruned fetch on wide streams)."""
+        cached = self._decoded.get(index)
+        if cached is not None:
+            return cached[2][:, dimension]
+        if self._dimensions == 1:
+            return self._decode(index)[2][:, dimension]
+        key = (index, dimension)
+        column = self._col_cache.get(key)
+        if column is None:
+            _, _, values = self._fetch(index, (dimension,))
+            column = values[:, 0]
+            self._col_cache[key] = column
+        return column
 
     def _record(self, index: int) -> Tuple[int, float, np.ndarray]:
         block = int(np.searchsorted(self._offsets, index, side="right")) - 1
         kinds, times, values = self._decode(block)
         local = index - int(self._offsets[block])
         return int(kinds[local]), float(times[local]), values[local]
+
+    def _record_scalar(self, index: int, dimension: int) -> Tuple[int, float, float]:
+        """Like :meth:`_record` but for one dimension, via pruned fetches."""
+        block = int(np.searchsorted(self._offsets, index, side="right")) - 1
+        kinds, times = self._kt(block)
+        local = index - int(self._offsets[block])
+        return (
+            int(kinds[local]),
+            float(times[local]),
+            float(self._column(block, dimension)[local]),
+        )
 
     def _first_at_or_after(self, time: float) -> int:
         """Global index of the first record with ``time >= t`` (count if none)."""
@@ -205,7 +279,7 @@ class StreamQueryPlan:
             return self._record_count
         if time <= self._starts[block]:
             return int(self._offsets[block])
-        times = self._decode(block)[1]
+        times = self._kt(block)[1]
         return int(self._offsets[block]) + int(np.searchsorted(times, time, side="left"))
 
     def _first_after(self, time: float) -> Optional[int]:
@@ -215,7 +289,7 @@ class StreamQueryPlan:
             return None
         if time < self._starts[block]:
             return int(self._offsets[block])
-        times = self._decode(block)[1]
+        times = self._kt(block)[1]
         return int(self._offsets[block]) + int(np.searchsorted(times, time, side="right"))
 
     # ------------------------------------------------------------------ #
@@ -236,33 +310,32 @@ class StreamQueryPlan:
         index = head
         for _ in range(3):
             if index + 1 > last_index:
-                kind, time, value = self._record(last_index)
+                kind, time, value = self._record_scalar(last_index, dimension)
                 if kind == END_CODE:
                     raise PlannerFallback("subset has no pieces")
-                return time, float(value[dimension]), time, float(value[dimension])
-            k0, t0, v0 = self._record(index)
-            k1, t1, v1 = self._record(index + 1)
+                return time, value, time, value
+            k0, t0, v0 = self._record_scalar(index, dimension)
+            k1, t1, v1 = self._record_scalar(index + 1, dimension)
             if k1 == END_CODE and k0 != HOLD_CODE:
-                return t0, float(v0[dimension]), t1, float(v1[dimension])
+                return t0, v0, t1, v1
             if k0 == START_CODE and k1 == START_CODE:
-                return t0, float(v0[dimension]), t0, float(v0[dimension])
+                return t0, v0, t0, v0
             if k0 == HOLD_CODE and k1 == HOLD_CODE:
-                return t0, float(v0[dimension]), t1, float(v0[dimension])
+                return t0, v0, t1, v0
             index += 1  # gap pair — the next pair cannot be another gap
         raise PlannerFallback("could not resolve the subset's first piece")
 
     def _last_piece(self, dimension: int) -> Tuple[float, float, float, float]:
         """The stream's final piece (for extending past the stream end)."""
-        kind, time, value = self._record(self._record_count - 1)
+        kind, time, value = self._record_scalar(self._record_count - 1, dimension)
         if kind in (START_CODE, HOLD_CODE):
-            return time, float(value[dimension]), time, float(value[dimension])
+            return time, value, time, value
         if self._record_count < 2:
             raise PlannerFallback("single-record stream ends in SEGMENT_END")
-        k0, t0, v0 = self._record(self._record_count - 2)
+        k0, t0, v0 = self._record_scalar(self._record_count - 2, dimension)
         if k0 == HOLD_CODE:
             raise PlannerFallback("mixed HOLD/segment records at the stream end")
-        kind, time, value = self._record(self._record_count - 1)
-        return t0, float(v0[dimension]), time, float(value[dimension])
+        return t0, v0, time, value
 
     # ------------------------------------------------------------------ #
     # Per-dimension composed arrays
@@ -347,8 +420,12 @@ class StreamQueryPlan:
     def _value_at(
         self, time: float, head: int, after: Optional[int], dimension: int
     ) -> float:
-        """One dimension of :meth:`_value_row_at` (the aggregates' gap probe)."""
-        return float(self._value_row_at(time, head, after)[dimension])
+        """One dimension of :meth:`_value_row_at` (the aggregates' gap probe).
+
+        Resolved through pruned per-column fetches, so a single-dimension
+        aggregate on a wide stream never faults the other columns in.
+        """
+        return float(self._value_probe(time, head, after, dimension))
 
     def _value_row_at(
         self, time: float, head: int, after: Optional[int]
@@ -361,41 +438,57 @@ class StreamQueryPlan:
         at-or-before ``time``.  Both evaluate exactly as the reconstructed
         subset approximation would; all dimensions are returned at once.
         """
+        return np.asarray(self._value_probe(time, head, after, None), dtype=float)
+
+    def _value_probe(
+        self, time: float, head: int, after: Optional[int], dimension: Optional[int]
+    ):
+        """Shared body of :meth:`_value_at` / :meth:`_value_row_at`.
+
+        ``dimension=None`` reads whole records (full decode) and returns a
+        row; an index reads one column (pruned fetch) and returns a float.
+        The piece arithmetic is identical either way.
+        """
+        if dimension is None:
+            record = self._record
+        else:
+            def record(index: int):
+                return self._record_scalar(index, dimension)
         last_index = after if after is not None else self._record_count - 1
         if self._hold_stream:
             past = self._first_after(time)
             index = (past if past is not None else self._record_count) - 1
             index = min(max(index, head), last_index)
-            return np.asarray(self._record(index)[2], dtype=float)
+            return record(index)[2]
         anchor = self._first_at_or_after(time)
         for index in (anchor - 1, anchor, anchor + 1):
             if index < head:
                 continue
             if index + 1 > last_index:
                 break
-            k0, t0, v0 = self._record(index)
-            k1, t1, v1 = self._record(index + 1)
+            k0, t0, v0 = record(index)
+            k1, t1, v1 = record(index + 1)
             if k1 == END_CODE and k0 != HOLD_CODE:
                 if t1 >= time:
                     if t1 > t0:
                         return v0 + (v1 - v0) * (time - t0) / (t1 - t0)
-                    return np.asarray(v0, dtype=float)
+                    return v0
             elif k0 == START_CODE and k1 == START_CODE:
                 if t0 >= time:
-                    return np.asarray(v0, dtype=float)
+                    return v0
         # Past every subset piece: clamp to the last piece and extrapolate.
-        kind, _, value = self._record(last_index)
+        kind, _, value = record(last_index)
         if kind != END_CODE:
-            return np.asarray(value, dtype=float)  # trailing zero-length piece
+            return value  # trailing zero-length piece
         if last_index - 1 < head:
             raise PlannerFallback("subset has no pieces")
-        k0, t0, v0 = self._record(last_index - 1)
-        _, t1, v1 = self._record(last_index)
+        k0, t0, v0 = record(last_index - 1)
+        _, t1, v1 = record(last_index)
         if k0 == HOLD_CODE:
             raise PlannerFallback("mixed HOLD/segment records in the subset")
         if t1 > t0:
             return v0 + (v1 - v0) * (time - t0) / (t1 - t0)
-        return np.asarray(v0, dtype=float)
+        return v0
 
     def _clipped(
         self, start: float, end: float, dimension: int
@@ -416,9 +509,7 @@ class StreamQueryPlan:
             area += float(composed["integral"][contained].sum())
             covered += float(composed["covered"][contained].sum())
         for block in composed["index"][overlap & ~contained]:
-            kinds, times, values = self._decode(int(block))
-            t0, x0, t1, x1 = pair_pieces(kinds, times, values)
-            part = clip_aggregate(t0, x0[:, dimension], t1, x1[:, dimension], start, end)
+            part = self._clip_block(int(block), start, end, dimension)
             minimum, maximum, area, covered = _merge(
                 (minimum, maximum, area, covered), part
             )
@@ -431,13 +522,22 @@ class StreamQueryPlan:
         return minimum, maximum, area, covered
 
     def _block_pieces(
-        self, index: int
+        self, index: int, dimension: int
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        """The paired piece endpoint arrays of one block, decoded and cached."""
-        cached = self._pieces_cache.get(index)
+        """One block's paired piece endpoints in one dimension, cached.
+
+        Pairing depends only on kinds and times, so the pieces are built
+        from a pruned single-column fetch — a straddled-block clip on a
+        wide columnar stream never reads the untouched columns.
+        """
+        key = (index, dimension)
+        cached = self._pieces_cache.get(key)
         if cached is None:
-            cached = pair_pieces(*self._decode(index))
-            self._pieces_cache[index] = cached
+            kinds, times = self._kt(index)
+            column = self._column(index, dimension)
+            t0, x0, t1, x1 = pair_pieces(kinds, times, column.reshape(-1, 1))
+            cached = (t0, x0[:, 0], t1, x1[:, 0])
+            self._pieces_cache[key] = cached
         return cached
 
     def _clip_block(
@@ -449,13 +549,13 @@ class StreamQueryPlan:
         before clipping, so a rolling sweep's per-window cost stays
         proportional to the pieces a window edge actually cuts.
         """
-        t0, x0, t1, x1 = self._block_pieces(index)
+        t0, x0, t1, x1 = self._block_pieces(index, dimension)
         lo = int(np.searchsorted(t1, start, side="left"))
         hi = int(np.searchsorted(t0, end, side="right"))
         if hi <= lo:
             return float("inf"), float("-inf"), 0.0, 0.0
         return clip_aggregate(
-            t0[lo:hi], x0[lo:hi, dimension], t1[lo:hi], x1[lo:hi, dimension], start, end
+            t0[lo:hi], x0[lo:hi], t1[lo:hi], x1[lo:hi], start, end
         )
 
     # ------------------------------------------------------------------ #

@@ -12,14 +12,23 @@ provides that repository as a small storage engine:
   hash-partitioning stream names across N shard stores with a unified
   catalog view and parallel multi-stream range reads.
 * :mod:`~repro.storage.backends` — the pluggable byte-level backends behind
-  both (block-indexed append-only logs by default).
+  both: row-oriented block logs (default) and the columnar mmap layout.
 * :func:`open_store` — open whichever of the two lives at a directory.
+* :func:`~repro.storage.migrate.migrate_store` — atomically rewrite a store
+  into the other backend.
 """
 
 from pathlib import Path
 from typing import Optional, Union
 
-from repro.storage.backends import StorageBackend, available_backends, get_backend
+from repro.storage.backends import (
+    BlockLogBackend,
+    ColumnarBackend,
+    StorageBackend,
+    available_backends,
+    get_backend,
+)
+from repro.storage.migrate import MigrationReport, migrate_store
 from repro.storage.segment_store import SegmentStore, StoredStream
 from repro.storage.sharded_store import DEFAULT_SHARDS, ShardedStore, shard_index
 
@@ -30,8 +39,12 @@ __all__ = [
     "DEFAULT_SHARDS",
     "shard_index",
     "StorageBackend",
+    "BlockLogBackend",
+    "ColumnarBackend",
     "get_backend",
     "available_backends",
+    "MigrationReport",
+    "migrate_store",
     "StoreLike",
     "open_store",
 ]

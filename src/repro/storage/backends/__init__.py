@@ -5,11 +5,15 @@
 * :mod:`~repro.storage.backends.block_log` — the default
   :class:`BlockLogBackend`: append-only logs with a per-block time index,
   binary-search range pruning and vectorized ``np.frombuffer`` decode.
+* :mod:`~repro.storage.backends.columnar` — :class:`ColumnarBackend`:
+  per-block column arrays read zero-copy through ``np.memmap``, with
+  column-pruned (``dims=``) decodes for aggregate queries.
 """
 
 from repro.storage.backends.base import (
     KIND_BY_CODE,
     RECORD_KINDS,
+    DimsLike,
     StorageBackend,
     available_backends,
     get_backend,
@@ -19,10 +23,12 @@ from repro.storage.backends.base import (
     register_backend,
 )
 from repro.storage.backends.block_log import DEFAULT_BLOCK_RECORDS, BlockLogBackend
+from repro.storage.backends.columnar import ColumnarBackend
 
 __all__ = [
     "RECORD_KINDS",
     "KIND_BY_CODE",
+    "DimsLike",
     "record_dtype",
     "record_size",
     "range_indices",
@@ -31,5 +37,6 @@ __all__ = [
     "get_backend",
     "available_backends",
     "BlockLogBackend",
+    "ColumnarBackend",
     "DEFAULT_BLOCK_RECORDS",
 ]

@@ -17,23 +17,31 @@ from __future__ import annotations
 
 import abc
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Type
+from typing import Dict, List, Optional, Sequence, Tuple, Type, Union
 
 import numpy as np
 
 from repro.core.types import Recording, RecordingKind
 
 __all__ = [
+    "DimsLike",
     "RECORD_KINDS",
     "KIND_BY_CODE",
     "record_dtype",
     "record_size",
     "range_indices",
+    "range_bounds",
+    "resolve_dims",
+    "block_window",
     "StorageBackend",
     "register_backend",
     "get_backend",
     "available_backends",
 ]
+
+#: Column-projection argument: ``None`` (all value columns), one dimension
+#: index, or a sequence of dimension indexes.
+DimsLike = Union[None, int, Sequence[int]]
 
 #: Wire codes of the recording kinds (stable — part of the log format).
 RECORD_KINDS = {
@@ -54,29 +62,90 @@ def record_size(dimensions: int) -> int:
     return 1 + 8 + 8 * dimensions
 
 
+def range_bounds(
+    times: np.ndarray, start: Optional[float], end: Optional[float]
+) -> Tuple[int, int]:
+    """Slice bounds ``[lo, hi)`` of the records a ``[start, end]`` read returns.
+
+    The store's range semantics over a sorted time array: the last record
+    before ``start`` is kept (so the approximation still covers the range
+    start) and the first record after ``end`` is kept (so it covers the range
+    end).  The kept subset is always one contiguous run, so a pair of slice
+    bounds describes it exactly — which lets zero-copy backends return views
+    instead of fancy-indexed copies.
+    """
+    n = times.shape[0]
+    if start is None and end is None:
+        return 0, n
+    i0 = int(np.searchsorted(times, start, side="left")) if start is not None else 0
+    head = i0 - 1 if start is not None and i0 > 0 else i0
+    if end is None:
+        return head, n
+    i1 = int(np.searchsorted(times, end, side="right"))
+    after = max(i0, i1)
+    return head, min(after + 1, n)
+
+
 def range_indices(
     times: np.ndarray, start: Optional[float], end: Optional[float]
 ) -> np.ndarray:
     """Indices of the records a ``[start, end]`` read returns.
 
-    Replicates the store's established range semantics over a sorted time
-    array: the last record before ``start`` is kept (so the approximation
-    still covers the range start) and the first record after ``end`` is kept
-    (so it covers the range end).
+    The index-array form of :func:`range_bounds` (the kept subset is always
+    contiguous).
     """
-    n = times.shape[0]
+    lo, hi = range_bounds(times, start, end)
+    return np.arange(lo, hi, dtype=np.intp)
+
+
+def resolve_dims(dims: DimsLike, dimensions: int) -> Optional[Tuple[int, ...]]:
+    """Normalize a column projection against a stream's dimensionality.
+
+    ``None`` selects every value column; an ``int`` selects one; a sequence
+    selects the listed columns in the given order (an empty sequence selects
+    none — a kinds/times-only read).
+
+    Raises:
+        ValueError: If any selected dimension is out of range.
+    """
+    if dims is None:
+        return None
+    if isinstance(dims, (int, np.integer)):
+        dims = (int(dims),)
+    selected = tuple(int(dim) for dim in dims)
+    for dim in selected:
+        if not 0 <= dim < dimensions:
+            raise ValueError(
+                f"dimension {dim} out of range for a {dimensions}-dimensional stream"
+            )
+    return selected
+
+
+def block_window(
+    blocks: List[list], start: Optional[float], end: Optional[float]
+) -> Tuple[int, int]:
+    """Half-open block range covering a ``[start, end]`` read.
+
+    The window is widened by one block on each side so the context records
+    (last before ``start``, first after ``end``) are included.  Shared by the
+    block-indexed backends.
+    """
+    count = len(blocks)
     if start is None and end is None:
-        return np.arange(n, dtype=np.intp)
-    i0 = int(np.searchsorted(times, start, side="left")) if start is not None else 0
-    head = i0 - 1 if start is not None and i0 > 0 else i0
-    if end is None:
-        return np.arange(head, n, dtype=np.intp)
-    i1 = int(np.searchsorted(times, end, side="right"))
-    after = max(i0, i1)
-    body = np.arange(head, after, dtype=np.intp)
-    if after >= n:
-        return body
-    return np.concatenate([body, [after]])
+        return 0, count
+    lo, hi = 0, count
+    first_candidate = 0
+    if start is not None:
+        max_times = np.fromiter((block[3] for block in blocks), float, count)
+        first_candidate = int(np.searchsorted(max_times, start, side="left"))
+        lo = max(0, min(first_candidate, count - 1) - (1 if first_candidate > 0 else 0))
+    if end is not None:
+        min_times = np.fromiter((block[2] for block in blocks), float, count)
+        last = int(np.searchsorted(min_times, end, side="right")) - 1
+        # Keep the block after `last` for the covering record, and never
+        # shrink below the block holding the first record >= start.
+        hi = min(count, max(last + 2, first_candidate + 1, lo + 1))
+    return lo, hi
 
 
 class StorageBackend(abc.ABC):
@@ -87,8 +156,14 @@ class StorageBackend(abc.ABC):
     entry's ``blocks`` index but never the rest of the catalog metadata.
     """
 
-    #: Registry name, also persisted in the catalog header.
+    #: Registry name, also persisted in the catalog header so a reopened
+    #: store knows which backend wrote its logs.
     name: str = "abstract"
+
+    #: On-disk format version, persisted alongside the name; bumped when the
+    #: layout changes incompatibly so an older library refuses to parse a
+    #: newer log instead of corrupting it.
+    version: int = 1
 
     @abc.abstractmethod
     def append(
@@ -108,8 +183,15 @@ class StorageBackend(abc.ABC):
         entry,
         start: Optional[float] = None,
         end: Optional[float] = None,
+        dims: DimsLike = None,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Decode the range as ``(kinds (n,), times (n,), values (n, d))``."""
+        """Decode the range as ``(kinds (n,), times (n,), values (n, k))``.
+
+        ``dims`` projects the value columns (see :func:`resolve_dims`):
+        ``k`` is the stream dimensionality for ``dims=None``, else the number
+        of selected columns, in selection order.  Kinds and times are always
+        returned in full.
+        """
 
     def truncate(self, path: Path, entry, keep_records: int) -> None:
         """Drop every record after the first ``keep_records`` from the log.
@@ -130,12 +212,13 @@ class StorageBackend(abc.ABC):
         raise NotImplementedError(f"backend {self.name!r} does not support compaction")
 
     def read_blocks(
-        self, path: Path, entry, lo: int, hi: int
+        self, path: Path, entry, lo: int, hi: int, dims: DimsLike = None
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Decode index blocks ``[lo, hi)`` verbatim (no range filtering).
 
         Used by the query planner to decode exactly the blocks a query
-        boundary straddles.  Backends without a block index may leave this
+        boundary straddles; ``dims`` projects value columns as in
+        :meth:`read_arrays`.  Backends without a block index may leave this
         unimplemented — the planner then falls back to a full range decode.
         """
         raise NotImplementedError(f"backend {self.name!r} does not support block reads")
@@ -165,9 +248,14 @@ class StorageBackend(abc.ABC):
         entry,
         start: Optional[float] = None,
         end: Optional[float] = None,
+        dims: DimsLike = None,
     ) -> List[Recording]:
-        """Decode the range into :class:`Recording` objects."""
-        kinds, times, values = self.read_arrays(path, entry, start, end)
+        """Decode the range into :class:`Recording` objects.
+
+        With ``dims``, each recording's value vector holds only the selected
+        columns (in selection order).
+        """
+        kinds, times, values = self.read_arrays(path, entry, start, end, dims=dims)
         return [
             Recording(float(t), v, KIND_BY_CODE[int(k)])
             for k, t, v in zip(kinds, times, values)

@@ -35,11 +35,14 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.storage.backends.base import (
+    DimsLike,
     StorageBackend,
+    block_window,
     range_indices,
     record_dtype,
     record_size,
     register_backend,
+    resolve_dims,
 )
 from repro.storage.summaries import block_summary, extend_summary, summarize_block
 
@@ -139,16 +142,19 @@ class BlockLogBackend(StorageBackend):
         entry,
         start: Optional[float] = None,
         end: Optional[float] = None,
+        dims: DimsLike = None,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        sel = resolve_dims(dims, entry.dimensions)
         dtype = record_dtype(entry.dimensions)
         blocks = entry.blocks
         if not blocks:
+            width = entry.dimensions if sel is None else len(sel)
             return (
                 np.empty(0, dtype=np.uint8),
                 np.empty(0, dtype=float),
-                np.empty((0, entry.dimensions), dtype=float),
+                np.empty((0, width), dtype=float),
             )
-        lo, hi = self._block_window(blocks, start, end)
+        lo, hi = block_window(blocks, start, end)
         byte_lo = blocks[lo][0]
         byte_hi = blocks[hi - 1][0] + blocks[hi - 1][1] * dtype.itemsize
         with open(path, "rb") as log:
@@ -160,44 +166,25 @@ class BlockLogBackend(StorageBackend):
         values = np.array(records["values"][keep], dtype=float).reshape(
             keep.shape[0], entry.dimensions
         )
+        if sel is not None:
+            # Row storage has no pruned decode: slice after the fact so the
+            # dims contract matches the columnar backend's native projection.
+            values = values[:, list(sel)]
         return np.array(records["kind"][keep]), times[keep], values
 
-    def _block_window(
-        self, blocks: List[list], start: Optional[float], end: Optional[float]
-    ) -> Tuple[int, int]:
-        """Half-open block range covering a ``[start, end]`` read.
-
-        The window is widened by one block on each side so the context
-        records (last before ``start``, first after ``end``) are included.
-        """
-        count = len(blocks)
-        if start is None and end is None:
-            return 0, count
-        lo, hi = 0, count
-        first_candidate = 0
-        if start is not None:
-            max_times = np.fromiter((block[3] for block in blocks), float, count)
-            first_candidate = int(np.searchsorted(max_times, start, side="left"))
-            lo = max(0, min(first_candidate, count - 1) - (1 if first_candidate > 0 else 0))
-        if end is not None:
-            min_times = np.fromiter((block[2] for block in blocks), float, count)
-            last = int(np.searchsorted(min_times, end, side="right")) - 1
-            # Keep the block after `last` for the covering record, and never
-            # shrink below the block holding the first record >= start.
-            hi = min(count, max(last + 2, first_candidate + 1, lo + 1))
-        return lo, hi
-
     def read_blocks(
-        self, path: Path, entry, lo: int, hi: int
+        self, path: Path, entry, lo: int, hi: int, dims: DimsLike = None
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Decode index blocks ``[lo, hi)`` verbatim (no range filtering)."""
+        sel = resolve_dims(dims, entry.dimensions)
         dtype = record_dtype(entry.dimensions)
         blocks = entry.blocks[max(lo, 0) : hi]
         if not blocks:
+            width = entry.dimensions if sel is None else len(sel)
             return (
                 np.empty(0, dtype=np.uint8),
                 np.empty(0, dtype=float),
-                np.empty((0, entry.dimensions), dtype=float),
+                np.empty((0, width), dtype=float),
             )
         payloads = []
         with open(path, "rb") as log:
@@ -209,10 +196,13 @@ class BlockLogBackend(StorageBackend):
                 position = block[0] + len(payloads[-1])
         payload = b"".join(payloads)
         records = np.frombuffer(payload, dtype=dtype, count=len(payload) // dtype.itemsize)
+        values = np.array(records["values"], dtype=float).reshape(-1, entry.dimensions)
+        if sel is not None:
+            values = values[:, list(sel)]
         return (
             np.array(records["kind"]),
             np.array(records["time"], dtype=float),
-            np.array(records["values"], dtype=float).reshape(-1, entry.dimensions),
+            values,
         )
 
     def ensure_summaries(self, path: Path, entry) -> bool:

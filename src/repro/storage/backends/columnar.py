@@ -1,0 +1,514 @@
+"""Columnar mmap-readable log backend.
+
+Each index block is laid out as contiguous per-column arrays instead of
+interleaved row records::
+
+    +--------+-----------------+------------+-----+--------------+-----+
+    | header | times  f8 × n   | kinds u1×n | pad | value col 0  | ... |
+    | 32 B   | 8n bytes        | n bytes    |     | f8 × n       |     |
+    +--------+-----------------+------------+-----+--------------+-----+
+
+The 32-byte header (magic, record count, dimensions, min/max time) makes
+the log self-describing, so recovery can walk an unindexed tail without
+the catalog.  ``pad`` zero-fills to the next 8-byte boundary; every block
+starts 8-aligned because its total size is a multiple of 8, so each column
+is an aligned, contiguous ``float64`` run.  Column offsets are derived
+arithmetically from the catalog block entry ``[byte_offset, record_count,
+min_time, max_time, summary]`` — the entry shape is identical to the
+block-log backend's, so catalogs differ only in the byte layout they
+describe.
+
+Reads open the log through one cached :class:`np.memmap` per path and
+return **zero-copy views** wherever the requested span lives in a single
+block: no per-record decode, no row→column transpose, and with ``dims=``
+only the touched value columns are ever faulted in.  Multi-block reads
+concatenate the per-block column views (one copy, still no row decode).
+
+Mutation safety for live views (the memmap-handle hygiene contract):
+
+* Appends only ever extend the file — existing offsets never move, so
+  views handed out earlier stay valid.
+* Every shrinking or rewriting mutation (``truncate``, ``compact``)
+  builds a staging file and swaps it in with :func:`os.replace`.  Arrays
+  returned from earlier reads keep their ``mmap`` (and thus the *old*
+  inode) alive through the numpy ``base`` chain, so they remain readable
+  after the swap; the next read stats the path, sees a new inode, and
+  remaps.
+* ``recover`` may truncate in place, but only bytes past the indexed
+  extent (torn garbage no view can reference).
+
+Unlike the block-log backend, appends never top up a partial trailing
+block — every batch becomes fresh immutable blocks (the Parquet
+row-group discipline).  That keeps appends strictly append-only (a crash
+mid-append can tear only the new tail, never a block a reader holds) at
+the cost of fragmentation under tiny batches, which ``compact`` repairs.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.storage.backends.base import (
+    DimsLike,
+    StorageBackend,
+    block_window,
+    range_bounds,
+    register_backend,
+    resolve_dims,
+)
+from repro.storage.backends.block_log import DEFAULT_BLOCK_RECORDS
+from repro.storage.summaries import block_summary, summarize_block
+
+__all__ = ["ColumnarBackend"]
+
+#: Block header: magic, record count (u4), dimensions (u4), 4 pad bytes,
+#: min_time, max_time.  32 bytes, so headers never disturb 8-alignment.
+_HEADER = struct.Struct("<4sII4xdd")
+_MAGIC = b"RCB1"
+_HEADER_BYTES = _HEADER.size
+assert _HEADER_BYTES == 32
+
+#: Bytes copied per loop iteration when staging a rewrite.
+_COPY_CHUNK = 4 << 20
+
+
+def _payload_bytes(count: int, dimensions: int) -> int:
+    """Bytes of column data after the header: times + kinds + pad + values."""
+    pad = (-count) % 8
+    return 8 * count + count + pad + 8 * count * dimensions
+
+
+def _block_bytes(count: int, dimensions: int) -> int:
+    """Total on-disk bytes of one block (always a multiple of 8)."""
+    return _HEADER_BYTES + _payload_bytes(count, dimensions)
+
+
+def _encode_block(kinds: np.ndarray, times: np.ndarray, values: np.ndarray) -> bytes:
+    """Serialize one block column by column — no row materialization."""
+    count = times.shape[0]
+    dimensions = values.shape[1]
+    parts = [
+        _HEADER.pack(_MAGIC, count, dimensions, float(times[0]), float(times[-1])),
+        np.ascontiguousarray(times, dtype="<f8").tobytes(),
+        np.ascontiguousarray(kinds, dtype=np.uint8).tobytes(),
+        b"\x00" * ((-count) % 8),
+    ]
+    for column in range(dimensions):
+        parts.append(np.ascontiguousarray(values[:, column], dtype="<f8").tobytes())
+    return b"".join(parts)
+
+
+@register_backend
+class ColumnarBackend(StorageBackend):
+    """Per-block columnar layout with zero-copy memmap reads.
+
+    Args:
+        block_records: Maximum records per block.
+    """
+
+    name = "columnar"
+    version = 1
+
+    def __init__(self, block_records: int = DEFAULT_BLOCK_RECORDS) -> None:
+        if block_records < 1:
+            raise ValueError(f"block_records must be positive, got {block_records}")
+        self.block_records = block_records
+        # Path -> (inode, size, map).  Revalidated by stat on every read, so
+        # appends (same inode, larger size) and atomic rewrites (new inode)
+        # both trigger a remap without explicit invalidation.
+        self._maps: Dict[Path, Tuple[int, int, np.ndarray]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+    def append(
+        self,
+        path: Path,
+        entry,
+        kinds: np.ndarray,
+        times: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        count = times.shape[0]
+        if count == 0:
+            return
+        values = values.reshape(count, entry.dimensions)
+        offset = path.stat().st_size if path.exists() else 0
+        parts: List[bytes] = []
+        taken = 0
+        with open(path, "ab") as log:
+            while taken < count:
+                stop = min(taken + self.block_records, count)
+                block_kinds = kinds[taken:stop]
+                block_times = times[taken:stop]
+                block_values = values[taken:stop]
+                parts.append(_encode_block(block_kinds, block_times, block_values))
+                entry.blocks.append(
+                    [
+                        offset,
+                        stop - taken,
+                        float(block_times[0]),
+                        float(block_times[-1]),
+                        summarize_block(block_kinds, block_times, block_values),
+                    ]
+                )
+                offset += len(parts[-1])
+                taken = stop
+            log.write(b"".join(parts))
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    def _mmap(self, path: Path) -> Optional[np.ndarray]:
+        """Cached read-only map of ``path``, revalidated against stat.
+
+        Returns a plain ``ndarray`` view of the underlying ``np.memmap``
+        (kept alive in the cache and reachable through ``.base``): slicing a
+        plain ndarray skips the memmap subclass's ``__array_finalize__``,
+        which would otherwise dominate multi-block gathers.
+        """
+        try:
+            stat = os.stat(path)
+        except FileNotFoundError:
+            self._maps.pop(path, None)
+            return None
+        if stat.st_size == 0:
+            self._maps.pop(path, None)
+            return None
+        cached = self._maps.get(path)
+        if cached is not None and cached[0] == stat.st_ino and cached[1] == stat.st_size:
+            return cached[2]
+        flat = np.memmap(path, dtype=np.uint8, mode="r").view(np.ndarray)
+        self._maps[path] = (stat.st_ino, stat.st_size, flat)
+        return flat
+
+    def _block_columns(
+        self,
+        mm: np.ndarray,
+        offset: int,
+        count: int,
+        dimensions: int,
+        sel: Optional[Tuple[int, ...]],
+    ) -> Tuple[np.ndarray, np.ndarray, List[np.ndarray]]:
+        """Views of one block's kinds, times, and selected value columns."""
+        times_at = offset + _HEADER_BYTES
+        kinds_at = times_at + 8 * count
+        cols_at = kinds_at + count + ((-count) % 8)
+        times = mm[times_at : times_at + 8 * count].view("<f8")
+        kinds = mm[kinds_at : kinds_at + count]
+        columns = sel if sel is not None else range(dimensions)
+        cols = [
+            mm[cols_at + 8 * count * j : cols_at + 8 * count * (j + 1)].view("<f8")
+            for j in columns
+        ]
+        return kinds, times, cols
+
+    def _empty(self, dimensions: int, sel: Optional[Tuple[int, ...]]):
+        width = dimensions if sel is None else len(sel)
+        return (
+            np.empty(0, dtype=np.uint8),
+            np.empty(0, dtype=float),
+            np.empty((0, width), dtype=float),
+        )
+
+    def _gather(
+        self,
+        path: Path,
+        entry,
+        lo: int,
+        hi: int,
+        sel: Optional[Tuple[int, ...]],
+    ) -> Tuple[np.ndarray, np.ndarray, List[np.ndarray]]:
+        """Kinds, times, and selected columns of blocks ``[lo, hi)``.
+
+        Single block: pure memmap views.  Multiple blocks: one concatenate
+        per column (still no row decode).
+        """
+        blocks = entry.blocks[lo:hi]
+        mm = self._mmap(path)
+        if mm is None:
+            raise FileNotFoundError(f"columnar log missing or empty: {path}")
+        if len(blocks) == 1:
+            block = blocks[0]
+            return self._block_columns(mm, block[0], block[1], entry.dimensions, sel)
+        per_block = [
+            self._block_columns(mm, block[0], block[1], entry.dimensions, sel)
+            for block in blocks
+        ]
+        kinds = np.concatenate([part[0] for part in per_block])
+        times = np.concatenate([part[1] for part in per_block])
+        width = len(per_block[0][2])
+        cols = [
+            np.concatenate([part[2][j] for part in per_block]) for j in range(width)
+        ]
+        return kinds, times, cols
+
+    @staticmethod
+    def _stack(cols: List[np.ndarray], length: int) -> np.ndarray:
+        """Assemble selected columns into an ``(n, k)`` value matrix.
+
+        A single column reshapes to a view; zero columns give an empty
+        matrix; multiple columns pay one stack copy.
+        """
+        if len(cols) == 1:
+            return cols[0].reshape(-1, 1)
+        if not cols:
+            return np.empty((length, 0), dtype=float)
+        return np.stack(cols, axis=1)
+
+    def read_arrays(
+        self,
+        path: Path,
+        entry,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        dims: DimsLike = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        sel = resolve_dims(dims, entry.dimensions)
+        blocks = entry.blocks
+        if not blocks:
+            return self._empty(entry.dimensions, sel)
+        lo, hi = block_window(blocks, start, end)
+        kinds, times, cols = self._gather(path, entry, lo, hi, sel)
+        a, b = range_bounds(times, start, end)
+        if a != 0 or b != times.shape[0]:
+            kinds = kinds[a:b]
+            times = times[a:b]
+            cols = [col[a:b] for col in cols]
+        return kinds, times, self._stack(cols, times.shape[0])
+
+    def read_blocks(
+        self, path: Path, entry, lo: int, hi: int, dims: DimsLike = None
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        sel = resolve_dims(dims, entry.dimensions)
+        lo = max(lo, 0)
+        hi = min(hi, len(entry.blocks))
+        if hi <= lo:
+            return self._empty(entry.dimensions, sel)
+        kinds, times, cols = self._gather(path, entry, lo, hi, sel)
+        return kinds, times, self._stack(cols, times.shape[0])
+
+    def ensure_summaries(self, path: Path, entry) -> bool:
+        """Backfill summaries on blocks that lost theirs (robustness only —
+        this backend writes a summary with every block)."""
+        changed = False
+        for index, block in enumerate(entry.blocks):
+            if block_summary(block) is not None:
+                continue
+            kinds, times, values = self.read_blocks(path, entry, index, index + 1)
+            summary = summarize_block(kinds, times, values)
+            if len(block) > 4:
+                block[4] = summary
+            else:
+                block.append(summary)
+            changed = True
+        return changed
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def truncate(self, path: Path, entry, keep_records: int) -> None:
+        """Keep the first ``keep_records`` records, via atomic rewrite.
+
+        Whole kept blocks are copied verbatim; a straddled block is
+        re-encoded from its kept prefix with a fresh summary.  The staged
+        file replaces the log so live mmap views keep their old inode.
+        """
+        kept: List[list] = []
+        remaining = keep_records
+        boundary: Optional[Tuple[int, int]] = None
+        for index, block in enumerate(entry.blocks):
+            if remaining <= 0:
+                break
+            if block[1] <= remaining:
+                kept.append(list(block))
+                remaining -= block[1]
+            else:
+                boundary = (index, remaining)
+                remaining = 0
+        if not path.exists():
+            entry.blocks = kept
+            return
+        staging = path.with_name(path.name + ".staging")
+        out_offset = 0
+        with open(path, "rb") as log, open(staging, "wb") as out:
+            for block in kept:
+                size = _block_bytes(block[1], entry.dimensions)
+                self._copy_range(log, out, block[0], size)
+                block[0] = out_offset
+                out_offset += size
+            if boundary is not None:
+                index, keep = boundary
+                kinds, times, cols = self._gather(path, entry, index, index + 1, None)
+                values = self._stack(cols, times.shape[0])
+                kinds = np.array(kinds[:keep])
+                times = np.array(times[:keep], dtype=float)
+                values = np.array(values[:keep], dtype=float)
+                out.write(_encode_block(kinds, times, values))
+                kept.append(
+                    [
+                        out_offset,
+                        keep,
+                        float(times[0]),
+                        float(times[-1]),
+                        summarize_block(kinds, times, values),
+                    ]
+                )
+        os.replace(staging, path)
+        self._maps.pop(path, None)
+        entry.blocks = kept
+
+    def compact(self, path: Path, entry) -> bool:
+        """Merge fragmented blocks into dense ``block_records``-sized ones.
+
+        Returns ``False`` when the log is already packed and every block is
+        full (bar the trailing one).  Otherwise rewrites the whole log into
+        a staging file and swaps it in atomically, so live reads keep the
+        old inode (see the module docstring).
+        """
+        blocks = entry.blocks
+        if not blocks:
+            return False
+        if self._is_packed(blocks, entry.dimensions) and self._blocks_sized(blocks):
+            return False
+        staging = path.with_name(path.name + ".staging")
+        rebuilt: List[list] = []
+        out_offset = 0
+        pending: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        pending_count = 0
+
+        def flush_full(out, *, final: bool) -> None:
+            nonlocal pending, pending_count, out_offset
+            while pending_count >= self.block_records or (final and pending_count):
+                span = min(self.block_records, pending_count)
+                kinds = np.concatenate([part[0] for part in pending])[:span]
+                times = np.concatenate([part[1] for part in pending])[:span]
+                values = np.concatenate([part[2] for part in pending])[:span]
+                leftover_k = np.concatenate([part[0] for part in pending])[span:]
+                leftover_t = np.concatenate([part[1] for part in pending])[span:]
+                leftover_v = np.concatenate([part[2] for part in pending])[span:]
+                payload = _encode_block(kinds, times, values)
+                out.write(payload)
+                rebuilt.append(
+                    [
+                        out_offset,
+                        span,
+                        float(times[0]),
+                        float(times[-1]),
+                        summarize_block(kinds, times, values),
+                    ]
+                )
+                out_offset += len(payload)
+                pending = (
+                    [(leftover_k, leftover_t, leftover_v)] if leftover_k.size else []
+                )
+                pending_count -= span
+
+        with open(staging, "wb") as out:
+            for index in range(len(blocks)):
+                kinds, times, cols = self._gather(path, entry, index, index + 1, None)
+                values = self._stack(cols, times.shape[0])
+                pending.append(
+                    (np.array(kinds), np.array(times, dtype=float), np.array(values))
+                )
+                pending_count += kinds.shape[0]
+                flush_full(out, final=False)
+            flush_full(out, final=True)
+        os.replace(staging, path)
+        self._maps.pop(path, None)
+        entry.blocks = rebuilt
+        return True
+
+    def _is_packed(self, blocks: List[list], dimensions: int) -> bool:
+        """Whether the indexed blocks form one contiguous run from offset 0."""
+        offset = 0
+        for block in blocks:
+            if block[0] != offset:
+                return False
+            offset += _block_bytes(block[1], dimensions)
+        return True
+
+    def _blocks_sized(self, blocks: List[list]) -> bool:
+        """Whether every block but the trailing one is full."""
+        for index, block in enumerate(blocks):
+            if index == len(blocks) - 1:
+                if block[1] > self.block_records:
+                    return False
+            elif block[1] != self.block_records:
+                return False
+        return True
+
+    @staticmethod
+    def _copy_range(src, dst, offset: int, size: int) -> None:
+        src.seek(offset)
+        remaining = size
+        while remaining:
+            chunk = src.read(min(_COPY_CHUNK, remaining))
+            if not chunk:
+                raise IOError("columnar log shorter than its index")
+            dst.write(chunk)
+            remaining -= len(chunk)
+
+    # ------------------------------------------------------------------ #
+    # Recovery
+    # ------------------------------------------------------------------ #
+    def recover(self, path: Path, entry) -> bool:
+        """Reconcile the catalog index with the log bytes on disk.
+
+        Keeps the longest catalog prefix whose blocks sit contiguously from
+        offset 0 and fully on disk, walks any unindexed tail through the
+        self-describing block headers (re-deriving index entries and
+        summaries), and truncates torn trailing bytes in place — they are
+        past the indexed extent, so no live view can reference them.  A
+        block torn mid-write is dropped whole: columnar granularity is the
+        block, not the record.
+        """
+        on_disk = path.stat().st_size if path.exists() else 0
+        changed = False
+        kept: List[list] = []
+        extent = 0
+        for block in entry.blocks:
+            size = _block_bytes(block[1], entry.dimensions)
+            if block[0] != extent or extent + size > on_disk:
+                changed = True
+                break
+            kept.append(block)
+            extent += size
+        if len(kept) != len(entry.blocks):
+            entry.blocks = kept
+            changed = True
+        # Walk the unindexed tail through block headers.
+        while extent + _HEADER_BYTES <= on_disk:
+            with open(path, "rb") as log:
+                log.seek(extent)
+                header = log.read(_HEADER_BYTES)
+            magic, count, dimensions, min_time, max_time = _HEADER.unpack(header)
+            if (
+                magic != _MAGIC
+                or dimensions != entry.dimensions
+                or count < 1
+                or extent + _block_bytes(count, dimensions) > on_disk
+            ):
+                break
+            entry.blocks.append([extent, count, min_time, max_time, None])
+            kinds, times, values = self.read_blocks(
+                path, entry, len(entry.blocks) - 1, len(entry.blocks)
+            )
+            entry.blocks[-1][2] = float(times[0])
+            entry.blocks[-1][3] = float(times[-1])
+            entry.blocks[-1][4] = summarize_block(kinds, times, values)
+            extent += _block_bytes(count, entry.dimensions)
+            changed = True
+        if extent < on_disk:
+            with open(path, "rb+") as log:
+                log.truncate(extent)
+            self._maps.pop(path, None)
+            changed = True
+        if entry.refresh_from_blocks():
+            changed = True
+        return changed

@@ -41,6 +41,7 @@ from repro.core.types import Recording, RecordingKind
 from repro.storage.backends.base import (
     KIND_BY_CODE,
     RECORD_KINDS,
+    DimsLike,
     StorageBackend,
     get_backend,
 )
@@ -182,13 +183,14 @@ def read_streams_job(
     start: Optional[float],
     end: Optional[float],
     backend: Optional[str] = None,
+    dims: DimsLike = None,
 ) -> List[Tuple[str, List[Recording]]]:
     """Open the store at ``directory`` and range-read ``names`` (top level so
     it is picklable — the unit of work of the process-executor read path).
     ``backend`` carries the parent store's backend name so a store built on
     a non-default registered backend decodes correctly in the worker."""
     store = SegmentStore(directory, autoflush=False, backend=backend)
-    return [(name, store.read(name, start, end)) for name in names]
+    return [(name, store.read(name, start, end, dims=dims)) for name in names]
 
 
 class SegmentStore:
@@ -202,10 +204,12 @@ class SegmentStore:
             ``False`` the catalog is only written by :meth:`flush` /
             :meth:`close` (new-stream registrations still persist right away
             so recovery always knows each stream's dimensionality).
-        backend: Storage backend instance or registry name
-            (default ``"block-log"``).
-        block_records: Records per index block, forwarded to the default
-            backend.
+        backend: Storage backend instance or registry name.  ``None``
+            (default) reuses the backend persisted in the catalog on reopen,
+            falling back to ``"block-log"`` for new stores; an explicit
+            choice that contradicts the persisted one raises instead of
+            mis-parsing the logs.
+        block_records: Records per index block, forwarded to the backend.
     """
 
     CATALOG_NAME = "catalog.json"
@@ -218,26 +222,60 @@ class SegmentStore:
         backend: Union[StorageBackend, str, None] = None,
         block_records: Optional[int] = None,
     ) -> None:
-        if isinstance(backend, StorageBackend):
-            self._backend = backend
-        else:
-            options = {} if block_records is None else {"block_records": block_records}
-            self._backend = get_backend(backend or "block-log", **options)
         self._directory = Path(directory)
         self._directory.mkdir(parents=True, exist_ok=True)
         self._catalog_path = self._directory / self.CATALOG_NAME
         self._catalog: Dict[str, StoredStream] = {}
         self._autoflush = bool(autoflush)
         self._dirty = False
+        payload: Dict[str, object] = {}
         if self._catalog_path.exists():
             payload = json.loads(self._catalog_path.read_text())
-            for raw in payload.get("streams", []):
-                stream = StoredStream.from_dict(raw)
-                if stream.filename is None:
-                    stream.filename = _legacy_filename(stream.name)
-                    self._dirty = True
-                self._catalog[stream.name] = stream
+        self._backend = self._resolve_backend(backend, block_records, payload)
+        for raw in payload.get("streams", []):
+            stream = StoredStream.from_dict(raw)
+            if stream.filename is None:
+                stream.filename = _legacy_filename(stream.name)
+                self._dirty = True
+            self._catalog[stream.name] = stream
         self._recover()
+
+    def _resolve_backend(
+        self,
+        backend: Union[StorageBackend, str, None],
+        block_records: Optional[int],
+        payload: Dict[str, object],
+    ) -> StorageBackend:
+        """Reconcile the requested backend with the one the catalog names.
+
+        The persisted choice wins when the caller passes ``None``; an
+        explicit contradiction is an error — decoding a log with the wrong
+        backend would read garbage (and appending would corrupt it).
+        """
+        persisted = payload.get("backend")
+        if persisted is None and payload.get("streams"):
+            # Catalogs written before the backend field was persisted only
+            # ever came from the row backend.
+            persisted = "block-log"
+        if isinstance(backend, StorageBackend):
+            resolved = backend
+        else:
+            options = {} if block_records is None else {"block_records": block_records}
+            resolved = get_backend(backend or persisted or "block-log", **options)
+        if persisted is not None and resolved.name != persisted:
+            raise ValueError(
+                f"store at {self._directory} was written by the {persisted!r} backend; "
+                f"opening it with {resolved.name!r} would corrupt it "
+                f"(use `repro migrate` to convert)"
+            )
+        persisted_version = payload.get("backend_version")
+        if persisted_version is not None and int(persisted_version) > resolved.version:
+            raise ValueError(
+                f"store at {self._directory} uses {resolved.name!r} log format "
+                f"version {persisted_version}, newer than this library's "
+                f"version {resolved.version}"
+            )
+        return resolved
 
     def _recover(self) -> None:
         for entry in self._catalog.values():
@@ -427,6 +465,33 @@ class SegmentStore:
                 f"after {last_time!r}"
             )
 
+    def ensure_stream(
+        self,
+        name: str,
+        dimensions: int,
+        epsilon: Optional[Sequence[float]] = None,
+    ) -> StoredStream:
+        """Register an (empty) stream without appending any recordings.
+
+        Idempotent for an existing stream of the same dimensionality; used
+        by store migration to carry over streams that hold no recordings.
+
+        Raises:
+            ValueError: If the stream exists with a different dimensionality.
+        """
+        entry = self._catalog.get(name)
+        if entry is not None:
+            if entry.dimensions != int(dimensions):
+                raise ValueError(
+                    f"stream {name!r} holds {entry.dimensions}-dimensional values, "
+                    f"cannot re-register as {int(dimensions)}-dimensional"
+                )
+            if epsilon is not None:
+                entry.epsilon = [float(v) for v in np.atleast_1d(epsilon)]
+                self._mark_dirty()
+            return entry
+        return self._register(name, int(dimensions), epsilon)
+
     def _register(self, name: str, dimensions: int, epsilon) -> StoredStream:
         entry = StoredStream(
             name=name,
@@ -451,26 +516,32 @@ class SegmentStore:
         name: str,
         start: Optional[float] = None,
         end: Optional[float] = None,
+        dims: DimsLike = None,
     ) -> List[Recording]:
         """Read a stream's recordings, optionally restricted to a time range.
 
         The range filter keeps one recording before ``start`` and one after
         ``end`` when available, so the returned recordings still describe the
         approximation over the whole requested range.  Only the log blocks
-        overlapping the range are decoded.
+        overlapping the range are decoded.  ``dims`` projects the value
+        columns (an index or sequence of indexes); columnar backends then
+        read only the selected columns.
         """
         entry = self.describe(name)
-        return self._backend.read(self._entry_path(entry), entry, start, end)
+        return self._backend.read(self._entry_path(entry), entry, start, end, dims=dims)
 
     def read_arrays(
         self,
         name: str,
         start: Optional[float] = None,
         end: Optional[float] = None,
+        dims: DimsLike = None,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Like :meth:`read` but as ``(kinds, times, values)`` arrays."""
         entry = self.describe(name)
-        return self._backend.read_arrays(self._entry_path(entry), entry, start, end)
+        return self._backend.read_arrays(
+            self._entry_path(entry), entry, start, end, dims=dims
+        )
 
     def reconstruct(
         self,
@@ -512,20 +583,22 @@ class SegmentStore:
         ]
 
     def read_block_arrays(
-        self, name: str, lo: int, hi: int
+        self, name: str, lo: int, hi: int, dims: DimsLike = None
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Decode index blocks ``[lo, hi)`` of ``name`` verbatim.
 
         Returns ``(kinds, times, values)`` arrays — no range filtering and
         no context records, exactly the blocks' records.  The query planner
-        uses this to decode only the blocks a query boundary straddles.
+        uses this to decode only the blocks a query boundary straddles, and
+        passes ``dims`` so columnar backends fault in only the touched value
+        columns.
 
         Raises:
             KeyError: If the stream does not exist.
             NotImplementedError: If the backend keeps no block index.
         """
         entry = self.describe(name)
-        return self._backend.read_blocks(self._entry_path(entry), entry, lo, hi)
+        return self._backend.read_blocks(self._entry_path(entry), entry, lo, hi, dims=dims)
 
     def pyramid_levels(self, name: str) -> List[List[list]]:
         """The stream's zoom pyramid, building it lazily on first use.
@@ -571,6 +644,7 @@ class SegmentStore:
         end: Optional[float] = None,
         executor: str = "thread",
         max_workers: Optional[int] = None,
+        dims: DimsLike = None,
     ) -> Dict[str, List[Recording]]:
         """Range-read several streams at once.
 
@@ -579,7 +653,8 @@ class SegmentStore:
         the streams concurrently in a thread pool — the file I/O releases the
         GIL; ``executor="process"`` fans the names out to worker processes
         that reopen the store read-only, so decode-heavy reads (large values
-        dimensionality, wide ranges) escape the GIL entirely.
+        dimensionality, wide ranges) escape the GIL entirely.  ``dims``
+        projects value columns as in :meth:`read`.
 
         Raises:
             ValueError: For an unknown ``executor``.
@@ -591,11 +666,13 @@ class SegmentStore:
         if executor not in ("thread", "process"):
             raise ValueError(f"executor must be 'thread' or 'process', got {executor!r}")
         if len(names) <= 1:
-            return {name: self.read(name, start, end) for name in names}
+            return {name: self.read(name, start, end, dims=dims) for name in names}
         if executor == "thread":
             workers = max_workers or min(len(names), os.cpu_count() or 1)
             with ThreadPoolExecutor(max_workers=workers) as pool:
-                batches = pool.map(lambda name: (name, self.read(name, start, end)), names)
+                batches = pool.map(
+                    lambda name: (name, self.read(name, start, end, dims=dims)), names
+                )
                 return dict(batches)
         self.flush()  # worker processes reopen the store from disk
         workers = max_workers or min(len(names), os.cpu_count() or 1)
@@ -605,7 +682,7 @@ class SegmentStore:
         with ProcessPoolExecutor(max_workers=len(groups)) as pool:
             futures = [
                 pool.submit(
-                    read_streams_job, directory, group, start, end, self._backend.name
+                    read_streams_job, directory, group, start, end, self._backend.name, dims
                 )
                 for group in groups
             ]
@@ -693,6 +770,7 @@ class SegmentStore:
         payload = {
             "version": _CATALOG_VERSION,
             "backend": self._backend.name,
+            "backend_version": self._backend.version,
             "streams": [entry.to_dict() for entry in self._catalog.values()],
         }
         staging = self._catalog_path.with_suffix(".json.tmp")

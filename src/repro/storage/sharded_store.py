@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.approximation.piecewise import Approximation
 from repro.core.types import Recording
-from repro.storage.backends.base import StorageBackend
+from repro.storage.backends.base import DimsLike, StorageBackend, get_backend
 from repro.storage.segment_store import SegmentStore, StoredStream, read_streams_job
 
 __all__ = ["ShardedStore", "DEFAULT_SHARDS", "shard_index"]
@@ -49,11 +49,14 @@ class ShardedStore:
             omitted; when given it must match the persisted count.
         autoflush: Forwarded to every shard store.
         backend: Storage backend name or instance, forwarded to every shard.
+            ``None`` (default) reuses the backend persisted in
+            ``shards.json`` on reopen; an explicit contradiction raises.
         block_records: Block index granularity, forwarded to every shard.
 
     Raises:
         ValueError: If ``shards`` is not positive, or disagrees with the
-            shard count the store was created with.
+            shard count the store was created with; or if ``backend``
+            contradicts the backend the store was created with.
     """
 
     META_NAME = "shards.json"
@@ -71,18 +74,39 @@ class ShardedStore:
             raise ValueError(f"shards must be positive, got {shards}")
         self._directory = Path(directory)
         meta_path = self._directory / self.META_NAME
+        requested = backend.name if isinstance(backend, StorageBackend) else backend
         if meta_path.exists():
-            persisted = int(json.loads(meta_path.read_text())["shards"])
+            meta = json.loads(meta_path.read_text())
+            persisted = int(meta["shards"])
             if shards is not None and shards != persisted:
                 raise ValueError(
                     f"store at {str(self._directory)!r} has {persisted} shards, "
                     f"requested {shards}"
                 )
             shards = persisted
+            persisted_backend = meta.get("backend")
+            if persisted_backend is not None:
+                if requested is not None and requested != persisted_backend:
+                    raise ValueError(
+                        f"store at {str(self._directory)!r} was written by the "
+                        f"{persisted_backend!r} backend; opening it with "
+                        f"{requested!r} would corrupt it (use `repro migrate` "
+                        f"to convert)"
+                    )
+                if backend is None:
+                    backend = persisted_backend
+            # Legacy meta without a backend key: the shard catalogs carry
+            # their own backend field, so each shard auto-detects below.
         else:
             shards = DEFAULT_SHARDS if shards is None else shards
+            # Validate the name before pinning it (raises on unknown names).
+            pinned = requested if requested is not None else "block-log"
+            if requested is not None and not isinstance(backend, StorageBackend):
+                pinned = get_backend(requested).name
             self._directory.mkdir(parents=True, exist_ok=True)
-            meta_path.write_text(json.dumps({"version": 1, "shards": shards}))
+            meta_path.write_text(
+                json.dumps({"version": 1, "shards": shards, "backend": pinned})
+            )
         self._shard_count = shards
         self._shards = [
             SegmentStore(
@@ -163,6 +187,15 @@ class ShardedStore:
             name, times, values, kinds=kinds, epsilon=epsilon
         )
 
+    def ensure_stream(
+        self,
+        name: str,
+        dimensions: int,
+        epsilon: Optional[Sequence[float]] = None,
+    ) -> StoredStream:
+        """Register an empty stream (see ``SegmentStore.ensure_stream``)."""
+        return self.shard_for(name).ensure_stream(name, dimensions, epsilon=epsilon)
+
     # ------------------------------------------------------------------ #
     # Reading
     # ------------------------------------------------------------------ #
@@ -171,18 +204,20 @@ class ShardedStore:
         name: str,
         start: Optional[float] = None,
         end: Optional[float] = None,
+        dims: DimsLike = None,
     ) -> List[Recording]:
         """Range read of one stream (see ``SegmentStore.read``)."""
-        return self.shard_for(name).read(name, start, end)
+        return self.shard_for(name).read(name, start, end, dims=dims)
 
     def read_arrays(
         self,
         name: str,
         start: Optional[float] = None,
         end: Optional[float] = None,
+        dims: DimsLike = None,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Range read as arrays (see ``SegmentStore.read_arrays``)."""
-        return self.shard_for(name).read_arrays(name, start, end)
+        return self.shard_for(name).read_arrays(name, start, end, dims=dims)
 
     def reconstruct(
         self,
@@ -203,10 +238,10 @@ class ShardedStore:
         return self.shard_for(name).summary_range(name, start, end)
 
     def read_block_arrays(
-        self, name: str, lo: int, hi: int
+        self, name: str, lo: int, hi: int, dims: DimsLike = None
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Decode index blocks verbatim (see ``SegmentStore.read_block_arrays``)."""
-        return self.shard_for(name).read_block_arrays(name, lo, hi)
+        return self.shard_for(name).read_block_arrays(name, lo, hi, dims=dims)
 
     def pyramid_levels(self, name: str) -> List[List[list]]:
         """Zoom pyramid of one stream (see ``SegmentStore.pyramid_levels``)."""
@@ -219,6 +254,7 @@ class ShardedStore:
         end: Optional[float] = None,
         executor: str = "thread",
         max_workers: Optional[int] = None,
+        dims: DimsLike = None,
     ) -> Dict[str, List[Recording]]:
         """Range-read several streams, fanning out across shards in parallel.
 
@@ -253,6 +289,7 @@ class ShardedStore:
                         start,
                         end,
                         self._shards[index].backend.name,
+                        dims,
                     )
                     for index, shard_names in by_shard.items()
                 ]
@@ -262,7 +299,10 @@ class ShardedStore:
 
         def read_shard(index: int) -> List[Tuple[str, List[Recording]]]:
             shard = self._shards[index]
-            return [(name, shard.read(name, start, end)) for name in by_shard[index]]
+            return [
+                (name, shard.read(name, start, end, dims=dims))
+                for name in by_shard[index]
+            ]
 
         if len(by_shard) <= 1:
             batches = [read_shard(index) for index in by_shard]
