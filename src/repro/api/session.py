@@ -92,32 +92,46 @@ def open(
     ingest: Optional[IngestSpec] = None,
     archive_batch: int = DEFAULT_ARCHIVE_BATCH,
     create: bool = True,
+    mode: str = "w",
+    snapshot: bool = False,
 ) -> "StreamDB":
     """Open a :class:`StreamDB` session on the store at ``path``.
 
     Args:
         path: Store directory (created when missing, unless ``create`` is
-            ``False``).
+            ``False`` or the session is read-only).
         shards: Shorthand for ``storage=StorageSpec(shards=...)``.
         filter: Default :class:`FilterSpec` for writes that do not bring
             their own.
         storage: Full storage layout spec (mutually exclusive with
-            ``shards``).
+            ``shards``/``mode``/``snapshot``).
         ingest: Default :class:`IngestSpec`; per-call overrides apply on
             top of it.
         archive_batch: Recordings buffered per live stream before they are
             archived.
         create: When ``False``, refuse to create a store at a directory
             that does not already hold one.
+        mode: Shorthand for ``storage=StorageSpec(mode=...)`` — ``"r"``
+            opens the session read-only (queries only; mutations raise
+            :class:`PermissionError`).
+        snapshot: Shorthand for ``storage=StorageSpec(snapshot=True)`` — a
+            generation-pinned read-only view, safe while another process
+            keeps appending (``db.store.refresh()`` re-pins).
 
     Raises:
-        ValueError: If both ``shards`` and ``storage`` are given.
-        FileNotFoundError: If ``create`` is ``False`` and no store exists.
+        ValueError: If both ``shards`` and ``storage`` are given, or
+            ``mode``/``snapshot`` contradict an explicit ``storage``.
+        FileNotFoundError: If ``create`` is ``False`` (or the session is
+            read-only) and no store exists.
     """
     if storage is not None and shards is not None:
         raise ValueError("give shards either directly or via storage=, not both")
+    if storage is not None and (mode != "w" or snapshot):
+        raise ValueError(
+            "give mode/snapshot either directly or via storage=, not both"
+        )
     if storage is None:
-        storage = StorageSpec(shards=shards)
+        storage = StorageSpec(shards=shards, mode=mode, snapshot=snapshot)
     return StreamDB(
         path,
         filter=filter,
@@ -190,6 +204,20 @@ class StreamDB:
     def filter_spec(self) -> Optional[FilterSpec]:
         """The session's default filter spec (``None`` when not set)."""
         return self._filter_spec
+
+    @property
+    def read_only(self) -> bool:
+        """Whether the session was opened with ``mode="r"``."""
+        return bool(getattr(self._store, "read_only", False))
+
+    def refresh(self):
+        """Re-pin a snapshot session to the store's current generation.
+
+        On a writable session this just flushes.  Returns the generation
+        now reflected (a per-shard tuple for sharded stores).
+        """
+        self._check_open()
+        return self._store.refresh()
 
     @property
     def closed(self) -> bool:
@@ -519,6 +547,7 @@ class StreamDB:
             The number of recordings this chunk triggered.
         """
         self._check_open()
+        self._check_writable()
         live = self._live.get(stream)
         if live is None:
             fspec = self._require_filter_spec()
@@ -968,3 +997,11 @@ class StreamDB:
     def _check_open(self) -> None:
         if self._closed:
             raise RuntimeError("the session has been closed")
+
+    def _check_writable(self) -> None:
+        # Fail live writes *before* anything is buffered — a read-only
+        # session would otherwise only notice at archive/close time.
+        if self.read_only:
+            raise PermissionError(
+                f"session on {str(self._path)!r} is open read-only (mode='r')"
+            )

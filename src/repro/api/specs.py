@@ -157,18 +157,36 @@ class StorageSpec:
         autoflush: Persist the catalog on every mutation instead of batched
             on :meth:`~repro.api.session.StreamDB.flush`/``close`` (the
             session default is batched persistence).
+        mode: ``"w"`` (default) opens the store writable; ``"r"`` opens a
+            read-only handle of an *existing* store — every mutating call
+            raises :class:`PermissionError`.
+        snapshot: With ``mode="r"``, pin the catalog generation at open
+            time: reads serve a consistent point-in-time view even while a
+            live ingester appends in another process
+            (:meth:`~repro.storage.segment_store.SegmentStore.refresh`
+            re-pins on demand).
+        durable: fsync every catalog journal append and checkpoint (the
+            default favours the seed's I/O profile; crash *consistency*
+            holds either way, this upgrades crash *durability*).
     """
 
     shards: Optional[int] = None
     backend: Optional[str] = None
     block_records: Optional[int] = None
     autoflush: bool = False
+    mode: str = "w"
+    snapshot: bool = False
+    durable: bool = False
 
     def __post_init__(self) -> None:
         if self.shards is not None and self.shards < 1:
             raise ValueError(f"shards must be positive, got {self.shards}")
         if self.block_records is not None and self.block_records < 1:
             raise ValueError(f"block_records must be positive, got {self.block_records}")
+        if self.mode not in ("r", "w"):
+            raise ValueError(f"mode must be 'r' or 'w', got {self.mode!r}")
+        if self.snapshot and self.mode != "r":
+            raise ValueError("snapshot readers require mode='r'")
 
     def open(self, directory: Union[str, Path]) -> StoreLike:
         """Open (or create) the store this spec describes at ``directory``."""
@@ -177,6 +195,11 @@ class StorageSpec:
             options["backend"] = self.backend
         if self.block_records is not None:
             options["block_records"] = self.block_records
+        if self.mode != "w":
+            options["mode"] = self.mode
+            options["snapshot"] = self.snapshot
+        if self.durable:
+            options["durable"] = True
         return open_store(directory, shards=self.shards, **options)
 
 

@@ -11,6 +11,9 @@ The ``repro`` command exposes the library's everyday operations:
   stored stream through the same façade,
 * ``repro migrate`` — atomically rewrite a store into another storage
   backend (verifying bit-identical reads before the swap),
+* ``repro verify`` — offline integrity check of a store (catalog/journal
+  generations, block headers, index-vs-log extents, summary parity), with
+  ``--repair`` truncating to the last consistent prefix,
 * ``repro evaluate`` — compare several filters on one workload,
 * ``repro experiment`` — run one of the paper's figure experiments and print
   its table.
@@ -31,6 +34,7 @@ Examples::
     repro query --store ./archive --stream sst --step 60 -o samples.csv
     repro compact --store ./archive
     repro migrate --store ./archive --to columnar
+    repro verify --store ./archive
     repro evaluate --dataset random-walk --epsilon 0.5
     repro experiment figure9
 """
@@ -70,6 +74,7 @@ from repro.metrics.error import error_profile
 from repro.runtime import DEFAULT_CHECKPOINT_EVERY
 from repro.runtime.parallel import ParallelIngestReport
 from repro.storage import DEFAULT_SHARDS, available_backends, migrate_store
+from repro.storage.verify import verify_store
 from repro.streams.source import CsvSource
 
 __all__ = ["main", "build_parser"]
@@ -233,6 +238,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-verify",
         action="store_true",
         help="skip the per-stream bit-identical read check before the swap",
+    )
+
+    verify = subparsers.add_parser(
+        "verify", help="check a segment store's on-disk integrity offline"
+    )
+    verify.add_argument("--store", required=True, help="segment store directory")
+    verify.add_argument(
+        "--repair",
+        action="store_true",
+        help="truncate journal and logs to their last consistent prefix and "
+        "re-checkpoint the catalog",
+    )
+    verify.add_argument(
+        "--fast",
+        action="store_true",
+        help="structural checks only (skip the summary/pyramid parity "
+        "recompute against a full decode)",
     )
 
     evaluate = subparsers.add_parser("evaluate", help="compare filters on one workload")
@@ -559,6 +581,42 @@ def _command_migrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_verify(args: argparse.Namespace) -> int:
+    report = verify_store(args.store, repair=args.repair, parity=not args.fast)
+    plain_reports = report.shards if report.shards else [report]
+    rows = [["stream", "recordings", "blocks", "status"]]
+    for sub in plain_reports:
+        prefix = f"{sub.directory.name}/" if report.shards else ""
+        for check in sub.streams:
+            status = "ok" if check.ok else "; ".join(check.issues)
+            rows.append(
+                [prefix + check.name, str(check.recordings), str(check.blocks), status]
+            )
+    if len(rows) > 1:
+        print(render_table(rows))
+    backend = report.backend or "?"
+    streams = sum(len(sub.streams) for sub in plain_reports)
+    print(f"store             : {args.store} ({backend})")
+    print(f"streams           : {streams}")
+    if report.shards:
+        generations = ", ".join(str(sub.generation) for sub in report.shards)
+        print(f"shard generations : {generations}")
+    else:
+        print(f"generation        : {report.generation}")
+        print(f"journal records   : {report.journal_records}")
+    repairs = [action for sub in plain_reports for action in sub.repairs]
+    for action in repairs:
+        print(f"repaired          : {action}")
+    issues = report.all_issues()
+    for issue in issues:
+        print(f"ISSUE             : {issue}", file=sys.stderr)
+    if issues:
+        print(f"verification FAILED: {len(issues)} issue(s)", file=sys.stderr)
+        return 1
+    print("verification passed")
+    return 0
+
+
 def _command_evaluate(args: argparse.Namespace) -> int:
     times, values = _load_workload(args)
     epsilon = _resolve_epsilon(args, values)
@@ -604,6 +662,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_compact(args)
         if args.command == "migrate":
             return _command_migrate(args)
+        if args.command == "verify":
+            return _command_verify(args)
         if args.command == "evaluate":
             return _command_evaluate(args)
         if args.command == "experiment":

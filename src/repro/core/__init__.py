@@ -10,6 +10,7 @@ from repro.core.base import StreamFilter
 from repro.core.cache import CacheFilter, MeanCacheFilter, MidrangeCacheFilter
 from repro.core.epsilon import ErrorBound, epsilon_from_percent
 from repro.core.errors import (
+    DegradedSinkError,
     DimensionMismatchError,
     FilterStateError,
     InvalidPrecisionError,
@@ -58,6 +59,7 @@ __all__ = [
     "DimensionMismatchError",
     "FilterStateError",
     "InvalidPrecisionError",
+    "DegradedSinkError",
     "FILTER_REGISTRY",
     "PAPER_FILTERS",
     "available_filters",

@@ -8,6 +8,7 @@ __all__ = [
     "DimensionMismatchError",
     "FilterStateError",
     "InvalidPrecisionError",
+    "DegradedSinkError",
 ]
 
 
@@ -29,3 +30,17 @@ class FilterStateError(ReproError):
 
 class InvalidPrecisionError(ReproError):
     """Raised when a precision width (ε) specification is not usable."""
+
+
+class DegradedSinkError(ReproError):
+    """Raised when a store sink exhausts its retries on a transient I/O error.
+
+    The recordings that could not be archived ride along as ``recordings``;
+    they also remain queued in the sink's buffer, so a later flush — after
+    the operator clears the underlying condition (e.g. frees disk space) —
+    retries them without data loss.
+    """
+
+    def __init__(self, message: str, recordings=()):
+        super().__init__(message)
+        self.recordings = tuple(recordings)

@@ -11,10 +11,13 @@ non-decreasing time order.
 from __future__ import annotations
 
 import abc
+import errno
+import time
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.errors import DegradedSinkError
 from repro.core.types import Recording
 from repro.storage import SegmentStore, ShardedStore, open_store
 
@@ -144,6 +147,17 @@ class StoreSink(RecordingSink):
         self.flush()
 
 
+#: ``errno`` values a store append may fail with transiently — the condition
+#: can clear without the process doing anything (an interrupted syscall) or
+#: after operator action moments later (disk briefly full).
+_TRANSIENT_ERRNOS = frozenset({errno.ENOSPC, errno.EINTR, errno.EAGAIN})
+
+#: Retry schedule for transient append failures: attempts after the first,
+#: and the base delay (doubled per retry) between them.
+_FLUSH_RETRIES = 3
+_FLUSH_BACKOFF = 0.02
+
+
 def flush_buffered(store, name: str, buffer: List[Recording], epsilon) -> None:
     """Append ``buffer``'s recordings to ``store`` exactly once, then empty it.
 
@@ -154,16 +168,45 @@ def flush_buffered(store, name: str, buffer: List[Recording], epsilon) -> None:
     write — e.g. the catalog flush of an autoflushing store hits a full
     disk — and retrying it would double-archive, or wedge the stream on the
     time-order check).  Safe to call repeatedly; an empty buffer is a no-op.
+
+    Transient failures (``ENOSPC``, ``EINTR``, ``EAGAIN``) whose append
+    provably did not land are retried a few times with exponential backoff;
+    when the condition persists the records go back in the buffer and a
+    :class:`~repro.core.errors.DegradedSinkError` carrying them is raised,
+    so the caller can keep the pipeline alive and re-flush later without
+    losing data.
+
+    Raises:
+        DegradedSinkError: When every retry of a transient failure was
+            exhausted; ``recordings`` holds the un-archived records (also
+            still queued in ``buffer``).
     """
     if not buffer:
         return
     records = list(buffer)
     del buffer[:]
-    before = store.describe(name).recordings if name in store else 0
-    try:
-        store.append(name, records, epsilon=epsilon)
-    except BaseException:
-        after = store.describe(name).recordings if name in store else 0
-        if after == before:
-            buffer[:0] = records
-        raise
+    last_error: Optional[OSError] = None
+    for attempt in range(1 + _FLUSH_RETRIES):
+        before = store.describe(name).recordings if name in store else 0
+        try:
+            store.append(name, records, epsilon=epsilon)
+            return
+        except BaseException as exc:
+            after = store.describe(name).recordings if name in store else 0
+            landed = after != before
+            transient = (
+                isinstance(exc, OSError) and exc.errno in _TRANSIENT_ERRNOS
+            )
+            if landed or not transient:
+                if not landed:
+                    buffer[:0] = records
+                raise
+            last_error = exc
+        if attempt < _FLUSH_RETRIES:
+            time.sleep(_FLUSH_BACKOFF * (2**attempt))
+    buffer[:0] = records
+    raise DegradedSinkError(
+        f"could not archive {len(records)} recordings to stream {name!r} "
+        f"after {1 + _FLUSH_RETRIES} attempts: {last_error}",
+        recordings=records,
+    ) from last_error

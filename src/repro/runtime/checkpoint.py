@@ -11,13 +11,13 @@ already-consumed points, and produces a store bit-identical to an
 uninterrupted run.
 
 Checkpoint files are written atomically (temp file + ``fsync`` +
-``os.replace`` in the same directory), so a crash mid-save leaves the
-previous checkpoint intact rather than a truncated pickle.
+``os.replace`` + parent-directory ``fsync`` in the same directory), so a
+crash mid-save leaves the previous checkpoint intact rather than a
+truncated pickle — and the replace itself survives a power cut.
 """
 
 from __future__ import annotations
 
-import os
 import pickle
 from dataclasses import dataclass
 from pathlib import Path
@@ -25,6 +25,7 @@ from typing import List, Optional, Union
 
 from repro.core.state import FilterState
 from repro.storage.segment_store import collision_safe_filename
+from repro.testing import faults
 
 __all__ = ["CHECKPOINT_VERSION", "IngestCheckpoint", "CheckpointManager"]
 
@@ -81,11 +82,13 @@ class CheckpointManager:
         """Atomically persist a checkpoint, replacing any previous one."""
         path = self.path_for(checkpoint.stream)
         staging = path.with_name(path.name + ".tmp")
+        payload = pickle.dumps(checkpoint, protocol=pickle.HIGHEST_PROTOCOL)
         with open(staging, "wb") as handle:
-            pickle.dump(checkpoint, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(staging, path)
+            faults.write(handle, payload, path=staging)
+            faults.fsync(handle, path=staging)
+        faults.crash_point("checkpoint.save.before_replace")
+        faults.replace(staging, path)
+        faults.fsync_dir(self._directory)
         return path
 
     def load(self, stream: str) -> Optional[IngestCheckpoint]:

@@ -13,9 +13,14 @@ provides that repository as a small storage engine:
   catalog view and parallel multi-stream range reads.
 * :mod:`~repro.storage.backends` — the pluggable byte-level backends behind
   both: row-oriented block logs (default) and the columnar mmap layout.
-* :func:`open_store` — open whichever of the two lives at a directory.
+* :func:`open_store` — open whichever of the two lives at a directory,
+  including read-only snapshot handles (``mode="r"``, ``snapshot=True``)
+  that pin a catalog generation while another process keeps appending.
 * :func:`~repro.storage.migrate.migrate_store` — atomically rewrite a store
   into the other backend.
+* :func:`~repro.storage.verify.verify_store` — offline integrity check
+  (catalog/journal generations, block headers, index extents, summary and
+  pyramid parity) with optional repair to the last consistent prefix.
 """
 
 from pathlib import Path
@@ -28,9 +33,14 @@ from repro.storage.backends import (
     available_backends,
     get_backend,
 )
-from repro.storage.migrate import MigrationReport, migrate_store
+from repro.storage.migrate import (
+    MigrationReport,
+    migrate_store,
+    recover_interrupted_migration,
+)
 from repro.storage.segment_store import SegmentStore, StoredStream
 from repro.storage.sharded_store import DEFAULT_SHARDS, ShardedStore, shard_index
+from repro.storage.verify import StreamCheck, VerifyReport, verify_store
 
 __all__ = [
     "SegmentStore",
@@ -45,6 +55,10 @@ __all__ = [
     "available_backends",
     "MigrationReport",
     "migrate_store",
+    "recover_interrupted_migration",
+    "StreamCheck",
+    "VerifyReport",
+    "verify_store",
     "StoreLike",
     "open_store",
 ]
@@ -64,7 +78,10 @@ def open_store(
     (validating ``shards`` when given); an existing plain store as a
     :class:`SegmentStore`.  A fresh directory becomes a sharded store when
     ``shards`` is given and a plain store otherwise.  Extra keyword options
-    (``autoflush``, ``backend``, ``block_records``) are forwarded.
+    (``autoflush``, ``backend``, ``block_records``, ``mode``, ``snapshot``,
+    ``durable``) are forwarded — ``mode="r", snapshot=True`` opens a
+    generation-pinned snapshot reader that is safe while another process
+    appends.
 
     Raises:
         ValueError: If ``shards`` is requested for an existing unsharded

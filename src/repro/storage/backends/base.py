@@ -242,6 +242,39 @@ class StorageBackend(abc.ABC):
         be re-persisted.
         """
 
+    def block_extent(self, entry, block: list) -> int:
+        """End byte offset of one index block (offset plus encoded size).
+
+        Backends with a block index implement this so generic integrity
+        checks (and read-only clamping) can compare the index against the
+        physical log without backend-specific arithmetic.
+        """
+        raise NotImplementedError(f"backend {self.name!r} keeps no block index")
+
+    def clamp(self, path: Path, entry) -> bool:
+        """Trim the *in-memory* index to the bytes physically on disk.
+
+        The read-only counterpart of :meth:`recover`: used by snapshot
+        readers, it never writes, never re-indexes an unindexed tail (a
+        concurrent writer may be mid-append there), and drops any trailing
+        blocks the log does not fully cover.  Returns ``True`` when the
+        entry was modified.
+        """
+        try:
+            on_disk = path.stat().st_size
+        except FileNotFoundError:
+            on_disk = 0
+        kept = []
+        for block in entry.blocks:
+            if self.block_extent(entry, block) > on_disk:
+                break
+            kept.append(block)
+        if len(kept) == len(entry.blocks):
+            return False
+        entry.blocks = kept
+        entry.refresh_from_blocks()
+        return True
+
     def read(
         self,
         path: Path,

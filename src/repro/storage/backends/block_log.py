@@ -28,12 +28,12 @@ is clamped to the last complete record.
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.testing import faults
 from repro.storage.backends.base import (
     DimsLike,
     StorageBackend,
@@ -89,7 +89,7 @@ class BlockLogBackend(StorageBackend):
         records["values"] = values.reshape(count, entry.dimensions)
         offset = path.stat().st_size if path.exists() else 0
         with open(path, "ab") as log:
-            log.write(records.tobytes())
+            faults.write(log, records.tobytes(), path=path)
         self._extend_index(entry, offset, kinds, times, values.reshape(count, entry.dimensions))
 
     def _extend_index(
@@ -237,7 +237,7 @@ class BlockLogBackend(StorageBackend):
             end = 0
         if path.exists():
             with open(path, "rb+") as log:
-                log.truncate(end)
+                faults.truncate(log, end, path=path)
 
     def compact(self, path: Path, entry) -> bool:
         blocks = entry.blocks
@@ -289,11 +289,13 @@ class BlockLogBackend(StorageBackend):
             for block in blocks:
                 log.seek(block[0])
                 payload = log.read(block[1] * dtype.itemsize)
-                out.write(payload)
+                faults.write(out, payload, path=staging)
                 retained.append(
                     np.frombuffer(payload, dtype=dtype, count=len(payload) // dtype.itemsize)
                 )
-        os.replace(staging, path)
+            faults.fsync(out, path=staging)
+        faults.replace(staging, path)
+        faults.fsync_dir(path.parent)
         entry.blocks = []
         offset = 0
         for records in retained:
@@ -330,6 +332,9 @@ class BlockLogBackend(StorageBackend):
     # ------------------------------------------------------------------ #
     # Recovery
     # ------------------------------------------------------------------ #
+    def block_extent(self, entry, block: list) -> int:
+        return block[0] + block[1] * record_size(entry.dimensions)
+
     def recover(self, path: Path, entry) -> bool:
         size = record_size(entry.dimensions)
         on_disk_bytes = path.stat().st_size if path.exists() else 0
@@ -339,7 +344,7 @@ class BlockLogBackend(StorageBackend):
             # go to the file end and reads decode contiguous byte spans, so
             # the garbage bytes must not stay in the middle of the log.
             with open(path, "rb+") as log:
-                log.truncate(on_disk * size)
+                faults.truncate(log, on_disk * size, path=path)
         indexed = sum(block[1] for block in entry.blocks)
         changed = False
         if indexed > on_disk:

@@ -53,6 +53,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.testing import faults
 from repro.storage.backends.base import (
     DimsLike,
     StorageBackend,
@@ -159,7 +160,7 @@ class ColumnarBackend(StorageBackend):
                 )
                 offset += len(parts[-1])
                 taken = stop
-            log.write(b"".join(parts))
+            faults.write(log, b"".join(parts), path=path)
 
     # ------------------------------------------------------------------ #
     # Reading
@@ -339,7 +340,7 @@ class ColumnarBackend(StorageBackend):
         with open(path, "rb") as log, open(staging, "wb") as out:
             for block in kept:
                 size = _block_bytes(block[1], entry.dimensions)
-                self._copy_range(log, out, block[0], size)
+                self._copy_range(log, out, block[0], size, path=staging)
                 block[0] = out_offset
                 out_offset += size
             if boundary is not None:
@@ -349,7 +350,7 @@ class ColumnarBackend(StorageBackend):
                 kinds = np.array(kinds[:keep])
                 times = np.array(times[:keep], dtype=float)
                 values = np.array(values[:keep], dtype=float)
-                out.write(_encode_block(kinds, times, values))
+                faults.write(out, _encode_block(kinds, times, values), path=staging)
                 kept.append(
                     [
                         out_offset,
@@ -359,7 +360,9 @@ class ColumnarBackend(StorageBackend):
                         summarize_block(kinds, times, values),
                     ]
                 )
-        os.replace(staging, path)
+            faults.fsync(out, path=staging)
+        faults.replace(staging, path)
+        faults.fsync_dir(path.parent)
         self._maps.pop(path, None)
         entry.blocks = kept
 
@@ -393,7 +396,7 @@ class ColumnarBackend(StorageBackend):
                 leftover_t = np.concatenate([part[1] for part in pending])[span:]
                 leftover_v = np.concatenate([part[2] for part in pending])[span:]
                 payload = _encode_block(kinds, times, values)
-                out.write(payload)
+                faults.write(out, payload, path=staging)
                 rebuilt.append(
                     [
                         out_offset,
@@ -419,7 +422,9 @@ class ColumnarBackend(StorageBackend):
                 pending_count += kinds.shape[0]
                 flush_full(out, final=False)
             flush_full(out, final=True)
-        os.replace(staging, path)
+            faults.fsync(out, path=staging)
+        faults.replace(staging, path)
+        faults.fsync_dir(path.parent)
         self._maps.pop(path, None)
         entry.blocks = rebuilt
         return True
@@ -444,19 +449,22 @@ class ColumnarBackend(StorageBackend):
         return True
 
     @staticmethod
-    def _copy_range(src, dst, offset: int, size: int) -> None:
+    def _copy_range(src, dst, offset: int, size: int, path: Optional[Path] = None) -> None:
         src.seek(offset)
         remaining = size
         while remaining:
             chunk = src.read(min(_COPY_CHUNK, remaining))
             if not chunk:
                 raise IOError("columnar log shorter than its index")
-            dst.write(chunk)
+            faults.write(dst, chunk, path=path)
             remaining -= len(chunk)
 
     # ------------------------------------------------------------------ #
     # Recovery
     # ------------------------------------------------------------------ #
+    def block_extent(self, entry, block: list) -> int:
+        return block[0] + _block_bytes(block[1], entry.dimensions)
+
     def recover(self, path: Path, entry) -> bool:
         """Reconcile the catalog index with the log bytes on disk.
 
@@ -474,7 +482,11 @@ class ColumnarBackend(StorageBackend):
         extent = 0
         for block in entry.blocks:
             size = _block_bytes(block[1], entry.dimensions)
-            if block[0] != extent or extent + size > on_disk:
+            if (
+                block[0] != extent
+                or extent + size > on_disk
+                or not self._header_matches(path, block, entry.dimensions)
+            ):
                 changed = True
                 break
             kept.append(block)
@@ -506,9 +518,26 @@ class ColumnarBackend(StorageBackend):
             changed = True
         if extent < on_disk:
             with open(path, "rb+") as log:
-                log.truncate(extent)
+                faults.truncate(log, extent, path=path)
             self._maps.pop(path, None)
             changed = True
         if entry.refresh_from_blocks():
             changed = True
         return changed
+
+    @staticmethod
+    def _header_matches(path: Path, block: list, dimensions: int) -> bool:
+        """Whether the on-disk header at a catalog block's offset agrees.
+
+        A catalog index can outlive mid-file corruption (the write-ahead
+        journal preserves it across crashes), so the prefix scan verifies
+        each indexed block's self-describing header instead of trusting
+        offsets alone.
+        """
+        with open(path, "rb") as log:
+            log.seek(block[0])
+            header = log.read(_HEADER_BYTES)
+        if len(header) != _HEADER_BYTES:
+            return False
+        magic, count, dims, _, _ = _HEADER.unpack(header)
+        return magic == _MAGIC and count == block[1] and dims == dimensions

@@ -5,6 +5,12 @@ different registered backend.  The rewrite happens in a staging directory
 next to the store; every stream is verified to read back bit-identically
 before the directories are swapped, and the swap itself is two renames, so
 an interrupted migration leaves the original store untouched.
+
+A *hard* crash (power loss, ``os._exit``) between the two renames leaves no
+store at the canonical path; :func:`recover_interrupted_migration` resolves
+any such half-state from the ``.migrate-old`` / ``.migrate-tmp`` leftovers —
+it restores the original when the swap never completed and finishes the
+cleanup when it did.  ``migrate_store`` runs it automatically on entry.
 """
 
 from __future__ import annotations
@@ -16,11 +22,12 @@ from typing import List, Optional, Union
 
 import numpy as np
 
+from repro.testing import faults
 from repro.storage.backends.base import get_backend
 from repro.storage.segment_store import SegmentStore
 from repro.storage.sharded_store import ShardedStore
 
-__all__ = ["MigrationReport", "migrate_store"]
+__all__ = ["MigrationReport", "migrate_store", "recover_interrupted_migration"]
 
 #: Index blocks copied per append batch while rewriting a stream.
 _BLOCKS_PER_BATCH = 64
@@ -81,6 +88,45 @@ def _copy_stream(source, target, entry, verify: bool) -> int:
     return copied
 
 
+def recover_interrupted_migration(directory: Union[str, Path]) -> Optional[str]:
+    """Resolve the half-state a hard crash mid-:func:`migrate_store` leaves.
+
+    The swap is ``rename(store -> .migrate-old)`` then
+    ``rename(.migrate-tmp -> store)`` then ``rmtree(.migrate-old)``; a process
+    kill can stop between any two of those.  This inspects which of the three
+    directories exist and finishes or rolls back the swap:
+
+    - store missing, backup present: the first rename landed but the second
+      did not — restore the original (``"restored"``).  Any staging directory
+      is removed; re-running the migration rebuilds it.
+    - store and backup both present: the swap completed but cleanup did not —
+      remove the backup (``"finalized"``).
+    - store and stale staging present: the rewrite never reached the swap —
+      remove the staging directory (``"cleaned"``).
+
+    Returns the action taken, or ``None`` when there was nothing to repair.
+    Safe to call on a healthy store; :func:`migrate_store` calls it on entry.
+    """
+    directory = Path(directory)
+    staging = directory.with_name(directory.name + ".migrate-tmp")
+    backup = directory.with_name(directory.name + ".migrate-old")
+    if not directory.exists():
+        if not backup.exists():
+            return None
+        if staging.exists():
+            shutil.rmtree(staging)
+        faults.rename(backup, directory)
+        faults.fsync_dir(directory.parent)
+        return "restored"
+    if backup.exists():
+        shutil.rmtree(backup)
+        return "finalized"
+    if staging.exists():
+        shutil.rmtree(staging)
+        return "cleaned"
+    return None
+
+
 def migrate_store(
     directory: Union[str, Path],
     to: str,
@@ -113,6 +159,7 @@ def migrate_store(
     """
     target_name = get_backend(to).name  # validate early, before any I/O
     directory = Path(directory)
+    recover_interrupted_migration(directory)
     if not (directory / ShardedStore.META_NAME).exists() and not (
         directory / SegmentStore.CATALOG_NAME
     ).exists():
@@ -156,8 +203,12 @@ def migrate_store(
                 report.verified.append(entry.name)
         target.close()
         source.close()
-        directory.rename(backup)
-        staging.rename(directory)
+        faults.crash_point("migrate.before_swap")
+        faults.rename(directory, backup)
+        faults.crash_point("migrate.between_renames")
+        faults.rename(staging, directory)
+        faults.crash_point("migrate.after_swap")
+        faults.fsync_dir(directory.parent)
         shutil.rmtree(backup)
     except BaseException:
         if staging.exists() and directory.exists():

@@ -21,6 +21,17 @@ behaviour; bulk writers pass ``autoflush=False`` so a fleet-sized ingest does
 not rewrite the catalog per append.  Either way the store recovers on open:
 log bytes that never made it into the catalog are re-indexed, and a log
 truncated mid-record by a crash is clamped to the last complete record.
+
+Catalog mutations are additionally journaled write-ahead (see
+:mod:`repro.storage.wal`): with ``autoflush=False`` every mutation appends a
+checksummed, generation-numbered record carrying the stream's full catalog
+entry to ``catalog.wal``, and ``flush()`` turns the JSON catalog into a
+checkpoint of that journal (rotating the journal afterwards).  Recovery
+replays the journal tail over the checkpoint, discarding any torn suffix, so
+a crash at any instruction leaves a readable consistent prefix — and a
+*snapshot reader* (``mode="r"``) in another process can pin a generation and
+serve range/aggregate/zoom queries from the immutable sealed blocks of that
+generation while a live ingester keeps appending.
 """
 
 from __future__ import annotations
@@ -51,6 +62,8 @@ from repro.storage.summaries import (
     build_pyramid,
     update_pyramid,
 )
+from repro.storage.wal import CatalogJournal
+from repro.testing import faults
 
 __all__ = ["SegmentStore", "StoredStream"]
 
@@ -67,10 +80,16 @@ _KIND_BY_CODE = KIND_BY_CODE
 #: the optional per-stream zoom ``pyramid`` (multi-resolution folds of the
 #: block summaries), built lazily on the first zoom query and maintained
 #: incrementally afterwards; older catalogs load with ``None`` there.
-_CATALOG_VERSION = 4
+#: Version 5 adds the top-level ``generation`` (the write-ahead journal
+#: generation the catalog checkpoints — absent means 0); older catalogs
+#: load unchanged.
+_CATALOG_VERSION = 5
 
 #: Elements per catalog block entry (offset, count, min/max time, summary).
 _BLOCK_WIDTH = 5
+
+#: Journal bytes past which a flush upgrades itself to a full checkpoint.
+_JOURNAL_LIMIT = 1 << 20
 
 
 @dataclass
@@ -188,8 +207,10 @@ def read_streams_job(
     """Open the store at ``directory`` and range-read ``names`` (top level so
     it is picklable — the unit of work of the process-executor read path).
     ``backend`` carries the parent store's backend name so a store built on
-    a non-default registered backend decodes correctly in the worker."""
-    store = SegmentStore(directory, autoflush=False, backend=backend)
+    a non-default registered backend decodes correctly in the worker.  The
+    worker opens a read-only snapshot: the parent flushed before fanning
+    out, and a reader must not race recovery writes against it."""
+    store = SegmentStore(directory, autoflush=False, backend=backend, mode="r")
     return [(name, store.read(name, start, end, dims=dims)) for name in names]
 
 
@@ -210,6 +231,21 @@ class SegmentStore:
             choice that contradicts the persisted one raises instead of
             mis-parsing the logs.
         block_records: Records per index block, forwarded to the backend.
+        mode: ``"w"`` (default) opens a writer; ``"r"`` opens a read-only
+            snapshot pinned to the last durable catalog generation — it
+            performs no recovery writes, serves reads from the sealed blocks
+            of that generation, and raises :class:`PermissionError` on any
+            mutation.  Safe to hold in one process while a writer in another
+            keeps appending; :meth:`refresh` re-pins to the newest state.
+        snapshot: Alias flag for the snapshot-reader contract; requires
+            ``mode="r"``.
+        durable: When ``True``, journal appends and catalog checkpoints
+            fsync before returning (crash consistency holds either way for
+            process crashes; ``durable`` extends it to power loss at the
+            cost of an fsync per persisted mutation).  :meth:`sync` makes
+            everything durable on demand regardless of this flag.
+        journal_limit: Journal bytes past which a flush checkpoints the
+            catalog and rotates the journal.
     """
 
     CATALOG_NAME = "catalog.json"
@@ -221,24 +257,83 @@ class SegmentStore:
         autoflush: bool = True,
         backend: Union[StorageBackend, str, None] = None,
         block_records: Optional[int] = None,
+        mode: str = "w",
+        snapshot: bool = False,
+        durable: bool = False,
+        journal_limit: int = _JOURNAL_LIMIT,
     ) -> None:
+        if mode not in ("r", "w"):
+            raise ValueError(f"mode must be 'r' or 'w', got {mode!r}")
+        if snapshot and mode != "r":
+            raise ValueError("snapshot readers require mode='r'")
         self._directory = Path(directory)
-        self._directory.mkdir(parents=True, exist_ok=True)
+        self._read_only = mode == "r"
+        if self._read_only:
+            if not self._directory.is_dir():
+                raise FileNotFoundError(f"no store directory at {self._directory}")
+        else:
+            self._directory.mkdir(parents=True, exist_ok=True)
         self._catalog_path = self._directory / self.CATALOG_NAME
         self._catalog: Dict[str, StoredStream] = {}
-        self._autoflush = bool(autoflush)
-        self._dirty = False
-        payload: Dict[str, object] = {}
-        if self._catalog_path.exists():
-            payload = json.loads(self._catalog_path.read_text())
+        self._autoflush = bool(autoflush) and not self._read_only
+        self._durable = bool(durable)
+        self._journal_limit = int(journal_limit)
+        self._stale = False
+        self._journal = CatalogJournal(self._directory, read_only=self._read_only)
+        payload = self._load_checkpoint()
         self._backend = self._resolve_backend(backend, block_records, payload)
+        self._load_streams(payload)
+        self._replay_journal()
+        self._recover()
+
+    @classmethod
+    def open(
+        cls,
+        directory: Union[str, Path],
+        *,
+        mode: str = "w",
+        snapshot: bool = False,
+        **options,
+    ) -> "SegmentStore":
+        """Open a store; ``SegmentStore.open(path, mode="r", snapshot=True)``
+        gives a generation-pinned snapshot reader (see ``mode`` above)."""
+        return cls(directory, mode=mode, snapshot=snapshot, **options)
+
+    def _load_checkpoint(self) -> Dict[str, object]:
+        try:
+            return json.loads(self._catalog_path.read_text())
+        except FileNotFoundError:
+            return {}
+
+    def _load_streams(self, payload: Dict[str, object]) -> None:
+        self._catalog.clear()
         for raw in payload.get("streams", []):
             stream = StoredStream.from_dict(raw)
             if stream.filename is None:
                 stream.filename = _legacy_filename(stream.name)
-                self._dirty = True
+                self._stale = True
             self._catalog[stream.name] = stream
-        self._recover()
+        self._generation = int(payload.get("generation", 0))
+
+    def _replay_journal(self) -> None:
+        """Apply the journal tail on top of the checkpoint state.
+
+        Records carry a stream's *full* catalog entry, so replay over any
+        older checkpoint converges to the newest journaled state; a torn or
+        checksum-failed suffix is discarded (and, in writer mode, truncated
+        off the file so later appends extend the consistent prefix).
+        """
+        records = self._journal.replay(self._generation, repair=not self._read_only)
+        for generation, payload in records:
+            op = payload.get("op")
+            name = payload.get("stream")
+            if op == "upsert":
+                self._catalog[str(name)] = StoredStream.from_dict(payload["entry"])
+            elif op == "delete":
+                self._catalog.pop(name, None)
+            self._generation = generation
+        if records and not self._read_only:
+            self._stale = True  # fold the tail into the next checkpoint
 
     def _resolve_backend(
         self,
@@ -278,13 +373,24 @@ class SegmentStore:
         return resolved
 
     def _recover(self) -> None:
+        if self._read_only:
+            # A snapshot reader never writes: it only clamps its in-memory
+            # index to the bytes physically on disk (belt and braces — the
+            # pinned index was journaled after its log bytes landed).
+            for entry in self._catalog.values():
+                if self._backend.clamp(self._entry_path(entry), entry):
+                    entry.pyramid = None
+            return
         for entry in self._catalog.values():
             if self._backend.recover(self._entry_path(entry), entry):
                 # The block index changed under the pyramid; drop it and let
                 # the next zoom query rebuild from the repaired summaries.
                 entry.pyramid = None
-                self._dirty = True
-        if self._dirty and self._autoflush:
+                self._generation += 1
+                self._stale = True
+                if not self._autoflush:
+                    self._journal_upsert(entry.name)
+        if self._stale and self._autoflush:
             self.flush()
 
     # ------------------------------------------------------------------ #
@@ -299,6 +405,31 @@ class SegmentStore:
     def backend(self) -> StorageBackend:
         """The storage backend in use."""
         return self._backend
+
+    @property
+    def mode(self) -> str:
+        """``"r"`` for a snapshot reader, ``"w"`` for a writer."""
+        return "r" if self._read_only else "w"
+
+    @property
+    def read_only(self) -> bool:
+        """Whether this handle is a read-only snapshot."""
+        return self._read_only
+
+    @property
+    def generation(self) -> int:
+        """The catalog generation this handle reflects.
+
+        Writers: the generation of the last persisted mutation.  Snapshot
+        readers: the pinned generation (checkpoint plus replayed journal
+        tail at open/:meth:`refresh` time)."""
+        return self._generation
+
+    @property
+    def _dirty(self) -> bool:
+        # Kept for observability (tests hook flush and inspect this): true
+        # while the JSON checkpoint lags the in-memory/journaled state.
+        return self._stale
 
     def streams(self) -> List[StoredStream]:
         """Return the catalog entries sorted by stream name."""
@@ -420,6 +551,7 @@ class SegmentStore:
         values: np.ndarray,
         epsilon: Optional[Sequence[float]],
     ) -> StoredStream:
+        self._require_writable()
         dimensions = int(values.shape[1])
         entry = self._catalog.get(name)
         if entry is not None and entry.dimensions != dimensions:
@@ -447,7 +579,7 @@ class SegmentStore:
         entry.last_time = float(times[-1])
         if epsilon is not None:
             entry.epsilon = [float(value) for value in np.atleast_1d(epsilon)]
-        self._mark_dirty()
+        self._mark_dirty(name)
         return entry
 
     @staticmethod
@@ -487,9 +619,11 @@ class SegmentStore:
                     f"cannot re-register as {int(dimensions)}-dimensional"
                 )
             if epsilon is not None:
+                self._require_writable()
                 entry.epsilon = [float(v) for v in np.atleast_1d(epsilon)]
-                self._mark_dirty()
+                self._mark_dirty(name)
             return entry
+        self._require_writable()
         return self._register(name, int(dimensions), epsilon)
 
     def _register(self, name: str, dimensions: int, epsilon) -> StoredStream:
@@ -501,10 +635,11 @@ class SegmentStore:
         )
         self._catalog[name] = entry
         self._entry_path(entry).touch()
-        # Registration always persists immediately — recovery after a crash
-        # needs the dimensionality to parse the log, and it cannot come from
-        # the log itself.
-        self._dirty = True
+        # Registration always checkpoints immediately — recovery after a
+        # crash needs the dimensionality (and the backend name, on a fresh
+        # store) to parse the log, and neither can come from the log itself.
+        self._generation += 1
+        self._stale = True
         self.flush()
         return entry
 
@@ -573,7 +708,7 @@ class SegmentStore:
         """
         entry = self.describe(name)
         if entry.blocks and self._backend.ensure_summaries(self._entry_path(entry), entry):
-            self._mark_dirty()
+            self._mark_dirty(name)
         if start is None and end is None:
             return entry.blocks
         return [
@@ -618,14 +753,14 @@ class SegmentStore:
         """
         entry = self.describe(name)
         if entry.blocks and self._backend.ensure_summaries(self._entry_path(entry), entry):
-            self._mark_dirty()
+            self._mark_dirty(name)
         if entry.blocks and not blocks_summarized(entry.blocks):
             raise NotImplementedError(
                 f"backend {self._backend.name!r} keeps no block summaries"
             )
         if entry.pyramid is None:
             entry.pyramid = build_pyramid(block_cells(entry.blocks))
-            self._mark_dirty()
+            self._mark_dirty(name)
         return entry.pyramid
 
     def _refresh_pyramid(self, entry: StoredStream) -> None:
@@ -706,13 +841,14 @@ class SegmentStore:
         """
         if keep_records < 0:
             raise ValueError(f"keep_records must be non-negative, got {keep_records}")
+        self._require_writable()
         entry = self.describe(name)
         if keep_records >= entry.recordings:
             return entry
         self._backend.truncate(self._entry_path(entry), entry, keep_records)
         entry.refresh_from_blocks()
         self._refresh_pyramid(entry)
-        self._mark_dirty()
+        self._mark_dirty(name)
         return entry
 
     def compact(self, name: Optional[str] = None) -> Dict[str, Tuple[int, int]]:
@@ -725,6 +861,7 @@ class SegmentStore:
         Raises:
             KeyError: If ``name`` is given but does not exist.
         """
+        self._require_writable()
         entries = [self.describe(name)] if name is not None else self.streams()
         rebuilt: Dict[str, Tuple[int, int]] = {}
         for entry in entries:
@@ -735,7 +872,7 @@ class SegmentStore:
                 entry.refresh_from_blocks()
                 self._refresh_pyramid(entry)
                 rebuilt[entry.name] = (before, len(entry.blocks))
-                self._mark_dirty()
+                self._mark_dirty(entry.name)
         return rebuilt
 
     def delete(self, name: str) -> None:
@@ -744,10 +881,20 @@ class SegmentStore:
         Raises:
             KeyError: If the stream does not exist.
         """
+        self._require_writable()
         entry = self.describe(name)
         self._entry_path(entry).unlink(missing_ok=True)
         del self._catalog[name]
-        self._mark_dirty()
+        self._generation += 1
+        self._stale = True
+        if self._autoflush:
+            self.flush()
+        else:
+            self._journal.append(
+                self._generation,
+                {"op": "delete", "stream": name},
+                durable=self._durable,
+            )
 
     def total_bytes(self) -> int:
         """Total size of all stream logs on disk."""
@@ -761,25 +908,53 @@ class SegmentStore:
     def flush(self) -> None:
         """Persist the catalog if it has pending changes.
 
-        The write is atomic (temp file + rename in the same directory): a
-        crash mid-flush leaves the previous catalog intact rather than a
-        truncated JSON file that would make the store unopenable.
+        Checkpoints the catalog JSON atomically (temp file + rename in the
+        same directory — a crash mid-flush leaves the previous catalog
+        intact) and rotates the write-ahead journal, whose records already
+        cover every mutation since the last flush.  A no-op on snapshot
+        readers.
         """
-        if not self._dirty:
+        if self._read_only or not self._stale:
             return
+        self.checkpoint()
+
+    def checkpoint(self, durable: Optional[bool] = None) -> int:
+        """Write the catalog JSON checkpoint and rotate the journal.
+
+        Returns the checkpointed generation.  ``durable`` overrides the
+        store's durability setting for this checkpoint (``True`` fsyncs the
+        staged file and the directory).
+        """
+        self._require_writable()
+        durable = self._durable if durable is None else bool(durable)
         payload = {
             "version": _CATALOG_VERSION,
+            "generation": self._generation,
             "backend": self._backend.name,
             "backend_version": self._backend.version,
             "streams": [entry.to_dict() for entry in self._catalog.values()],
         }
         staging = self._catalog_path.with_suffix(".json.tmp")
-        staging.write_text(json.dumps(payload, indent=2, sort_keys=True))
-        os.replace(staging, self._catalog_path)
-        self._dirty = False
+        body = json.dumps(payload, indent=2, sort_keys=True).encode("utf-8")
+        with open(staging, "wb") as handle:
+            faults.write(handle, body, path=staging)
+            if durable:
+                faults.fsync(handle, path=staging)
+        faults.crash_point("catalog.checkpoint.before_replace")
+        faults.replace(staging, self._catalog_path)
+        if durable:
+            faults.fsync_dir(self._directory)
+        faults.crash_point("catalog.checkpoint.after_replace")
+        # The journal is reset only after the checkpoint replace: a crash
+        # between the two re-applies records the checkpoint already holds,
+        # which replay skips by generation.
+        if self._journal.size() > 0:
+            self._journal.reset()
+        self._stale = False
+        return self._generation
 
     def sync(self, name: Optional[str] = None) -> None:
-        """Flush, then ``fsync`` log and catalog bytes to stable storage.
+        """Flush, then ``fsync`` log, journal and catalog to stable storage.
 
         :meth:`flush` makes the catalog consistent with the logs but both
         may still sit in the page cache; callers recording durable facts
@@ -792,6 +967,10 @@ class SegmentStore:
         for entry in entries:
             self._fsync_path(self._entry_path(entry))
         self._fsync_path(self._catalog_path)
+        if not self._read_only:
+            self._journal.sync()
+            self._fsync_path(self._journal.path)
+            faults.fsync_dir(self._directory)
 
     @staticmethod
     def _fsync_path(path: Path) -> None:
@@ -803,9 +982,26 @@ class SegmentStore:
         finally:
             os.close(descriptor)
 
+    def refresh(self) -> int:
+        """Re-pin a snapshot reader to the latest durable catalog state.
+
+        Reloads the checkpoint, replays the journal tail (ignoring any torn
+        suffix a concurrent writer is mid-way through) and clamps the index
+        to the bytes on disk.  Returns the newly pinned generation.  On a
+        writer this just flushes and returns the current generation.
+        """
+        if not self._read_only:
+            self.flush()
+            return self._generation
+        self._load_streams(self._load_checkpoint())
+        self._replay_journal()
+        self._recover()
+        return self._generation
+
     def close(self) -> None:
         """Flush pending catalog changes."""
         self.flush()
+        self._journal.close()
 
     def __enter__(self) -> "SegmentStore":
         return self
@@ -823,7 +1019,39 @@ class SegmentStore:
         """Log path of a stream already in the catalog."""
         return self._entry_path(self.describe(name))
 
-    def _mark_dirty(self) -> None:
-        self._dirty = True
+    def _require_writable(self) -> None:
+        if self._read_only:
+            raise PermissionError(
+                f"store at {self._directory} is open read-only (mode='r')"
+            )
+
+    def _journal_upsert(self, name: str) -> None:
+        entry = self._catalog[name]
+        self._journal.append(
+            self._generation,
+            {"op": "upsert", "stream": name, "entry": entry.to_dict()},
+            durable=self._durable,
+        )
+
+    def _mark_dirty(self, name: Optional[str] = None) -> None:
+        """Record one persisted-state mutation (write-ahead).
+
+        Autoflush stores checkpoint immediately (the seed's write-through
+        behaviour).  Batched stores journal the mutated stream's full entry
+        right away — the cheap O(entry) append that makes the state visible
+        to snapshot readers and replayable after a crash — and defer the
+        O(catalog) checkpoint to :meth:`flush` (or to the journal growing
+        past ``journal_limit``).  Snapshot readers may mutate in-memory
+        caches (summary backfill, pyramids) but never persist: no-op.
+        """
+        if self._read_only:
+            return
+        self._generation += 1
+        self._stale = True
         if self._autoflush:
             self.flush()
+            return
+        if name is not None and name in self._catalog:
+            self._journal_upsert(name)
+            if self._journal.size() >= self._journal_limit:
+                self.flush()

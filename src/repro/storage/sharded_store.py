@@ -52,6 +52,12 @@ class ShardedStore:
             ``None`` (default) reuses the backend persisted in
             ``shards.json`` on reopen; an explicit contradiction raises.
         block_records: Block index granularity, forwarded to every shard.
+        mode: ``"w"`` (default) or ``"r"``; a read-only open pins every
+            shard to a snapshot (see ``SegmentStore``) and never creates
+            or writes ``shards.json``.
+        snapshot: Snapshot-reader alias flag, forwarded to every shard
+            (requires ``mode="r"``).
+        durable: Forwarded to every shard (fsync-per-persisted-mutation).
 
     Raises:
         ValueError: If ``shards`` is not positive, or disagrees with the
@@ -69,12 +75,20 @@ class ShardedStore:
         autoflush: bool = True,
         backend: Union[StorageBackend, str, None] = None,
         block_records: Optional[int] = None,
+        mode: str = "w",
+        snapshot: bool = False,
+        durable: bool = False,
     ) -> None:
         if shards is not None and shards < 1:
             raise ValueError(f"shards must be positive, got {shards}")
+        if mode not in ("r", "w"):
+            raise ValueError(f"mode must be 'r' or 'w', got {mode!r}")
         self._directory = Path(directory)
+        self._read_only = mode == "r"
         meta_path = self._directory / self.META_NAME
         requested = backend.name if isinstance(backend, StorageBackend) else backend
+        if self._read_only and not meta_path.exists():
+            raise FileNotFoundError(f"no sharded store at {self._directory}")
         if meta_path.exists():
             meta = json.loads(meta_path.read_text())
             persisted = int(meta["shards"])
@@ -114,6 +128,9 @@ class ShardedStore:
                 autoflush=autoflush,
                 backend=backend,
                 block_records=block_records,
+                mode=mode,
+                snapshot=snapshot,
+                durable=durable,
             )
             for index in range(shards)
         ]
@@ -139,6 +156,25 @@ class ShardedStore:
     def shard_for(self, name: str) -> SegmentStore:
         """The shard store responsible for ``name``."""
         return self._shards[shard_index(name, self._shard_count)]
+
+    @property
+    def mode(self) -> str:
+        """``"r"`` for a snapshot reader, ``"w"`` for a writer."""
+        return "r" if self._read_only else "w"
+
+    @property
+    def read_only(self) -> bool:
+        """Whether this handle is a read-only snapshot."""
+        return self._read_only
+
+    @property
+    def generation(self) -> Tuple[int, ...]:
+        """Per-shard pinned/persisted catalog generations, in shard order."""
+        return tuple(shard.generation for shard in self._shards)
+
+    def refresh(self) -> Tuple[int, ...]:
+        """Re-pin every shard's snapshot (see ``SegmentStore.refresh``)."""
+        return tuple(shard.refresh() for shard in self._shards)
 
     # ------------------------------------------------------------------ #
     # Catalog (unified view)

@@ -1,0 +1,425 @@
+"""Offline store integrity verification.
+
+``verify_store`` inspects a store directory — plain or sharded — without
+mutating it: catalog/journal generation consistency, block-index shape
+against the physical logs (contiguity, extents, per-block record counts),
+columnar ``RCB1`` block headers, and the parity of the pre-aggregated block
+summaries and zoom pyramid against a fresh decode of the raw records.  It
+returns a structured per-stream report the CLI renders (``repro verify``).
+
+With ``repair=True`` the store is additionally reopened writable after the
+inspection, which truncates the journal and every log to its last consistent
+prefix (the same recovery an ordinary open performs, with the hardened
+header validation), re-checkpoints the catalog, and the inspection is run
+again so the report reflects the repaired state.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.storage import wal
+from repro.storage.backends.base import StorageBackend, get_backend
+from repro.storage.segment_store import (
+    _CATALOG_VERSION,
+    SegmentStore,
+    StoredStream,
+    _legacy_filename,
+)
+from repro.storage.sharded_store import ShardedStore
+from repro.storage.summaries import (
+    block_cells,
+    block_summary,
+    blocks_summarized,
+    build_pyramid,
+    summarize_block,
+)
+
+__all__ = ["StreamCheck", "VerifyReport", "verify_store"]
+
+#: Numeric tolerance for summary/pyramid parity: incrementally maintained
+#: aggregates may differ from a cold recompute only by float association.
+PARITY_TOLERANCE = 1e-9
+
+
+@dataclass
+class StreamCheck:
+    """Verification outcome of one stream.
+
+    Attributes:
+        name: Stream name.
+        recordings: Recording count the catalog claims.
+        blocks: Index blocks the catalog claims.
+        issues: Human-readable problems found (empty when the stream is
+            consistent).
+    """
+
+    name: str
+    recordings: int = 0
+    blocks: int = 0
+    issues: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the stream passed every check."""
+        return not self.issues
+
+
+@dataclass
+class VerifyReport:
+    """Verification outcome of one store directory.
+
+    Attributes:
+        directory: The inspected directory.
+        backend: Backend name the catalog pins (``None`` when unreadable).
+        generation: Catalog generation including the replayed journal tail.
+        journal_records: Valid journal records replayed past the checkpoint.
+        issues: Store-level problems (catalog/journal, not per-stream).
+        streams: Per-stream outcomes, sorted by name.
+        repairs: Actions a ``repair=True`` run performed (empty otherwise).
+        shards: Per-shard sub-reports when the store is sharded.
+    """
+
+    directory: Path
+    backend: Optional[str] = None
+    generation: int = 0
+    journal_records: int = 0
+    issues: List[str] = field(default_factory=list)
+    streams: List[StreamCheck] = field(default_factory=list)
+    repairs: List[str] = field(default_factory=list)
+    shards: List["VerifyReport"] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the whole store (including shards) passed every check."""
+        return (
+            not self.issues
+            and all(stream.ok for stream in self.streams)
+            and all(shard.ok for shard in self.shards)
+        )
+
+    def all_issues(self) -> List[str]:
+        """Every problem found, flattened and labelled with its scope."""
+        found = [f"store: {issue}" for issue in self.issues]
+        found += [
+            f"stream {check.name!r}: {issue}"
+            for check in self.streams
+            for issue in check.issues
+        ]
+        for shard in self.shards:
+            found += [
+                f"{shard.directory.name}/{issue}" for issue in shard.all_issues()
+            ]
+        return found
+
+
+def _close_enough(expected, actual) -> bool:
+    """Structural comparison with :data:`PARITY_TOLERANCE` on numbers."""
+    if isinstance(expected, (int, float)) and isinstance(actual, (int, float)):
+        return bool(
+            np.isclose(expected, actual, rtol=PARITY_TOLERANCE, atol=PARITY_TOLERANCE)
+        )
+    if isinstance(expected, (list, tuple)) and isinstance(actual, (list, tuple)):
+        return len(expected) == len(actual) and all(
+            _close_enough(e, a) for e, a in zip(expected, actual)
+        )
+    if isinstance(expected, dict) and isinstance(actual, dict):
+        return expected.keys() == actual.keys() and all(
+            _close_enough(expected[key], actual[key]) for key in expected
+        )
+    return expected == actual
+
+
+def _effective_entries(
+    payload: Dict[str, object], records, report: VerifyReport
+) -> Dict[str, StoredStream]:
+    """Checkpoint streams with the journal tail replayed on top."""
+    entries: Dict[str, StoredStream] = {}
+    for raw in payload.get("streams", []):
+        try:
+            entry = StoredStream.from_dict(raw)
+        except (KeyError, TypeError, ValueError) as exc:
+            report.issues.append(f"catalog stream entry unreadable: {exc}")
+            continue
+        if entry.filename is None:
+            entry.filename = _legacy_filename(entry.name)
+        entries[entry.name] = entry
+    for generation, body in records:
+        op = body.get("op")
+        name = body.get("stream")
+        if op == "upsert":
+            try:
+                entries[str(name)] = StoredStream.from_dict(body["entry"])
+            except (KeyError, TypeError, ValueError) as exc:
+                report.issues.append(
+                    f"journal record (generation {generation}) unreadable: {exc}"
+                )
+        elif op == "delete":
+            entries.pop(name, None)
+        else:
+            report.issues.append(
+                f"journal record (generation {generation}) has unknown op {op!r}"
+            )
+        report.generation = generation
+    return entries
+
+
+def _check_stream(
+    directory: Path,
+    backend: StorageBackend,
+    entry: StoredStream,
+    parity: bool,
+) -> StreamCheck:
+    check = StreamCheck(
+        name=entry.name, recordings=entry.recordings, blocks=len(entry.blocks)
+    )
+    path = directory / (entry.filename or _legacy_filename(entry.name))
+    try:
+        on_disk = path.stat().st_size
+    except FileNotFoundError:
+        on_disk = 0
+        if entry.recordings > 0:
+            check.issues.append(f"log file {path.name} missing")
+            return check
+
+    indexed = sum(block[1] for block in entry.blocks)
+    if indexed != entry.recordings:
+        check.issues.append(
+            f"index counts {indexed} recordings, catalog claims {entry.recordings}"
+        )
+
+    structural_ok = True
+    previous_end = 0
+    previous_max: Optional[float] = None
+    for index, block in enumerate(entry.blocks):
+        offset, count = int(block[0]), int(block[1])
+        if count < 1:
+            check.issues.append(f"block {index} indexes {count} records")
+            structural_ok = False
+            continue
+        try:
+            extent = backend.block_extent(entry, block)
+        except NotImplementedError:
+            break
+        if offset != previous_end:
+            check.issues.append(
+                f"block {index} starts at byte {offset}, expected {previous_end} "
+                f"(index gap or overlap)"
+            )
+            structural_ok = False
+        previous_end = extent
+        if extent > on_disk:
+            check.issues.append(
+                f"block {index} extends to byte {extent}, log holds only "
+                f"{on_disk} (torn or lost write)"
+            )
+            structural_ok = False
+            break
+        header_check = getattr(backend, "_header_matches", None)
+        if header_check is not None and not header_check(
+            path, block, entry.dimensions
+        ):
+            check.issues.append(f"block {index} has a corrupt RCB1 header")
+            structural_ok = False
+        min_time, max_time = float(block[2]), float(block[3])
+        if min_time > max_time:
+            check.issues.append(
+                f"block {index} time bounds inverted ({min_time} > {max_time})"
+            )
+            structural_ok = False
+        if previous_max is not None and min_time < previous_max:
+            check.issues.append(
+                f"block {index} starts at time {min_time}, before the previous "
+                f"block's end {previous_max} (time order broken)"
+            )
+            structural_ok = False
+        previous_max = max_time
+    else:
+        if entry.blocks and on_disk > previous_end:
+            check.issues.append(
+                f"{on_disk - previous_end} trailing log bytes are not indexed "
+                f"(unflushed append or torn write)"
+            )
+        if not entry.blocks and on_disk > 0:
+            check.issues.append(
+                f"{on_disk} log bytes but the index holds no blocks"
+            )
+
+    if not parity or not structural_ok:
+        return check
+
+    for index, block in enumerate(entry.blocks):
+        stored = block_summary(block)
+        if stored is None:
+            continue
+        try:
+            kinds, times, values = backend.read_blocks(
+                path, entry, index, index + 1
+            )
+        except NotImplementedError:
+            break
+        except Exception as exc:  # corrupt payload bytes decode can fail anywhere
+            check.issues.append(f"block {index} failed to decode: {exc}")
+            continue
+        if not _close_enough(summarize_block(kinds, times, values), stored):
+            check.issues.append(
+                f"block {index} summary diverges from a fresh decode "
+                f"(beyond {PARITY_TOLERANCE:g})"
+            )
+    if (
+        entry.pyramid is not None
+        and entry.blocks
+        and blocks_summarized(entry.blocks)
+    ):
+        if not _close_enough(build_pyramid(block_cells(entry.blocks)), entry.pyramid):
+            check.issues.append(
+                f"zoom pyramid diverges from a cold rebuild "
+                f"(beyond {PARITY_TOLERANCE:g})"
+            )
+    return check
+
+
+def _verify_plain(directory: Path, parity: bool) -> VerifyReport:
+    report = VerifyReport(directory=directory)
+    catalog_path = directory / SegmentStore.CATALOG_NAME
+    journal_path = directory / wal.JOURNAL_NAME
+
+    payload: Dict[str, object] = {}
+    try:
+        payload = json.loads(catalog_path.read_text())
+    except FileNotFoundError:
+        if not journal_path.exists():
+            # A directory holding neither catalog state nor stream logs is
+            # an *empty* store (e.g. a shard no stream hashed into), which
+            # is consistent; anything with orphaned data files is not.
+            if any(directory.glob("*.seg")):
+                report.issues.append(
+                    "no catalog.json and no journal, but stream logs exist"
+                )
+            elif not directory.is_dir():
+                report.issues.append("no catalog.json and no journal — not a store")
+            return report
+    except (json.JSONDecodeError, OSError) as exc:
+        report.issues.append(f"catalog.json unreadable: {exc}")
+        return report
+
+    version = int(payload.get("version", 1))
+    if version > _CATALOG_VERSION:
+        report.issues.append(
+            f"catalog version {version} is newer than this library's "
+            f"{_CATALOG_VERSION}"
+        )
+        return report
+    report.generation = int(payload.get("generation", 0))
+    if report.generation < 0:
+        report.issues.append(f"catalog generation {report.generation} is negative")
+
+    records, consistent_end, total_size = wal.scan_journal(journal_path)
+    torn = total_size - consistent_end
+    if torn:
+        report.issues.append(
+            f"journal has {torn} torn/corrupt trailing bytes "
+            f"(consistent prefix: {consistent_end})"
+        )
+    live = [(g, body) for g, body in records if g > report.generation]
+    report.journal_records = len(live)
+
+    backend_name = payload.get("backend")
+    if backend_name is None and payload.get("streams"):
+        backend_name = "block-log"
+    try:
+        backend = get_backend(backend_name or "block-log")
+    except KeyError as exc:
+        report.issues.append(str(exc))
+        return report
+    report.backend = backend.name
+
+    entries = _effective_entries(payload, live, report)
+    report.streams = [
+        _check_stream(directory, backend, entries[name], parity)
+        for name in sorted(entries)
+    ]
+    return report
+
+
+def _repair_plain(directory: Path, report: VerifyReport) -> List[str]:
+    """Reopen writable — journal + log recovery truncates to the last
+    consistent prefix — and describe what changed."""
+    before = {check.name: check.recordings for check in report.streams}
+    try:
+        store = SegmentStore(directory, autoflush=False)
+    except Exception as exc:
+        return [f"repair failed: could not reopen store writable: {exc}"]
+    actions: List[str] = []
+    try:
+        for entry in store.streams():
+            kept = entry.recordings
+            was = before.get(entry.name)
+            if was is not None and kept != was:
+                actions.append(
+                    f"stream {entry.name!r}: truncated to consistent prefix "
+                    f"({was} -> {kept} recordings)"
+                )
+        store.checkpoint()
+        actions.append(
+            f"journal truncated and catalog re-checkpointed at generation "
+            f"{store.generation}"
+        )
+    finally:
+        store.close()
+    return actions
+
+
+def verify_store(
+    directory: Union[str, Path],
+    *,
+    repair: bool = False,
+    parity: bool = True,
+) -> VerifyReport:
+    """Check the integrity of the store at ``directory``.
+
+    Args:
+        directory: Store directory, plain or sharded.
+        repair: After the inspection, reopen the store writable so journal
+            and logs are truncated to their last consistent prefix and the
+            catalog re-checkpointed; the report then reflects the repaired
+            state and lists the actions under ``repairs``.
+        parity: Recompute every block summary (and the zoom pyramid) from a
+            fresh decode of the raw records and compare within
+            :data:`PARITY_TOLERANCE`.  Disable for a fast structural check
+            of very large stores.
+
+    Returns:
+        A :class:`VerifyReport`; ``report.ok`` is the overall verdict.
+    """
+    directory = Path(directory)
+    if (directory / ShardedStore.META_NAME).exists():
+        report = VerifyReport(directory=directory)
+        try:
+            meta = json.loads((directory / ShardedStore.META_NAME).read_text())
+            shard_count = int(meta["shards"])
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError, OSError) as exc:
+            report.issues.append(f"shards.json unreadable: {exc}")
+            return report
+        report.backend = meta.get("backend")
+        for index in range(shard_count):
+            shard_dir = directory / f"shard-{index:02d}"
+            if not shard_dir.is_dir():
+                report.issues.append(f"shard directory {shard_dir.name} missing")
+                continue
+            report.shards.append(
+                verify_store(shard_dir, repair=repair, parity=parity)
+            )
+        return report
+
+    report = _verify_plain(directory, parity)
+    if repair and not report.ok:
+        repairs = _repair_plain(directory, report)
+        report = _verify_plain(directory, parity)
+        report.repairs = repairs
+    return report

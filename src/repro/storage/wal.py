@@ -1,0 +1,178 @@
+"""Write-ahead catalog journal.
+
+The store's catalog (stream entries, block indexes, summaries, pyramid
+levels, backend metadata) used to be persisted only as a whole-file JSON
+rewrite.  This module makes the JSON catalog a periodic *checkpoint* of an
+append-only journal: every catalog mutation is appended as a checksummed,
+generation-numbered record, and recovery replays the journal tail on top
+of the last checkpoint, discarding any torn or checksum-failed suffix.
+A crash at any instruction therefore leaves a readable consistent prefix:
+
+* records are framed ``<u32 length><u32 crc32><u64 generation><payload>``
+  with the CRC computed over generation + payload — a torn append fails
+  either the length bound or the checksum and replay stops there;
+* generations increase strictly; replay also stops on a non-increasing
+  generation (stale bytes from a recycled file can never be replayed);
+* the journal is rotated by atomically replacing it with a fresh file
+  (plus a directory fsync) only *after* the checkpoint itself has been
+  atomically replaced — a crash between the two replays harmlessly
+  re-applies records the checkpoint already contains (replay skips
+  records whose generation is not beyond the checkpoint's).
+
+Payloads are JSON objects: ``{"op": "upsert", "stream": name, "entry":
+{...}}`` re-registers or updates one stream's full catalog entry, and
+``{"op": "delete", "stream": name}`` removes it.  Durability of each
+append is the caller's choice (``durable=True`` fsyncs); consistency of
+the recovered prefix holds either way.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from pathlib import Path
+from typing import IO, List, Optional, Tuple
+
+from repro.testing import faults
+
+__all__ = ["JOURNAL_NAME", "JournalRecord", "CatalogJournal", "scan_journal"]
+
+#: File name of the catalog journal inside a store directory.
+JOURNAL_NAME = "catalog.wal"
+
+_FRAME = struct.Struct("<IIQ")  # payload length, crc32, generation
+
+
+JournalRecord = Tuple[int, dict]  # (generation, payload)
+
+
+def _checksum(generation: int, payload: bytes) -> int:
+    return zlib.crc32(payload, zlib.crc32(struct.pack("<Q", generation))) & 0xFFFFFFFF
+
+
+def encode_record(generation: int, payload: dict) -> bytes:
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    return _FRAME.pack(len(body), _checksum(generation, body), generation) + body
+
+
+def scan_journal(path: Path) -> Tuple[List[JournalRecord], int, int]:
+    """Parse a journal file into its longest consistent prefix.
+
+    Returns ``(records, consistent_end, total_size)`` where
+    ``consistent_end`` is the byte offset after the last valid record —
+    everything beyond it is a torn/corrupt suffix a writer should truncate
+    away (readers simply ignore it).
+    """
+    try:
+        data = path.read_bytes()
+    except FileNotFoundError:
+        return [], 0, 0
+    records: List[JournalRecord] = []
+    offset = 0
+    previous_generation = -1
+    while offset + _FRAME.size <= len(data):
+        length, crc, generation = _FRAME.unpack_from(data, offset)
+        body_start = offset + _FRAME.size
+        body_end = body_start + length
+        if body_end > len(data):
+            break  # torn tail: the payload never fully landed
+        body = data[body_start:body_end]
+        if _checksum(generation, body) != crc:
+            break  # bit rot or a torn header — nothing beyond is trusted
+        if generation <= previous_generation:
+            break  # recycled bytes from an older journal incarnation
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except ValueError:
+            break
+        records.append((generation, payload))
+        previous_generation = generation
+        offset = body_end
+    return records, offset, len(data)
+
+
+class CatalogJournal:
+    """Appendable, replayable catalog journal for one store directory."""
+
+    def __init__(self, directory: Path, *, read_only: bool = False) -> None:
+        self.directory = Path(directory)
+        self.path = self.directory / JOURNAL_NAME
+        self.read_only = read_only
+        self._handle: Optional[IO[bytes]] = None
+
+    # -- replay -------------------------------------------------------------
+    def replay(self, after_generation: int, *, repair: bool = True) -> List[JournalRecord]:
+        """Records beyond ``after_generation``, torn suffix discarded.
+
+        With ``repair`` (writer mode) a torn suffix is also truncated off
+        the file so subsequent appends extend the consistent prefix.
+        """
+        records, consistent_end, total = scan_journal(self.path)
+        if repair and not self.read_only and consistent_end < total:
+            with open(self.path, "r+b") as handle:
+                faults.truncate(handle, consistent_end, path=self.path)
+                faults.fsync(handle, path=self.path)
+        return [(gen, payload) for gen, payload in records if gen > after_generation]
+
+    def last_generation(self, floor: int = 0) -> int:
+        records, _, _ = scan_journal(self.path)
+        return max([floor] + [gen for gen, _ in records])
+
+    # -- append -------------------------------------------------------------
+    def append(self, generation: int, payload: dict, *, durable: bool = False) -> None:
+        if self.read_only:
+            raise PermissionError("journal opened read-only")
+        handle = self._open()
+        faults.write(handle, encode_record(generation, payload), path=self.path)
+        if durable:
+            faults.fsync(handle, path=self.path)
+        else:
+            handle.flush()
+
+    def sync(self) -> None:
+        """fsync any appended records (no-op if nothing was appended)."""
+        if self._handle is not None:
+            faults.fsync(self._handle, path=self.path)
+
+    def size(self) -> int:
+        if self._handle is not None:
+            self._handle.flush()
+        try:
+            return self.path.stat().st_size
+        except FileNotFoundError:
+            return 0
+
+    # -- rotation -----------------------------------------------------------
+    def reset(self) -> None:
+        """Atomically replace the journal with a fresh empty file.
+
+        Called right after a successful catalog checkpoint.  The fresh
+        file is a new inode, so a concurrent reader that already opened
+        the old journal keeps its consistent view.
+        """
+        if self.read_only:
+            raise PermissionError("journal opened read-only")
+        self.close()
+        staging = self.path.with_suffix(".wal.new")
+        with open(staging, "wb") as handle:
+            faults.fsync(handle, path=staging)
+        faults.replace(staging, self.path)
+        faults.fsync_dir(self.directory)
+
+    # -- lifecycle ----------------------------------------------------------
+    def _open(self) -> IO[bytes]:
+        if self._handle is None:
+            self._handle = open(self.path, "ab")
+        return self._handle
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CatalogJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

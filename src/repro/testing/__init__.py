@@ -1,0 +1,10 @@
+"""Test-support utilities shipped with the package.
+
+Only :mod:`repro.testing.faults` lives here for now — the injectable OS
+shim the storage stack routes its durability-critical calls through, so
+crash-matrix tests can fail or kill the process at any write/fsync/replace.
+"""
+
+from repro.testing import faults
+
+__all__ = ["faults"]

@@ -1,0 +1,331 @@
+"""Injectable OS-call shim for crash and fault testing.
+
+The storage stack routes its durability-critical OS calls — data writes,
+fsyncs, atomic replaces, truncations, directory syncs — through the thin
+wrappers in this module instead of calling :mod:`os` directly.  With no
+injector installed (the default, and the production path) each wrapper is
+a plain pass-through.  Tests install a :class:`FaultInjector` to
+
+* fail the k-th matching call with a chosen ``errno`` (ENOSPC, EINTR, ...),
+* tear a write (persist only a prefix of the payload, then fail),
+* kill the process outright (``os._exit``) at any call or at a named
+  crash point,
+
+which is what drives the cross-backend crash-matrix suite: enumerate the
+shim calls an operation makes (:attr:`FaultInjector.trace`), then replay
+the operation once per call index with a fault at that index and assert
+the store recovers to a consistent prefix.
+
+Child processes inherit fault plans through the environment: serialize a
+plan with :func:`plan_env` and the module installs it at import time via
+:func:`install_from_env` (the storage modules import this module, so any
+``repro`` subprocess picks the plan up with no code changes).
+"""
+
+from __future__ import annotations
+
+import errno as _errno
+import json
+import os
+import threading
+from dataclasses import asdict, dataclass, field
+from typing import IO, Iterator, List, Optional, Tuple, Union
+
+__all__ = [
+    "ENV_PLAN",
+    "FaultRule",
+    "FaultInjector",
+    "InjectedFault",
+    "install",
+    "uninstall",
+    "active",
+    "injected",
+    "plan_env",
+    "install_from_env",
+    "write",
+    "fsync",
+    "replace",
+    "rename",
+    "truncate",
+    "fsync_dir",
+    "crash_point",
+]
+
+#: Environment variable carrying a JSON fault plan for child processes.
+ENV_PLAN = "REPRO_FAULT_PLAN"
+
+#: Shim operation names (`op` values seen by rules and traces).
+OPS = ("write", "fsync", "replace", "rename", "truncate", "fsync_dir", "crash_point")
+
+
+class InjectedFault(OSError):
+    """An OSError raised by the fault shim (never by the real OS)."""
+
+
+@dataclass
+class FaultRule:
+    """Fail the ``index``-th shim call matching ``op``/``path``.
+
+    ``op`` is one of :data:`OPS` or ``"*"``; ``path`` is a substring of the
+    call's target path (``""`` matches everything).  ``action``:
+
+    * ``"raise"`` — raise :class:`InjectedFault` with ``errno_code``;
+    * ``"torn"``  — for writes, persist only ``keep_bytes`` of the payload,
+      then raise (other ops treat it like ``"raise"``);
+    * ``"exit"``  — ``os._exit(exit_code)``: an un-trappable crash.
+
+    A rule fires at most once.
+    """
+
+    op: str = "*"
+    path: str = ""
+    index: int = 0
+    action: str = "raise"
+    errno_code: int = _errno.EIO
+    exit_code: int = 23
+    keep_bytes: int = 0
+    _seen: int = field(default=0, repr=False, compare=False)
+    _fired: bool = field(default=False, repr=False, compare=False)
+
+    def matches(self, op: str, path: str) -> bool:
+        if self._fired:
+            return False
+        if self.op != "*" and self.op != op:
+            return False
+        return self.path in path
+
+    def to_dict(self) -> dict:
+        payload = asdict(self)
+        payload.pop("_seen")
+        payload.pop("_fired")
+        return payload
+
+
+class FaultInjector:
+    """Holds fault rules and a trace of every shim call seen.
+
+    ``exit_at_count`` kills the process at the n-th shim call overall
+    (1-based), independent of any rule — the exhaustive crash matrix uses
+    a clean dry run's call count to sweep this across every index.
+    """
+
+    def __init__(
+        self,
+        rules: Optional[List[FaultRule]] = None,
+        *,
+        exit_at_count: Optional[int] = None,
+        exit_code: int = 23,
+    ) -> None:
+        self.rules = list(rules or [])
+        self.exit_at_count = exit_at_count
+        self.exit_code = exit_code
+        self.calls = 0
+        self.trace: List[Tuple[str, str]] = []
+        self._lock = threading.Lock()
+
+    # -- plan (de)serialization for subprocess children --------------------
+    def to_plan(self) -> dict:
+        return {
+            "rules": [rule.to_dict() for rule in self.rules],
+            "exit_at_count": self.exit_at_count,
+            "exit_code": self.exit_code,
+        }
+
+    @classmethod
+    def from_plan(cls, plan: dict) -> "FaultInjector":
+        return cls(
+            [FaultRule(**rule) for rule in plan.get("rules", [])],
+            exit_at_count=plan.get("exit_at_count"),
+            exit_code=plan.get("exit_code", 23),
+        )
+
+    # -- the decision point -------------------------------------------------
+    def check(self, op: str, path: str) -> Optional[FaultRule]:
+        """Record one shim call; return the rule to apply, if any.
+
+        ``exit`` actions (and ``exit_at_count``) do not return — they kill
+        the process on the spot, which is the point.
+        """
+        with self._lock:
+            self.calls += 1
+            self.trace.append((op, path))
+            if self.exit_at_count is not None and self.calls == self.exit_at_count:
+                os._exit(self.exit_code)
+            for rule in self.rules:
+                if not rule.matches(op, path):
+                    continue
+                if rule._seen == rule.index:
+                    rule._fired = True
+                    if rule.action == "exit":
+                        os._exit(rule.exit_code)
+                    return rule
+                rule._seen += 1
+        return None
+
+
+_ACTIVE: Optional[FaultInjector] = None
+
+
+def install(injector: FaultInjector) -> FaultInjector:
+    """Make ``injector`` the process-wide active injector."""
+    global _ACTIVE
+    _ACTIVE = injector
+    return injector
+
+
+def uninstall() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active() -> Optional[FaultInjector]:
+    return _ACTIVE
+
+
+class injected:
+    """Context manager: install an injector for the duration of a block."""
+
+    def __init__(self, injector: FaultInjector) -> None:
+        self.injector = injector
+
+    def __enter__(self) -> FaultInjector:
+        return install(self.injector)
+
+    def __exit__(self, *exc_info: object) -> None:
+        uninstall()
+
+
+def plan_env(injector: FaultInjector) -> dict:
+    """Environment overlay that installs ``injector``'s plan in a child."""
+    return {ENV_PLAN: json.dumps(injector.to_plan())}
+
+
+def install_from_env() -> Optional[FaultInjector]:
+    """Install the plan serialized in :data:`ENV_PLAN`, if present."""
+    raw = os.environ.get(ENV_PLAN)
+    if not raw:
+        return None
+    return install(FaultInjector.from_plan(json.loads(raw)))
+
+
+def _raise(rule: FaultRule, op: str, path: str) -> None:
+    raise InjectedFault(
+        rule.errno_code,
+        "injected %s fault (%s)" % (op, os.strerror(rule.errno_code)),
+        path or None,
+    )
+
+
+def _path_of(handle: IO[bytes], path: Optional[Union[str, os.PathLike]]) -> str:
+    if path is not None:
+        return str(path)
+    return str(getattr(handle, "name", ""))
+
+
+# --------------------------------------------------------------------------- #
+# The shim wrappers — pass-throughs unless an injector is active.
+# --------------------------------------------------------------------------- #
+
+
+def write(handle: IO[bytes], data: bytes, *, path: Optional[Union[str, os.PathLike]] = None) -> int:
+    """``handle.write(data)``, faultable (including torn prefixes)."""
+    injector = _ACTIVE
+    if injector is not None:
+        target = _path_of(handle, path)
+        rule = injector.check("write", target)
+        if rule is not None:
+            if rule.action == "torn" and rule.keep_bytes > 0:
+                kept = data[: rule.keep_bytes]
+                handle.write(kept)
+                handle.flush()
+            _raise(rule, "write", target)
+    return handle.write(data)
+
+
+def fsync(handle: IO[bytes], *, path: Optional[Union[str, os.PathLike]] = None) -> None:
+    """``flush`` + ``os.fsync`` of an open handle, faultable."""
+    injector = _ACTIVE
+    if injector is not None:
+        target = _path_of(handle, path)
+        rule = injector.check("fsync", target)
+        if rule is not None:
+            _raise(rule, "fsync", target)
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+def replace(src: Union[str, os.PathLike], dst: Union[str, os.PathLike]) -> None:
+    """``os.replace(src, dst)``, faultable (fault = rename never happened)."""
+    injector = _ACTIVE
+    if injector is not None:
+        rule = injector.check("replace", str(dst))
+        if rule is not None:
+            _raise(rule, "replace", str(dst))
+    os.replace(src, dst)
+
+
+def rename(src: Union[str, os.PathLike], dst: Union[str, os.PathLike]) -> None:
+    """``os.rename(src, dst)``, faultable."""
+    injector = _ACTIVE
+    if injector is not None:
+        rule = injector.check("rename", str(dst))
+        if rule is not None:
+            _raise(rule, "rename", str(dst))
+    os.rename(src, dst)
+
+
+def truncate(
+    handle: IO[bytes], size: int, *, path: Optional[Union[str, os.PathLike]] = None
+) -> None:
+    """``handle.truncate(size)``, faultable."""
+    injector = _ACTIVE
+    if injector is not None:
+        target = _path_of(handle, path)
+        rule = injector.check("truncate", target)
+        if rule is not None:
+            _raise(rule, "truncate", target)
+    handle.truncate(size)
+
+
+def fsync_dir(path: Union[str, os.PathLike]) -> None:
+    """fsync a directory so renames/creates inside it are durable.
+
+    Platforms that cannot open directories (Windows) are silently skipped;
+    the injected-fault path still fires first so tests exercise callers'
+    handling either way.
+    """
+    injector = _ACTIVE
+    if injector is not None:
+        rule = injector.check("fsync_dir", str(path))
+        if rule is not None:
+            _raise(rule, "fsync_dir", str(path))
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def crash_point(name: str) -> None:
+    """A named no-op marker; an ``exit`` rule here kills the process."""
+    injector = _ACTIVE
+    if injector is not None:
+        rule = injector.check("crash_point", name)
+        if rule is not None:
+            _raise(rule, "crash_point", name)
+
+
+def iter_trace(injector: FaultInjector) -> Iterator[Tuple[int, str, str]]:
+    """Enumerate a recorded trace as ``(1-based index, op, path)``."""
+    for position, (op, path) in enumerate(injector.trace, start=1):
+        yield position, op, path
+
+
+# Child processes spawned with a serialized plan in the environment pick it
+# up as soon as any storage module imports this one.
+install_from_env()

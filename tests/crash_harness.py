@@ -1,0 +1,123 @@
+"""Shared harness for crash, kill and fault-injection tests.
+
+Collects the helpers the durability suites have in common: deterministic
+workloads, bit-level store comparison, spawning child processes that are
+expected to die hard (``os._exit``), and running library code in a child
+with a :mod:`repro.testing.faults` plan installed from the environment.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.testing import faults
+
+REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def make_workload(seed: int, length: int = 6000):
+    """Deterministic random-walk workload (same for every call with a seed)."""
+    rng = np.random.default_rng(seed)
+    times = np.arange(length, dtype=float)
+    values = np.cumsum(rng.normal(0.0, 1.0, length))
+    return times, values
+
+
+def load_workload(seed: int, length: int = 6000):
+    """Module-level loader so StreamTask can ship it to worker processes."""
+    return make_workload(seed, length)
+
+
+def assert_stores_identical(first, second):
+    """Every stream readable from both stores, record-for-record equal."""
+    assert first.stream_names() == second.stream_names()
+    for name in first.stream_names():
+        left, right = first.read(name), second.read(name)
+        assert len(left) == len(right)
+        for a, b in zip(left, right):
+            assert a.time == b.time
+            assert a.kind == b.kind
+            np.testing.assert_array_equal(a.value, b.value)
+
+
+def store_log_digest(directory) -> dict:
+    """Hash every log file under a store directory (bit-level comparison)."""
+    digests = {}
+    for path in sorted(Path(directory).rglob("*.seg")):
+        digests[path.relative_to(directory).as_posix()] = hashlib.blake2b(
+            path.read_bytes()
+        ).hexdigest()
+    return digests
+
+
+def spawn_expecting_exit(target, args, exitcode, timeout=120):
+    """Run ``target(*args)`` in a spawned child and assert its exit code."""
+    context = multiprocessing.get_context("spawn")
+    child = context.Process(target=target, args=args)
+    child.start()
+    child.join(timeout=timeout)
+    assert child.exitcode == exitcode, (
+        f"child exited with {child.exitcode}, expected {exitcode}"
+    )
+
+
+def run_python_with_faults(code: str, injector=None, timeout=120, env=None):
+    """Run a Python snippet in a subprocess, optionally under a fault plan.
+
+    The plan travels via ``REPRO_FAULT_PLAN``; :mod:`repro.testing.faults`
+    installs it on import, so the child needs no cooperation beyond
+    importing the library.  Returns the ``CompletedProcess``.
+    """
+    child_env = dict(os.environ)
+    child_env["PYTHONPATH"] = REPO_SRC + os.pathsep + child_env.get("PYTHONPATH", "")
+    if injector is not None:
+        child_env.update(faults.plan_env(injector))
+    if env:
+        child_env.update(env)
+    return subprocess.run(
+        [sys.executable, "-c", code],
+        env=child_env,
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def trace_operation(operation):
+    """Run ``operation`` with a pass-through injector; return the I/O trace.
+
+    The trace — one ``(op, path)`` tuple per interceptable I/O call — is
+    what a crash matrix enumerates: injecting a fault at every index of the
+    trace exercises a failure between every pair of I/O instructions.
+    """
+    injector = faults.FaultInjector([])
+    faults.install(injector)
+    try:
+        operation()
+    finally:
+        faults.uninstall()
+    return list(injector.trace)
+
+
+def run_with_fault(operation, rule):
+    """Run ``operation`` with one :class:`faults.FaultRule` armed.
+
+    Returns the exception the injected fault caused (or ``None`` when the
+    operation swallowed it / the rule never fired).
+    """
+    injector = faults.FaultInjector([rule])
+    faults.install(injector)
+    try:
+        operation()
+        return None
+    except BaseException as exc:  # noqa: BLE001 - the matrix inspects it
+        return exc
+    finally:
+        faults.uninstall()

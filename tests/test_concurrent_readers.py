@@ -1,0 +1,243 @@
+"""Snapshot readers: pinned generations, and a real two-process soak.
+
+The soak is the acceptance test for the concurrent-reader contract: a
+writer process appends 10k recordings while this process loops range,
+aggregate and zoom queries through a snapshot reader — every observed
+view must be a consistent prefix of the final stream (never torn, never
+time-unordered), and observed sizes must be monotone across refreshes.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+from crash_harness import REPO_SRC
+
+import repro
+from repro.approximation.reconstruct import reconstruct
+from repro.core.types import Recording, RecordingKind
+from repro.queries.aggregates import range_aggregate
+from repro.queries.planner import plan_range_aggregate
+from repro.storage import SegmentStore, open_store
+
+TOTAL = 10_000
+BATCHES = 100
+
+
+def value_at(i):
+    return float(np.sin(i / 7.0) + i * 0.001)
+
+
+def recordings(n, start=0):
+    return [
+        Recording(
+            float(start + i),
+            np.array([value_at(start + i)]),
+            RecordingKind.SEGMENT_START,
+        )
+        for i in range(n)
+    ]
+
+
+WRITER_CHILD = """
+import numpy as np
+from repro.core.types import Recording, RecordingKind
+from repro.storage import SegmentStore
+
+def value_at(i):
+    return float(np.sin(i / 7.0) + i * 0.001)
+
+store = SegmentStore({directory!r}, autoflush=False)
+per_batch = {total} // {batches}
+for batch in range({batches}):
+    start = batch * per_batch
+    store.append("s", [
+        Recording(float(start + i), np.array([value_at(start + i)]),
+                  RecordingKind.SEGMENT_START)
+        for i in range(per_batch)
+    ])
+    if batch % 10 == 9:
+        store.flush()
+store.close()
+"""
+
+
+def check_view(reader, expect_at_least=2):
+    """One consistency probe; returns the number of recordings seen."""
+    if "s" not in reader:
+        return 0
+    kinds, times, values = reader.read_arrays("s")
+    n = times.shape[0]
+    if n == 0:
+        return 0
+    # A consistent prefix: times are exactly 0..n-1 and every value matches
+    # the writer's deterministic formula — a torn or reordered view cannot
+    # pass this.
+    np.testing.assert_array_equal(times, np.arange(n, dtype=float))
+    np.testing.assert_allclose(
+        values[:, 0], [value_at(i) for i in range(n)], rtol=0, atol=1e-12
+    )
+    if n >= expect_at_least:
+        planned = plan_range_aggregate(reader, "s", times[0], times[-1], 0)
+        brute = range_aggregate(reconstruct(reader.read("s")), times[0], times[-1])
+        for field in ("minimum", "maximum", "mean", "integral"):
+            assert abs(getattr(planned, field) - getattr(brute, field)) <= 1e-9
+        # The pyramid is empty until the block index outgrows one fan-out;
+        # once present, every level must span exactly the pinned view.
+        for level in reader.pyramid_levels("s"):
+            assert level[0][0] == 0.0
+            assert level[-1][1] == times[-1]
+    return n
+
+
+@pytest.mark.faults
+class TestTwoProcessSoak:
+    def test_snapshot_reader_never_sees_torn_views(self, tmp_path):
+        directory = tmp_path / "store"
+        setup = SegmentStore(directory, autoflush=False)
+        setup.ensure_stream("s", 1)
+        setup.flush()
+        setup.close()
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+        writer = subprocess.Popen(
+            [
+                sys.executable,
+                "-c",
+                WRITER_CHILD.format(
+                    directory=str(directory), total=TOTAL, batches=BATCHES
+                ),
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        reader = SegmentStore.open(directory, mode="r", snapshot=True)
+        try:
+            counts = [check_view(reader)]
+            probes = 0
+            deadline = time.monotonic() + 120
+            while writer.poll() is None:
+                assert time.monotonic() < deadline, "writer did not finish"
+                reader.refresh()
+                counts.append(check_view(reader))
+                probes += 1
+            stdout, stderr = writer.communicate(timeout=30)
+            assert writer.returncode == 0, stderr
+            assert probes > 0
+            # Sizes observed across refreshes are monotone...
+            assert counts == sorted(counts)
+            # ...and the final refresh sees the writer's complete output.
+            reader.refresh()
+            assert check_view(reader) == TOTAL
+        finally:
+            if writer.poll() is None:
+                writer.kill()
+            reader.close()
+
+
+class TestSnapshotSemantics:
+    def test_snapshot_pins_generation_until_refresh(self, tmp_path):
+        writer = SegmentStore(tmp_path, autoflush=False)
+        writer.append("s", recordings(100))
+        writer.flush()
+
+        reader = SegmentStore.open(tmp_path, mode="r", snapshot=True)
+        pinned = reader.generation
+        assert reader.describe("s").recordings == 100
+
+        writer.append("s", recordings(100, start=100))
+        # The journal already carries the append, but the pinned snapshot
+        # must not move...
+        assert reader.describe("s").recordings == 100
+        assert reader.generation == pinned
+        assert reader.read_arrays("s")[1].shape[0] == 100
+        # ...until an explicit refresh re-pins it.
+        assert reader.refresh() > pinned
+        assert reader.describe("s").recordings == 200
+        reader.close()
+        writer.close()
+
+    def test_snapshot_sees_unflushed_journal_state_on_open(self, tmp_path):
+        writer = SegmentStore(tmp_path, autoflush=False)
+        writer.append("s", recordings(50))
+        # No flush: the catalog checkpoint does not exist yet, only journal
+        # records do.  A snapshot opened now still sees the 50 recordings.
+        reader = SegmentStore.open(tmp_path, mode="r", snapshot=True)
+        assert reader.describe("s").recordings == 50
+        reader.close()
+        writer.close()
+
+    def test_reader_mutations_raise_permission_error(self, tmp_path):
+        writer = SegmentStore(tmp_path)
+        writer.append("s", recordings(10))
+        writer.close()
+        reader = SegmentStore.open(tmp_path, mode="r")
+        with pytest.raises(PermissionError):
+            reader.append("s", recordings(10, start=10))
+        with pytest.raises(PermissionError):
+            reader.delete("s")
+        with pytest.raises(PermissionError):
+            reader.truncate_stream("s", 5)
+        with pytest.raises(PermissionError):
+            reader.compact("s")
+        reader.close()
+
+    def test_reader_requires_existing_store(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            SegmentStore.open(tmp_path / "absent", mode="r")
+
+    def test_pyramid_query_on_reader_does_not_persist(self, tmp_path):
+        writer = SegmentStore(tmp_path, block_records=8)
+        writer.append("s", recordings(64))
+        writer.close()
+        before = (tmp_path / "catalog.json").read_bytes()
+        reader = SegmentStore.open(tmp_path, mode="r", snapshot=True)
+        assert reader.pyramid_levels("s")
+        reader.close()
+        assert (tmp_path / "catalog.json").read_bytes() == before
+
+    def test_sharded_store_forwards_snapshot_mode(self, tmp_path):
+        writer = open_store(tmp_path, shards=2)
+        writer.append("a", recordings(10))
+        writer.append("b", recordings(10))
+        writer.close()
+        reader = open_store(tmp_path, mode="r", snapshot=True)
+        assert reader.read_only
+        assert sorted(reader.stream_names()) == ["a", "b"]
+        assert reader.read_arrays("a")[1].shape[0] == 10
+        with pytest.raises(PermissionError):
+            reader.append("a", recordings(5, start=10))
+        reader.refresh()
+        reader.close()
+
+
+class TestSessionReadOnly:
+    def test_open_mode_r_gives_read_only_session(self, tmp_path):
+        with repro.open(tmp_path / "db", filter=repro.FilterSpec(epsilon=0.1)) as db:
+            db.append("s", np.arange(50.0), np.sin(np.arange(50.0) / 3.0))
+        ro = repro.open(tmp_path / "db", mode="r", snapshot=True)
+        try:
+            assert ro.read_only
+            assert ro.streams() == ["s"]
+            assert len(ro.read("s")) > 0
+            with pytest.raises(PermissionError):
+                ro.append("s", [50.0], [0.0])
+            ro.refresh()
+        finally:
+            ro.close()
+
+    def test_writable_session_reports_not_read_only(self, tmp_path):
+        with repro.open(tmp_path / "db") as db:
+            assert not db.read_only
+
+    def test_mode_conflicts_with_storage_spec(self, tmp_path):
+        with pytest.raises(ValueError):
+            repro.open(tmp_path / "db", storage=repro.StorageSpec(), mode="r")

@@ -1,0 +1,494 @@
+"""Fault-injection shim tests, durability regressions, and the crash matrix.
+
+Three layers:
+
+* unit tests of :mod:`repro.testing.faults` itself;
+* regression tests for specific durability fixes (checkpoint directory
+  fsync, sink retry/degradation, atomic staging swaps);
+* the cross-backend crash matrix (marked ``faults``): every I/O call of
+  {append, compact, truncate, migrate, checkpoint} on each backend is
+  failed (and, for data writes, torn) in turn, and the store must recover
+  to a consistent prefix with the planner agreeing with a full decode.
+"""
+
+from __future__ import annotations
+
+import errno
+import shutil
+
+import numpy as np
+import pytest
+from crash_harness import run_python_with_faults, run_with_fault, trace_operation
+
+from repro.approximation.reconstruct import reconstruct
+from repro.core.errors import DegradedSinkError
+from repro.core.types import Recording, RecordingKind
+from repro.pipeline.sinks import StoreSink
+from repro.queries.aggregates import range_aggregate
+from repro.queries.planner import plan_range_aggregate
+from repro.runtime.checkpoint import CheckpointManager, IngestCheckpoint
+from repro.storage import (
+    SegmentStore,
+    migrate_store,
+    open_store,
+    recover_interrupted_migration,
+    verify_store,
+)
+from repro.testing import faults
+from repro.testing.faults import FaultInjector, FaultRule, InjectedFault
+
+BACKENDS = ["block-log", "columnar"]
+
+BASE_RECORDS = 40
+BATCH_RECORDS = 16
+
+
+def recordings(n, start=0.0):
+    return [
+        Recording(
+            float(start + i),
+            np.array([float(np.sin((start + i) / 3.0))]),
+            RecordingKind.SEGMENT_START,
+        )
+        for i in range(n)
+    ]
+
+
+def build_base_store(directory, backend):
+    store = SegmentStore(
+        directory, backend=backend, block_records=8, autoflush=False
+    )
+    store.append("s", recordings(BASE_RECORDS))
+    store.pyramid_levels("s")
+    store.flush()
+    store.close()
+
+
+# --------------------------------------------------------------------------- #
+# The shim itself
+# --------------------------------------------------------------------------- #
+class TestFaultShim:
+    def test_passthrough_without_injector(self, tmp_path):
+        path = tmp_path / "f"
+        with open(path, "wb") as handle:
+            assert faults.write(handle, b"abc") == 3
+            faults.fsync(handle)
+        faults.replace(path, tmp_path / "g")
+        faults.rename(tmp_path / "g", path)
+        faults.fsync_dir(tmp_path)
+        faults.crash_point("nowhere")
+        assert path.read_bytes() == b"abc"
+
+    def test_rule_fires_once_at_kth_match(self, tmp_path):
+        rule = FaultRule(op="write", index=1, errno_code=errno.ENOSPC)
+        path = tmp_path / "f"
+        with faults.injected(FaultInjector([rule])):
+            with open(path, "wb") as handle:
+                faults.write(handle, b"one")
+                with pytest.raises(InjectedFault) as caught:
+                    faults.write(handle, b"two")
+                assert caught.value.errno == errno.ENOSPC
+                faults.write(handle, b"three")  # the rule is spent
+        assert path.read_bytes() == b"onethree"
+
+    def test_torn_write_keeps_prefix_then_raises(self, tmp_path):
+        rule = FaultRule(op="write", action="torn", keep_bytes=4)
+        path = tmp_path / "f"
+        with faults.injected(FaultInjector([rule])):
+            with open(path, "wb") as handle:
+                with pytest.raises(InjectedFault):
+                    faults.write(handle, b"0123456789")
+        assert path.read_bytes() == b"0123"
+
+    def test_path_filter_matches_substring(self, tmp_path):
+        rule = FaultRule(op="write", path="victim")
+        with faults.injected(FaultInjector([rule])):
+            with open(tmp_path / "bystander", "wb") as handle:
+                faults.write(handle, b"x")
+            with open(tmp_path / "victim.log", "wb") as handle:
+                with pytest.raises(InjectedFault):
+                    faults.write(handle, b"x")
+
+    def test_trace_records_every_call(self, tmp_path):
+        injector = FaultInjector([])
+        with faults.injected(injector):
+            with open(tmp_path / "f", "wb") as handle:
+                faults.write(handle, b"x")
+                faults.fsync(handle)
+            faults.fsync_dir(tmp_path)
+        assert [op for op, _ in injector.trace] == ["write", "fsync", "fsync_dir"]
+
+    def test_plan_round_trip(self):
+        injector = FaultInjector(
+            [FaultRule(op="replace", path="catalog", index=2, action="exit")],
+            exit_at_count=7,
+            exit_code=9,
+        )
+        clone = FaultInjector.from_plan(injector.to_plan())
+        assert clone.exit_at_count == 7 and clone.exit_code == 9
+        assert clone.rules[0].op == "replace" and clone.rules[0].action == "exit"
+
+    def test_env_plan_installs_in_child(self, tmp_path):
+        injector = FaultInjector(
+            [FaultRule(op="crash_point", path="smoke", action="exit", exit_code=31)]
+        )
+        result = run_python_with_faults(
+            "from repro.testing import faults\n"
+            "assert faults.active() is not None\n"
+            "faults.crash_point('smoke')\n",
+            injector=injector,
+        )
+        assert result.returncode == 31
+
+
+# --------------------------------------------------------------------------- #
+# Durability regressions (the satellites)
+# --------------------------------------------------------------------------- #
+class TestCheckpointManagerDurability:
+    def make_checkpoint(self, stream="s"):
+        return IngestCheckpoint(
+            stream=stream,
+            filter_state=None,
+            points_ingested=5,
+            recordings_stored=3,
+            chunk_size=128,
+        )
+
+    def test_save_fsyncs_file_and_directory(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        injector = FaultInjector([])
+        with faults.injected(injector):
+            manager.save(self.make_checkpoint())
+        ops = [op for op, _ in injector.trace]
+        assert ops == ["write", "fsync", "crash_point", "replace", "fsync_dir"]
+        assert injector.trace[-1][1] == str(tmp_path)
+
+    def test_failed_replace_leaves_previous_checkpoint_intact(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save(self.make_checkpoint())
+        newer = self.make_checkpoint()
+        newer.points_ingested = 999
+        rule = FaultRule(op="replace", path=".ckpt")
+        with faults.injected(FaultInjector([rule])):
+            with pytest.raises(InjectedFault):
+                manager.save(newer)
+        assert manager.load("s").points_ingested == 5
+
+    def test_torn_staging_write_never_corrupts_checkpoint(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save(self.make_checkpoint())
+        rule = FaultRule(op="write", path=".tmp", action="torn", keep_bytes=10)
+        with faults.injected(FaultInjector([rule])):
+            with pytest.raises(InjectedFault):
+                manager.save(self.make_checkpoint())
+        assert manager.load("s").points_ingested == 5
+
+
+class TestSinkRetryAndDegradation:
+    def test_transient_append_failure_is_retried(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("repro.pipeline.sinks._FLUSH_BACKOFF", 0.0)
+        store = SegmentStore(tmp_path, autoflush=False)
+        sink = StoreSink(store, "s", archive_batch=4)
+        rule = FaultRule(op="write", path=".seg", errno_code=errno.ENOSPC)
+        with faults.injected(FaultInjector([rule])):
+            sink.write(recordings(4))  # first try hits ENOSPC, retry lands
+        assert store.describe("s").recordings == 4
+        assert sink.pending == ()
+        store.close()
+
+    def test_persistent_failure_degrades_with_buffer_attached(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setattr("repro.pipeline.sinks._FLUSH_BACKOFF", 0.0)
+        store = SegmentStore(tmp_path, autoflush=False)
+        sink = StoreSink(store, "s", archive_batch=4)
+        rules = [
+            FaultRule(op="write", path=".seg", errno_code=errno.ENOSPC)
+            for _ in range(8)
+        ]
+        with faults.injected(FaultInjector(rules)):
+            with pytest.raises(DegradedSinkError) as caught:
+                sink.write(recordings(4))
+        assert len(caught.value.recordings) == 4
+        assert len(sink.pending) == 4  # still queued: nothing lost
+        assert "s" not in store or store.describe("s").recordings == 0
+        # The condition cleared: the next flush archives exactly once.
+        sink.flush()
+        assert store.describe("s").recordings == 4
+        store.close()
+
+    def test_non_transient_failure_is_not_retried(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("repro.pipeline.sinks._FLUSH_BACKOFF", 0.0)
+        store = SegmentStore(tmp_path, autoflush=False)
+        sink = StoreSink(store, "s", archive_batch=4)
+        injector = FaultInjector(
+            [FaultRule(op="write", path=".seg", errno_code=errno.EIO)]
+        )
+        with faults.injected(injector):
+            with pytest.raises(InjectedFault):
+                sink.write(recordings(4))
+        writes = [op for op, path in injector.trace if op == "write" and ".seg" in path]
+        assert len(writes) == 1  # EIO is fatal: exactly one attempt
+        assert len(sink.pending) == 4
+        store.close()
+
+
+# --------------------------------------------------------------------------- #
+# Crash matrix machinery
+# --------------------------------------------------------------------------- #
+def full_arrays(n_total):
+    expected = recordings(n_total)
+    kinds = np.array([0] * n_total, dtype=np.uint8)
+    times = np.array([r.time for r in expected])
+    values = np.vstack([r.value for r in expected])
+    return kinds, times, values
+
+
+def assert_recovered_consistent(directory, allowed_counts, max_count):
+    """The recovery contract every matrix cell must satisfy."""
+    store = open_store(directory, autoflush=False)
+    try:
+        kinds, times, values = store.read_arrays("s")
+        n = times.shape[0]
+        assert n in allowed_counts, f"recovered {n} recordings, allowed {allowed_counts}"
+        ek, et, ev = full_arrays(max_count)
+        np.testing.assert_array_equal(kinds, ek[:n])
+        np.testing.assert_array_equal(times, et[:n])
+        np.testing.assert_array_equal(values, ev[:n])
+        assert np.all(np.diff(times) > 0)
+        if n >= 2:
+            planned = plan_range_aggregate(store, "s", times[0], times[-1], 0)
+            brute = range_aggregate(
+                reconstruct(store.read("s")), times[0], times[-1]
+            )
+            for field in ("minimum", "maximum", "mean", "integral"):
+                assert abs(getattr(planned, field) - getattr(brute, field)) <= 1e-9
+        store.flush()
+    finally:
+        store.close()
+    report = verify_store(directory)
+    assert report.ok, report.all_issues()
+
+
+def op_append(directory, backend):
+    store = SegmentStore(directory, autoflush=False)
+    store.append("s", recordings(BATCH_RECORDS, start=BASE_RECORDS))
+    store.flush()
+    store.close()
+
+
+def op_compact(directory, backend):
+    store = SegmentStore(directory, autoflush=False)
+    store.compact("s")
+    store.flush()
+    store.close()
+
+
+def op_truncate(directory, backend):
+    store = SegmentStore(directory, autoflush=False)
+    store.truncate_stream("s", 20)
+    store.flush()
+    store.close()
+
+
+def op_checkpoint(directory, backend):
+    store = SegmentStore(directory, autoflush=False)
+    store.append("s", recordings(BATCH_RECORDS, start=BASE_RECORDS))
+    store.checkpoint(durable=True)
+    store.close()
+
+
+def op_migrate(directory, backend):
+    other = "columnar" if backend == "block-log" else "block-log"
+    migrate_store(directory, other)
+
+
+APPEND_RANGE = set(range(BASE_RECORDS, BASE_RECORDS + BATCH_RECORDS + 1))
+
+#: op name -> (operation, allowed recovered counts, prefix reference length)
+MATRIX_OPS = {
+    "append": (op_append, APPEND_RANGE, BASE_RECORDS + BATCH_RECORDS),
+    "compact": (op_compact, {BASE_RECORDS}, BASE_RECORDS),
+    "truncate": (op_truncate, {20, BASE_RECORDS}, BASE_RECORDS),
+    "checkpoint": (op_checkpoint, APPEND_RANGE, BASE_RECORDS + BATCH_RECORDS),
+    "migrate": (op_migrate, {BASE_RECORDS}, BASE_RECORDS),
+}
+
+
+def run_matrix_cell(tmp_path, backend, op_name, tear_writes=False):
+    operation, allowed, max_count = MATRIX_OPS[op_name]
+    template = tmp_path / "template"
+    build_base_store(template, backend)
+
+    dry = tmp_path / "dry"
+    shutil.copytree(template, dry)
+    trace = trace_operation(lambda: operation(dry, backend))
+    assert trace, f"{op_name} on {backend} made no interceptable I/O calls"
+
+    trials = 0
+    for index, (op, path) in enumerate(trace):
+        if tear_writes and op != "write":
+            continue
+        work = tmp_path / f"work-{index}"
+        shutil.copytree(template, work)
+        if tear_writes:
+            rule = FaultRule(op="write", index=trials, action="torn", keep_bytes=13)
+        else:
+            rule = FaultRule(index=index)
+        exc = run_with_fault(lambda: operation(work, backend), rule)
+        trials += 1
+        if op_name == "migrate":
+            recover_interrupted_migration(work)
+        assert_recovered_consistent(work, allowed, max_count)
+        shutil.rmtree(work)
+    assert trials > 0
+
+
+@pytest.mark.faults
+class TestCrashMatrix:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("op_name", sorted(MATRIX_OPS))
+    def test_fault_at_every_io_call(self, tmp_path, backend, op_name):
+        run_matrix_cell(tmp_path, backend, op_name)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("op_name", ["append", "checkpoint"])
+    def test_torn_write_at_every_data_write(self, tmp_path, backend, op_name):
+        run_matrix_cell(tmp_path, backend, op_name, tear_writes=True)
+
+
+class TestCrashMatrixSmoke:
+    """A cheap unmarked slice of the matrix so tier-1 still covers the path."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_failed_first_append_write_recovers(self, tmp_path, backend):
+        template = tmp_path / "store"
+        build_base_store(template, backend)
+        rule = FaultRule(op="write", path=".seg")
+        exc = run_with_fault(lambda: op_append(template, backend), rule)
+        assert isinstance(exc, InjectedFault)
+        assert_recovered_consistent(
+            template, {BASE_RECORDS}, BASE_RECORDS + BATCH_RECORDS
+        )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_fault_at_checkpoint_replace_keeps_journal(self, tmp_path, backend):
+        template = tmp_path / "store"
+        build_base_store(template, backend)
+        rule = FaultRule(op="replace", path="catalog.json")
+        exc = run_with_fault(lambda: op_checkpoint(template, backend), rule)
+        assert isinstance(exc, InjectedFault)
+        # The checkpoint never landed, so the journal must still carry the
+        # append for replay.
+        assert_recovered_consistent(
+            template,
+            {BASE_RECORDS + BATCH_RECORDS},
+            BASE_RECORDS + BATCH_RECORDS,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Hard kills (os._exit) at named crash points — subprocess-based
+# --------------------------------------------------------------------------- #
+CHILD_CHECKPOINT_FLUSH = """
+import numpy as np
+from repro.core.types import Recording, RecordingKind
+from repro.storage import SegmentStore
+
+store = SegmentStore({directory!r}, autoflush=False)
+store.append("s", [
+    Recording(float(40 + i), np.array([float(np.sin((40 + i) / 3.0))]),
+              RecordingKind.SEGMENT_START)
+    for i in range(16)
+])
+store.flush()
+store.close()
+print("survived")
+"""
+
+
+@pytest.mark.faults
+class TestHardKills:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize(
+        "point, expect",
+        [
+            ("catalog.checkpoint.before_replace", BASE_RECORDS + BATCH_RECORDS),
+            ("catalog.checkpoint.after_replace", BASE_RECORDS + BATCH_RECORDS),
+        ],
+    )
+    def test_kill_at_checkpoint_crash_points(self, tmp_path, backend, point, expect):
+        build_base_store(tmp_path / "store", backend)
+        injector = FaultInjector(
+            [FaultRule(op="crash_point", path=point, action="exit", exit_code=23)]
+        )
+        result = run_python_with_faults(
+            CHILD_CHECKPOINT_FLUSH.format(directory=str(tmp_path / "store")),
+            injector=injector,
+        )
+        assert result.returncode == 23, result.stderr
+        # Before the replace: the old checkpoint plus the journal carry the
+        # append.  After it: the new checkpoint alone carries it.  Either
+        # way the append survives and the store verifies clean.
+        assert_recovered_consistent(tmp_path / "store", {expect}, expect)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_kill_between_migrate_renames_is_restorable(self, tmp_path, backend):
+        directory = tmp_path / "store"
+        build_base_store(directory, backend)
+        other = "columnar" if backend == "block-log" else "block-log"
+        injector = FaultInjector(
+            [
+                FaultRule(
+                    op="crash_point",
+                    path="migrate.between_renames",
+                    action="exit",
+                    exit_code=23,
+                )
+            ]
+        )
+        result = run_python_with_faults(
+            f"from repro.storage import migrate_store\n"
+            f"migrate_store({str(directory)!r}, {other!r})\n",
+            injector=injector,
+        )
+        assert result.returncode == 23, result.stderr
+        assert not directory.exists()  # the canonical path is gone...
+        assert directory.with_name("store.migrate-old").exists()
+        assert recover_interrupted_migration(directory) == "restored"
+        assert_recovered_consistent(directory, {BASE_RECORDS}, BASE_RECORDS)
+        # ...and the migration can simply be re-run to completion.
+        report = migrate_store(directory, other)
+        assert report.changed and report.target == other
+        assert_recovered_consistent(directory, {BASE_RECORDS}, BASE_RECORDS)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_kill_swept_across_every_io_call(self, tmp_path, backend):
+        """exit_at_count sweep: die at the n-th shim call for every n."""
+        template = tmp_path / "template"
+        build_base_store(template, backend)
+        kills = 0
+        for count in range(1, 200):
+            work = tmp_path / f"work-{count}"
+            shutil.copytree(template, work)
+            injector = FaultInjector([], exit_at_count=count, exit_code=23)
+            result = run_python_with_faults(
+                CHILD_CHECKPOINT_FLUSH.format(directory=str(work)),
+                injector=injector,
+            )
+            if result.returncode == 0:
+                # The child made fewer than ``count`` shim calls and ran to
+                # completion: the sweep has covered every call.
+                assert "survived" in result.stdout
+                break
+            assert result.returncode == 23, (count, result.stderr, result.stdout)
+            kills += 1
+            assert_recovered_consistent(
+                work,
+                APPEND_RANGE,
+                BASE_RECORDS + BATCH_RECORDS,
+            )
+            shutil.rmtree(work)
+        else:
+            pytest.fail("child never ran to completion within the sweep bound")
+        assert kills > 0

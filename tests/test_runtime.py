@@ -4,12 +4,17 @@ from __future__ import annotations
 
 import asyncio
 import functools
-import hashlib
 import multiprocessing
 import os
 
 import numpy as np
 import pytest
+from crash_harness import (
+    assert_stores_identical,
+    load_workload,
+    make_workload,
+    store_log_digest,
+)
 
 from repro.pipeline import BatchIngestor
 from repro.pipeline.chunking import iter_chunks
@@ -24,39 +29,6 @@ from repro.runtime import (
     run_ingest,
 )
 from repro.storage import open_store
-
-
-def make_workload(seed: int, length: int = 6000):
-    rng = np.random.default_rng(seed)
-    times = np.arange(length, dtype=float)
-    values = np.cumsum(rng.normal(0.0, 1.0, length))
-    return times, values
-
-
-def load_workload(seed: int, length: int = 6000):
-    """Module-level loader so StreamTask can ship it to worker processes."""
-    return make_workload(seed, length)
-
-
-def assert_stores_identical(first, second):
-    assert first.stream_names() == second.stream_names()
-    for name in first.stream_names():
-        left, right = first.read(name), second.read(name)
-        assert len(left) == len(right)
-        for a, b in zip(left, right):
-            assert a.time == b.time
-            assert a.kind == b.kind
-            np.testing.assert_array_equal(a.value, b.value)
-
-
-def store_log_digest(directory) -> dict:
-    """Hash every log file under a store directory (bit-level comparison)."""
-    digests = {}
-    for path in sorted(directory.rglob("*.seg")):
-        digests[path.relative_to(directory).as_posix()] = hashlib.blake2b(
-            path.read_bytes()
-        ).hexdigest()
-    return digests
 
 
 # --------------------------------------------------------------------------- #

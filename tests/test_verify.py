@@ -1,0 +1,228 @@
+"""Offline integrity checking: verify_store, --repair, and migrate recovery."""
+
+from __future__ import annotations
+
+import json
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.types import Recording, RecordingKind
+from repro.storage import (
+    SegmentStore,
+    migrate_store,
+    open_store,
+    recover_interrupted_migration,
+    verify_store,
+)
+from repro.storage.wal import JOURNAL_NAME
+
+BACKENDS = ["block-log", "columnar"]
+
+
+def recordings(n, start=0.0):
+    return [
+        Recording(
+            float(start + i),
+            np.array([float(np.sin((start + i) / 3.0))]),
+            RecordingKind.SEGMENT_START,
+        )
+        for i in range(n)
+    ]
+
+
+def build_store(directory, backend, streams=("s",), records=50):
+    store = SegmentStore(directory, backend=backend, block_records=8)
+    for name in streams:
+        store.append(name, recordings(records))
+        store.pyramid_levels(name)
+    store.flush()
+    path = {name: store.describe(name).filename for name in streams}
+    store.close()
+    return path
+
+
+class TestVerifyStore:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_intact_store_verifies_clean(self, tmp_path, backend):
+        build_store(tmp_path, backend)
+        report = verify_store(tmp_path)
+        assert report.ok
+        assert report.backend == backend
+        assert [check.name for check in report.streams] == ["s"]
+        assert report.streams[0].recordings == 50
+        assert report.streams[0].ok
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_truncated_log_is_reported(self, tmp_path, backend):
+        filenames = build_store(tmp_path, backend)
+        log = tmp_path / filenames["s"]
+        log.write_bytes(log.read_bytes()[:-7])
+        report = verify_store(tmp_path)
+        assert not report.ok
+        assert any("s" == check.name and not check.ok for check in report.streams)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_missing_log_is_reported(self, tmp_path, backend):
+        filenames = build_store(tmp_path, backend)
+        (tmp_path / filenames["s"]).unlink()
+        report = verify_store(tmp_path)
+        assert not report.ok
+
+    def test_count_mismatch_is_reported(self, tmp_path):
+        build_store(tmp_path, "block-log")
+        payload = json.loads((tmp_path / "catalog.json").read_text())
+        payload["streams"][0]["recordings"] += 3
+        (tmp_path / "catalog.json").write_text(json.dumps(payload))
+        report = verify_store(tmp_path)
+        assert not report.ok
+        assert any("recordings" in issue for issue in report.all_issues())
+
+    def test_corrupt_summary_fails_parity_but_passes_fast(self, tmp_path):
+        build_store(tmp_path, "block-log")
+        payload = json.loads((tmp_path / "catalog.json").read_text())
+        payload["streams"][0]["blocks"][0][4]["integral"][0] += 1.0
+        (tmp_path / "catalog.json").write_text(json.dumps(payload))
+        assert not verify_store(tmp_path).ok
+        assert verify_store(tmp_path, parity=False).ok
+
+    def test_corrupt_catalog_json_is_reported(self, tmp_path):
+        build_store(tmp_path, "block-log")
+        (tmp_path / "catalog.json").write_text("{not json")
+        report = verify_store(tmp_path)
+        assert not report.ok
+
+    def test_torn_journal_tail_is_reported_not_fatal(self, tmp_path):
+        store = SegmentStore(tmp_path, autoflush=False)
+        store.append("s", recordings(10))
+        store._journal.close()  # crash: journal carries the append
+        del store
+        with open(tmp_path / JOURNAL_NAME, "ab") as handle:
+            handle.write(b"\x07\x07\x07")  # torn suffix
+        report = verify_store(tmp_path)
+        # The torn tail is an issue, but the consistent prefix still counts.
+        assert report.journal_records >= 1
+        assert any("journal" in issue for issue in report.all_issues())
+
+    def test_not_a_store_is_reported(self, tmp_path):
+        report = verify_store(tmp_path / "nowhere")
+        assert not report.ok
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_repair_truncates_to_consistent_prefix(self, tmp_path, backend):
+        filenames = build_store(tmp_path, backend)
+        log = tmp_path / filenames["s"]
+        log.write_bytes(log.read_bytes()[:-7])
+        report = verify_store(tmp_path, repair=True)
+        assert report.ok, report.all_issues()
+        assert report.repairs
+        # The repaired store reopens and keeps working.
+        store = SegmentStore(tmp_path)
+        n = store.describe("s").recordings
+        assert 0 <= n < 50
+        store.append("s", recordings(10, start=1000.0))
+        assert store.describe("s").recordings == n + 10
+        store.close()
+
+    def test_sharded_store_verifies_each_shard(self, tmp_path):
+        store = open_store(tmp_path, shards=2)
+        store.append("a", recordings(30))
+        store.append("b", recordings(30))
+        store.close()
+        report = verify_store(tmp_path)
+        assert report.ok
+        assert len(report.shards) == 2
+        names = sorted(
+            check.name for sub in report.shards for check in sub.streams
+        )
+        assert names == ["a", "b"]
+
+    def test_sharded_store_surfaces_shard_damage(self, tmp_path):
+        store = open_store(tmp_path, shards=2)
+        store.append("a", recordings(30))
+        store.append("b", recordings(30))
+        filename = store.describe("a").filename
+        store.close()
+        victim = next(tmp_path.glob(f"shard-*/{filename}"))
+        victim.write_bytes(victim.read_bytes()[:-5])
+        report = verify_store(tmp_path)
+        assert not report.ok
+        assert any("a" in issue for issue in report.all_issues())
+
+
+class TestVerifyCli:
+    def test_clean_store_exits_zero(self, tmp_path, capsys):
+        build_store(tmp_path, "columnar")
+        assert main(["verify", "--store", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "verification passed" in out
+        assert "columnar" in out
+
+    def test_damaged_store_exits_nonzero(self, tmp_path, capsys):
+        filenames = build_store(tmp_path, "block-log")
+        log = tmp_path / filenames["s"]
+        log.write_bytes(log.read_bytes()[:-7])
+        assert main(["verify", "--store", str(tmp_path)]) == 1
+        err = capsys.readouterr().err
+        assert "verification FAILED" in err
+
+    def test_repair_flag_fixes_and_exits_zero(self, tmp_path, capsys):
+        filenames = build_store(tmp_path, "block-log")
+        log = tmp_path / filenames["s"]
+        log.write_bytes(log.read_bytes()[:-7])
+        assert main(["verify", "--store", str(tmp_path), "--repair"]) == 0
+        out = capsys.readouterr().out
+        assert "repaired" in out
+
+    def test_fast_skips_parity(self, tmp_path, capsys):
+        build_store(tmp_path, "block-log")
+        payload = json.loads((tmp_path / "catalog.json").read_text())
+        payload["streams"][0]["blocks"][0][4]["integral"][0] += 1.0
+        (tmp_path / "catalog.json").write_text(json.dumps(payload))
+        assert main(["verify", "--store", str(tmp_path), "--fast"]) == 0
+        capsys.readouterr()
+
+
+class TestMigrateRecovery:
+    def make_store(self, directory):
+        build_store(directory, "block-log")
+
+    def test_clean_store_needs_no_recovery(self, tmp_path):
+        directory = tmp_path / "store"
+        self.make_store(directory)
+        assert recover_interrupted_migration(directory) is None
+
+    def test_backup_without_store_is_restored(self, tmp_path):
+        directory = tmp_path / "store"
+        self.make_store(directory)
+        directory.rename(directory.with_name("store.migrate-old"))
+        (directory.with_name("store.migrate-tmp")).mkdir()
+        assert recover_interrupted_migration(directory) == "restored"
+        assert verify_store(directory).ok
+        assert not directory.with_name("store.migrate-old").exists()
+        assert not directory.with_name("store.migrate-tmp").exists()
+
+    def test_store_with_leftover_backup_is_finalized(self, tmp_path):
+        directory = tmp_path / "store"
+        self.make_store(directory)
+        shutil.copytree(directory, directory.with_name("store.migrate-old"))
+        assert recover_interrupted_migration(directory) == "finalized"
+        assert not directory.with_name("store.migrate-old").exists()
+        assert verify_store(directory).ok
+
+    def test_store_with_leftover_staging_is_cleaned(self, tmp_path):
+        directory = tmp_path / "store"
+        self.make_store(directory)
+        shutil.copytree(directory, directory.with_name("store.migrate-tmp"))
+        assert recover_interrupted_migration(directory) == "cleaned"
+        assert not directory.with_name("store.migrate-tmp").exists()
+
+    def test_migrate_store_self_heals_on_entry(self, tmp_path):
+        directory = tmp_path / "store"
+        self.make_store(directory)
+        directory.rename(directory.with_name("store.migrate-old"))
+        report = migrate_store(directory, "columnar")
+        assert report.changed and report.target == "columnar"
+        assert verify_store(directory).ok

@@ -1,0 +1,210 @@
+"""Unit tests for the write-ahead catalog journal (repro.storage.wal)."""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.core.types import Recording, RecordingKind
+from repro.storage import SegmentStore
+from repro.storage.wal import (
+    JOURNAL_NAME,
+    CatalogJournal,
+    encode_record,
+    scan_journal,
+)
+
+
+def recordings(n, start=0.0):
+    return [
+        Recording(start + i, np.array([float(i) * 0.5]), RecordingKind.SEGMENT_START)
+        for i in range(n)
+    ]
+
+
+class TestFraming:
+    def test_round_trip(self, tmp_path):
+        journal = CatalogJournal(tmp_path)
+        journal.append(1, {"op": "upsert", "stream": "a", "entry": {"x": 1}})
+        journal.append(2, {"op": "delete", "stream": "a"})
+        journal.close()
+        records, consistent_end, total = scan_journal(tmp_path / JOURNAL_NAME)
+        assert consistent_end == total
+        assert records == [
+            (1, {"op": "upsert", "stream": "a", "entry": {"x": 1}}),
+            (2, {"op": "delete", "stream": "a"}),
+        ]
+
+    def test_torn_tail_is_discarded(self, tmp_path):
+        journal = CatalogJournal(tmp_path)
+        journal.append(1, {"op": "delete", "stream": "a"})
+        journal.append(2, {"op": "delete", "stream": "b"})
+        journal.close()
+        path = tmp_path / JOURNAL_NAME
+        data = path.read_bytes()
+        path.write_bytes(data[:-3])  # tear the second record's payload
+        records, consistent_end, total = scan_journal(path)
+        assert [gen for gen, _ in records] == [1]
+        assert consistent_end < total
+
+    def test_corrupt_crc_stops_replay(self, tmp_path):
+        journal = CatalogJournal(tmp_path)
+        journal.append(1, {"op": "delete", "stream": "a"})
+        journal.append(2, {"op": "delete", "stream": "b"})
+        journal.append(3, {"op": "delete", "stream": "c"})
+        journal.close()
+        path = tmp_path / JOURNAL_NAME
+        data = bytearray(path.read_bytes())
+        first = len(encode_record(1, {"op": "delete", "stream": "a"}))
+        data[first + 20] ^= 0xFF  # flip a byte inside record 2
+        path.write_bytes(bytes(data))
+        records, consistent_end, total = scan_journal(path)
+        assert [gen for gen, _ in records] == [1]
+        assert consistent_end == first
+        assert total == len(data)
+
+    def test_non_increasing_generation_stops_replay(self, tmp_path):
+        path = tmp_path / JOURNAL_NAME
+        path.write_bytes(
+            encode_record(5, {"op": "delete", "stream": "a"})
+            + encode_record(5, {"op": "delete", "stream": "b"})
+            + encode_record(6, {"op": "delete", "stream": "c"})
+        )
+        records, _, _ = scan_journal(path)
+        assert [gen for gen, _ in records] == [5]
+
+    def test_missing_file_scans_empty(self, tmp_path):
+        assert scan_journal(tmp_path / JOURNAL_NAME) == ([], 0, 0)
+
+    def test_garbage_header_yields_nothing(self, tmp_path):
+        path = tmp_path / JOURNAL_NAME
+        path.write_bytes(b"\xde\xad\xbe\xef" * 8)
+        records, consistent_end, total = scan_journal(path)
+        assert records == [] and consistent_end == 0 and total == 32
+
+
+class TestJournalLifecycle:
+    def test_replay_repairs_torn_suffix_in_writer_mode(self, tmp_path):
+        journal = CatalogJournal(tmp_path)
+        journal.append(1, {"op": "delete", "stream": "a"})
+        journal.close()
+        path = tmp_path / JOURNAL_NAME
+        good = path.stat().st_size
+        with open(path, "ab") as handle:
+            handle.write(struct.pack("<IIQ", 4096, 0, 2))  # torn header
+        assert journal.replay(0) == [(1, {"op": "delete", "stream": "a"})]
+        assert path.stat().st_size == good
+
+    def test_read_only_replay_leaves_tear_in_place(self, tmp_path):
+        journal = CatalogJournal(tmp_path)
+        journal.append(1, {"op": "delete", "stream": "a"})
+        journal.close()
+        path = tmp_path / JOURNAL_NAME
+        with open(path, "ab") as handle:
+            handle.write(b"\x01\x02\x03")
+        torn_size = path.stat().st_size
+        reader = CatalogJournal(tmp_path, read_only=True)
+        assert reader.replay(0) == [(1, {"op": "delete", "stream": "a"})]
+        assert path.stat().st_size == torn_size
+        with pytest.raises(PermissionError):
+            reader.append(2, {"op": "delete", "stream": "b"})
+
+    def test_replay_skips_generations_at_or_below_floor(self, tmp_path):
+        journal = CatalogJournal(tmp_path)
+        for generation in (1, 2, 3):
+            journal.append(generation, {"op": "delete", "stream": str(generation)})
+        journal.close()
+        assert [gen for gen, _ in journal.replay(2)] == [3]
+
+    def test_reset_gives_fresh_empty_journal(self, tmp_path):
+        journal = CatalogJournal(tmp_path)
+        journal.append(1, {"op": "delete", "stream": "a"})
+        assert journal.size() > 0
+        journal.reset()
+        assert journal.size() == 0
+        journal.append(2, {"op": "delete", "stream": "b"})
+        assert [gen for gen, _ in journal.replay(0)] == [2]
+        journal.close()
+
+
+class TestStoreJournalIntegration:
+    def test_deferred_mutations_are_journaled_immediately(self, tmp_path):
+        store = SegmentStore(tmp_path, autoflush=False)
+        store.append("s", recordings(10))
+        # The checkpoint has not been written, but the journal already
+        # carries the mutation.
+        records, _, _ = scan_journal(tmp_path / JOURNAL_NAME)
+        assert records and records[-1][1]["op"] == "upsert"
+        assert records[-1][1]["entry"]["recordings"] == 10
+        store.close()
+
+    def test_reopen_replays_unflushed_appends(self, tmp_path):
+        store = SegmentStore(tmp_path, autoflush=False)
+        store.append("s", recordings(10))
+        generation = store.generation
+        store._journal.close()  # simulate a crash: no flush/close
+        del store
+        reopened = SegmentStore(tmp_path, autoflush=False)
+        assert reopened.describe("s").recordings == 10
+        assert reopened.generation >= generation
+        reopened.close()
+
+    def test_checkpoint_rotates_journal(self, tmp_path):
+        store = SegmentStore(tmp_path, autoflush=False)
+        store.append("s", recordings(10))
+        assert (tmp_path / JOURNAL_NAME).stat().st_size > 0
+        store.flush()
+        assert (tmp_path / JOURNAL_NAME).stat().st_size == 0
+        payload = json.loads((tmp_path / "catalog.json").read_text())
+        assert payload["generation"] == store.generation
+        store.close()
+
+    def test_journal_limit_triggers_auto_checkpoint(self, tmp_path):
+        store = SegmentStore(tmp_path, autoflush=False, journal_limit=1)
+        store.append("s", recordings(10))
+        # Every mutation exceeds the 1-byte limit, so the store checkpointed.
+        assert (tmp_path / JOURNAL_NAME).stat().st_size == 0
+        payload = json.loads((tmp_path / "catalog.json").read_text())
+        assert payload["streams"][0]["recordings"] == 10
+        store.close()
+
+    def test_delete_is_journaled(self, tmp_path):
+        store = SegmentStore(tmp_path, autoflush=False)
+        store.append("s", recordings(10))
+        store.append("t", recordings(10))
+        store.flush()
+        store.delete("s")
+        store._journal.close()  # crash before the next checkpoint
+        del store
+        reopened = SegmentStore(tmp_path, autoflush=False)
+        assert reopened.stream_names() == ["t"]
+        reopened.close()
+
+    def test_generation_strictly_increases_per_mutation(self, tmp_path):
+        store = SegmentStore(tmp_path, autoflush=False)
+        seen = [store.generation]
+        store.append("s", recordings(10))
+        seen.append(store.generation)
+        store.append("s", recordings(10, start=100.0))
+        seen.append(store.generation)
+        store.delete("s")
+        seen.append(store.generation)
+        assert seen == sorted(set(seen))
+        store.close()
+
+    def test_stale_journal_from_before_checkpoint_is_ignored(self, tmp_path):
+        store = SegmentStore(tmp_path, autoflush=False)
+        store.append("s", recordings(10))
+        store.flush()  # checkpoint at generation G, journal rotated
+        # Forge a stale journal whose generations are <= the checkpoint's:
+        # replay must skip it entirely (recycled-file scenario).
+        journal = CatalogJournal(tmp_path)
+        journal.append(1, {"op": "delete", "stream": "s"})
+        journal.close()
+        store.close()
+        reopened = SegmentStore(tmp_path)
+        assert reopened.describe("s").recordings == 10
+        reopened.close()
