@@ -39,6 +39,9 @@ HEADLINE = {
     # Normalized columnar-backend margin: min(read speedup / 3x floor,
     # scan-aggregate speedup / 2x floor); at floor the margin is 1.0.
     "store": ("columnar_floor_margin",),
+    # Normalized served-ingest margin: points/s over the wire divided by the
+    # run's own --floor; at floor the margin is 1.0.
+    "server": ("ingest_floor_margin",),
 }
 
 

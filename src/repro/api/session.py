@@ -37,9 +37,21 @@ Open a session with :func:`repro.open`::
 from __future__ import annotations
 
 import asyncio
+import functools
+import threading
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -150,6 +162,29 @@ class _LiveStream:
     sink: StoreSink
 
 
+#: ``callback(stream, recordings, sealed)`` — see
+#: :meth:`StreamDB.add_recording_listener`.
+RecordingListener = Callable[[str, Sequence[Recording], bool], None]
+
+
+def _synchronized(method):
+    """Serialize a public session method on the session's re-entrant lock.
+
+    One lock covers the whole session (store handle, live filters, sink
+    buffers move together on every operation), so a session is safe to share
+    across threads — the server layer drives one ``StreamDB`` from a thread
+    pool.  Re-entrant because public methods compose (``close`` seals,
+    ``observe`` appends, split ingests fan out through ``ingest_many``).
+    """
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self._mutex:
+            return method(self, *args, **kwargs)
+
+    return wrapper
+
+
 class StreamDB:
     """A session over one store: ingestion, live writes, queries, lifecycle.
 
@@ -179,6 +214,8 @@ class StreamDB:
             raise FileNotFoundError(f"no stream store at {str(self._path)!r}")
         self._store: StoreLike = self._storage_spec.open(self._path)
         self._live: Dict[str, _LiveStream] = {}
+        self._listeners: List[RecordingListener] = []
+        self._mutex = threading.RLock()
         self._closed = False
 
     @staticmethod
@@ -210,6 +247,7 @@ class StreamDB:
         """Whether the session was opened with ``mode="r"``."""
         return bool(getattr(self._store, "read_only", False))
 
+    @_synchronized
     def refresh(self):
         """Re-pin a snapshot session to the store's current generation.
 
@@ -224,16 +262,19 @@ class StreamDB:
         """Whether :meth:`close` has run."""
         return self._closed
 
+    @_synchronized
     def streams(self) -> List[str]:
         """All stream names — stored and live — sorted."""
         self._check_open()
         return sorted(set(self._store.stream_names()) | set(self._live))
 
+    @_synchronized
     def live_streams(self) -> List[str]:
         """Names of the streams with a live (unsealed) filter, sorted."""
         self._check_open()
         return sorted(self._live)
 
+    @_synchronized
     def describe(self, stream: str) -> StoredStream:
         """The store's catalog entry for ``stream``.
 
@@ -253,6 +294,7 @@ class StreamDB:
     # ------------------------------------------------------------------ #
     # Bulk ingestion
     # ------------------------------------------------------------------ #
+    @_synchronized
     def ingest(
         self,
         stream: str,
@@ -395,6 +437,7 @@ class StreamDB:
         await ingestor.aingest_stream(source)
         return ingestor.close()
 
+    @_synchronized
     def ingest_many(
         self,
         tasks: Sequence[StreamTask],
@@ -534,6 +577,7 @@ class StreamDB:
     # ------------------------------------------------------------------ #
     # Live writing
     # ------------------------------------------------------------------ #
+    @_synchronized
     def append(self, stream: str, times, values) -> int:
         """Feed one chunk of measurements into ``stream``'s live filter.
 
@@ -563,12 +607,86 @@ class StreamDB:
             self._live[stream] = live
         recordings = live.filter.process_batch(times, values)
         live.sink.write(recordings)
+        if recordings:
+            self._notify(stream, recordings, sealed=False)
         return len(recordings)
 
     def observe(self, stream: str, time: float, value) -> int:
         """Feed one measurement (convenience wrapper around :meth:`append`)."""
         return self.append(stream, [time], np.atleast_2d(np.asarray(value, dtype=float)))
 
+    async def aappend_stream(
+        self,
+        stream: str,
+        source,
+        *,
+        executor=None,
+    ) -> Tuple[int, int]:
+        """Drain an async chunk source through the *live* :meth:`append` path.
+
+        The live twin of :meth:`aingest`: each ``(times, values)`` chunk of
+        ``source`` (any :class:`~repro.runtime.async_source.AsyncSource`,
+        typically a :class:`~repro.runtime.async_source.QueueAsyncSource`
+        a server pushes into) feeds the stream's live filter, so queries see
+        the in-flight state between chunks and recording listeners fire per
+        chunk — unlike the bulk path, which only registers the stream once
+        it completes.  The stream is left live; :meth:`seal` ends it.
+
+        Args:
+            stream: Target stream name.
+            source: Async iterable of ``(times, values)`` chunk pairs.
+            executor: Optional ``concurrent.futures`` executor; when given,
+                each chunk's :meth:`append` runs in it via
+                ``loop.run_in_executor`` so the event loop never blocks on
+                the session lock or store I/O.
+
+        Returns:
+            ``(points, recordings)`` totals drained from the source.
+        """
+        points = 0
+        recordings = 0
+        loop = asyncio.get_running_loop() if executor is not None else None
+        async for times, values in source:
+            if executor is None:
+                recordings += self.append(stream, times, values)
+            else:
+                recordings += await loop.run_in_executor(
+                    executor, self.append, stream, times, values
+                )
+            points += len(times)
+        return points, recordings
+
+    def add_recording_listener(self, callback: RecordingListener) -> None:
+        """Register ``callback(stream, recordings, sealed)`` on live writes.
+
+        Fired by :meth:`append` after each chunk's emitted recordings reach
+        the sink (so a listener-triggered query already sees them) and by
+        :meth:`seal` with the end-of-stream recordings and ``sealed=True``.
+        Listeners back the server's tail subscriptions — each call carries
+        exactly the new segments, in emission order.
+        """
+        with self._mutex:
+            self._listeners.append(callback)
+
+    def remove_recording_listener(self, callback: RecordingListener) -> None:
+        """Deregister a listener (no-op when it was never added)."""
+        with self._mutex:
+            try:
+                self._listeners.remove(callback)
+            except ValueError:
+                pass
+
+    def _notify(self, stream: str, recordings: Sequence[Recording], sealed: bool) -> None:
+        for callback in tuple(self._listeners):
+            try:
+                callback(stream, recordings, sealed)
+            except Exception:
+                # An observer must never fail the write path: the recordings
+                # are already archived when listeners run, and a subscriber
+                # hub tearing down mid-notification is routine at shutdown.
+                pass
+
+    @_synchronized
     def detach(self, stream: str) -> FilterState:
         """Hand off a live stream without finishing it (worker migration).
 
@@ -591,6 +709,7 @@ class StreamDB:
         del self._live[stream]
         return state
 
+    @_synchronized
     def seal(self, stream: str) -> Optional[StoredStream]:
         """Finish ``stream``'s live filter and archive everything it held.
 
@@ -606,10 +725,13 @@ class StreamDB:
             live = self._live.pop(stream)
         except KeyError:
             raise KeyError(f"stream {stream!r} has no live writer") from None
-        live.sink.write(live.filter.finish())
+        recordings = live.filter.finish()
+        live.sink.write(recordings)
         live.sink.flush()
+        self._notify(stream, recordings, sealed=True)
         return self._store.describe(stream) if stream in self._store else None
 
+    @_synchronized
     def flush(self) -> None:
         """Archive every live buffer and persist the store catalog.
 
@@ -625,6 +747,7 @@ class StreamDB:
     # ------------------------------------------------------------------ #
     # Queries (stored + live, uniformly)
     # ------------------------------------------------------------------ #
+    @_synchronized
     def read(
         self,
         stream: str,
@@ -671,6 +794,7 @@ class StreamDB:
         """
         return reconstruct(self._read_for_query(stream, start, end))
 
+    @_synchronized
     def aggregate(
         self,
         stream: str,
@@ -723,6 +847,7 @@ class StreamDB:
             )
         return range_aggregate(approximation, lo, hi, dimension=dimension)
 
+    @_synchronized
     def zoom(
         self,
         stream: str,
@@ -755,6 +880,7 @@ class StreamDB:
         lo, hi = self._bounds(recordings, start, end)
         return zoom_cells(reconstruct(recordings), lo, hi, max_points, dimension)
 
+    @_synchronized
     def crossings(
         self,
         stream: str,
@@ -770,6 +896,7 @@ class StreamDB:
             approximation, threshold, start=start, end=end, dimension=dimension
         )
 
+    @_synchronized
     def resample(
         self,
         stream: str,
@@ -826,6 +953,7 @@ class StreamDB:
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
+    @_synchronized
     def snapshot(
         self, directory: Optional[Union[str, Path, CheckpointManager]] = None
     ) -> Dict[str, FilterState]:
@@ -871,6 +999,7 @@ class StreamDB:
                 )
         return states
 
+    @_synchronized
     def restore(
         self,
         source: Union[Mapping[str, FilterState], str, Path, CheckpointManager],
@@ -966,11 +1095,13 @@ class StreamDB:
             ),
         )
 
+    @_synchronized
     def compact(self, stream: Optional[str] = None) -> Dict[str, Tuple[int, int]]:
         """Merge undersized index blocks (one stream, or every stream)."""
         self._check_open()
         return self._store.compact(stream)
 
+    @_synchronized
     def close(self) -> None:
         """Seal every live stream and flush the store.  Idempotent."""
         if self._closed:

@@ -14,6 +14,9 @@ The ``repro`` command exposes the library's everyday operations:
 * ``repro verify`` — offline integrity check of a store (catalog/journal
   generations, block headers, index-vs-log extents, summary parity), with
   ``--repair`` truncating to the last consistent prefix,
+* ``repro serve`` — run the asyncio network service over a store: remote
+  ingest, queries and live tail subscriptions (:mod:`repro.server`), shut
+  down gracefully on SIGINT/SIGTERM (drain → flush → checkpoint),
 * ``repro evaluate`` — compare several filters on one workload,
 * ``repro experiment`` — run one of the paper's figure experiments and print
   its table.
@@ -35,6 +38,7 @@ Examples::
     repro compact --store ./archive
     repro migrate --store ./archive --to columnar
     repro verify --store ./archive
+    repro serve --store ./archive --epsilon 0.5 --port 7450 --token s3cret=sensors/*
     repro evaluate --dataset random-walk --epsilon 0.5
     repro experiment figure9
 """
@@ -72,6 +76,7 @@ from repro.evaluation.experiments import run_filters
 from repro.evaluation.report import render_table
 from repro.metrics.error import error_profile
 from repro.runtime import DEFAULT_CHECKPOINT_EVERY
+from repro.server import DEFAULT_INGEST_QUEUE, DEFAULT_TAIL_QUEUE
 from repro.runtime.parallel import ParallelIngestReport
 from repro.storage import DEFAULT_SHARDS, available_backends, migrate_store
 from repro.storage.verify import verify_store
@@ -255,6 +260,67 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="structural checks only (skip the summary/pyramid parity "
         "recompute against a full decode)",
+    )
+
+    serve = subparsers.add_parser(
+        "serve", help="serve a segment store over TCP (ingest, queries, live tails)"
+    )
+    serve.add_argument("--store", required=True, help="segment store directory")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=7450, help="TCP port (default 7450; 0 = ephemeral)")
+    serve.add_argument(
+        "--filter",
+        default="slide",
+        help="filter for streams created over the network (default: slide)",
+    )
+    _add_precision_arguments(serve)
+    serve.add_argument("--max-lag", type=int, default=None, help="m_max_lag bound in points")
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="create/open the store sharded across this many shard stores",
+    )
+    serve.add_argument(
+        "--backend",
+        default=None,
+        choices=available_backends(),
+        help="storage backend for a new store (must match an existing store's backend)",
+    )
+    serve.add_argument(
+        "--token",
+        action="append",
+        default=None,
+        metavar="TOKEN=PATTERN[,PATTERN...]",
+        help="require client auth; grants TOKEN access to streams matching the "
+        "glob patterns (repeatable; bare TOKEN grants every stream)",
+    )
+    serve.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        help="max sustained ingest points/s per (client, stream); over-limit "
+        "requests get a rate_limit error with a retry hint",
+    )
+    serve.add_argument(
+        "--ingest-queue",
+        type=int,
+        default=DEFAULT_INGEST_QUEUE,
+        help=f"buffered chunks per live stream before clients are throttled "
+        f"(default {DEFAULT_INGEST_QUEUE})",
+    )
+    serve.add_argument(
+        "--tail-queue",
+        type=int,
+        default=DEFAULT_TAIL_QUEUE,
+        help=f"pending tail events per subscriber before it is evicted "
+        f"(default {DEFAULT_TAIL_QUEUE})",
+    )
+    serve.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help="snapshot every live filter state here during graceful shutdown",
     )
 
     evaluate = subparsers.add_parser("evaluate", help="compare filters on one workload")
@@ -643,6 +709,72 @@ def _command_experiment(name: str) -> int:
     return 0
 
 
+def _parse_serve_tokens(entries) -> Optional[dict]:
+    tokens = {}
+    for entry in entries or ():
+        token, _, patterns = entry.partition("=")
+        if not token:
+            raise SystemExit(f"invalid --token {entry!r}: expected TOKEN=PATTERN[,PATTERN...]")
+        tokens[token] = [p for p in patterns.split(",") if p] or ["*"]
+    return tokens or None
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.server import StreamDBServer
+
+    filter_spec = FilterSpec(
+        args.filter,
+        epsilon=args.epsilon,
+        epsilon_percent=args.precision_percent,
+        max_lag=args.max_lag,
+    )
+    storage = StorageSpec(backend=args.backend) if args.backend else None
+    tokens = _parse_serve_tokens(args.token)
+
+    async def _serve() -> int:
+        try:
+            db = repro.open(
+                args.store, shards=args.shards, filter=filter_spec, storage=storage
+            )
+        except ReproError as error:
+            raise SystemExit(f"serve failed: {error}")
+        server = StreamDBServer(
+            db,
+            args.host,
+            args.port,
+            tokens=tokens,
+            rate_limit=args.rate_limit,
+            ingest_queue=args.ingest_queue,
+            tail_queue=args.tail_queue,
+            checkpoint_dir=args.checkpoint,
+        )
+        try:
+            await server.start()
+        except BaseException:
+            db.close()
+            raise
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, stop.set)
+        print(f"serving {args.store} on {server.host}:{server.port}", flush=True)
+        try:
+            await stop.wait()
+        finally:
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                loop.remove_signal_handler(signum)
+            steps = "drain, flush, checkpoint" if args.checkpoint else "drain, flush"
+            print(f"shutting down ({steps})", flush=True)
+            await server.aclose()
+        print("closed", flush=True)
+        return 0
+
+    return asyncio.run(_serve())
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -664,6 +796,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_migrate(args)
         if args.command == "verify":
             return _command_verify(args)
+        if args.command == "serve":
+            return _command_serve(args)
         if args.command == "evaluate":
             return _command_evaluate(args)
         if args.command == "experiment":

@@ -15,6 +15,7 @@ from repro.core.errors import (
     FilterStateError,
     InvalidPrecisionError,
     ReproError,
+    StoreLockedError,
     StreamOrderError,
 )
 from repro.core.linear import DisconnectedLinearFilter, LinearFilter
@@ -60,6 +61,7 @@ __all__ = [
     "FilterStateError",
     "InvalidPrecisionError",
     "DegradedSinkError",
+    "StoreLockedError",
     "FILTER_REGISTRY",
     "PAPER_FILTERS",
     "available_filters",

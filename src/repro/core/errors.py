@@ -9,6 +9,7 @@ __all__ = [
     "FilterStateError",
     "InvalidPrecisionError",
     "DegradedSinkError",
+    "StoreLockedError",
 ]
 
 
@@ -44,3 +45,18 @@ class DegradedSinkError(ReproError):
     def __init__(self, message: str, recordings=()):
         super().__init__(message)
         self.recordings = tuple(recordings)
+
+
+class StoreLockedError(ReproError):
+    """Raised when a store directory's writer lock is held by another process.
+
+    One process owns a store's writer lock at a time (``store.lock`` inside
+    the store directory, pid-stamped).  The holder's pid and host ride along
+    so operators can find — or clean up after — the other writer; a lock
+    left behind by a dead process is reclaimed automatically.
+    """
+
+    def __init__(self, message: str, pid=None, host=None):
+        super().__init__(message)
+        self.pid = pid
+        self.host = host

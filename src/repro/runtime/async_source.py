@@ -96,6 +96,48 @@ class QueueAsyncSource(AsyncSource):
         self._queue: "asyncio.Queue" = asyncio.Queue(maxsize=maxsize)
         self._closed = False
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called (chunks may still be queued)."""
+        return self._closed
+
+    def qsize(self) -> int:
+        """Number of queued items not yet taken by the consumer."""
+        return self._queue.qsize()
+
+    def full(self) -> bool:
+        """Whether a :meth:`put_nowait` would raise ``asyncio.QueueFull``."""
+        return self._queue.full()
+
+    async def join(self) -> None:
+        """Wait until every queued chunk has been *processed* by the consumer.
+
+        The drain loop acknowledges each chunk only after the consumer's body
+        finishes with it, so when ``join`` returns every chunk put so far has
+        fully passed through the ingest path — the barrier a server needs to
+        answer "are my points recorded?" without closing the stream.
+        """
+        await self._queue.join()
+
+    def drain_nowait(self) -> int:
+        """Discard everything still queued, unblocking :meth:`join`.
+
+        The consumer-failure path: when the consuming coroutine dies
+        mid-stream, nobody will ever take the queued chunks, so a producer
+        awaiting :meth:`join` — or a ``maxsize``-blocked :meth:`put` — would
+        hang forever.  Returns the number of *chunks* discarded (a queued
+        close marker is consumed but not counted).
+        """
+        discarded = 0
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return discarded
+            self._queue.task_done()
+            if item is not self._CLOSE:
+                discarded += 1
+
     async def put(self, times, values) -> None:
         """Enqueue one chunk (validated and coerced like every batch chunk).
 
@@ -141,5 +183,12 @@ class QueueAsyncSource(AsyncSource):
         while True:
             item = await self._queue.get()
             if item is self._CLOSE:
+                self._queue.task_done()
                 return
-            yield item
+            try:
+                # task_done fires after the consumer's loop body returns to
+                # the generator (or abandons it), so join() is a true
+                # processed-barrier, not merely a dequeued-barrier.
+                yield item
+            finally:
+                self._queue.task_done()

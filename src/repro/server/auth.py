@@ -1,0 +1,114 @@
+"""Per-stream token authorization and ingest rate limiting.
+
+Multi-tenant guards for the server, deliberately small:
+
+* :class:`TokenAuthorizer` — static token table mapping each token to the
+  stream name patterns (``fnmatch`` globs) it may touch.  A server with no
+  tokens configured is open (the single-tenant default); once any token is
+  configured, every stream-scoped operation requires an authorized one.
+* :class:`RateLimiter` — classic token-bucket over ingest *points* per key
+  (the server keys per connection × stream), so a hot client smooths to the
+  configured sustained rate after its burst allowance.  Refusals are
+  communicated, not queued: the server answers ``rate_limit`` and the
+  client retries after ``retry_after`` seconds.
+"""
+
+from __future__ import annotations
+
+import time
+from fnmatch import fnmatchcase
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["TokenAuthorizer", "RateLimiter"]
+
+
+class TokenAuthorizer:
+    """Static token → stream-pattern table.
+
+    Args:
+        tokens: ``{token: patterns}`` where ``patterns`` is an iterable of
+            ``fnmatch`` globs (``"*"`` grants every stream) or a single
+            pattern string.  ``None`` / empty disables authorization.
+    """
+
+    def __init__(self, tokens: Optional[Mapping[str, object]] = None) -> None:
+        table: Dict[str, Tuple[str, ...]] = {}
+        for token, patterns in (tokens or {}).items():
+            if isinstance(patterns, str):
+                patterns = (patterns,)
+            table[str(token)] = tuple(str(pattern) for pattern in patterns)
+        self._tokens = table
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any token is configured (open server otherwise)."""
+        return bool(self._tokens)
+
+    def grants(self, token: Optional[str]) -> Optional[Tuple[str, ...]]:
+        """The stream patterns ``token`` grants, or ``None`` for a bad token.
+
+        With authorization disabled every token — including none — grants
+        everything.
+        """
+        if not self.enabled:
+            return ("*",)
+        if token is None:
+            return None
+        return self._tokens.get(token)
+
+    @staticmethod
+    def allows(patterns: Optional[Sequence[str]], stream: str) -> bool:
+        """Whether granted ``patterns`` cover ``stream``."""
+        if patterns is None:
+            return False
+        return any(fnmatchcase(stream, pattern) for pattern in patterns)
+
+
+class RateLimiter:
+    """Token bucket per key: ``rate`` units/second sustained, ``burst`` deep.
+
+    ``None``/non-positive ``rate`` disables limiting.  Buckets are created
+    on first sight of a key and start full, so short-lived clients never
+    pay a warm-up penalty.
+    """
+
+    def __init__(
+        self,
+        rate: Optional[float],
+        burst: Optional[float] = None,
+        clock=time.monotonic,
+    ) -> None:
+        self._rate = float(rate) if rate and rate > 0 else None
+        self._burst = float(burst) if burst else (self._rate * 2 if self._rate else None)
+        self._clock = clock
+        self._buckets: Dict[object, Tuple[float, float]] = {}  # key -> (level, stamp)
+
+    @property
+    def enabled(self) -> bool:
+        return self._rate is not None
+
+    def admit(self, key: object, amount: float) -> Tuple[bool, float]:
+        """Try to spend ``amount`` units from ``key``'s bucket.
+
+        Returns ``(admitted, retry_after)``; ``retry_after`` is the seconds
+        until the bucket will hold ``amount`` again (0 when admitted).
+        An ``amount`` beyond the burst depth is admitted whenever the bucket
+        is full — refusing it forever would deadlock the client; the bucket
+        just goes (and stays) negative until the debt drains.
+        """
+        if self._rate is None:
+            return True, 0.0
+        now = self._clock()
+        level, stamp = self._buckets.get(key, (self._burst, now))
+        level = min(self._burst, level + (now - stamp) * self._rate)
+        wanted = min(float(amount), self._burst)
+        if level >= wanted:
+            self._buckets[key] = (level - float(amount), now)
+            return True, 0.0
+        self._buckets[key] = (level, now)
+        return False, (wanted - level) / self._rate
+
+    def forget(self, keys: Iterable[object]) -> None:
+        """Drop the buckets of departed keys (connection teardown)."""
+        for key in keys:
+            self._buckets.pop(key, None)

@@ -1,0 +1,207 @@
+"""Wire protocol of the StreamDB server: length-prefixed, codec-tagged frames.
+
+Every message — request, response, or server push — travels as one frame::
+
+    +----------------+-------+-----------------------+
+    | length (4B BE) | codec | body (length-1 bytes) |
+    +----------------+-------+-----------------------+
+
+``length`` counts the codec byte plus the body.  ``codec`` is ``b"J"`` for
+JSON (always available) or ``b"M"`` for msgpack (used only when the optional
+``msgpack`` package is importable on both ends; the client asks via
+``hello``).  Bodies are flat dictionaries:
+
+* **Requests** carry ``id`` (client-chosen, echoed back) and ``op`` plus the
+  op's parameters.
+* **Responses** echo ``id`` and carry ``ok``; failures add ``error`` with a
+  machine-readable ``code`` (``throttle``, ``auth``, ``rate_limit``,
+  ``ingest_failed``, ``unknown_stream``, ``bad_request``, ``internal``) and
+  a human ``message``.
+* **Pushes** (tail subscriptions) have no ``id``; they carry ``push`` so a
+  client multiplexing one socket can route them.
+
+Numbers ride as JSON floats: Python's ``json`` emits ``repr``-style
+shortest-round-trip literals, so every ``float64`` survives the wire
+bit-identically — the parity guarantees of the storage layer extend to the
+network without a binary encoding.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.errors import ReproError
+from repro.core.types import Recording, RecordingKind
+from repro.queries.aggregates import RangeAggregate
+from repro.queries.pyramid import ZoomCell
+
+try:  # optional accelerator; the protocol never requires it
+    import msgpack  # type: ignore
+except ImportError:  # pragma: no cover - exercised where msgpack is absent
+    msgpack = None
+
+__all__ = [
+    "CODEC_JSON",
+    "CODEC_MSGPACK",
+    "MAX_FRAME",
+    "ProtocolError",
+    "available_codecs",
+    "encode_frame",
+    "decode_body",
+    "read_frame",
+    "recording_to_wire",
+    "recording_from_wire",
+    "recordings_to_wire",
+    "recordings_from_wire",
+    "aggregate_to_wire",
+    "aggregate_from_wire",
+    "zoom_cell_to_wire",
+    "zoom_cell_from_wire",
+]
+
+CODEC_JSON = "J"
+CODEC_MSGPACK = "M"
+
+#: Upper bound on a frame body; a length prefix beyond this is treated as a
+#: corrupt or hostile stream, not an allocation request.
+MAX_FRAME = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+class ProtocolError(ReproError):
+    """Raised on malformed frames: bad codec, oversized length, torn body."""
+
+
+def available_codecs() -> List[str]:
+    """Codecs this end can speak, preferred first."""
+    codecs = [CODEC_JSON]
+    if msgpack is not None:
+        codecs.insert(0, CODEC_MSGPACK)
+    return codecs
+
+
+def encode_frame(body: Dict, codec: str = CODEC_JSON) -> bytes:
+    """Serialize one message into a wire frame."""
+    if codec == CODEC_JSON:
+        payload = json.dumps(body, separators=(",", ":")).encode("utf-8")
+    elif codec == CODEC_MSGPACK:
+        if msgpack is None:
+            raise ProtocolError("msgpack codec requested but msgpack is not installed")
+        payload = msgpack.packb(body, use_bin_type=True)
+    else:
+        raise ProtocolError(f"unknown codec {codec!r}")
+    if len(payload) + 1 > MAX_FRAME:
+        raise ProtocolError(f"frame of {len(payload)} bytes exceeds MAX_FRAME")
+    return _HEADER.pack(len(payload) + 1) + codec.encode("ascii") + payload
+
+
+def decode_body(codec_byte: bytes, payload: bytes) -> Dict:
+    """Deserialize a frame body given its codec tag."""
+    if codec_byte == b"J":
+        body = json.loads(payload.decode("utf-8"))
+    elif codec_byte == b"M":
+        if msgpack is None:
+            raise ProtocolError("peer sent msgpack but msgpack is not installed")
+        body = msgpack.unpackb(payload, raw=False)
+    else:
+        raise ProtocolError(f"unknown codec byte {codec_byte!r}")
+    if not isinstance(body, dict):
+        raise ProtocolError(f"frame body must be a dict, got {type(body).__name__}")
+    return body
+
+
+async def read_frame(reader: "asyncio.StreamReader") -> Optional[Dict]:
+    """Read one frame from an asyncio stream; ``None`` on clean EOF.
+
+    Raises:
+        ProtocolError: On a torn header/body or an oversized length prefix.
+    """
+    header = await reader.read(_HEADER.size)
+    if not header:
+        return None
+    while len(header) < _HEADER.size:
+        more = await reader.read(_HEADER.size - len(header))
+        if not more:
+            raise ProtocolError("connection closed mid-header")
+        header += more
+    (length,) = _HEADER.unpack(header)
+    if length < 1 or length > MAX_FRAME:
+        raise ProtocolError(f"invalid frame length {length}")
+    try:
+        blob = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise ProtocolError("connection closed mid-frame") from error
+    return decode_body(blob[:1], blob[1:])
+
+
+# --------------------------------------------------------------------- #
+# Value encodings (shared by server and client)
+# --------------------------------------------------------------------- #
+def recording_to_wire(recording: Recording) -> Dict:
+    """One recording as a wire dict (``t``/``v``/``k``)."""
+    value = np.atleast_1d(np.asarray(recording.value, dtype=float))
+    return {
+        "t": float(recording.time),
+        "v": [float(component) for component in value],
+        "k": recording.kind.value,
+    }
+
+
+def recording_from_wire(raw: Dict) -> Recording:
+    """Rebuild a recording from its wire dict."""
+    return Recording(
+        time=float(raw["t"]),
+        value=np.asarray(raw["v"], dtype=float),
+        kind=RecordingKind(raw["k"]),
+    )
+
+
+def recordings_to_wire(recordings: Sequence[Recording]) -> List[Dict]:
+    return [recording_to_wire(recording) for recording in recordings]
+
+
+def recordings_from_wire(raw: Sequence[Dict]) -> List[Recording]:
+    return [recording_from_wire(item) for item in raw]
+
+
+def aggregate_to_wire(aggregate: RangeAggregate) -> Dict:
+    return {
+        "start": aggregate.start,
+        "end": aggregate.end,
+        "minimum": aggregate.minimum,
+        "maximum": aggregate.maximum,
+        "mean": aggregate.mean,
+        "integral": aggregate.integral,
+    }
+
+
+def aggregate_from_wire(raw: Dict) -> RangeAggregate:
+    return RangeAggregate(**{key: float(raw[key]) for key in (
+        "start", "end", "minimum", "maximum", "mean", "integral"
+    )})
+
+
+def zoom_cell_to_wire(cell: ZoomCell) -> Dict:
+    wire = aggregate_to_wire(cell)  # same six leading fields
+    wire["covered"] = cell.covered
+    wire["level"] = cell.level
+    return wire
+
+
+def zoom_cell_from_wire(raw: Dict) -> ZoomCell:
+    return ZoomCell(
+        start=float(raw["start"]),
+        end=float(raw["end"]),
+        minimum=float(raw["minimum"]),
+        maximum=float(raw["maximum"]),
+        mean=float(raw["mean"]),
+        integral=float(raw["integral"]),
+        covered=float(raw["covered"]),
+        level=int(raw["level"]),
+    )

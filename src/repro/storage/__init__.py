@@ -33,6 +33,7 @@ from repro.storage.backends import (
     available_backends,
     get_backend,
 )
+from repro.storage.lock import LOCK_NAME, StoreLock, StoreLockedError
 from repro.storage.migrate import (
     MigrationReport,
     migrate_store,
@@ -59,6 +60,9 @@ __all__ = [
     "StreamCheck",
     "VerifyReport",
     "verify_store",
+    "LOCK_NAME",
+    "StoreLock",
+    "StoreLockedError",
     "StoreLike",
     "open_store",
 ]

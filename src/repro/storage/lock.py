@@ -1,0 +1,224 @@
+"""Writer lock files: one writing process per store directory, enforced.
+
+The storage layer has always had a social contract — one writer per store
+(or per shard) at a time — because two processes appending to the same log
+would interleave records and corrupt the block index.  This module turns
+that contract into a hard guarantee: a writer-mode
+:class:`~repro.storage.segment_store.SegmentStore` acquires ``store.lock``
+inside its directory before touching anything, and a second *process*
+opening the same directory writable gets a
+:class:`~repro.core.errors.StoreLockedError` instead of a corrupted store.
+
+Mechanics:
+
+* The lock file is created with ``O_CREAT | O_EXCL`` — atomic on every
+  POSIX filesystem — and stamped with the holder's pid, hostname and
+  creation time as JSON.
+* **Within one process** the lock is reference-counted per resolved
+  directory: the many code paths that legitimately hold several writer
+  handles to one store in one process (tests, recovery re-opens, sink
+  helpers) keep working exactly as before.  The file is removed when the
+  last handle closes.
+* **Staleness**: a lock whose pid is no longer alive on this host (the
+  holder crashed or was killed) is reclaimed automatically.  A lock from
+  another host — or an unreadable lock file — is conservatively treated as
+  held.
+
+Snapshot readers (``mode="r"``) never take the lock: many readers alongside
+one writer is exactly the concurrency the write-ahead catalog supports.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import socket
+import threading
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.core.errors import StoreLockedError
+
+__all__ = ["LOCK_NAME", "StoreLock", "StoreLockedError"]
+
+#: Lock filename inside a store (or shard) directory.
+LOCK_NAME = "store.lock"
+
+#: Attempts at the create-exclusive / reclaim-stale cycle before giving up.
+#: Two attempts handle the benign race of two processes reclaiming one
+#: stale lock at once; more would only mask a livelock.
+_ACQUIRE_ATTEMPTS = 3
+
+# Per-process registry of held locks, keyed by resolved directory path.
+# Guarded by _REGISTRY_LOCK: writer handles are opened from many threads
+# (servers, thread-pool ingest helpers).
+_REGISTRY: Dict[str, "StoreLock"] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` is a live process on this host."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # alive, just not ours to signal
+    except OSError:
+        return True  # unknown — be conservative
+    return True
+
+
+class StoreLock:
+    """A reference-counted, pid-stamped exclusive lock on one directory.
+
+    Do not construct directly — use :meth:`acquire`, which returns the
+    process-wide instance for the directory (creating the lock file on
+    first acquisition) with its reference count bumped.  Every acquisition
+    must be paired with one :meth:`release`.
+    """
+
+    def __init__(self, directory: Path, key: str) -> None:
+        self._directory = directory
+        self._key = key
+        self._path = directory / LOCK_NAME
+        self._count = 0
+
+    @property
+    def path(self) -> Path:
+        """The lock file's path."""
+        return self._path
+
+    @property
+    def count(self) -> int:
+        """Current in-process acquisition count (0 = not held)."""
+        return self._count
+
+    # ------------------------------------------------------------------ #
+    # Acquisition
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def acquire(cls, directory) -> "StoreLock":
+        """Acquire (or re-acquire) the writer lock for ``directory``.
+
+        Raises:
+            StoreLockedError: If another live process holds the lock.
+        """
+        directory = Path(directory)
+        key = str(directory.resolve())
+        with _REGISTRY_LOCK:
+            lock = _REGISTRY.get(key)
+            if lock is None:
+                lock = cls(directory, key)
+                _REGISTRY[key] = lock
+            if lock._count == 0:
+                try:
+                    lock._create_file()
+                except BaseException:
+                    if lock._count == 0:
+                        _REGISTRY.pop(key, None)
+                    raise
+            lock._count += 1
+            return lock
+
+    def _create_file(self) -> None:
+        payload = json.dumps(
+            {
+                "pid": os.getpid(),
+                "host": socket.gethostname(),
+                "created_unix": time.time(),
+            }
+        ).encode("utf-8")
+        for attempt in range(_ACQUIRE_ATTEMPTS):
+            try:
+                descriptor = os.open(
+                    self._path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644
+                )
+            except FileExistsError:
+                holder = self._read_holder()
+                if holder is not None and not self._is_stale(holder):
+                    raise StoreLockedError(
+                        f"store at {str(self._directory)!r} is locked by writer "
+                        f"pid {holder.get('pid')} on {holder.get('host')!r} "
+                        f"(remove {LOCK_NAME!r} if that process is truly gone)",
+                        pid=holder.get("pid"),
+                        host=holder.get("host"),
+                    )
+                # Stale (dead holder) or unreadable-and-vanished: reclaim.
+                # Two reclaimers may race on the unlink; the O_EXCL retry
+                # decides the winner.
+                try:
+                    os.unlink(self._path)
+                except FileNotFoundError:
+                    pass
+                except OSError as error:
+                    if attempt == _ACQUIRE_ATTEMPTS - 1:
+                        raise StoreLockedError(
+                            f"could not reclaim stale lock {str(self._path)!r}: {error}"
+                        ) from error
+                continue
+            try:
+                os.write(descriptor, payload)
+            finally:
+                os.close(descriptor)
+            return
+        raise StoreLockedError(
+            f"store at {str(self._directory)!r} is locked (gave up after "
+            f"{_ACQUIRE_ATTEMPTS} attempts to reclaim {LOCK_NAME!r})"
+        )
+
+    def _read_holder(self) -> Optional[dict]:
+        """The lock file's stamp, or ``None`` when the file vanished."""
+        try:
+            raw = self._path.read_text()
+        except FileNotFoundError:
+            return None
+        except OSError:
+            return {}
+        try:
+            holder = json.loads(raw)
+        except (ValueError, TypeError):
+            # A torn stamp (the holder crashed mid-write): judge by nothing
+            # — unreadable means we cannot prove it stale.
+            return {}
+        return holder if isinstance(holder, dict) else {}
+
+    @staticmethod
+    def _is_stale(holder: dict) -> bool:
+        """Whether the stamped holder is provably gone.
+
+        Only same-host locks can be liveness-checked; a lock from another
+        host (or with no readable stamp) is treated as held.
+        """
+        host = holder.get("host")
+        pid = holder.get("pid")
+        if host != socket.gethostname() or not isinstance(pid, int):
+            return False
+        return not _pid_alive(pid)
+
+    # ------------------------------------------------------------------ #
+    # Release
+    # ------------------------------------------------------------------ #
+    def release(self) -> None:
+        """Drop one acquisition; the file is removed when the count hits 0.
+
+        Releasing an unheld lock is a no-op (close paths are idempotent).
+        """
+        with _REGISTRY_LOCK:
+            if self._count == 0:
+                return
+            self._count -= 1
+            if self._count > 0:
+                return
+            _REGISTRY.pop(self._key, None)
+            try:
+                os.unlink(self._path)
+            except FileNotFoundError:
+                pass
+            except OSError as error:  # pragma: no cover - platform-specific
+                if error.errno not in (errno.ENOENT,):
+                    raise

@@ -62,6 +62,7 @@ from repro.storage.summaries import (
     build_pyramid,
     update_pyramid,
 )
+from repro.storage.lock import StoreLock
 from repro.storage.wal import CatalogJournal
 from repro.testing import faults
 
@@ -268,23 +269,33 @@ class SegmentStore:
             raise ValueError("snapshot readers require mode='r'")
         self._directory = Path(directory)
         self._read_only = mode == "r"
+        self._lock: Optional[StoreLock] = None
         if self._read_only:
             if not self._directory.is_dir():
                 raise FileNotFoundError(f"no store directory at {self._directory}")
         else:
             self._directory.mkdir(parents=True, exist_ok=True)
+            # One writing process per store directory, enforced (readers
+            # never take the lock — they pin catalog generations instead).
+            self._lock = StoreLock.acquire(self._directory)
         self._catalog_path = self._directory / self.CATALOG_NAME
         self._catalog: Dict[str, StoredStream] = {}
         self._autoflush = bool(autoflush) and not self._read_only
         self._durable = bool(durable)
         self._journal_limit = int(journal_limit)
         self._stale = False
-        self._journal = CatalogJournal(self._directory, read_only=self._read_only)
-        payload = self._load_checkpoint()
-        self._backend = self._resolve_backend(backend, block_records, payload)
-        self._load_streams(payload)
-        self._replay_journal()
-        self._recover()
+        try:
+            self._journal = CatalogJournal(self._directory, read_only=self._read_only)
+            payload = self._load_checkpoint()
+            self._backend = self._resolve_backend(backend, block_records, payload)
+            self._load_streams(payload)
+            self._replay_journal()
+            self._recover()
+        except BaseException:
+            if self._lock is not None:
+                self._lock.release()
+                self._lock = None
+            raise
 
     @classmethod
     def open(
@@ -999,9 +1010,12 @@ class SegmentStore:
         return self._generation
 
     def close(self) -> None:
-        """Flush pending catalog changes."""
+        """Flush pending catalog changes and drop the writer lock."""
         self.flush()
         self._journal.close()
+        if self._lock is not None:
+            self._lock.release()
+            self._lock = None
 
     def __enter__(self) -> "SegmentStore":
         return self

@@ -122,18 +122,27 @@ class ShardedStore:
                 json.dumps({"version": 1, "shards": shards, "backend": pinned})
             )
         self._shard_count = shards
-        self._shards = [
-            SegmentStore(
-                self._directory / f"shard-{index:02d}",
-                autoflush=autoflush,
-                backend=backend,
-                block_records=block_records,
-                mode=mode,
-                snapshot=snapshot,
-                durable=durable,
-            )
-            for index in range(shards)
-        ]
+        # Writer mode locks every shard directory (each shard store takes its
+        # own `store.lock`); if a later shard turns out to be held by another
+        # process, release the ones already acquired before propagating.
+        self._shards: List[SegmentStore] = []
+        try:
+            for index in range(shards):
+                self._shards.append(
+                    SegmentStore(
+                        self._directory / f"shard-{index:02d}",
+                        autoflush=autoflush,
+                        backend=backend,
+                        block_records=block_records,
+                        mode=mode,
+                        snapshot=snapshot,
+                        durable=durable,
+                    )
+                )
+        except BaseException:
+            for shard in self._shards:
+                shard.close()
+            raise
 
     # ------------------------------------------------------------------ #
     # Topology

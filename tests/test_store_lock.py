@@ -1,0 +1,165 @@
+"""Writer lock file: single-writer enforcement across processes.
+
+A writable :class:`~repro.storage.segment_store.SegmentStore` stamps a
+``store.lock`` file (``O_EXCL``) with its pid and host.  A second writer in
+another process must fail fast with :class:`StoreLockedError`; readers,
+same-process re-opens (the lock is reference counted per process) and
+reclaiming a dead writer's stale lock must all keep working.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from crash_harness import REPO_SRC, run_python_with_faults
+from repro.api import FilterSpec, StorageSpec
+from repro.storage import LOCK_NAME, StoreLock, StoreLockedError
+
+FILTER = FilterSpec("slide", epsilon=0.5)
+
+
+def open_store(path, **kwargs):
+    return repro.open(path, filter=FILTER, **kwargs)
+
+
+class TestStoreLockUnit:
+    def test_stamp_and_release(self, tmp_path):
+        lock = StoreLock.acquire(tmp_path)
+        stamp = json.loads((tmp_path / LOCK_NAME).read_text())
+        assert stamp["pid"] == os.getpid()
+        assert stamp["host"]
+        assert stamp["created_unix"] > 0
+        lock.release()
+        assert not (tmp_path / LOCK_NAME).exists()
+        lock.release()  # idempotent
+
+    def test_same_process_reacquire_is_refcounted(self, tmp_path):
+        first = StoreLock.acquire(tmp_path)
+        second = StoreLock.acquire(tmp_path)
+        first.release()
+        assert (tmp_path / LOCK_NAME).exists()  # still held by `second`
+        second.release()
+        assert not (tmp_path / LOCK_NAME).exists()
+
+    def test_dead_pid_lock_is_reclaimed(self, tmp_path):
+        dead = subprocess.run(
+            [sys.executable, "-c", "import os; print(os.getpid())"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        dead_pid = int(dead.stdout)
+        (tmp_path / LOCK_NAME).write_text(
+            json.dumps({"pid": dead_pid, "host": os.uname().nodename, "created_unix": 1.0})
+        )
+        lock = StoreLock.acquire(tmp_path)  # stale: holder is gone
+        assert json.loads((tmp_path / LOCK_NAME).read_text())["pid"] == os.getpid()
+        lock.release()
+
+    def test_live_pid_lock_conflicts(self, tmp_path):
+        (tmp_path / LOCK_NAME).write_text(
+            json.dumps({"pid": os.getpid(), "host": "elsewhere", "created_unix": 1.0})
+        )
+        with pytest.raises(StoreLockedError) as conflict:
+            StoreLock.acquire(tmp_path)
+        assert conflict.value.host == "elsewhere"
+
+
+class TestStoreLockIntegration:
+    def test_lock_lives_with_the_session(self, tmp_path):
+        store = tmp_path / "store"
+        db = open_store(store)
+        assert (store / LOCK_NAME).exists()
+        db.close()
+        assert not (store / LOCK_NAME).exists()
+
+    def test_sharded_store_locks_every_shard(self, tmp_path):
+        store = tmp_path / "store"
+        db = open_store(store, shards=3)
+        locks = sorted(p.parent.name for p in store.rglob(LOCK_NAME))
+        assert locks == ["shard-00", "shard-01", "shard-02"]
+        db.close()
+        assert not list(store.rglob(LOCK_NAME))
+
+    def test_same_process_second_writer_allowed(self, tmp_path):
+        store = tmp_path / "store"
+        first = open_store(store)
+        second = open_store(store)
+        first.close()
+        assert (store / LOCK_NAME).exists()
+        second.close()
+        assert not (store / LOCK_NAME).exists()
+
+    def test_cross_process_second_writer_rejected(self, tmp_path):
+        store = tmp_path / "store"
+        db = open_store(store)
+        try:
+            result = run_python_with_faults(
+                "import repro\n"
+                "from repro.api import FilterSpec\n"
+                "from repro.storage import StoreLockedError\n"
+                "try:\n"
+                f"    repro.open({str(store)!r}, filter=FilterSpec('slide', epsilon=0.5))\n"
+                "except StoreLockedError as error:\n"
+                "    print('LOCKED', error.pid)\n"
+            )
+            assert result.returncode == 0, result.stderr
+            marker, pid = result.stdout.split()
+            assert marker == "LOCKED"
+            assert int(pid) == os.getpid()
+        finally:
+            db.close()
+
+    def test_readers_never_lock(self, tmp_path):
+        store = tmp_path / "store"
+        db = open_store(store)
+        db.append("a", [0.0, 1.0, 2.0], [1.0, 5.0, 1.0])
+        db.flush()
+        try:
+            result = run_python_with_faults(
+                "import repro\n"
+                f"db = repro.open({str(store)!r}, mode='r')\n"
+                "print(len(db.read('a')))\n"
+                "db.close()\n"
+            )
+            assert result.returncode == 0, result.stderr
+            assert int(result.stdout) > 0
+        finally:
+            db.close()
+
+    def test_failed_open_releases_the_lock(self, tmp_path):
+        store = tmp_path / "store"
+        db = open_store(store)
+        db.append("a", [0.0, 1.0], [1.0, 2.0])
+        db.close()
+        with pytest.raises(ValueError):
+            repro.open(store, storage=StorageSpec(backend="columnar"))
+        assert not (store / LOCK_NAME).exists()
+        open_store(store).close()  # and a correct open works right away
+
+    def test_killed_writer_leaves_reclaimable_lock(self, tmp_path):
+        """A SIGKILLed writer's stale lock must not brick the store."""
+        store = tmp_path / "store"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+        code = (
+            "import os, repro\n"
+            "from repro.api import FilterSpec\n"
+            f"db = repro.open({str(store)!r}, filter=FilterSpec('slide', epsilon=0.5))\n"
+            "print('ready', flush=True)\n"
+            "os._exit(9)\n"  # dies without releasing; lock file survives
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code], env=env, capture_output=True, text=True
+        )
+        assert result.stdout.strip() == "ready"
+        assert (store / LOCK_NAME).exists()
+        db = open_store(store)  # stale holder detected, lock reclaimed
+        assert json.loads((store / LOCK_NAME).read_text())["pid"] == os.getpid()
+        db.close()
